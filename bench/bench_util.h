@@ -1,0 +1,86 @@
+// Shared helpers for the experiment harnesses. Each bench binary
+// regenerates one table or figure of the paper's evaluation (Section 7)
+// and prints the same rows/series the paper reports.
+//
+// Scale: MLNCLEAN_BENCH_SCALE=small|full (default small) sizes the
+// generated datasets so the whole bench suite finishes in minutes on a
+// laptop while preserving the curves' shapes.
+
+#ifndef MLNCLEAN_BENCH_BENCH_UTIL_H_
+#define MLNCLEAN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "mlnclean/mlnclean.h"
+
+namespace mlnclean {
+namespace bench {
+
+inline bool FullScale() {
+  const char* scale = std::getenv("MLNCLEAN_BENCH_SCALE");
+  return scale != nullptr && std::string(scale) == "full";
+}
+
+/// CAR-like workload (sparse; Table 4 CAR rules). τ* = 2 on this scale.
+inline Workload Car() {
+  CarConfig config;
+  config.num_rows = FullScale() ? 12000 : 3000;
+  return *MakeCarWorkload(config);
+}
+
+/// HAI-like workload (dense; Table 4 HAI rules). τ* = 3 on this scale.
+inline Workload Hai() {
+  HospitalConfig config;
+  config.num_hospitals = FullScale() ? 120 : 40;
+  config.num_measures = 10;
+  return *MakeHospitalWorkload(config);
+}
+
+/// TPC-H-like workload (Table 4 TPC-H rule), for the distributed runs.
+inline Workload Tpch() {
+  TpchConfig config;
+  config.num_customers = FullScale() ? 800 : 300;
+  config.num_rows = FullScale() ? 60000 : 12000;
+  return *MakeTpchWorkload(config);
+}
+
+/// Larger HAI-like workload for the distributed runs (partitioning only
+/// makes sense when every part still holds whole reason-key groups).
+inline Workload HaiLarge() {
+  HospitalConfig config;
+  config.num_hospitals = FullScale() ? 400 : 150;
+  config.num_measures = 10;
+  return *MakeHospitalWorkload(config);
+}
+
+/// The paper's per-dataset optimal AGP threshold at this scale.
+inline size_t BestTau(const Workload& wl) { return wl.name == "CAR" ? 2 : 3; }
+
+/// Corrupts a workload with the paper's default spec (5% errors, half
+/// typos / half replacement errors) unless overridden.
+inline DirtyDataset Corrupt(const Workload& wl, double error_rate = 0.05,
+                            double rret = 0.5, uint64_t seed = 42) {
+  ErrorSpec spec;
+  spec.error_rate = error_rate;
+  spec.replacement_ratio = rret;
+  spec.seed = seed;
+  return *InjectErrors(wl.clean, wl.rules, spec);
+}
+
+/// Default cleaning options for a workload.
+inline CleaningOptions Options(const Workload& wl) {
+  CleaningOptions options;
+  options.agp_threshold = BestTau(wl);
+  return options;
+}
+
+inline void Header(const char* title) {
+  std::printf("\n== %s ==\n", title);
+}
+
+}  // namespace bench
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,27 @@
+// Figure 7: effect of the error type ratio Rret (fraction of replacement
+// errors among the 5% total errors; the rest are typos) on F1 for CAR (a)
+// and HAI (b).
+
+#include "bench_util.h"
+
+using namespace mlnclean;
+using namespace mlnclean::bench;
+
+int main() {
+  const double kRatios[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  for (Workload wl : {Car(), Hai()}) {
+    Header(("Figure 7: error type ratio sweep on " + wl.name).c_str());
+    std::printf("%6s  %12s  %12s\n", "Rret%", "MLNClean_F1", "HoloClean_F1");
+    for (double rret : kRatios) {
+      DirtyDataset dd = Corrupt(wl, 0.05, rret);
+      MlnCleanPipeline cleaner(Options(wl));
+      auto mln = *cleaner.Clean(dd.dirty, wl.rules);
+      HoloCleanBaseline baseline;
+      auto hc = *baseline.CleanWithOracle(dd.dirty, wl.rules, dd.truth);
+      std::printf("%6.0f  %12.3f  %12.3f\n", rret * 100,
+                  EvaluateRepair(dd.dirty, mln.cleaned, dd.truth).F1(),
+                  EvaluateRepair(dd.dirty, hc.cleaned, dd.truth).F1());
+    }
+  }
+  return 0;
+}

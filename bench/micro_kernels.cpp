@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark) of the kernels the experiments
+// spend their time in: string distances, grounding, index construction,
+// weight learning, the stage-I cleaners, fusion, and partitioning.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cleaning/agp.h"
+#include "cleaning/rsc.h"
+
+using namespace mlnclean;
+using namespace mlnclean::bench;
+
+namespace {
+
+const Workload& SharedHai() {
+  static const Workload wl = [] {
+    HospitalConfig config;
+    config.num_hospitals = 40;
+    config.num_measures = 10;
+    return *MakeHospitalWorkload(config);
+  }();
+  return wl;
+}
+
+const DirtyDataset& SharedDirty() {
+  static const DirtyDataset dd = Corrupt(SharedHai());
+  return dd;
+}
+
+void BM_Levenshtein(benchmark::State& state) {
+  std::string a = "3341000325", b = "3341000052";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Levenshtein(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_CosineBigram(benchmark::State& state) {
+  std::string a = "MRSA BACTEREMIA", b = "MRSA BACTEREMA";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CosineBigramDistance(a, b));
+  }
+}
+BENCHMARK(BM_CosineBigram);
+
+void BM_GroundConstraint(benchmark::State& state) {
+  const Workload& wl = SharedHai();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GroundConstraint(wl.clean, wl.rules.rule(0)));
+  }
+}
+BENCHMARK(BM_GroundConstraint);
+
+void BM_IndexBuild(benchmark::State& state) {
+  const DirtyDataset& dd = SharedDirty();
+  const Workload& wl = SharedHai();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MlnIndex::Build(dd.dirty, wl.rules));
+  }
+}
+BENCHMARK(BM_IndexBuild);
+
+void BM_WeightLearning(benchmark::State& state) {
+  const DirtyDataset& dd = SharedDirty();
+  const Workload& wl = SharedHai();
+  MlnIndex index = *MlnIndex::Build(dd.dirty, wl.rules);
+  for (auto _ : state) {
+    index.LearnWeights();
+  }
+}
+BENCHMARK(BM_WeightLearning);
+
+void BM_StageOne(benchmark::State& state) {
+  const DirtyDataset& dd = SharedDirty();
+  const Workload& wl = SharedHai();
+  MlnCleanPipeline cleaner(Options(wl));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cleaner.RunStageOne(dd.dirty, wl.rules, nullptr));
+  }
+}
+BENCHMARK(BM_StageOne);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const DirtyDataset& dd = SharedDirty();
+  const Workload& wl = SharedHai();
+  MlnCleanPipeline cleaner(Options(wl));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cleaner.Clean(dd.dirty, wl.rules));
+  }
+}
+BENCHMARK(BM_FullPipeline);
+
+void BM_Partition(benchmark::State& state) {
+  const DirtyDataset& dd = SharedDirty();
+  PartitionOptions opts;
+  opts.num_parts = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionDataset(dd.dirty, opts));
+  }
+}
+BENCHMARK(BM_Partition);
+
+void BM_GibbsSmallNetwork(benchmark::State& state) {
+  GroundNetwork net;
+  for (int i = 0; i < 20; ++i) {
+    AtomId a = net.AddAtom("x" + std::to_string(i));
+    (void)net.AddClause({{{a, true}}, 0.5 + 0.1 * i, false});
+  }
+  GibbsOptions opts;
+  opts.burn_in_sweeps = 10;
+  opts.sample_sweeps = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GibbsMarginals(net, opts));
+  }
+}
+BENCHMARK(BM_GibbsSmallNetwork);
+
+}  // namespace
+
+BENCHMARK_MAIN();

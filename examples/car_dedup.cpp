@@ -1,0 +1,63 @@
+// Domain example: the sparse CAR workload with duplicate listings —
+// typos corrupt vehicle records, duplicates inflate the table, and
+// MLNClean repairs the errors and collapses the duplicates in one pass.
+//
+//   $ ./examples/car_dedup
+
+#include <cstdio>
+
+#include "mlnclean/mlnclean.h"
+
+using namespace mlnclean;
+
+int main() {
+  CarConfig config;
+  config.num_rows = 2000;
+  Workload wl = *MakeCarWorkload(config);
+
+  // Inject duplicate listings first (the same car posted twice), then
+  // typos on the rule attributes.
+  Dataset with_dups = wl.clean.Clone();
+  Rng rng(3);
+  std::vector<std::pair<TupleId, TupleId>> dup_pairs;
+  AppendDuplicates(&with_dups, 0.10, &rng, &dup_pairs);
+  std::printf("CAR-like dataset: %zu listings (%zu injected duplicates)\n",
+              with_dups.num_rows(), dup_pairs.size());
+
+  ErrorSpec spec;
+  spec.error_rate = 0.04;
+  spec.replacement_ratio = 0.0;  // typos only in this scenario
+  spec.seed = 11;
+  DirtyDataset dd = *InjectErrors(with_dups, wl.rules, spec);
+  std::printf("Injected %zu typos on rule attributes\n", dd.truth.NumErrors());
+
+  CleaningOptions options;
+  options.agp_threshold = 2;
+  MlnCleanPipeline cleaner(options);
+  CleanResult result = *cleaner.Clean(dd.dirty, wl.rules);
+
+  RepairMetrics m = EvaluateRepair(dd.dirty, result.cleaned, dd.truth);
+  std::printf("\nRepair quality: precision %.3f  recall %.3f  F1 %.3f\n",
+              m.Precision(), m.Recall(), m.F1());
+  std::printf("Cleaning trace: %s\n", result.report.Summary().c_str());
+  std::printf("Rows: %zu dirty -> %zu after duplicate elimination\n",
+              result.cleaned.num_rows(), result.deduped.num_rows());
+
+  // A few sample repairs.
+  int shown = 0;
+  for (TupleId t = 0; t < static_cast<TupleId>(dd.dirty.num_rows()) && shown < 5;
+       ++t) {
+    for (AttrId a = 0; a < static_cast<AttrId>(dd.dirty.num_attrs()); ++a) {
+      if (result.cleaned.at(t, a) != dd.dirty.at(t, a)) {
+        std::printf("  t%d.%s: '%s' -> '%s'%s\n", t,
+                    wl.clean.schema().name(a).c_str(), dd.dirty.at(t, a).c_str(),
+                    result.cleaned.at(t, a).c_str(),
+                    result.cleaned.at(t, a) == dd.truth.TrueValue(t, a)
+                        ? ""
+                        : "  (incorrect)");
+        if (++shown >= 5) break;
+      }
+    }
+  }
+  return 0;
+}

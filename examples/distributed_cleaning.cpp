@@ -1,0 +1,45 @@
+// Domain example: distributed MLNClean (Section 6) on a TPC-H-like
+// dataset — Algorithm 3 partitioning, per-part cleaning on a worker pool,
+// Eq. 6 global weight adjustment, and the gather phase.
+//
+//   $ ./examples/distributed_cleaning
+
+#include <cstdio>
+
+#include "mlnclean/mlnclean.h"
+
+using namespace mlnclean;
+
+int main() {
+  TpchConfig config;
+  config.num_customers = 200;
+  config.num_rows = 8000;
+  Workload wl = *MakeTpchWorkload(config);
+  std::printf("TPC-H-like dataset: %zu tuples, rule: %s\n", wl.clean.num_rows(),
+              wl.rules.rule(0).ToString(wl.rules.schema()).c_str());
+
+  ErrorSpec spec;
+  spec.error_rate = 0.05;
+  spec.seed = 13;
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+
+  DistributedOptions opts;
+  opts.num_parts = 8;
+  opts.num_workers = 2;
+  opts.cleaning.agp_threshold = 3;
+  DistributedMlnClean cleaner(opts);
+  DistributedResult result = *cleaner.Clean(dd.dirty, wl.rules);
+
+  RepairMetrics m = EvaluateRepair(dd.dirty, result.cleaned, dd.truth);
+  std::printf("\nDistributed run: %zu parts, %zu workers\n", opts.num_parts,
+              opts.num_workers);
+  std::printf("  F1 %.3f  (precision %.3f, recall %.3f)\n", m.F1(), m.Precision(),
+              m.Recall());
+  std::printf("  wall clock %.3f s; %zu globally merged γ weights (Eq. 6)\n",
+              result.wall_seconds, result.global_weights);
+  std::printf("  per-part cost (s):");
+  for (double s : result.part_seconds) std::printf(" %.3f", s);
+  std::printf("\n  simulated makespan: 2 workers %.3f s, 10 workers %.3f s\n",
+              result.SimulatedMakespan(2), result.SimulatedMakespan(10));
+  return 0;
+}

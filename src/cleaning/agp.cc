@@ -1,0 +1,80 @@
+#include "cleaning/agp.h"
+
+#include <limits>
+
+namespace mlnclean {
+
+size_t RunAgp(Block* block, const CleaningOptions& options, const DistanceFn& dist,
+              CleaningReport* report) {
+  const size_t tau = options.agp_threshold;
+  std::vector<size_t> normal_idx, abnormal_idx;
+  for (size_t gi = 0; gi < block->groups.size(); ++gi) {
+    if (block->groups[gi].TupleCount() <= tau) {
+      abnormal_idx.push_back(gi);
+    } else {
+      normal_idx.push_back(gi);
+    }
+  }
+  if (abnormal_idx.empty()) return 0;
+
+  size_t merged_count = 0;
+  std::vector<bool> remove(block->groups.size(), false);
+  for (size_t ai : abnormal_idx) {
+    Group& abnormal = block->groups[ai];
+    AgpMergeRecord rec;
+    rec.block = block->rule_index;
+    rec.abnormal_key = abnormal.key;
+    rec.num_pieces = abnormal.pieces.size();
+    for (const auto& piece : abnormal.pieces) {
+      rec.abnormal_tuples.insert(rec.abnormal_tuples.end(), piece.tuples.begin(),
+                                 piece.tuples.end());
+    }
+    if (normal_idx.empty()) {
+      // No normal group to merge into: leave the group in place.
+      rec.merged = false;
+      if (report) report->agp.push_back(std::move(rec));
+      continue;
+    }
+    // Nearest normal group by γ*-to-γ* distance.
+    const Piece& a_star = abnormal.Star();
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_gi = normal_idx.front();
+    for (size_t ni : normal_idx) {
+      double d = PieceDistance(a_star, block->groups[ni].Star(), dist);
+      if (d < best) {
+        best = d;
+        best_gi = ni;
+      }
+    }
+    Group& target = block->groups[best_gi];
+    rec.target_key = target.key;
+    rec.merged = true;
+    for (auto& piece : abnormal.pieces) {
+      target.pieces.push_back(std::move(piece));
+    }
+    abnormal.pieces.clear();
+    remove[ai] = true;
+    ++merged_count;
+    if (report) report->agp.push_back(std::move(rec));
+  }
+
+  if (merged_count > 0) {
+    std::vector<Group> kept;
+    kept.reserve(block->groups.size() - merged_count);
+    for (size_t gi = 0; gi < block->groups.size(); ++gi) {
+      if (!remove[gi]) kept.push_back(std::move(block->groups[gi]));
+    }
+    block->groups = std::move(kept);
+  }
+  return merged_count;
+}
+
+void RunAgpAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn& dist,
+               CleaningReport* report) {
+  for (size_t bi = 0; bi < index->num_blocks(); ++bi) {
+    size_t merged = RunAgp(&index->block(bi), options, dist, report);
+    if (merged > 0) index->ReindexBlock(bi);
+  }
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,29 @@
+// AGP — abnormal group processing (Section 5.1.1). Groups whose tuple
+// count is at most the threshold τ are considered abnormal (they likely
+// exist only because an error in a rule's reason part spawned a spurious
+// reason key) and are merged into the nearest normal group of the same
+// block, where "distance between groups" is the distance between their γ*
+// representatives.
+
+#ifndef MLNCLEAN_CLEANING_AGP_H_
+#define MLNCLEAN_CLEANING_AGP_H_
+
+#include "cleaning/options.h"
+#include "cleaning/report.h"
+#include "index/mln_index.h"
+
+namespace mlnclean {
+
+/// Runs AGP over one block in place, appending a record per detected
+/// abnormal group to `report` (which may be null). Returns the number of
+/// abnormal groups that were actually merged.
+size_t RunAgp(Block* block, const CleaningOptions& options, const DistanceFn& dist,
+              CleaningReport* report);
+
+/// Runs AGP over every block of the index and reindexes the group maps.
+void RunAgpAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn& dist,
+               CleaningReport* report);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_CLEANING_AGP_H_

@@ -1,0 +1,30 @@
+#include "cleaning/dedup.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace mlnclean {
+
+Dataset RemoveDuplicates(const Dataset& data,
+                         std::vector<std::pair<TupleId, TupleId>>* removed) {
+  Dataset out(data.schema());
+  std::unordered_map<std::string, TupleId> seen;
+  for (TupleId tid = 0; tid < static_cast<TupleId>(data.num_rows()); ++tid) {
+    const auto& row = data.row(tid);
+    std::string key;
+    for (const auto& v : row) {
+      key += v;
+      key += '\x1f';
+    }
+    auto [it, inserted] = seen.emplace(std::move(key), tid);
+    if (inserted) {
+      // Append preserves arity by construction; ignore the impossible error.
+      (void)out.Append(row);
+    } else if (removed != nullptr) {
+      removed->emplace_back(tid, it->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,23 @@
+// Duplicate elimination (Section 5.2, final step): after FSCR has unified
+// the clean versions, tuples that became exact copies of one another refer
+// to the same real-world entity and all but one representative are removed.
+
+#ifndef MLNCLEAN_CLEANING_DEDUP_H_
+#define MLNCLEAN_CLEANING_DEDUP_H_
+
+#include <utility>
+#include <vector>
+
+#include "dataset/dataset.h"
+
+namespace mlnclean {
+
+/// Returns `data` with exact duplicate rows removed (first occurrence
+/// kept). Appends one (removed, kept) pair per dropped tuple to `removed`
+/// when non-null.
+Dataset RemoveDuplicates(const Dataset& data,
+                         std::vector<std::pair<TupleId, TupleId>>* removed);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_CLEANING_DEDUP_H_

@@ -1,0 +1,318 @@
+#include "cleaning/fscr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/distance.h"
+
+namespace mlnclean {
+
+namespace {
+
+// A stage-1 clean version of a tuple: a γ (one per block the tuple is in
+// scope for) flattened into (attr, value) pairs.
+struct Version {
+  size_t block_index = 0;
+  const Piece* piece = nullptr;
+  std::vector<std::pair<AttrId, Value>> assignment;
+  double weight = 0.0;
+};
+
+// Sparse attribute assignment accumulated during fusion.
+using Assignment = std::vector<std::pair<AttrId, Value>>;
+
+// Returns the value assigned to `attr`, or nullptr.
+const Value* Lookup(const Assignment& a, AttrId attr) {
+  for (const auto& [k, v] : a) {
+    if (k == attr) return &v;
+  }
+  return nullptr;
+}
+
+// True when `v` disagrees with `a` on some shared attribute.
+bool ConflictsWith(const Assignment& a, const std::vector<std::pair<AttrId, Value>>& v) {
+  for (const auto& [attr, value] : v) {
+    const Value* cur = Lookup(a, attr);
+    if (cur != nullptr && *cur != value) return true;
+  }
+  return false;
+}
+
+// Merges `v` into `a` (values for already-assigned attrs must agree).
+void MergeInto(Assignment* a, const std::vector<std::pair<AttrId, Value>>& v) {
+  for (const auto& [attr, value] : v) {
+    if (Lookup(*a, attr) == nullptr) a->emplace_back(attr, value);
+  }
+}
+
+// Flattens a γ into (attr, value) pairs using its rule's attribute lists.
+std::vector<std::pair<AttrId, Value>> PieceAssignment(const Constraint& rule,
+                                                      const Piece& piece) {
+  std::vector<std::pair<AttrId, Value>> out;
+  const auto& reason_attrs = rule.reason_attrs();
+  for (size_t i = 0; i < reason_attrs.size(); ++i) {
+    out.emplace_back(reason_attrs[i], piece.reason[i]);
+  }
+  const auto& result_attrs = rule.result_attrs();
+  for (size_t i = 0; i < result_attrs.size(); ++i) {
+    out.emplace_back(result_attrs[i], piece.result[i]);
+  }
+  return out;
+}
+
+// Per-block list of γs sorted by descending weight, for the γ' fallback
+// search of Algorithm 2 (line 19).
+struct BlockCandidates {
+  std::vector<const Piece*> by_weight;
+  std::vector<std::vector<std::pair<AttrId, Value>>> assignments;
+};
+
+// Recursive exploration of merge orders (GetFusionT). `remaining` is a
+// bitmask over the tuple's versions.
+class FusionSearch {
+ public:
+  FusionSearch(const std::vector<Version>& versions,
+               const std::vector<BlockCandidates>& candidates,
+               const std::vector<uint32_t>& conflict_masks, size_t node_budget,
+               const std::vector<Value>& dirty_row, double minimality_discount)
+      : versions_(versions),
+        candidates_(candidates),
+        conflict_masks_(conflict_masks),
+        node_budget_(node_budget),
+        dirty_row_(dirty_row),
+        minimality_discount_(minimality_discount) {}
+
+  // Returns the best (minimality-discounted) f-score; writes the
+  // corresponding assignment.
+  double Run(Assignment* best_assignment) {
+    Assignment current;
+    Explore(FullMask(), current, 1.0);
+    *best_assignment = std::move(best_assignment_);
+    return best_f_;
+  }
+
+  // f-score of a complete fusion: the Eq. 5 weight product times the
+  // minimality discount raised to the total *normalized edit distance*
+  // between the fusion and the tuple's current values. Rewriting a value
+  // entirely costs a full discount factor; nudging a typo costs a small
+  // fraction — the same distance-over-minimality reasoning the
+  // reliability score applies in stage I.
+  double FinalScore(double f, const Assignment& assignment) const {
+    double total = 0.0;
+    for (const auto& [attr, value] : assignment) {
+      const Value& current = dirty_row_[static_cast<size_t>(attr)];
+      if (current == value) continue;
+      size_t max_len = std::max(current.size(), value.size());
+      if (max_len == 0) continue;
+      total += static_cast<double>(Levenshtein(current, value)) / max_len;
+    }
+    return total == 0.0 ? f : f * std::pow(minimality_discount_, total);
+  }
+
+ private:
+  uint32_t FullMask() const {
+    return versions_.size() >= 32 ? ~uint32_t{0}
+                                  : ((uint32_t{1} << versions_.size()) - 1);
+  }
+
+  void Explore(uint32_t remaining, const Assignment& current, double f) {
+    if (node_budget_ == 0) return;
+    --node_budget_;
+    if (remaining == 0) {
+      double total = FinalScore(f, current);
+      if (total > best_f_) {
+        best_f_ = total;
+        best_assignment_ = current;
+      }
+      return;
+    }
+    // Fast path: when the remaining versions neither conflict pairwise nor
+    // with the accumulated assignment, the product is order-independent.
+    if (RemainingConflictFree(remaining, current)) {
+      double total = f;
+      Assignment merged = current;
+      for (size_t j = 0; j < versions_.size(); ++j) {
+        if ((remaining >> j) & 1u) {
+          total *= versions_[j].weight;
+          MergeInto(&merged, versions_[j].assignment);
+        }
+      }
+      total = FinalScore(total, merged);
+      if (total > best_f_) {
+        best_f_ = total;
+        best_assignment_ = std::move(merged);
+      }
+      return;
+    }
+    for (size_t j = 0; j < versions_.size() && node_budget_ > 0; ++j) {
+      if (((remaining >> j) & 1u) == 0) continue;
+      const Version& vj = versions_[j];
+      Assignment next = current;
+      double fj;
+      if (!ConflictsWith(current, vj.assignment)) {
+        MergeInto(&next, vj.assignment);
+        fj = vj.weight;
+      } else {
+        // Algorithm 2 line 19: substitute γj by the highest-weight γ' of
+        // block Bj that does not conflict with the accumulated fusion.
+        const BlockCandidates& cands = candidates_[vj.block_index];
+        const Piece* found = nullptr;
+        double found_w = 0.0;
+        for (size_t c = 0; c < cands.by_weight.size(); ++c) {
+          if (cands.by_weight[c] == vj.piece) continue;  // Bj - {γj}
+          if (!ConflictsWith(current, cands.assignments[c])) {
+            found = cands.by_weight[c];
+            found_w = found->weight;
+            MergeInto(&next, cands.assignments[c]);
+            break;
+          }
+        }
+        if (found == nullptr) continue;  // this merge order fails (f = 0)
+        fj = found_w;
+      }
+      Explore(remaining & ~(uint32_t{1} << j), next, f * fj);
+    }
+  }
+
+  bool RemainingConflictFree(uint32_t remaining, const Assignment& current) const {
+    for (size_t j = 0; j < versions_.size(); ++j) {
+      if (((remaining >> j) & 1u) == 0) continue;
+      if (conflict_masks_[j] & remaining) return false;
+      if (ConflictsWith(current, versions_[j].assignment)) return false;
+    }
+    return true;
+  }
+
+  const std::vector<Version>& versions_;
+  const std::vector<BlockCandidates>& candidates_;
+  const std::vector<uint32_t>& conflict_masks_;
+  size_t node_budget_;
+  const std::vector<Value>& dirty_row_;
+  double minimality_discount_;
+  double best_f_ = 0.0;
+  Assignment best_assignment_;
+};
+
+// Greedy fallback for tuples with more versions than the exhaustive cap:
+// merge in descending-weight order with the same substitution rule.
+double GreedyFusion(const std::vector<Version>& versions,
+                    const std::vector<BlockCandidates>& candidates,
+                    Assignment* out) {
+  std::vector<size_t> order(versions.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return versions[a].weight > versions[b].weight;
+  });
+  Assignment current;
+  double f = 1.0;
+  for (size_t j : order) {
+    const Version& vj = versions[j];
+    if (!ConflictsWith(current, vj.assignment)) {
+      MergeInto(&current, vj.assignment);
+      f *= vj.weight;
+      continue;
+    }
+    const BlockCandidates& cands = candidates[vj.block_index];
+    bool found = false;
+    for (size_t c = 0; c < cands.by_weight.size(); ++c) {
+      if (cands.by_weight[c] == vj.piece) continue;
+      if (!ConflictsWith(current, cands.assignments[c])) {
+        MergeInto(&current, cands.assignments[c]);
+        f *= cands.by_weight[c]->weight;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return 0.0;
+  }
+  *out = std::move(current);
+  return f;
+}
+
+}  // namespace
+
+void RunFscr(const Dataset& dirty, const RuleSet& rules, const MlnIndex& index,
+             const CleaningOptions& options, Dataset* cleaned,
+             CleaningReport* report) {
+  const size_t num_rows = dirty.num_rows();
+  // tid -> versions (one per block whose γ covers the tuple).
+  std::vector<std::vector<Version>> versions_of(num_rows);
+  std::vector<BlockCandidates> candidates(index.num_blocks());
+  for (size_t bi = 0; bi < index.num_blocks(); ++bi) {
+    const Block& block = index.block(bi);
+    const Constraint& rule = rules.rule(block.rule_index);
+    BlockCandidates& cands = candidates[bi];
+    for (const Group& group : block.groups) {
+      for (const Piece& piece : group.pieces) {
+        cands.by_weight.push_back(&piece);
+        for (TupleId tid : piece.tuples) {
+          Version v;
+          v.block_index = bi;
+          v.piece = &piece;
+          v.assignment = PieceAssignment(rule, piece);
+          v.weight = piece.weight;
+          versions_of[static_cast<size_t>(tid)].push_back(std::move(v));
+        }
+      }
+    }
+    std::sort(cands.by_weight.begin(), cands.by_weight.end(),
+              [](const Piece* a, const Piece* b) { return a->weight > b->weight; });
+    cands.assignments.reserve(cands.by_weight.size());
+    for (const Piece* p : cands.by_weight) {
+      cands.assignments.push_back(PieceAssignment(rule, *p));
+    }
+  }
+
+  for (size_t tid = 0; tid < num_rows; ++tid) {
+    std::vector<Version>& versions = versions_of[tid];
+    FscrRecord rec;
+    rec.tuple = static_cast<TupleId>(tid);
+    if (versions.empty()) {
+      if (report) report->fscr.push_back(std::move(rec));
+      continue;
+    }
+    // Conflict attributes among the original versions (order-independent;
+    // this is the "detected conflicts" signal of the Precision-F metric).
+    std::vector<uint32_t> conflict_masks(versions.size(), 0);
+    for (size_t i = 0; i < versions.size(); ++i) {
+      for (size_t j = i + 1; j < versions.size(); ++j) {
+        for (const auto& [attr, value] : versions[i].assignment) {
+          const Value* other = Lookup(versions[j].assignment, attr);
+          if (other != nullptr && *other != value) {
+            conflict_masks[i] |= uint32_t{1} << j;
+            conflict_masks[j] |= uint32_t{1} << i;
+            if (std::find(rec.conflict_attrs.begin(), rec.conflict_attrs.end(),
+                          attr) == rec.conflict_attrs.end()) {
+              rec.conflict_attrs.push_back(attr);
+            }
+          }
+        }
+      }
+    }
+
+    Assignment best;
+    double f;
+    FusionSearch search(versions, candidates, conflict_masks,
+                        options.max_fusion_nodes, dirty.row(tid),
+                        options.fscr_minimality_discount);
+    if (versions.size() <= options.max_exhaustive_fusion) {
+      f = search.Run(&best);
+    } else {
+      f = GreedyFusion(versions, candidates, &best);
+      if (f > 0.0) f = search.FinalScore(f, best);
+    }
+    if (f > 0.0) {
+      rec.fused = true;
+      rec.f_score = f;
+      for (const auto& [attr, value] : best) {
+        cleaned->set(static_cast<TupleId>(tid), attr, value);
+      }
+    }
+    // f == 0: every merge order failed; the tuple keeps its current values
+    // (Algorithm 2 initializes tfmax to t itself).
+    if (report) report->fscr.push_back(std::move(rec));
+  }
+}
+
+}  // namespace mlnclean

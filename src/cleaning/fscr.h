@@ -1,0 +1,36 @@
+// FSCR — fusion-score based conflict resolution (Section 5.2,
+// Algorithm 2). After stage 1 every block holds one clean γ per group, so
+// each tuple has up to |B| clean "versions" (one per rule it is in scope
+// for). FSCR fuses them into a single clean tuple, maximizing the fusion
+// score f-score(t) = Π w(γ) over merge orders; when two versions conflict
+// on a shared attribute, the conflicting version is substituted by the
+// highest-weight conflict-free γ of the same block, or the merge order is
+// abandoned (f = 0).
+//
+// On top of the Eq. 5 product, candidate fusions are discounted per cell
+// they change on the dirty tuple (CleaningOptions::fscr_minimality_discount)
+// so that near-tied fusions resolve toward the minimal repair; the
+// reported f_score includes this factor.
+
+#ifndef MLNCLEAN_CLEANING_FSCR_H_
+#define MLNCLEAN_CLEANING_FSCR_H_
+
+#include "cleaning/options.h"
+#include "cleaning/report.h"
+#include "index/mln_index.h"
+#include "rules/constraint.h"
+
+namespace mlnclean {
+
+/// Runs FSCR: starting from the dirty dataset, writes the fused clean
+/// values into `cleaned` (which must start as a copy of the dirty data)
+/// and appends one FscrRecord per tuple to `report` (may be null).
+/// `index` must have been through AGP + weight learning + RSC, i.e. every
+/// group holds exactly one γ.
+void RunFscr(const Dataset& dirty, const RuleSet& rules, const MlnIndex& index,
+             const CleaningOptions& options, Dataset* cleaned,
+             CleaningReport* report);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_CLEANING_FSCR_H_

@@ -1,0 +1,56 @@
+// Configuration shared by the MLNClean stages.
+
+#ifndef MLNCLEAN_CLEANING_OPTIONS_H_
+#define MLNCLEAN_CLEANING_OPTIONS_H_
+
+#include <cstddef>
+
+#include "common/distance.h"
+#include "mln/weight_learner.h"
+
+namespace mlnclean {
+
+/// Knobs of the two-stage cleaner. Defaults follow the paper: τ = 1,
+/// Levenshtein distance, duplicates removed after FSCR.
+struct CleaningOptions {
+  /// AGP threshold τ: a group whose tuple count is <= τ is abnormal.
+  /// τ = 0 disables abnormal-group detection.
+  size_t agp_threshold = 1;
+
+  /// Distance metric for AGP group distance and the RSC reliability score.
+  DistanceMetric distance = DistanceMetric::kLevenshtein;
+
+  /// Markov weight learning configuration (Section 5.1.2).
+  WeightLearnerOptions learner;
+
+  /// When false, γ weights stay at the Eq. 4 priors (ablation knob).
+  bool learn_weights = true;
+
+  /// Remove exact duplicate tuples after FSCR (instance-level duplicates).
+  bool remove_duplicates = true;
+
+  /// FSCR explores merge orders exhaustively only up to this many versions
+  /// per tuple; beyond it, versions are merged greedily by weight. The
+  /// paper's rule sets have at most 7 rules, so the cap is rarely hit.
+  size_t max_exhaustive_fusion = 7;
+
+  /// Safety cap on fusion search nodes per tuple (the m! blow-up of
+  /// Algorithm 2 is bounded in practice; this bounds it in theory too).
+  size_t max_fusion_nodes = 20000;
+
+  /// Minimality bias of FSCR: each attribute a candidate fusion changes
+  /// away from the tuple's current (dirty) value multiplies its f-score
+  /// by this factor. Pure Eq. 5 maximization ties between "repair the one
+  /// corrupted cell" and "rewrite the tuple into a different, equally
+  /// popular entity"; the discount resolves such ties toward the minimal
+  /// repair, mirroring how the reliability score folds the minimality
+  /// principle into stage I. 1.0 disables the bias.
+  double fscr_minimality_discount = 0.25;
+
+  /// Validates option consistency.
+  Status Validate() const;
+};
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_CLEANING_OPTIONS_H_

@@ -1,0 +1,72 @@
+#include "cleaning/pipeline.h"
+
+#include "cleaning/agp.h"
+#include "cleaning/dedup.h"
+#include "cleaning/fscr.h"
+#include "cleaning/rsc.h"
+#include "common/timer.h"
+
+namespace mlnclean {
+
+MlnCleanPipeline::MlnCleanPipeline(CleaningOptions options)
+    : options_(std::move(options)) {}
+
+Result<MlnIndex> MlnCleanPipeline::RunStageOne(const Dataset& dirty,
+                                               const RuleSet& rules,
+                                               CleaningReport* report) const {
+  MLN_RETURN_NOT_OK(options_.Validate());
+  DistanceFn dist = MakeNormalizedDistanceFn(options_.distance);
+
+  Timer timer;
+  MLN_ASSIGN_OR_RETURN(MlnIndex index, MlnIndex::Build(dirty, rules));
+  if (report) report->timings.index = timer.ElapsedSeconds();
+
+  timer.Restart();
+  RunAgpAll(&index, options_, dist, report);
+  if (report) report->timings.agp = timer.ElapsedSeconds();
+
+  timer.Restart();
+  if (options_.learn_weights) {
+    index.LearnWeights(options_.learner);
+  } else {
+    index.AssignPriorWeights();  // ablation: Eq. 4 priors only
+  }
+  if (report) report->timings.learn = timer.ElapsedSeconds();
+
+  timer.Restart();
+  RunRscAll(&index, options_, dist, report);
+  if (report) report->timings.rsc = timer.ElapsedSeconds();
+  return index;
+}
+
+CleanResult MlnCleanPipeline::RunStageTwo(const Dataset& dirty, const RuleSet& rules,
+                                          const MlnIndex& index,
+                                          CleaningReport report) const {
+  Timer timer;
+  CleanResult result;
+  result.cleaned = dirty.Clone();
+  RunFscr(dirty, rules, index, options_, &result.cleaned, &report);
+  report.timings.fscr = timer.ElapsedSeconds();
+
+  timer.Restart();
+  if (options_.remove_duplicates) {
+    result.deduped = RemoveDuplicates(result.cleaned, &report.duplicates);
+  } else {
+    result.deduped = result.cleaned;
+  }
+  report.timings.dedup = timer.ElapsedSeconds();
+  result.report = std::move(report);
+  return result;
+}
+
+Result<CleanResult> MlnCleanPipeline::Clean(const Dataset& dirty,
+                                            const RuleSet& rules) const {
+  Timer total;
+  CleaningReport report;
+  MLN_ASSIGN_OR_RETURN(MlnIndex index, RunStageOne(dirty, rules, &report));
+  CleanResult result = RunStageTwo(dirty, rules, index, std::move(report));
+  result.report.timings.total = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,57 @@
+// MlnCleanPipeline: the end-to-end MLNClean cleaner (Algorithm 1) —
+// MLN index construction, stage I (AGP + weight learning + RSC), stage II
+// (FSCR + duplicate removal).
+
+#ifndef MLNCLEAN_CLEANING_PIPELINE_H_
+#define MLNCLEAN_CLEANING_PIPELINE_H_
+
+#include "cleaning/options.h"
+#include "cleaning/report.h"
+#include "common/result.h"
+#include "index/mln_index.h"
+#include "rules/constraint.h"
+
+namespace mlnclean {
+
+/// Output of a cleaning run.
+struct CleanResult {
+  /// Repaired dataset, row-aligned with the dirty input (before duplicate
+  /// removal) — the dataset accuracy metrics are computed on.
+  Dataset cleaned;
+  /// Final dataset after duplicate elimination.
+  Dataset deduped;
+  /// Decision trace and stage timings.
+  CleaningReport report;
+};
+
+/// The MLNClean framework facade.
+///
+/// Typical use:
+///   MlnCleanPipeline cleaner(options);
+///   MLN_ASSIGN_OR_RETURN(CleanResult result, cleaner.Clean(dirty, rules));
+class MlnCleanPipeline {
+ public:
+  explicit MlnCleanPipeline(CleaningOptions options = {});
+
+  const CleaningOptions& options() const { return options_; }
+
+  /// Runs the full two-stage cleaning process on `dirty`.
+  Result<CleanResult> Clean(const Dataset& dirty, const RuleSet& rules) const;
+
+  /// Stage I only: builds the index, runs AGP, learns weights, runs RSC.
+  /// Exposed for the distributed driver and for component-level
+  /// experiments; `report` may be null.
+  Result<MlnIndex> RunStageOne(const Dataset& dirty, const RuleSet& rules,
+                               CleaningReport* report) const;
+
+  /// Stage II only: FSCR over a stage-I index plus duplicate removal.
+  CleanResult RunStageTwo(const Dataset& dirty, const RuleSet& rules,
+                          const MlnIndex& index, CleaningReport report) const;
+
+ private:
+  CleaningOptions options_;
+};
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_CLEANING_PIPELINE_H_

@@ -1,0 +1,26 @@
+#include "cleaning/report.h"
+
+#include <sstream>
+
+namespace mlnclean {
+
+size_t CleaningReport::NumDetectedAbnormalPieces() const {
+  size_t n = 0;
+  for (const auto& rec : agp) n += rec.num_pieces;
+  return n;
+}
+
+std::string CleaningReport::Summary() const {
+  std::ostringstream out;
+  out << "agp: " << agp.size() << " abnormal groups (" << NumDetectedAbnormalPieces()
+      << " pieces); rsc: " << rsc.size() << " replacements; fscr: ";
+  size_t conflicted = 0;
+  for (const auto& rec : fscr) {
+    if (!rec.conflict_attrs.empty()) ++conflicted;
+  }
+  out << conflicted << "/" << fscr.size() << " tuples with conflicts; duplicates: "
+      << duplicates.size();
+  return out.str();
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,87 @@
+// CleaningReport: a structured trace of every decision the pipeline takes.
+// The evaluation module joins it with the injected ground truth to compute
+// the per-component accuracies of Section 7.3 (Precision/Recall-A, -R, -F
+// and #dag).
+
+#ifndef MLNCLEAN_CLEANING_REPORT_H_
+#define MLNCLEAN_CLEANING_REPORT_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dataset/schema.h"
+
+namespace mlnclean {
+
+/// One AGP decision: an abnormal group and where it was merged.
+struct AgpMergeRecord {
+  size_t block = 0;
+  std::vector<Value> abnormal_key;
+  /// Tuples inside the abnormal group when it was detected.
+  std::vector<TupleId> abnormal_tuples;
+  /// Number of γs in the abnormal group (contributes to #dag).
+  size_t num_pieces = 0;
+  /// Reason key of the normal group it was merged into; empty when the
+  /// block had no normal group and the merge was skipped.
+  std::vector<Value> target_key;
+  bool merged = false;
+};
+
+/// One RSC replacement: a losing γ rewritten to the group's winner.
+struct RscRepairRecord {
+  size_t block = 0;
+  std::vector<Value> group_key;
+  /// reason+result values of the winning γ.
+  std::vector<Value> winner_values;
+  /// reason+result values of the replaced γ.
+  std::vector<Value> loser_values;
+  /// Tuples that carried the losing γ.
+  std::vector<TupleId> affected_tuples;
+};
+
+/// FSCR outcome for one tuple.
+struct FscrRecord {
+  TupleId tuple = 0;
+  /// Attributes on which at least two stage-1 versions disagreed.
+  std::vector<AttrId> conflict_attrs;
+  /// Whether a non-zero f-score fusion was found.
+  bool fused = false;
+  double f_score = 0.0;
+};
+
+/// Wall-clock breakdown of one pipeline run, in seconds.
+struct StageTimings {
+  double index = 0.0;
+  double agp = 0.0;
+  double learn = 0.0;
+  double rsc = 0.0;
+  double fscr = 0.0;
+  double dedup = 0.0;
+  double total = 0.0;
+};
+
+/// Full decision trace of a cleaning run.
+struct CleaningReport {
+  std::vector<AgpMergeRecord> agp;
+  std::vector<RscRepairRecord> rsc;
+  std::vector<FscrRecord> fscr;
+  /// (removed tuple, kept representative) pairs from duplicate removal.
+  std::vector<std::pair<TupleId, TupleId>> duplicates;
+  StageTimings timings;
+
+  /// #dag: total number of γs inside detected abnormal groups (Fig. 8).
+  size_t NumDetectedAbnormalPieces() const;
+
+  /// Number of groups AGP flagged abnormal.
+  size_t NumDetectedAbnormalGroups() const { return agp.size(); }
+
+  /// Short human-readable summary.
+  std::string Summary() const;
+};
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_CLEANING_REPORT_H_

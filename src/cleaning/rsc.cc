@@ -1,0 +1,89 @@
+#include "cleaning/rsc.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mlnclean {
+
+std::vector<double> ReliabilityScores(const Group& group, const DistanceFn& dist) {
+  const size_t m = group.pieces.size();
+  std::vector<double> scores(m, 0.0);
+  if (m == 0) return scores;
+  if (m == 1) {
+    scores[0] = static_cast<double>(group.pieces[0].support()) * group.pieces[0].weight;
+    return scores;
+  }
+  // Pairwise raw distances and the normalizer Z (max pairwise distance).
+  std::vector<double> min_dist(m, std::numeric_limits<double>::infinity());
+  double z = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      double d = PieceDistance(group.pieces[i], group.pieces[j], dist);
+      z = std::max(z, d);
+      min_dist[i] = std::min(min_dist[i], d);
+      min_dist[j] = std::min(min_dist[j], d);
+    }
+  }
+  if (z <= 0.0) z = 1.0;  // all γs at distance zero: scores reduce to n·w
+  for (size_t i = 0; i < m; ++i) {
+    double n = static_cast<double>(group.pieces[i].support());
+    double d = (min_dist[i] == std::numeric_limits<double>::infinity())
+                   ? 1.0
+                   : min_dist[i];
+    scores[i] = (n / z) * d * group.pieces[i].weight;
+  }
+  return scores;
+}
+
+void RunRscGroup(Group* group, size_t block_rule_index, const DistanceFn& dist,
+                 CleaningReport* report) {
+  if (group->pieces.size() <= 1) return;  // already in the ideal state
+  std::vector<double> scores = ReliabilityScores(*group, dist);
+  // Winner: max r-score; ties broken by weight, then support, then order.
+  size_t best = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    const Piece& cand = group->pieces[i];
+    const Piece& cur = group->pieces[best];
+    if (scores[i] > scores[best] ||
+        (scores[i] == scores[best] &&
+         (cand.weight > cur.weight ||
+          (cand.weight == cur.weight && cand.support() > cur.support())))) {
+      best = i;
+    }
+  }
+  Piece winner = std::move(group->pieces[best]);
+  for (size_t i = 0; i < group->pieces.size(); ++i) {
+    if (i == best) continue;
+    Piece& loser = group->pieces[i];
+    if (report) {
+      RscRepairRecord rec;
+      rec.block = block_rule_index;
+      rec.group_key = group->key;
+      rec.winner_values = winner.AllValues();
+      rec.loser_values = loser.AllValues();
+      rec.affected_tuples = loser.tuples;
+      report->rsc.push_back(std::move(rec));
+    }
+    winner.tuples.insert(winner.tuples.end(), loser.tuples.begin(),
+                         loser.tuples.end());
+  }
+  group->pieces.clear();
+  group->pieces.push_back(std::move(winner));
+  // The winner may be a merged-in γ whose reason differs from the build-time
+  // key; the group now represents the winner's reason values.
+  group->key = group->pieces.front().reason;
+}
+
+void RunRscAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn& dist,
+               CleaningReport* report) {
+  (void)options;
+  for (size_t bi = 0; bi < index->num_blocks(); ++bi) {
+    Block& block = index->block(bi);
+    for (Group& group : block.groups) {
+      RunRscGroup(&group, block.rule_index, dist, report);
+    }
+    index->ReindexBlock(bi);
+  }
+}
+
+}  // namespace mlnclean

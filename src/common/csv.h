@@ -1,0 +1,35 @@
+// Minimal RFC-4180-ish CSV reader/writer used to load and persist
+// datasets. Supports quoted fields containing commas, quotes and newlines.
+
+#ifndef MLNCLEAN_COMMON_CSV_H_
+#define MLNCLEAN_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mlnclean {
+
+/// Parsed CSV content: a header row plus data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. Every row must have the same arity as the header.
+Result<CsvTable> ParseCsv(std::string_view text);
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Serializes a table to CSV text, quoting only where necessary.
+std::string WriteCsv(const CsvTable& table);
+
+/// Writes a table to a file.
+Status WriteCsvFile(const CsvTable& table, const std::string& path);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_COMMON_CSV_H_

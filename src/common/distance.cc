@@ -1,0 +1,152 @@
+#include "common/distance.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace mlnclean {
+
+size_t Levenshtein(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);  // keep the row for the shorter string
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  std::vector<size_t> row(n + 1);
+  std::iota(row.begin(), row.end(), size_t{0});
+  for (size_t j = 1; j <= m; ++j) {
+    size_t prev_diag = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= n; ++i) {
+      size_t cur = row[i];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, prev_diag + cost});
+      prev_diag = cur;
+    }
+  }
+  return row[n];
+}
+
+size_t DamerauLevenshtein(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  // Three rolling rows: i-2, i-1, i.
+  std::vector<size_t> two(m + 1), one(m + 1), cur(m + 1);
+  std::iota(one.begin(), one.end(), size_t{0});
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({one[j] + 1, cur[j - 1] + 1, one[j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        cur[j] = std::min(cur[j], two[j - 2] + 1);
+      }
+    }
+    std::swap(two, one);
+    std::swap(one, cur);
+  }
+  return one[m];
+}
+
+namespace {
+
+// Accumulates character-bigram counts of `s` into a sparse map keyed by the
+// 16-bit packed bigram. Unigrams are used for strings of length < 2.
+void BigramCounts(std::string_view s, std::vector<std::pair<uint16_t, double>>* out) {
+  out->clear();
+  auto add = [out](uint16_t key) {
+    for (auto& kv : *out) {
+      if (kv.first == key) {
+        kv.second += 1.0;
+        return;
+      }
+    }
+    out->emplace_back(key, 1.0);
+  };
+  if (s.size() < 2) {
+    for (char c : s) add(static_cast<uint16_t>(static_cast<unsigned char>(c)));
+    return;
+  }
+  for (size_t i = 0; i + 1 < s.size(); ++i) {
+    uint16_t key = static_cast<uint16_t>((static_cast<unsigned char>(s[i]) << 8) |
+                                         static_cast<unsigned char>(s[i + 1]));
+    add(key);
+  }
+}
+
+}  // namespace
+
+double CosineBigramDistance(std::string_view a, std::string_view b) {
+  if (a == b) return 0.0;
+  if (a.empty() || b.empty()) return 1.0;
+  std::vector<std::pair<uint16_t, double>> va, vb;
+  BigramCounts(a, &va);
+  BigramCounts(b, &vb);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [ka, ca] : va) {
+    na += ca * ca;
+    for (const auto& [kb, cb] : vb) {
+      if (ka == kb) dot += ca * cb;
+    }
+  }
+  for (const auto& [kb, cb] : vb) nb += cb * cb;
+  if (na == 0.0 || nb == 0.0) return 1.0;
+  double sim = dot / (std::sqrt(na) * std::sqrt(nb));
+  return std::clamp(1.0 - sim, 0.0, 1.0);
+}
+
+DistanceFn MakeDistanceFn(DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kLevenshtein:
+      return [](std::string_view a, std::string_view b) {
+        return static_cast<double>(Levenshtein(a, b));
+      };
+    case DistanceMetric::kCosine:
+      return [](std::string_view a, std::string_view b) {
+        return CosineBigramDistance(a, b);
+      };
+    case DistanceMetric::kDamerau:
+      return [](std::string_view a, std::string_view b) {
+        return static_cast<double>(DamerauLevenshtein(a, b));
+      };
+  }
+  return [](std::string_view, std::string_view) { return 0.0; };
+}
+
+DistanceFn MakeNormalizedDistanceFn(DistanceMetric metric) {
+  if (metric == DistanceMetric::kCosine) return MakeDistanceFn(metric);
+  DistanceFn raw = MakeDistanceFn(metric);
+  return [raw](std::string_view a, std::string_view b) {
+    size_t max_len = std::max(a.size(), b.size());
+    if (max_len == 0) return 0.0;
+    return raw(a, b) / static_cast<double>(max_len);
+  };
+}
+
+Result<DistanceMetric> ParseDistanceMetric(std::string_view name) {
+  std::string lower = ToLower(name);
+  if (lower == "levenshtein") return DistanceMetric::kLevenshtein;
+  if (lower == "cosine") return DistanceMetric::kCosine;
+  if (lower == "damerau") return DistanceMetric::kDamerau;
+  return Status::Invalid("unknown distance metric: " + std::string(name));
+}
+
+const char* DistanceMetricName(DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kLevenshtein:
+      return "levenshtein";
+    case DistanceMetric::kCosine:
+      return "cosine";
+    case DistanceMetric::kDamerau:
+      return "damerau";
+  }
+  return "unknown";
+}
+
+}  // namespace mlnclean

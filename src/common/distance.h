@@ -1,0 +1,57 @@
+// String distance metrics used by AGP (group-to-group distance) and RSC
+// (reliability score). The paper evaluates Levenshtein vs. cosine distance
+// (Table 5); Damerau-Levenshtein is provided as an extension.
+
+#ifndef MLNCLEAN_COMMON_DISTANCE_H_
+#define MLNCLEAN_COMMON_DISTANCE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace mlnclean {
+
+/// Metric selector for MLNClean's pluggable distance.
+enum class DistanceMetric {
+  kLevenshtein,
+  kCosine,   // cosine distance over character-bigram frequency vectors
+  kDamerau,  // Damerau-Levenshtein (adjacent transpositions count as 1)
+};
+
+/// Classic dynamic-programming edit distance (insert/delete/substitute).
+size_t Levenshtein(std::string_view a, std::string_view b);
+
+/// Damerau-Levenshtein distance with adjacent transpositions.
+size_t DamerauLevenshtein(std::string_view a, std::string_view b);
+
+/// Cosine distance (1 - cosine similarity) between character-bigram
+/// frequency vectors; returns a value in [0, 1]. Strings shorter than two
+/// characters fall back to unigram vectors.
+double CosineBigramDistance(std::string_view a, std::string_view b);
+
+/// A string distance function. All built-in metrics return non-negative
+/// values with d(a, a) == 0.
+using DistanceFn = std::function<double(std::string_view, std::string_view)>;
+
+/// Returns the distance function for `metric`.
+DistanceFn MakeDistanceFn(DistanceMetric metric);
+
+/// Returns the length-normalized variant used for multi-attribute piece
+/// comparisons: edit distances are divided by the longer string's length
+/// (so every attribute contributes at most ~1 regardless of value
+/// length); cosine is already normalized and is returned unchanged.
+DistanceFn MakeNormalizedDistanceFn(DistanceMetric metric);
+
+/// Parses "levenshtein" | "cosine" | "damerau" (case-insensitive).
+Result<DistanceMetric> ParseDistanceMetric(std::string_view name);
+
+/// Human-readable name of a metric.
+const char* DistanceMetricName(DistanceMetric metric);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_COMMON_DISTANCE_H_

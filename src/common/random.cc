@@ -1,0 +1,27 @@
+#include "common/random.h"
+
+#include <cassert>
+
+namespace mlnclean {
+
+uint64_t Rng::NextIndex(uint64_t n) {
+  assert(n > 0);
+  std::uniform_int_distribution<uint64_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork() { return Rng(engine_()); }
+
+}  // namespace mlnclean

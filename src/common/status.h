@@ -1,0 +1,114 @@
+// Status: error propagation without exceptions, in the style used by
+// Apache Arrow / RocksDB. Every fallible public API in this library
+// returns a Status (or a Result<T>, see result.h).
+
+#ifndef MLNCLEAN_COMMON_STATUS_H_
+#define MLNCLEAN_COMMON_STATUS_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace mlnclean {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalid = 1,        // invalid argument or malformed input
+  kNotFound = 2,       // referenced entity does not exist
+  kAlreadyExists = 3,  // entity clashes with an existing one
+  kIOError = 4,        // filesystem / parsing failure
+  kNotImplemented = 5, // requested behaviour is out of scope
+  kInternal = 6,       // invariant breached inside the library
+};
+
+/// Returns a short human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: either OK or a code plus message.
+///
+/// Statuses are cheap to move and to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalid, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+
+  /// Message attached at construction; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalid() const { return code() == StatusCode::kInvalid; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Shared so that copying a failed Status stays cheap; never mutated.
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace mlnclean
+
+/// Propagates a non-OK Status to the caller.
+#define MLN_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::mlnclean::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+#define MLN_CONCAT_IMPL(x, y) x##y
+#define MLN_CONCAT(x, y) MLN_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// otherwise returns its Status to the caller.
+#define MLN_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto MLN_CONCAT(_res_, __LINE__) = (rexpr);                       \
+  if (!MLN_CONCAT(_res_, __LINE__).ok())                            \
+    return MLN_CONCAT(_res_, __LINE__).status();                    \
+  lhs = std::move(MLN_CONCAT(_res_, __LINE__)).ValueUnsafe()
+
+#endif  // MLNCLEAN_COMMON_STATUS_H_

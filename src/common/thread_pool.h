@@ -1,0 +1,55 @@
+// Fixed-size thread pool. Stands in for the Spark worker set of the
+// paper's distributed deployment (Section 6): each "worker" executes
+// cleaning jobs for the data parts assigned to it.
+
+#ifndef MLNCLEAN_COMMON_THREAD_POOL_H_
+#define MLNCLEAN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlnclean {
+
+/// A minimal fixed-size worker pool with a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn`; the future resolves when it has run.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted so far has completed.
+  void WaitIdle();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;        // signals workers: work available / stop
+  std::condition_variable idle_cv_;   // signals WaitIdle: pool drained
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, n) across `num_threads` workers and waits.
+void ParallelFor(size_t n, size_t num_threads, const std::function<void(size_t)>& fn);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_COMMON_THREAD_POOL_H_

@@ -1,0 +1,135 @@
+#include "datagen/car.h"
+
+#include <array>
+
+#include "common/random.h"
+#include "rules/rule_parser.h"
+
+namespace mlnclean {
+
+namespace {
+
+constexpr std::array<const char*, 12> kMakes = {
+    "acura", "toyota", "honda", "ford",   "chevrolet", "nissan",
+    "bmw",   "audi",   "mazda", "subaru", "hyundai",   "kia"};
+
+constexpr std::array<const char*, 6> kTypes = {"sedan", "suv",       "coupe",
+                                               "truck", "hatchback", "van"};
+
+// Doors per body type; the CFD Make=acura, Type -> Doors binds the acura
+// rows to this mapping, and the other makes follow it too.
+constexpr std::array<const char*, 6> kDoorsByType = {"4", "5", "2", "2", "5", "4"};
+
+constexpr std::array<const char*, 5> kConditions = {"new", "like new", "good",
+                                                    "fair", "salvage"};
+
+constexpr std::array<const char*, 3> kWheelDrives = {"fwd", "rwd", "awd"};
+
+constexpr std::array<const char*, 6> kEngines = {"1.5L I4", "2.0L I4", "2.5L I4",
+                                                 "3.0L V6", "3.5L V6", "5.0L V8"};
+
+// Model name pool. Real model names are several edits apart from one
+// another, which is what lets AGP re-attach a corrupted model key to its
+// own group instead of a stranger's; the pool mirrors that property.
+constexpr std::array<const char*, 126> kModelNames = {
+    "accord",    "camry",     "corolla",   "civic",      "altima",
+    "sentra",    "maxima",    "impala",    "malibu",     "silverado",
+    "tahoe",     "suburban",  "equinox",   "traverse",   "cruze",
+    "fusion",    "focus",     "fiesta",    "mustang",    "explorer",
+    "expedition", "ranger",   "bronco",    "escape",     "odyssey",
+    "pilot",     "passport",  "ridgeline", "insight",    "legend",
+    "integra",   "vigor",     "prelude",   "avalon",     "sienna",
+    "highlander", "tacoma",   "tundra",    "venza",      "supra",
+    "yaris",     "prius",     "sequoia",   "pathfinder", "murano",
+    "rogue",     "frontier",  "titan",     "armada",     "juke",
+    "leaf",      "versa",     "quest",     "xterra",     "outback",
+    "forester",  "impreza",   "legacy",    "crosstrek",  "ascent",
+    "baja",      "tribeca",   "elantra",   "sonata",     "tucson",
+    "santafe",   "palisade",  "kona",      "veloster",   "azera",
+    "genesis",   "venue",     "sorento",   "sportage",   "telluride",
+    "stinger",   "cadenza",   "sedona",    "carnival",   "mohave",
+    "borrego",   "miata",     "protege",   "tribute",    "millenia",
+    "navajo",    "lantis",    "demio",     "axela",      "atenza",
+    "luce",      "cosmo",     "capella",   "familia",    "bongo",
+    "premacy",   "verisa",    "biante",    "carol",      "flair",
+    "quattro",   "allroad",   "avant",     "etron",      "rosemeyer",
+    "nuvolari",  "imola",     "nardo",     "lemans",     "avus",
+    "touareg",   "passat",    "jetta",     "golf",       "tiguan",
+    "arteon",    "atlas",     "beetle",    "scirocco",   "corrado",
+    "vanagon",   "karmann",   "phideon",   "lavida",     "bora",
+    "magotan"};
+
+std::string ModelName(size_t index) {
+  std::string name = kModelNames[index % kModelNames.size()];
+  if (index >= kModelNames.size()) {
+    name += " mk" + std::to_string(index / kModelNames.size() + 1);
+  }
+  return name;
+}
+
+}  // namespace
+
+Result<Workload> MakeCarWorkload(const CarConfig& config) {
+  if (config.num_makes == 0 || config.models_per_make == 0) {
+    return Status::Invalid("car generator needs >= 1 make and model");
+  }
+  MLN_ASSIGN_OR_RETURN(Schema schema,
+                       Schema::Make({"Model", "Make", "Type", "Year", "Condition",
+                                     "WheelDrive", "Doors", "Engine"}));
+
+  Rng rng(config.seed);
+  const size_t num_makes = std::min(config.num_makes, kMakes.size());
+
+  // Catalogue: every model belongs to one make and comes in exactly one
+  // body type (hence one door count), as real listings overwhelmingly do.
+  struct ModelInfo {
+    std::string model;
+    std::string make;
+    size_t type;
+  };
+  std::vector<ModelInfo> catalogue;
+  catalogue.reserve(num_makes * config.models_per_make);
+  for (size_t mk = 0; mk < num_makes; ++mk) {
+    for (size_t md = 0; md < config.models_per_make; ++md) {
+      size_t index = mk * config.models_per_make + md;
+      catalogue.push_back(ModelInfo{ModelName(index), kMakes[mk],
+                                    (index * 7 + 3) % kTypes.size()});
+    }
+  }
+
+  Dataset data(schema);
+  size_t produced = 0;
+  // Cycle over the catalogue in bursts of at least two listings so every
+  // (model, type) reason key has support >= 2: singleton groups then
+  // signal corruption, which is exactly what AGP keys on at τ = 1.
+  std::vector<size_t> order(catalogue.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  while (produced < config.num_rows) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      if (produced >= config.num_rows) break;
+      const ModelInfo& mi = catalogue[idx];
+      size_t listings =
+          2 + rng.NextIndex(std::max<size_t>(1, config.listings_per_model));
+      for (size_t l = 0; l < listings && produced < config.num_rows;
+           ++l, ++produced) {
+        MLN_RETURN_NOT_OK(data.Append(
+            {mi.model, mi.make, kTypes[mi.type],
+             std::to_string(2005 + rng.NextIndex(20)),
+             kConditions[rng.NextIndex(kConditions.size())],
+             kWheelDrives[rng.NextIndex(kWheelDrives.size())],
+             kDoorsByType[mi.type], kEngines[rng.NextIndex(kEngines.size())]}));
+      }
+    }
+  }
+
+  // Table 4, CAR rules.
+  MLN_ASSIGN_OR_RETURN(RuleSet rules,
+                       ParseRules(schema,
+                                  "CFD: Make=acura, Type -> Doors\n"
+                                  "FD: Model, Type -> Make\n"));
+
+  return Workload{"CAR", std::move(data), std::move(rules)};
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,37 @@
+// CAR-like generator: a used-vehicle dataset shaped like the paper's CAR
+// workload (cars.com): attributes model, make, type, year, condition,
+// wheelDrive, doors, engine, with the Table 4 rules
+//     CFD: Make=acura, Type -> Doors
+//     FD:  Model, Type -> Make.
+// The dataset is *sparse*: each (model, type) listing appears only a
+// handful of times, so reason keys have small support — the property that
+// makes HoloClean-style learning fragile in Figure 7(a).
+
+#ifndef MLNCLEAN_DATAGEN_CAR_H_
+#define MLNCLEAN_DATAGEN_CAR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "datagen/workload.h"
+
+namespace mlnclean {
+
+/// Size/seed knobs of the CAR-like generator.
+struct CarConfig {
+  size_t num_makes = 12;           // includes "acura"
+  size_t models_per_make = 25;
+  size_t num_rows = 5000;
+  /// Mean listings per (model, type) pair; small values keep the data
+  /// sparse like the real CAR scrape.
+  size_t listings_per_model = 3;
+  uint64_t seed = 11;
+};
+
+/// Generates the workload (schema: Model, Make, Type, Year, Condition,
+/// WheelDrive, Doors, Engine).
+Result<Workload> MakeCarWorkload(const CarConfig& config);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_DATAGEN_CAR_H_

@@ -1,0 +1,134 @@
+#include "datagen/hospital.h"
+
+#include <array>
+
+#include "common/random.h"
+#include "rules/rule_parser.h"
+
+namespace mlnclean {
+
+namespace {
+
+constexpr std::array<const char*, 30> kCities = {
+    "DOTHAN",     "BOAZ",      "BIRMINGHAM", "MONTGOMERY", "HUNTSVILLE",
+    "MOBILE",     "TUSCALOOSA", "DECATUR",   "AUBURN",     "FLORENCE",
+    "GADSDEN",    "VESTAVIA",  "PHENIX",     "PRATTVILLE", "OPELIKA",
+    "ANNISTON",   "ATHENS",    "SELMA",      "TROY",       "CULLMAN",
+    "EUFAULA",    "OZARK",     "JASPER",     "FAIRHOPE",   "SARALAND",
+    "ALBERTVILLE", "FOLEY",    "HOMEWOOD",   "HOOVER",     "MILLBROOK"};
+
+constexpr std::array<const char*, 10> kStates = {"AL", "GA", "FL", "TN", "MS",
+                                                 "LA", "SC", "NC", "KY", "VA"};
+
+constexpr std::array<const char*, 20> kCounties = {
+    "HOUSTON",  "MARSHALL", "JEFFERSON", "MONTGOMERY", "MADISON",
+    "MOBILE",   "TUSCALOOSA", "MORGAN",  "LEE",        "LAUDERDALE",
+    "ETOWAH",   "SHELBY",   "RUSSELL",   "AUTAUGA",    "CALHOUN",
+    "LIMESTONE", "DALLAS",  "PIKE",      "CULLMAN",    "BARBOUR"};
+
+constexpr std::array<const char*, 16> kHospitalNames = {
+    "ALABAMA MEDICAL",  "ELIZA GENERAL",   "ST MARY",        "MERCY HEALTH",
+    "UNITY HOSPITAL",   "GRACE MEDICAL",   "RIVERSIDE CARE", "NORTH REGIONAL",
+    "SOUTH REGIONAL",   "LAKESIDE CLINIC", "PIEDMONT CARE",  "CRESTWOOD",
+    "BAPTIST MEDICAL",  "HIGHLANDS",       "PROVIDENCE",     "SUMMIT HEALTH"};
+
+constexpr std::array<const char*, 24> kMeasureNames = {
+    "CLABSI ICU",           "CAUTI ICU",          "SSI COLON",
+    "SSI HYSTERECTOMY",     "MRSA BACTEREMIA",    "C DIFF",
+    "CLABSI WARD",          "CAUTI WARD",         "VAP ICU",
+    "SEPSIS CARE",          "HAND HYGIENE",       "FLU VACCINATION",
+    "READMISSION RATE",     "MORTALITY RATE",     "PATIENT SAFETY",
+    "INFECTION CONTROL",    "ANTIBIOTIC USE",     "BLOOD CULTURE",
+    "SURGICAL TIMING",      "WOUND CARE",         "CATHETER CARE",
+    "VENTILATOR CARE",      "ISOLATION PROTOCOL", "STERILIZATION AUDIT"};
+
+}  // namespace
+
+Result<Workload> MakeHospitalWorkload(const HospitalConfig& config) {
+  if (config.num_hospitals == 0 || config.num_measures == 0) {
+    return Status::Invalid("hospital generator needs >= 1 hospital and measure");
+  }
+  MLN_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Make({"ProviderID", "HospitalName", "City", "State", "ZIPCode",
+                    "CountyName", "PhoneNumber", "MeasureID", "MeasureName"}));
+
+  Rng rng(config.seed);
+
+  // City -> (state, county, zip prefix) assignments: each city belongs to
+  // exactly one state and county so the FDs ZIPCode->City, ZIPCode->County
+  // and the phone/state rules can hold by construction.
+  struct CityInfo {
+    std::string name;
+    std::string state;
+    std::string county;
+  };
+  std::vector<CityInfo> cities;
+  cities.reserve(kCities.size());
+  for (size_t i = 0; i < kCities.size(); ++i) {
+    cities.push_back(CityInfo{kCities[i], kStates[i % kStates.size()],
+                              kCounties[i % kCounties.size()]});
+  }
+
+  // Hospitals: each gets a unique provider id and phone number, one city
+  // (hence state/county), and a zip unique to the hospital (a zip maps to
+  // one city, but a city may have several zips).
+  struct Hospital {
+    std::string provider_id;
+    std::string name;
+    size_t city;
+    std::string zip;
+    std::string phone;
+  };
+  std::vector<Hospital> hospitals;
+  hospitals.reserve(config.num_hospitals);
+  for (size_t h = 0; h < config.num_hospitals; ++h) {
+    Hospital hosp;
+    hosp.provider_id = "P" + std::to_string(10000 + h);
+    hosp.name = std::string(kHospitalNames[h % kHospitalNames.size()]) + " " +
+                std::to_string(h / kHospitalNames.size() + 1);
+    hosp.city = rng.NextIndex(cities.size());
+    hosp.zip = "3" + std::to_string(5000 + hosp.city) + std::to_string(h % 10);
+    hosp.phone = "334" + std::to_string(1000000 + h * 13 % 9000000);
+    hospitals.push_back(std::move(hosp));
+  }
+
+  // Measures: id -> name is functional.
+  std::vector<std::pair<std::string, std::string>> measures;
+  measures.reserve(config.num_measures);
+  for (size_t m = 0; m < config.num_measures; ++m) {
+    std::string name = std::string(kMeasureNames[m % kMeasureNames.size()]);
+    if (m >= kMeasureNames.size()) {
+      name += " V" + std::to_string(m / kMeasureNames.size() + 1);
+    }
+    measures.emplace_back("M" + std::to_string(100 + m), std::move(name));
+  }
+
+  const size_t all_pairs = config.num_hospitals * config.num_measures;
+  const size_t target = config.num_rows == 0 ? all_pairs : config.num_rows;
+
+  Dataset data(schema);
+  for (size_t i = 0; i < target; ++i) {
+    const Hospital& h = hospitals[(i / config.num_measures) % config.num_hospitals];
+    const auto& m = measures[i % config.num_measures];
+    const CityInfo& city = cities[h.city];
+    MLN_RETURN_NOT_OK(data.Append({h.provider_id, h.name, city.name, city.state,
+                                   h.zip, city.county, h.phone, m.first, m.second}));
+  }
+
+  // Table 4, HAI rules: six FDs plus one DC.
+  MLN_ASSIGN_OR_RETURN(
+      RuleSet rules,
+      ParseRules(schema,
+                 "FD: PhoneNumber -> ZIPCode\n"
+                 "FD: PhoneNumber -> State\n"
+                 "FD: ZIPCode -> City\n"
+                 "FD: MeasureID -> MeasureName\n"
+                 "FD: ZIPCode -> CountyName\n"
+                 "FD: ProviderID -> City, PhoneNumber\n"
+                 "DC: !(PhoneNumber(t1)=PhoneNumber(t2) & State(t1)!=State(t2))\n"));
+
+  return Workload{"HAI", std::move(data), std::move(rules)};
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,34 @@
+// HAI-like generator: a healthcare-associated-infections dataset shaped
+// like the paper's HAI workload (data.medicare.gov). Rows are
+// hospital x measure observations; the Table 4 HAI rules (six FDs and one
+// DC) hold on the generated data by construction. The dataset is *dense*:
+// every hospital contributes one row per measure, so reason keys have
+// large support.
+
+#ifndef MLNCLEAN_DATAGEN_HOSPITAL_H_
+#define MLNCLEAN_DATAGEN_HOSPITAL_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "datagen/workload.h"
+
+namespace mlnclean {
+
+/// Size/seed knobs of the HAI-like generator.
+struct HospitalConfig {
+  size_t num_hospitals = 100;
+  size_t num_measures = 20;
+  /// Target row count; rows are hospital x measure pairs cycled until the
+  /// target is met (0 = all pairs once).
+  size_t num_rows = 0;
+  uint64_t seed = 7;
+};
+
+/// Generates the workload (schema: ProviderID, HospitalName, City, State,
+/// ZIPCode, CountyName, PhoneNumber, MeasureID, MeasureName).
+Result<Workload> MakeHospitalWorkload(const HospitalConfig& config);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_DATAGEN_HOSPITAL_H_

@@ -1,0 +1,47 @@
+#include "datagen/sample.h"
+
+#include "rules/rule_parser.h"
+
+namespace mlnclean {
+
+namespace {
+
+Result<Schema> SampleSchema() { return Schema::Make({"HN", "CT", "ST", "PN"}); }
+
+}  // namespace
+
+Result<Dataset> SampleHospitalDirty() {
+  MLN_ASSIGN_OR_RETURN(Schema schema, SampleSchema());
+  return Dataset::Make(std::move(schema),
+                       {
+                           {"ALABAMA", "DOTHAN", "AL", "3347938701"},  // t1
+                           {"ALABAMA", "DOTH", "AL", "3347938701"},    // t2: typo
+                           {"ELIZA", "DOTHAN", "AL", "2567638410"},    // t3: replaced
+                           {"ELIZA", "BOAZ", "AK", "2567688400"},      // t4: wrong ST
+                           {"ELIZA", "BOAZ", "AL", "2567688400"},      // t5
+                           {"ELIZA", "BOAZ", "AL", "2567688400"},      // t6
+                       });
+}
+
+Result<Dataset> SampleHospitalClean() {
+  MLN_ASSIGN_OR_RETURN(Schema schema, SampleSchema());
+  return Dataset::Make(std::move(schema),
+                       {
+                           {"ALABAMA", "DOTHAN", "AL", "3347938701"},
+                           {"ALABAMA", "DOTHAN", "AL", "3347938701"},
+                           {"ELIZA", "BOAZ", "AL", "2567688400"},
+                           {"ELIZA", "BOAZ", "AL", "2567688400"},
+                           {"ELIZA", "BOAZ", "AL", "2567688400"},
+                           {"ELIZA", "BOAZ", "AL", "2567688400"},
+                       });
+}
+
+Result<RuleSet> SampleHospitalRules() {
+  MLN_ASSIGN_OR_RETURN(Schema schema, SampleSchema());
+  return ParseRules(schema,
+                    "FD: CT -> ST\n"
+                    "DC: !(PN(t1)=PN(t2) & ST(t1)!=ST(t2))\n"
+                    "CFD: HN=ELIZA, CT=BOAZ -> PN=2567688400\n");
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,25 @@
+// The running example of the paper: the six-tuple hospital sample of
+// Table 1 with rules r1 (FD), r2 (DC), r3 (CFD), plus its expected clean
+// version. Used by tests, the quickstart example, and documentation.
+
+#ifndef MLNCLEAN_DATAGEN_SAMPLE_H_
+#define MLNCLEAN_DATAGEN_SAMPLE_H_
+
+#include "common/result.h"
+#include "datagen/workload.h"
+
+namespace mlnclean {
+
+/// Table 1 exactly as printed (six tuples, errors included).
+Result<Dataset> SampleHospitalDirty();
+
+/// The ground-truth clean version of Table 1: t2's typo fixed, t3's city
+/// and phone corrected, t4's state corrected.
+Result<Dataset> SampleHospitalClean();
+
+/// Rules r1-r3 of Example 1 over the sample schema (HN, CT, ST, PN).
+Result<RuleSet> SampleHospitalRules();
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_DATAGEN_SAMPLE_H_

@@ -1,0 +1,74 @@
+#include "datagen/tpch.h"
+
+#include <array>
+
+#include "common/random.h"
+#include "rules/rule_parser.h"
+
+namespace mlnclean {
+
+namespace {
+
+constexpr std::array<const char*, 25> kNations = {
+    "ALGERIA",    "ARGENTINA", "BRAZIL",  "CANADA",     "EGYPT",
+    "ETHIOPIA",   "FRANCE",    "GERMANY", "INDIA",      "INDONESIA",
+    "IRAN",       "IRAQ",      "JAPAN",   "JORDAN",     "KENYA",
+    "MOROCCO",    "MOZAMBIQUE", "PERU",   "CHINA",      "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA",  "UNITED KINGDOM", "UNITED STATES"};
+
+constexpr std::array<const char*, 8> kStreets = {
+    "MAPLE ST", "OAK AVE",  "CEDAR RD", "PINE LN",
+    "ELM DR",   "BIRCH CT", "ASH BLVD", "WALNUT WAY"};
+
+}  // namespace
+
+Result<Workload> MakeTpchWorkload(const TpchConfig& config) {
+  if (config.num_customers == 0) {
+    return Status::Invalid("tpch generator needs >= 1 customer");
+  }
+  MLN_ASSIGN_OR_RETURN(Schema schema,
+                       Schema::Make({"CustKey", "Name", "Address", "Nation",
+                                     "OrderKey", "PartKey", "Quantity",
+                                     "ExtendedPrice"}));
+
+  Rng rng(config.seed);
+
+  struct Customer {
+    std::string key;
+    std::string name;
+    std::string address;
+    std::string nation;
+  };
+  std::vector<Customer> customers;
+  customers.reserve(config.num_customers);
+  for (size_t c = 0; c < config.num_customers; ++c) {
+    Customer cust;
+    cust.key = "C" + std::to_string(100000 + c);
+    cust.name = "Customer#" + std::to_string(100000 + c);
+    cust.address = std::to_string(100 + rng.NextIndex(900)) + " " +
+                   kStreets[rng.NextIndex(kStreets.size())] + " #" +
+                   std::to_string(c);
+    cust.nation = kNations[rng.NextIndex(kNations.size())];
+    customers.push_back(std::move(cust));
+  }
+
+  Dataset data(schema);
+  for (size_t i = 0; i < config.num_rows; ++i) {
+    const Customer& cust = customers[rng.NextIndex(customers.size())];
+    size_t quantity = 1 + rng.NextIndex(50);
+    size_t unit_price = 100 + rng.NextIndex(9900);
+    MLN_RETURN_NOT_OK(
+        data.Append({cust.key, cust.name, cust.address, cust.nation,
+                     "O" + std::to_string(1000000 + rng.NextIndex(9000000)),
+                     "PT" + std::to_string(10000 + rng.NextIndex(90000)),
+                     std::to_string(quantity),
+                     std::to_string(quantity * unit_price)}));
+  }
+
+  // Table 4, TPC-H rule.
+  MLN_ASSIGN_OR_RETURN(RuleSet rules, ParseRules(schema, "FD: CustKey -> Address\n"));
+
+  return Workload{"TPC-H", std::move(data), std::move(rules)};
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,29 @@
+// TPC-H-like generator: a synthetic dataset shaped like the paper's
+// TPC-H workload — a denormalized join of the customer and lineitem
+// tables with the Table 4 rule CustKey -> Address. Used by the
+// distributed experiments (Figure 15, Table 6).
+
+#ifndef MLNCLEAN_DATAGEN_TPCH_H_
+#define MLNCLEAN_DATAGEN_TPCH_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "datagen/workload.h"
+
+namespace mlnclean {
+
+/// Size/seed knobs of the TPC-H-like generator.
+struct TpchConfig {
+  size_t num_customers = 500;
+  size_t num_rows = 20000;
+  uint64_t seed = 23;
+};
+
+/// Generates the workload (schema: CustKey, Name, Address, Nation,
+/// OrderKey, PartKey, Quantity, ExtendedPrice).
+Result<Workload> MakeTpchWorkload(const TpchConfig& config);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_DATAGEN_TPCH_H_

@@ -1,0 +1,23 @@
+// A workload bundles a clean dataset with its integrity constraints —
+// the unit the experiment harnesses corrupt, clean, and score.
+
+#ifndef MLNCLEAN_DATAGEN_WORKLOAD_H_
+#define MLNCLEAN_DATAGEN_WORKLOAD_H_
+
+#include <string>
+
+#include "dataset/dataset.h"
+#include "rules/constraint.h"
+
+namespace mlnclean {
+
+/// A named clean dataset plus the rules that hold on it by construction.
+struct Workload {
+  std::string name;
+  Dataset clean;
+  RuleSet rules;
+};
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_DATAGEN_WORKLOAD_H_

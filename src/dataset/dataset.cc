@@ -1,0 +1,55 @@
+#include "dataset/dataset.h"
+
+#include <unordered_set>
+
+namespace mlnclean {
+
+Result<Dataset> Dataset::Make(Schema schema, std::vector<std::vector<Value>> rows) {
+  Dataset ds(std::move(schema));
+  ds.rows_.reserve(rows.size());
+  for (auto& row : rows) {
+    MLN_RETURN_NOT_OK(ds.Append(std::move(row)));
+  }
+  return ds;
+}
+
+Result<Dataset> Dataset::FromCsv(std::string_view text) {
+  MLN_ASSIGN_OR_RETURN(CsvTable table, ParseCsv(text));
+  MLN_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(table.header)));
+  return Make(std::move(schema), std::move(table.rows));
+}
+
+Result<Dataset> Dataset::FromCsvFile(const std::string& path) {
+  MLN_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path));
+  MLN_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(table.header)));
+  return Make(std::move(schema), std::move(table.rows));
+}
+
+Status Dataset::Append(std::vector<Value> row) {
+  if (row.size() != schema_.num_attrs()) {
+    return Status::Invalid("row arity " + std::to_string(row.size()) +
+                           " does not match schema arity " +
+                           std::to_string(schema_.num_attrs()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+std::vector<Value> Dataset::Domain(AttrId attr) const {
+  std::vector<Value> out;
+  std::unordered_set<std::string_view> seen;
+  for (const auto& row : rows_) {
+    const Value& v = row[static_cast<size_t>(attr)];
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+CsvTable Dataset::ToCsv() const {
+  CsvTable table;
+  table.header = schema_.names();
+  table.rows = rows_;
+  return table;
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,80 @@
+// Dataset: a string-typed relational table, the unit of work for cleaning.
+// Data-cleaning literature (and this paper) treats all cell values as
+// strings; typed interpretation happens inside rules where needed.
+
+#ifndef MLNCLEAN_DATASET_DATASET_H_
+#define MLNCLEAN_DATASET_DATASET_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/result.h"
+#include "dataset/schema.h"
+
+namespace mlnclean {
+
+/// Stable identifier of a tuple (its position in the originating dataset).
+using TupleId = int;
+
+/// A cell value. Empty string represents NULL.
+using Value = std::string;
+
+/// Row-major relational table with a fixed schema.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Builds a dataset, validating row arity against the schema.
+  static Result<Dataset> Make(Schema schema, std::vector<std::vector<Value>> rows);
+
+  /// Loads a dataset from CSV (header row = schema).
+  static Result<Dataset> FromCsv(std::string_view text);
+  static Result<Dataset> FromCsvFile(const std::string& path);
+
+  const Schema& schema() const { return schema_; }
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_attrs() const { return schema_.num_attrs(); }
+  /// Total number of attribute values (rows x attrs), the paper's
+  /// denominator for the error rate.
+  size_t num_cells() const { return num_rows() * num_attrs(); }
+
+  const std::vector<Value>& row(TupleId tid) const {
+    return rows_[static_cast<size_t>(tid)];
+  }
+
+  const Value& at(TupleId tid, AttrId attr) const {
+    return rows_[static_cast<size_t>(tid)][static_cast<size_t>(attr)];
+  }
+
+  void set(TupleId tid, AttrId attr, Value v) {
+    rows_[static_cast<size_t>(tid)][static_cast<size_t>(attr)] = std::move(v);
+  }
+
+  /// Appends a row; arity must match the schema.
+  Status Append(std::vector<Value> row);
+
+  /// Distinct values of `attr`, in first-appearance order.
+  std::vector<Value> Domain(AttrId attr) const;
+
+  /// Serializes to CSV.
+  CsvTable ToCsv() const;
+
+  /// Deep-copies the table (used to keep the dirty original while cleaning).
+  Dataset Clone() const { return *this; }
+
+  bool operator==(const Dataset& other) const {
+    return schema_ == other.schema_ && rows_ == other.rows_;
+  }
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_DATASET_DATASET_H_

@@ -1,0 +1,31 @@
+#include "dataset/schema.h"
+
+namespace mlnclean {
+
+Result<Schema> Schema::Make(std::vector<std::string> names) {
+  Schema schema;
+  schema.by_name_.reserve(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i].empty()) {
+      return Status::Invalid("attribute name at position " + std::to_string(i) +
+                             " is empty");
+    }
+    auto [it, inserted] = schema.by_name_.emplace(names[i], static_cast<AttrId>(i));
+    (void)it;
+    if (!inserted) {
+      return Status::AlreadyExists("duplicate attribute name: " + names[i]);
+    }
+  }
+  schema.names_ = std::move(names);
+  return schema;
+}
+
+Result<AttrId> Schema::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("no attribute named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,49 @@
+// Relational schema: an ordered list of attribute names with index lookup.
+
+#ifndef MLNCLEAN_DATASET_SCHEMA_H_
+#define MLNCLEAN_DATASET_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mlnclean {
+
+/// Index of an attribute inside a Schema.
+using AttrId = int;
+
+/// Ordered set of uniquely named attributes.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; attribute names must be non-empty and unique.
+  static Result<Schema> Make(std::vector<std::string> names);
+
+  size_t num_attrs() const { return names_.size(); }
+
+  const std::string& name(AttrId id) const { return names_[static_cast<size_t>(id)]; }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Id of the attribute called `name`, or NotFound.
+  Result<AttrId> Find(std::string_view name) const;
+
+  /// True when `id` addresses an attribute of this schema.
+  bool Contains(AttrId id) const {
+    return id >= 0 && static_cast<size_t>(id) < names_.size();
+  }
+
+  bool operator==(const Schema& other) const { return names_ == other.names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AttrId> by_name_;
+};
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_DATASET_SCHEMA_H_

@@ -1,0 +1,140 @@
+#include "distributed/distributed_pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "cleaning/agp.h"
+#include "cleaning/dedup.h"
+#include "cleaning/fscr.h"
+#include "cleaning/rsc.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace mlnclean {
+
+double DistributedResult::SimulatedMakespan(size_t workers) const {
+  if (workers == 0 || part_seconds.empty()) return 0.0;
+  std::vector<double> costs = part_seconds;
+  std::sort(costs.begin(), costs.end(), std::greater<double>());
+  std::vector<double> load(std::min(workers, costs.size()), 0.0);
+  for (double c : costs) {
+    auto it = std::min_element(load.begin(), load.end());
+    *it += c;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+DistributedMlnClean::DistributedMlnClean(DistributedOptions options)
+    : options_(std::move(options)) {}
+
+Result<DistributedResult> DistributedMlnClean::Clean(const Dataset& dirty,
+                                                     const RuleSet& rules) const {
+  MLN_RETURN_NOT_OK(options_.cleaning.Validate());
+  if (options_.num_parts == 0) return Status::Invalid("num_parts must be > 0");
+  if (options_.num_workers == 0) return Status::Invalid("num_workers must be > 0");
+
+  Timer wall;
+  PartitionOptions popts;
+  popts.num_parts = std::min(options_.num_parts, dirty.num_rows());
+  popts.distance = options_.cleaning.distance;
+  popts.seed = options_.partition_seed;
+  MLN_ASSIGN_OR_RETURN(Partition partition, PartitionDataset(dirty, popts));
+  const size_t k = partition.parts.size();
+
+  // Materialize the per-part sub-datasets (local tid -> global tid).
+  std::vector<Dataset> part_data(k, Dataset(dirty.schema()));
+  for (size_t p = 0; p < k; ++p) {
+    for (TupleId gtid : partition.parts[p]) {
+      MLN_RETURN_NOT_OK(part_data[p].Append(dirty.row(gtid)));
+    }
+  }
+
+  // ---- Phase A (parallel): per-part index + AGP + local weight learning.
+  // RSC is deliberately *not* part of phase A: the Eq. 6 weight merge must
+  // happen between learning and RSC so every part cleans with the global
+  // weights.
+  DistanceFn dist = MakeNormalizedDistanceFn(options_.cleaning.distance);
+  std::vector<double> phase_a(k, 0.0);
+  std::vector<MlnIndex> indexes;
+  indexes.reserve(k);
+  {
+    std::vector<Result<MlnIndex>> rebuilt(k, Status::Internal("not run"));
+    ThreadPool pool(options_.num_workers);
+    for (size_t p = 0; p < k; ++p) {
+      pool.Submit([&, p] {
+        Timer t;
+        Result<MlnIndex> r = MlnIndex::Build(part_data[p], rules);
+        if (r.ok()) {
+          RunAgpAll(&r.ValueUnsafe(), options_.cleaning, dist, nullptr);
+          if (options_.cleaning.learn_weights) {
+            r.ValueUnsafe().LearnWeights(options_.cleaning.learner);
+          } else {
+            r.ValueUnsafe().AssignPriorWeights();
+          }
+        }
+        rebuilt[p] = std::move(r);
+        phase_a[p] = t.ElapsedSeconds();
+      });
+    }
+    pool.WaitIdle();
+    for (size_t p = 0; p < k; ++p) {
+      if (!rebuilt[p].ok()) return rebuilt[p].status();
+      indexes.push_back(std::move(rebuilt[p]).ValueUnsafe());
+    }
+  }
+
+  // ---- Global weight adjustment (Eq. 6), sequential gather.
+  GlobalWeightTable table;
+  for (const MlnIndex& index : indexes) table.Accumulate(index);
+  for (MlnIndex& index : indexes) table.Apply(&index);
+
+  // ---- Phase B (parallel): RSC + FSCR per part, writing into the global
+  // cleaned dataset (parts own disjoint global rows).
+  DistributedResult result;
+  result.cleaned = dirty.Clone();
+  result.global_weights = table.size();
+  std::vector<double> phase_b(k, 0.0);
+  {
+    ThreadPool pool(options_.num_workers);
+    for (size_t p = 0; p < k; ++p) {
+      pool.Submit([&, p] {
+        Timer t;
+        MlnIndex& index = indexes[p];
+        for (size_t bi = 0; bi < index.num_blocks(); ++bi) {
+          Block& block = index.block(bi);
+          for (Group& group : block.groups) {
+            RunRscGroup(&group, block.rule_index, dist, nullptr);
+          }
+          index.ReindexBlock(bi);
+        }
+        Dataset local_clean = part_data[p].Clone();
+        RunFscr(part_data[p], rules, index, options_.cleaning, &local_clean, nullptr);
+        const auto& mapping = partition.parts[p];
+        for (size_t local = 0; local < mapping.size(); ++local) {
+          for (AttrId a = 0; a < static_cast<AttrId>(dirty.num_attrs()); ++a) {
+            result.cleaned.set(mapping[local], a,
+                               local_clean.at(static_cast<TupleId>(local), a));
+          }
+        }
+        phase_b[p] = t.ElapsedSeconds();
+      });
+    }
+    pool.WaitIdle();
+  }
+
+  // ---- Gather: global duplicate elimination, as in the stand-alone flow.
+  std::vector<std::pair<TupleId, TupleId>> removed;
+  if (options_.cleaning.remove_duplicates) {
+    result.deduped = RemoveDuplicates(result.cleaned, &removed);
+  } else {
+    result.deduped = result.cleaned;
+  }
+  result.duplicates_removed = removed.size();
+
+  result.part_seconds.resize(k);
+  for (size_t p = 0; p < k; ++p) result.part_seconds[p] = phase_a[p] + phase_b[p];
+  result.wall_seconds = wall.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,46 @@
+// Data partitioning for distributed MLNClean (Section 6, Algorithm 3):
+// k randomly seeded centroids, capacity-bounded assignment of each tuple
+// to its nearest centroid, with max-heap-based eviction when a part
+// overflows — yielding balanced parts of size at most ceil(|T|/k).
+
+#ifndef MLNCLEAN_DISTRIBUTED_PARTITIONER_H_
+#define MLNCLEAN_DISTRIBUTED_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/distance.h"
+#include "common/result.h"
+#include "dataset/dataset.h"
+
+namespace mlnclean {
+
+/// Partitioning knobs.
+struct PartitionOptions {
+  size_t num_parts = 4;
+  DistanceMetric distance = DistanceMetric::kLevenshtein;
+  uint64_t seed = 99;
+};
+
+/// A k-way partition of tuple ids.
+struct Partition {
+  /// parts[i] = tuple ids assigned to part i (unordered).
+  std::vector<std::vector<TupleId>> parts;
+  /// The tuple chosen as centroid of each part.
+  std::vector<TupleId> centroids;
+
+  /// Maximum allowed part size ceil(|T|/k) used during construction.
+  size_t capacity = 0;
+};
+
+/// Distance between two tuples: sum of attribute-wise string distances.
+double TupleDistance(const Dataset& data, TupleId a, TupleId b,
+                     const DistanceFn& dist);
+
+/// Runs Algorithm 3. Fails when num_parts is 0 or exceeds the row count.
+Result<Partition> PartitionDataset(const Dataset& data,
+                                   const PartitionOptions& options);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_DISTRIBUTED_PARTITIONER_H_

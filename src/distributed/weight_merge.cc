@@ -1,0 +1,52 @@
+#include "distributed/weight_merge.h"
+
+namespace mlnclean {
+
+std::string GlobalWeightTable::KeyOf(size_t rule_index,
+                                     const std::vector<Value>& reason,
+                                     const std::vector<Value>& result) {
+  std::string key = std::to_string(rule_index);
+  key += '\x1e';
+  key += MlnIndex::KeyOf(reason);
+  key += '\x1e';
+  key += MlnIndex::KeyOf(result);
+  return key;
+}
+
+void GlobalWeightTable::Accumulate(const MlnIndex& part_index) {
+  for (const Block& block : part_index.blocks()) {
+    for (const Group& group : block.groups) {
+      for (const Piece& piece : group.pieces) {
+        Entry& entry = table_[KeyOf(block.rule_index, piece.reason, piece.result)];
+        const double n = static_cast<double>(piece.support());
+        entry.weighted_sum += n * piece.weight;
+        entry.support += n;
+      }
+    }
+  }
+}
+
+void GlobalWeightTable::Apply(MlnIndex* part_index) const {
+  for (Block& block : part_index->blocks()) {
+    for (Group& group : block.groups) {
+      for (Piece& piece : group.pieces) {
+        auto it = table_.find(KeyOf(block.rule_index, piece.reason, piece.result));
+        if (it != table_.end() && it->second.support > 0.0) {
+          piece.weight = it->second.weighted_sum / it->second.support;
+        }
+      }
+    }
+  }
+}
+
+Result<double> GlobalWeightTable::Lookup(size_t rule_index,
+                                         const std::vector<Value>& reason,
+                                         const std::vector<Value>& result) const {
+  auto it = table_.find(KeyOf(rule_index, reason, result));
+  if (it == table_.end() || it->second.support <= 0.0) {
+    return Status::NotFound("no merged weight for the given γ");
+  }
+  return it->second.weighted_sum / it->second.support;
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,47 @@
+// Global weight adjustment for distributed MLNClean (Section 6, Eq. 6):
+// a γ learned in several parts gets the support-weighted average
+//     w(γ) = Σ_i n_i·w_i / Σ_i n_i
+// of its per-part weights, so evidence from one part backs up γs that are
+// under-supported in another.
+
+#ifndef MLNCLEAN_DISTRIBUTED_WEIGHT_MERGE_H_
+#define MLNCLEAN_DISTRIBUTED_WEIGHT_MERGE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "index/mln_index.h"
+
+namespace mlnclean {
+
+/// Accumulates per-part learned weights keyed by γ identity
+/// (rule, reason values, result values) and hands back the Eq. 6 average.
+class GlobalWeightTable {
+ public:
+  /// Folds in one part's post-learning index (call after weight learning,
+  /// before RSC).
+  void Accumulate(const MlnIndex& part_index);
+
+  /// Overwrites every γ weight in `part_index` with its merged global
+  /// weight. γs never seen by Accumulate keep their local weight.
+  void Apply(MlnIndex* part_index) const;
+
+  /// Merged weight of a γ, or NotFound.
+  Result<double> Lookup(size_t rule_index, const std::vector<Value>& reason,
+                        const std::vector<Value>& result) const;
+
+  size_t size() const { return table_.size(); }
+
+ private:
+  struct Entry {
+    double weighted_sum = 0.0;  // Σ n_i w_i
+    double support = 0.0;       // Σ n_i
+  };
+  static std::string KeyOf(size_t rule_index, const std::vector<Value>& reason,
+                           const std::vector<Value>& result);
+  std::unordered_map<std::string, Entry> table_;
+};
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_DISTRIBUTED_WEIGHT_MERGE_H_

@@ -1,0 +1,190 @@
+#include "errorgen/injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace mlnclean {
+
+namespace {
+
+uint64_t CellKey(TupleId tid, AttrId attr) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(tid)) << 32) |
+         static_cast<uint32_t>(attr);
+}
+
+}  // namespace
+
+GroundTruth::GroundTruth(Dataset clean, std::vector<InjectedError> errors)
+    : clean_(std::move(clean)), errors_(std::move(errors)) {
+  error_cells_.reserve(errors_.size() * 2);
+  for (const auto& e : errors_) {
+    error_cells_.insert(CellKey(e.tid, e.attr));
+  }
+}
+
+bool GroundTruth::IsErrorCell(TupleId tid, AttrId attr) const {
+  return error_cells_.count(CellKey(tid, attr)) > 0;
+}
+
+Value MakeTypo(const Value& v, Rng* rng) {
+  if (v.size() < 2) {
+    return v + static_cast<char>('a' + rng->NextIndex(26));
+  }
+  Value out = v;
+  out.erase(rng->NextIndex(out.size()), 1);
+  return out;
+}
+
+Value MakeReplacement(const Value& v, const std::vector<Value>& domain, Rng* rng) {
+  // Count alternatives; bail to a typo if the domain is degenerate.
+  size_t alternatives = 0;
+  for (const auto& d : domain) {
+    if (d != v) ++alternatives;
+  }
+  if (alternatives == 0) return MakeTypo(v, rng);
+  size_t pick = rng->NextIndex(alternatives);
+  for (const auto& d : domain) {
+    if (d == v) continue;
+    if (pick == 0) return d;
+    --pick;
+  }
+  return MakeTypo(v, rng);  // unreachable
+}
+
+Result<DirtyDataset> InjectErrors(const Dataset& clean, const RuleSet& rules,
+                                  const ErrorSpec& spec) {
+  if (spec.error_rate < 0.0 || spec.error_rate > 1.0) {
+    return Status::Invalid("error_rate must be in [0, 1]");
+  }
+  if (spec.replacement_ratio < 0.0 || spec.replacement_ratio > 1.0) {
+    return Status::Invalid("replacement_ratio must be in [0, 1]");
+  }
+
+  // Candidate cells: (tuple, attribute) pairs "related to the integrity
+  // constraints" — the attribute belongs to a rule that is in scope for
+  // the tuple (a CFD only relates to the tuples its pattern applies to).
+  std::vector<uint64_t> cells;
+  std::vector<bool> attr_used(clean.num_attrs(), false);
+  if (spec.restrict_to_rule_attrs && !rules.empty()) {
+    for (TupleId tid = 0; tid < static_cast<TupleId>(clean.num_rows()); ++tid) {
+      const auto& row = clean.row(tid);
+      std::unordered_set<AttrId> attrs_here;
+      for (const auto& rule : rules.rules()) {
+        if (!rule.InScope(row)) continue;
+        for (AttrId a : rule.attrs()) attrs_here.insert(a);
+      }
+      for (AttrId a : attrs_here) {
+        cells.push_back(CellKey(tid, a));
+        attr_used[static_cast<size_t>(a)] = true;
+      }
+    }
+  } else {
+    for (TupleId tid = 0; tid < static_cast<TupleId>(clean.num_rows()); ++tid) {
+      for (AttrId a = 0; a < static_cast<AttrId>(clean.num_attrs()); ++a) {
+        cells.push_back(CellKey(tid, a));
+        attr_used[static_cast<size_t>(a)] = true;
+      }
+    }
+  }
+
+  if (spec.burst == 0) {
+    return Status::Invalid("burst must be >= 1");
+  }
+
+  Rng rng(spec.seed);
+  // The error rate is measured against the candidate cells (the attribute
+  // values related to the integrity constraints): corrupting `rate` of
+  // *all* cells while placing every error on the rule-related subset
+  // would overload it whenever rules cover few attributes.
+  const size_t want = static_cast<size_t>(
+      std::llround(spec.error_rate * static_cast<double>(cells.size())));
+  const size_t count = std::min(want, cells.size());
+
+  // Sample `count` candidate cells without replacement.
+  rng.Shuffle(&cells);
+  if (spec.burst > 1) {
+    // Cluster the corruption: visit tuples in shuffled order and take up
+    // to `burst` of their candidate cells before moving on.
+    std::unordered_map<TupleId, std::vector<uint64_t>> by_tuple;
+    std::vector<TupleId> tuple_order;
+    for (uint64_t cell : cells) {
+      TupleId tid = static_cast<TupleId>(cell >> 32);
+      auto [it, inserted] = by_tuple.emplace(tid, std::vector<uint64_t>{});
+      if (inserted) tuple_order.push_back(tid);
+      it->second.push_back(cell);
+    }
+    std::vector<uint64_t> clustered;
+    clustered.reserve(count);
+    size_t round = 0;
+    while (clustered.size() < count) {
+      bool any = false;
+      for (TupleId tid : tuple_order) {
+        auto& pool = by_tuple[tid];
+        for (size_t k = 0; k < spec.burst && clustered.size() < count; ++k) {
+          size_t idx = round * spec.burst + k;
+          if (idx >= pool.size()) break;
+          clustered.push_back(pool[idx]);
+          any = true;
+        }
+        if (clustered.size() >= count) break;
+      }
+      if (!any) break;  // every tuple exhausted
+      ++round;
+    }
+    cells = std::move(clustered);
+  }
+  cells.resize(std::min(count, cells.size()));
+
+  // Precompute per-attribute domains (from the clean data) for replacement
+  // errors.
+  std::vector<std::vector<Value>> domains(clean.num_attrs());
+  for (AttrId a = 0; a < static_cast<AttrId>(clean.num_attrs()); ++a) {
+    if (attr_used[static_cast<size_t>(a)]) {
+      domains[static_cast<size_t>(a)] = clean.Domain(a);
+    }
+  }
+
+  Dataset dirty = clean.Clone();
+  std::vector<InjectedError> errors;
+  errors.reserve(count);
+  size_t replacement_budget = static_cast<size_t>(
+      std::llround(spec.replacement_ratio * static_cast<double>(count)));
+  for (size_t i = 0; i < cells.size(); ++i) {
+    TupleId tid = static_cast<TupleId>(cells[i] >> 32);
+    AttrId attr = static_cast<AttrId>(cells[i] & 0xffffffffu);
+    const Value& original = clean.at(tid, attr);
+    InjectedError err;
+    err.tid = tid;
+    err.attr = attr;
+    err.original = original;
+    if (i < replacement_budget) {
+      err.kind = ErrorKind::kReplacement;
+      dirty.set(tid, attr,
+                MakeReplacement(original, domains[static_cast<size_t>(attr)], &rng));
+    } else {
+      err.kind = ErrorKind::kTypo;
+      dirty.set(tid, attr, MakeTypo(original, &rng));
+    }
+    errors.push_back(std::move(err));
+  }
+
+  return DirtyDataset{std::move(dirty), GroundTruth(clean.Clone(), std::move(errors))};
+}
+
+void AppendDuplicates(Dataset* data, double fraction, Rng* rng,
+                      std::vector<std::pair<TupleId, TupleId>>* pairs) {
+  const size_t base_rows = data->num_rows();
+  const size_t copies = static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(base_rows)));
+  for (size_t i = 0; i < copies; ++i) {
+    TupleId src = static_cast<TupleId>(rng->NextIndex(base_rows));
+    // Arity matches by construction; the error path is unreachable.
+    (void)data->Append(data->row(src));
+    if (pairs != nullptr) {
+      pairs->emplace_back(static_cast<TupleId>(data->num_rows() - 1), src);
+    }
+  }
+}
+
+}  // namespace mlnclean

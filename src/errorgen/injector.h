@@ -1,0 +1,104 @@
+// Error injection (Section 7.1). The paper's generator, reproduced:
+// typos delete one random letter of a value; replacement errors swap a
+// value for a different value of the same attribute domain. Errors are
+// placed on attributes related to the integrity constraints, the error
+// rate is measured against the total number of attribute values, and the
+// replacement/typo split is controlled by Rret.
+
+#ifndef MLNCLEAN_ERRORGEN_INJECTOR_H_
+#define MLNCLEAN_ERRORGEN_INJECTOR_H_
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "rules/constraint.h"
+
+namespace mlnclean {
+
+/// Kind of injected instance-level error.
+enum class ErrorKind { kTypo, kReplacement };
+
+/// One injected error.
+struct InjectedError {
+  TupleId tid;
+  AttrId attr;
+  ErrorKind kind;
+  Value original;
+};
+
+/// Injection parameters.
+struct ErrorSpec {
+  /// Fraction of the candidate attribute values to corrupt (paper
+  /// default 5%). Candidates are the rule-related cells when
+  /// restrict_to_rule_attrs is set, every cell otherwise.
+  double error_rate = 0.05;
+  /// Rret: fraction of errors that are replacement errors (rest: typos).
+  double replacement_ratio = 0.5;
+  /// Place errors only on cells related to the integrity constraints: the
+  /// attribute belongs to a rule that is in scope for the tuple (a CFD
+  /// only relates to tuples its pattern applies to). When false (or when
+  /// the rule set is empty), every cell is a candidate.
+  bool restrict_to_rule_attrs = true;
+  /// Spatial clustering of errors: up to `burst` corrupted cells land in
+  /// the same tuple before the injector moves on to another tuple. 1 =
+  /// uniformly scattered cells; real dirty rows tend to be dirty in
+  /// several fields at once.
+  size_t burst = 1;
+  uint64_t seed = 42;
+};
+
+/// The clean reference plus the injected error positions.
+class GroundTruth {
+ public:
+  GroundTruth(Dataset clean, std::vector<InjectedError> errors);
+
+  const Dataset& clean() const { return clean_; }
+  const std::vector<InjectedError>& errors() const { return errors_; }
+  size_t NumErrors() const { return errors_.size(); }
+
+  /// True when the cell was corrupted by injection.
+  bool IsErrorCell(TupleId tid, AttrId attr) const;
+
+  /// Ground-truth value of a cell.
+  const Value& TrueValue(TupleId tid, AttrId attr) const {
+    return clean_.at(tid, attr);
+  }
+
+ private:
+  Dataset clean_;
+  std::vector<InjectedError> errors_;
+  std::unordered_set<uint64_t> error_cells_;
+};
+
+/// Result of injection: the dirtied dataset plus its ground truth.
+struct DirtyDataset {
+  Dataset dirty;
+  GroundTruth truth;
+};
+
+/// Corrupts `clean` per `spec`. The number of injected errors is
+/// round(error_rate * #candidate cells); each chosen cell is corrupted
+/// once and is guaranteed to differ from its original value.
+Result<DirtyDataset> InjectErrors(const Dataset& clean, const RuleSet& rules,
+                                  const ErrorSpec& spec);
+
+/// Applies a typo to `v`: deletes one random character. Values of length
+/// < 2 gain a random lowercase letter instead (deleting would produce an
+/// empty/NULL value).
+Value MakeTypo(const Value& v, Rng* rng);
+
+/// Picks a value from `domain` different from `v`; falls back to a typo
+/// when the domain has no alternative.
+Value MakeReplacement(const Value& v, const std::vector<Value>& domain, Rng* rng);
+
+/// Appends exact copies of `fraction * num_rows` randomly chosen tuples
+/// (instance-level duplicates). Records (copy tid, source tid) pairs.
+void AppendDuplicates(Dataset* data, double fraction, Rng* rng,
+                      std::vector<std::pair<TupleId, TupleId>>* pairs);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_ERRORGEN_INJECTOR_H_

@@ -1,0 +1,25 @@
+#include "eval/metrics.h"
+
+namespace mlnclean {
+
+RepairMetrics EvaluateRepair(const Dataset& dirty, const Dataset& cleaned,
+                             const GroundTruth& truth) {
+  RepairMetrics m;
+  const auto rows = static_cast<TupleId>(dirty.num_rows());
+  const auto attrs = static_cast<AttrId>(dirty.num_attrs());
+  for (TupleId tid = 0; tid < rows; ++tid) {
+    for (AttrId attr = 0; attr < attrs; ++attr) {
+      const Value& dirty_v = dirty.at(tid, attr);
+      const Value& clean_v = cleaned.at(tid, attr);
+      const Value& true_v = truth.TrueValue(tid, attr);
+      if (dirty_v != true_v) ++m.erroneous;
+      if (clean_v != dirty_v) {
+        ++m.updated;
+        if (clean_v == true_v) ++m.correct;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,40 @@
+// Cell-level repair accuracy (Section 7.1, Eq. 7): precision = correctly
+// repaired attribute values / updated attribute values, recall = correctly
+// repaired / erroneous, F1 their harmonic mean.
+
+#ifndef MLNCLEAN_EVAL_METRICS_H_
+#define MLNCLEAN_EVAL_METRICS_H_
+
+#include <cstddef>
+
+#include "dataset/dataset.h"
+#include "errorgen/injector.h"
+
+namespace mlnclean {
+
+/// Counters and derived scores of one repair run.
+struct RepairMetrics {
+  size_t updated = 0;    // cells the cleaner changed
+  size_t correct = 0;    // changed cells now matching the ground truth
+  size_t erroneous = 0;  // cells that were wrong in the dirty input
+
+  double Precision() const {
+    return updated == 0 ? 0.0 : static_cast<double>(correct) / updated;
+  }
+  double Recall() const {
+    return erroneous == 0 ? 1.0 : static_cast<double>(correct) / erroneous;
+  }
+  double F1() const {
+    double p = Precision();
+    double r = Recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Scores a cleaned dataset (row-aligned with `dirty`) against the truth.
+RepairMetrics EvaluateRepair(const Dataset& dirty, const Dataset& cleaned,
+                             const GroundTruth& truth);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_EVAL_METRICS_H_

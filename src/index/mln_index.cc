@@ -1,0 +1,140 @@
+#include "index/mln_index.h"
+
+#include <algorithm>
+
+#include "mln/ground_rule.h"
+
+namespace mlnclean {
+
+size_t Group::TupleCount() const {
+  size_t n = 0;
+  for (const auto& p : pieces) n += p.support();
+  return n;
+}
+
+const Piece& Group::Star() const {
+  const Piece* best = &pieces.front();
+  for (const auto& p : pieces) {
+    if (p.support() > best->support()) best = &p;
+  }
+  return *best;
+}
+
+Piece& Group::Star() {
+  return const_cast<Piece&>(static_cast<const Group*>(this)->Star());
+}
+
+size_t Block::TupleCount() const {
+  size_t n = 0;
+  for (const auto& g : groups) n += g.TupleCount();
+  return n;
+}
+
+size_t Block::PieceCount() const {
+  size_t n = 0;
+  for (const auto& g : groups) n += g.pieces.size();
+  return n;
+}
+
+std::string MlnIndex::KeyOf(const std::vector<Value>& values) {
+  std::string key;
+  for (const auto& v : values) {
+    key += v;
+    key += '\x1f';
+  }
+  return key;
+}
+
+Result<MlnIndex> MlnIndex::Build(const Dataset& data, const RuleSet& rules) {
+  MlnIndex index;
+  index.blocks_.reserve(rules.size());
+  index.group_maps_.resize(rules.size());
+  for (size_t ri = 0; ri < rules.size(); ++ri) {
+    const Constraint& rule = rules.rule(ri);
+    // Grounding yields the distinct γs with their supporting tuples.
+    MLN_ASSIGN_OR_RETURN(std::vector<GroundRule> grounds,
+                         GroundConstraint(data, rule));
+    Block block;
+    block.rule_index = ri;
+    auto& group_map = index.group_maps_[ri];
+    for (auto& g : grounds) {
+      std::string key = KeyOf(g.reason);
+      auto it = group_map.find(key);
+      size_t group_idx;
+      if (it == group_map.end()) {
+        group_idx = block.groups.size();
+        group_map.emplace(std::move(key), group_idx);
+        Group group;
+        group.key = g.reason;
+        block.groups.push_back(std::move(group));
+      } else {
+        group_idx = it->second;
+      }
+      block.groups[group_idx].pieces.push_back(
+          Piece{std::move(g.reason), std::move(g.result), std::move(g.tuples), 0.0});
+    }
+    index.blocks_.push_back(std::move(block));
+  }
+  return index;
+}
+
+Result<size_t> MlnIndex::FindGroup(size_t block_index,
+                                   const std::vector<Value>& key) const {
+  const auto& map = group_maps_[block_index];
+  auto it = map.find(KeyOf(key));
+  if (it == map.end()) {
+    return Status::NotFound("no group for the given reason key");
+  }
+  return it->second;
+}
+
+void MlnIndex::LearnBlockWeights(Block* block, const WeightLearnerOptions& options) {
+  // Flatten the block's γs into the learner's count/group representation.
+  std::vector<double> counts;
+  std::vector<std::vector<size_t>> groups;
+  std::vector<Piece*> pieces;
+  for (auto& group : block->groups) {
+    std::vector<size_t> member_ids;
+    member_ids.reserve(group.pieces.size());
+    for (auto& piece : group.pieces) {
+      member_ids.push_back(counts.size());
+      counts.push_back(static_cast<double>(piece.support()));
+      pieces.push_back(&piece);
+    }
+    groups.push_back(std::move(member_ids));
+  }
+  // Probability-scale weights: comparable across groups and blocks, which
+  // FSCR's f-score products and the distributed Eq. 6 averaging require.
+  std::vector<double> weights = LearnGroupProbabilities(counts, groups, options);
+  for (size_t i = 0; i < pieces.size(); ++i) pieces[i]->weight = weights[i];
+}
+
+void MlnIndex::LearnWeights(const WeightLearnerOptions& options) {
+  for (auto& block : blocks_) LearnBlockWeights(&block, options);
+}
+
+void MlnIndex::AssignPriorWeights() {
+  for (auto& block : blocks_) {
+    std::vector<double> counts;
+    std::vector<Piece*> pieces;
+    for (auto& group : block.groups) {
+      for (auto& piece : group.pieces) {
+        counts.push_back(static_cast<double>(piece.support()));
+        pieces.push_back(&piece);
+      }
+    }
+    std::vector<double> prior = PriorWeights(counts);
+    for (size_t i = 0; i < pieces.size(); ++i) pieces[i]->weight = prior[i];
+  }
+}
+
+void MlnIndex::ReindexBlock(size_t block_index) {
+  auto& map = group_maps_[block_index];
+  map.clear();
+  const Block& block = blocks_[block_index];
+  for (size_t gi = 0; gi < block.groups.size(); ++gi) {
+    map.emplace(KeyOf(block.groups[gi].key), gi);
+  }
+}
+
+}  // namespace mlnclean

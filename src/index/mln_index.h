@@ -1,0 +1,92 @@
+// The MLN index (Section 4, Figure 2): a two-layer hash table. The first
+// layer has one Block per MLN rule; the second layer divides each block
+// into Groups of γs sharing the same reason-part values. Cleaning within a
+// block never consults data outside it, which is what shrinks the search
+// space of the two-stage cleaner.
+
+#ifndef MLNCLEAN_INDEX_MLN_INDEX_H_
+#define MLNCLEAN_INDEX_MLN_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "index/piece.h"
+#include "mln/weight_learner.h"
+#include "rules/constraint.h"
+
+namespace mlnclean {
+
+/// Second-layer entry: γs sharing one reason key. After AGP a group may
+/// additionally hold γs merged in from abnormal groups (whose own reason
+/// values may differ from the key); after RSC it holds exactly one γ.
+struct Group {
+  /// The shared reason-part values that keyed this group at build time.
+  std::vector<Value> key;
+  std::vector<Piece> pieces;
+
+  /// Total number of tuples across all γs (the AGP size criterion).
+  size_t TupleCount() const;
+
+  /// γ*: the piece related to the most tuples (ties: first built).
+  const Piece& Star() const;
+  Piece& Star();
+};
+
+/// First-layer entry: all groups of one rule.
+struct Block {
+  size_t rule_index = 0;
+  std::vector<Group> groups;
+
+  /// Sum of γ supports in the whole block (the Eq. 4 denominator).
+  size_t TupleCount() const;
+  /// Number of distinct γs in the block (the M of Eq. 4).
+  size_t PieceCount() const;
+};
+
+/// The two-layer index over a dataset and rule set.
+class MlnIndex {
+ public:
+  /// Builds the index: one block per rule, groups keyed by reason values
+  /// (lines 1-13 of Algorithm 1). Fails on rules the index cannot host
+  /// (general DCs).
+  static Result<MlnIndex> Build(const Dataset& data, const RuleSet& rules);
+
+  size_t num_blocks() const { return blocks_.size(); }
+  const Block& block(size_t i) const { return blocks_[i]; }
+  Block& block(size_t i) { return blocks_[i]; }
+  const std::vector<Block>& blocks() const { return blocks_; }
+  std::vector<Block>& blocks() { return blocks_; }
+
+  /// Looks up the group with the given reason key; NotFound if absent or
+  /// merged away.
+  Result<size_t> FindGroup(size_t block_index, const std::vector<Value>& key) const;
+
+  /// Learns MLN weights for every γ of every block: Eq. 4 priors refined
+  /// by diagonal Newton over the current (post-AGP) grouping.
+  void LearnWeights(const WeightLearnerOptions& options = {});
+
+  /// Learns weights for a single block.
+  static void LearnBlockWeights(Block* block, const WeightLearnerOptions& options = {});
+
+  /// Sets every γ weight to its Eq. 4 prior (no Newton refinement); the
+  /// ablation counterpart of LearnWeights.
+  void AssignPriorWeights();
+
+  /// Rebuilds the key -> group map of a block after external mutation
+  /// (AGP merges groups in place).
+  void ReindexBlock(size_t block_index);
+
+  /// Hash key for a reason-value vector (exposed for reuse by cleaners).
+  static std::string KeyOf(const std::vector<Value>& values);
+
+ private:
+  std::vector<Block> blocks_;
+  // Per block: reason key -> index into block.groups.
+  std::vector<std::unordered_map<std::string, size_t>> group_maps_;
+};
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_INDEX_MLN_INDEX_H_

@@ -1,0 +1,40 @@
+#include "index/piece.h"
+
+namespace mlnclean {
+
+std::vector<Value> Piece::AllValues() const {
+  std::vector<Value> out = reason;
+  out.insert(out.end(), result.begin(), result.end());
+  return out;
+}
+
+std::string Piece::ToString(const Schema& schema,
+                            const std::vector<AttrId>& reason_attrs,
+                            const std::vector<AttrId>& result_attrs) const {
+  std::string out = "{";
+  bool first = true;
+  auto append = [&](const std::vector<AttrId>& attrs, const std::vector<Value>& vals) {
+    for (size_t i = 0; i < attrs.size() && i < vals.size(); ++i) {
+      if (!first) out += ", ";
+      first = false;
+      out += schema.name(attrs[i]) + ": " + vals[i];
+    }
+  };
+  append(reason_attrs, reason);
+  append(result_attrs, result);
+  out += "}";
+  return out;
+}
+
+double PieceDistance(const Piece& a, const Piece& b, const DistanceFn& dist) {
+  double total = 0.0;
+  for (size_t i = 0; i < a.reason.size() && i < b.reason.size(); ++i) {
+    total += dist(a.reason[i], b.reason[i]);
+  }
+  for (size_t i = 0; i < a.result.size() && i < b.result.size(); ++i) {
+    total += dist(a.result[i], b.result[i]);
+  }
+  return total;
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,76 @@
+#include "mln/gibbs.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace mlnclean {
+
+std::vector<double> GibbsMarginals(
+    const GroundNetwork& network, const GibbsOptions& options,
+    const std::vector<std::pair<AtomId, bool>>& evidence) {
+  const size_t n = network.num_atoms();
+  std::vector<double> marginals(n, 0.0);
+  if (n == 0) return marginals;
+
+  Rng rng(options.seed);
+  std::vector<bool> world(n, false);
+  std::vector<bool> clamped(n, false);
+  for (const auto& [atom, value] : evidence) {
+    world[static_cast<size_t>(atom)] = value;
+    clamped[static_cast<size_t>(atom)] = true;
+  }
+  for (size_t a = 0; a < n; ++a) {
+    if (!clamped[a]) world[a] = rng.NextBool(0.5);
+  }
+
+  // Score delta of flipping atom `a` to true vs. false, touching only the
+  // clauses that mention it.
+  auto conditional_true_prob = [&](size_t a) {
+    double score_true = 0.0, score_false = 0.0;
+    for (size_t ci : network.clauses_of(static_cast<AtomId>(a))) {
+      const MlnClauseG& clause = network.clause(ci);
+      double w = clause.hard ? 1e6 : clause.weight;
+      bool sat_other = false;  // satisfied by some literal not on atom a
+      bool sat_if_true = false, sat_if_false = false;
+      for (const auto& lit : clause.literals) {
+        if (static_cast<size_t>(lit.atom) == a) {
+          (lit.positive ? sat_if_true : sat_if_false) = true;
+        } else if (world[static_cast<size_t>(lit.atom)] == lit.positive) {
+          sat_other = true;
+        }
+      }
+      if (sat_other || sat_if_true) score_true += w;
+      if (sat_other || sat_if_false) score_false += w;
+    }
+    // Numerically stable sigmoid of (score_true - score_false).
+    double d = score_true - score_false;
+    if (d > 35.0) return 1.0;
+    if (d < -35.0) return 0.0;
+    return 1.0 / (1.0 + std::exp(-d));
+  };
+
+  const int total_sweeps = options.burn_in_sweeps + options.sample_sweeps;
+  int kept = 0;
+  for (int sweep = 0; sweep < total_sweeps; ++sweep) {
+    for (size_t a = 0; a < n; ++a) {
+      if (clamped[a]) continue;
+      world[a] = rng.NextBool(conditional_true_prob(a));
+    }
+    if (sweep >= options.burn_in_sweeps) {
+      ++kept;
+      for (size_t a = 0; a < n; ++a) {
+        if (world[a]) marginals[a] += 1.0;
+      }
+    }
+  }
+  if (kept > 0) {
+    for (double& m : marginals) m /= kept;
+  }
+  for (const auto& [atom, value] : evidence) {
+    marginals[static_cast<size_t>(atom)] = value ? 1.0 : 0.0;
+  }
+  return marginals;
+}
+
+}  // namespace mlnclean

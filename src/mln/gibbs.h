@@ -1,0 +1,31 @@
+// Gibbs sampling for marginal inference over a GroundNetwork: repeatedly
+// resamples each atom from its full conditional under the Eq. 2
+// distribution and averages post-burn-in samples.
+
+#ifndef MLNCLEAN_MLN_GIBBS_H_
+#define MLNCLEAN_MLN_GIBBS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mln/network.h"
+
+namespace mlnclean {
+
+/// Tuning knobs for Gibbs sampling.
+struct GibbsOptions {
+  int burn_in_sweeps = 100;
+  int sample_sweeps = 400;
+  uint64_t seed = 42;
+};
+
+/// Estimates Pr(atom = true) for every atom. Atoms listed in `evidence`
+/// (pairs of atom id and value) are clamped and reported at their clamped
+/// value.
+std::vector<double> GibbsMarginals(
+    const GroundNetwork& network, const GibbsOptions& options,
+    const std::vector<std::pair<AtomId, bool>>& evidence = {});
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_MLN_GIBBS_H_

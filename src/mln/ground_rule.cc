@@ -1,0 +1,72 @@
+#include "mln/ground_rule.h"
+
+#include <unordered_map>
+
+namespace mlnclean {
+
+namespace {
+
+std::string BindingKey(const std::vector<Value>& reason,
+                       const std::vector<Value>& result) {
+  std::string key;
+  for (const auto& v : reason) {
+    key += v;
+    key += '\x1f';
+  }
+  key += '\x1e';
+  for (const auto& v : result) {
+    key += v;
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<std::vector<GroundRule>> GroundConstraint(const Dataset& data,
+                                                 const Constraint& rule) {
+  if (!rule.IndexCompatible()) {
+    return Status::Invalid(
+        "rule '" + rule.name() +
+        "' is not index-compatible: DC reason predicates must be same-attribute "
+        "equalities and the result predicate a same-attribute disequality");
+  }
+  std::vector<GroundRule> out;
+  std::unordered_map<std::string, size_t> by_binding;
+  for (TupleId tid = 0; tid < static_cast<TupleId>(data.num_rows()); ++tid) {
+    const auto& row = data.row(tid);
+    if (!rule.InScope(row)) continue;
+    std::vector<Value> reason = rule.ReasonValues(row);
+    std::vector<Value> result = rule.ResultValues(row);
+    std::string key = BindingKey(reason, result);
+    auto it = by_binding.find(key);
+    if (it == by_binding.end()) {
+      by_binding.emplace(std::move(key), out.size());
+      out.push_back(GroundRule{std::move(reason), std::move(result), {tid}, 0.0});
+    } else {
+      out[it->second].tuples.push_back(tid);
+    }
+  }
+  return out;
+}
+
+std::string GroundRuleToString(const Schema& schema, const Constraint& rule,
+                               const GroundRule& ground) {
+  std::string out;
+  auto append = [&out](bool negated, const std::string& pred, const Value& constant) {
+    if (!out.empty()) out += " | ";
+    if (negated) out += "!";
+    out += pred + "(\"" + constant + "\")";
+  };
+  const auto& reason_attrs = rule.reason_attrs();
+  for (size_t i = 0; i < reason_attrs.size(); ++i) {
+    append(true, schema.name(reason_attrs[i]), ground.reason[i]);
+  }
+  const auto& result_attrs = rule.result_attrs();
+  for (size_t i = 0; i < result_attrs.size(); ++i) {
+    append(false, schema.name(result_attrs[i]), ground.result[i]);
+  }
+  return out;
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,44 @@
+// Grounding (Section 3, Table 3): instantiating an MLN rule's variables
+// with the constants found in a dataset. A ground rule of an
+// index-compatible constraint is a distinct (reason values, result values)
+// combination together with its supporting tuples; its learned weight
+// reflects the probability of those attribute values being clean.
+
+#ifndef MLNCLEAN_MLN_GROUND_RULE_H_
+#define MLNCLEAN_MLN_GROUND_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rules/constraint.h"
+
+namespace mlnclean {
+
+/// One ground MLN rule: a concrete binding of a rule's reason/result
+/// attributes, with the tuples exhibiting it.
+struct GroundRule {
+  std::vector<Value> reason;
+  std::vector<Value> result;
+  std::vector<TupleId> tuples;
+  double weight = 0.0;
+
+  /// Number of supporting tuples (the c(γ) of Eq. 4).
+  size_t support() const { return tuples.size(); }
+};
+
+/// Grounds `rule` over `data`: one GroundRule per distinct
+/// (reason, result) binding among in-scope tuples, in first-appearance
+/// order. Fails with Invalid for rules the MLN index cannot handle
+/// (general DCs; see Constraint::IndexCompatible).
+Result<std::vector<GroundRule>> GroundConstraint(const Dataset& data,
+                                                 const Constraint& rule);
+
+/// Renders a ground rule in the clausal form of Table 3, e.g.
+/// `!CT("DOTHAN") | ST("AL")`.
+std::string GroundRuleToString(const Schema& schema, const Constraint& rule,
+                               const GroundRule& ground);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_MLN_GROUND_RULE_H_

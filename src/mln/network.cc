@@ -1,0 +1,73 @@
+#include "mln/network.h"
+
+namespace mlnclean {
+
+namespace {
+// Penalty charged per violated hard clause; large enough to dominate any
+// realistic sum of soft weights.
+constexpr double kHardPenalty = 1e9;
+}  // namespace
+
+AtomId GroundNetwork::AddAtom(const std::string& name) {
+  auto it = atom_ids_.find(name);
+  if (it != atom_ids_.end()) return it->second;
+  AtomId id = static_cast<AtomId>(atom_names_.size());
+  atom_ids_.emplace(name, id);
+  atom_names_.push_back(name);
+  atom_clauses_.emplace_back();
+  return id;
+}
+
+Result<AtomId> GroundNetwork::FindAtom(const std::string& name) const {
+  auto it = atom_ids_.find(name);
+  if (it == atom_ids_.end()) return Status::NotFound("no atom named '" + name + "'");
+  return it->second;
+}
+
+Status GroundNetwork::AddClause(MlnClauseG clause) {
+  if (clause.literals.empty()) {
+    return Status::Invalid("clause must have at least one literal");
+  }
+  if (!clause.hard && clause.weight < 0.0) {
+    return Status::Invalid("soft clause weight must be non-negative");
+  }
+  for (const auto& lit : clause.literals) {
+    if (lit.atom < 0 || static_cast<size_t>(lit.atom) >= atom_names_.size()) {
+      return Status::Invalid("clause literal references unknown atom");
+    }
+  }
+  size_t idx = clauses_.size();
+  for (const auto& lit : clause.literals) {
+    atom_clauses_[static_cast<size_t>(lit.atom)].push_back(idx);
+  }
+  clauses_.push_back(std::move(clause));
+  return Status::OK();
+}
+
+bool GroundNetwork::ClauseSatisfied(const MlnClauseG& clause,
+                                    const std::vector<bool>& world) {
+  for (const auto& lit : clause.literals) {
+    if (world[static_cast<size_t>(lit.atom)] == lit.positive) return true;
+  }
+  return false;
+}
+
+double GroundNetwork::LogScore(const std::vector<bool>& world) const {
+  double score = 0.0;
+  for (const auto& clause : clauses_) {
+    if (ClauseSatisfied(clause, world)) score += clause.weight;
+  }
+  return score;
+}
+
+double GroundNetwork::ViolationCost(const std::vector<bool>& world) const {
+  double cost = 0.0;
+  for (const auto& clause : clauses_) {
+    if (!ClauseSatisfied(clause, world)) {
+      cost += clause.hard ? kHardPenalty : clause.weight;
+    }
+  }
+  return cost;
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,86 @@
+// Generic ground Markov logic network (Definition 1): weighted disjunctive
+// clauses over boolean ground atoms, with the log-linear distribution
+// Pr(x) ∝ exp(Σ_i w_i n_i(x)) of Eq. 2. Inference is provided by Gibbs
+// sampling (marginals, gibbs.h) and MaxWalkSAT (MAP, walksat.h).
+
+#ifndef MLNCLEAN_MLN_NETWORK_H_
+#define MLNCLEAN_MLN_NETWORK_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mlnclean {
+
+/// Index of a ground atom inside a network.
+using AtomId = int;
+
+/// A literal: an atom or its negation.
+struct MlnLiteral {
+  AtomId atom;
+  bool positive;
+};
+
+/// A weighted ground clause (disjunction of literals). `hard` clauses must
+/// hold in any MAP state; their weight is ignored by WalkSAT's objective
+/// scaling but they dominate soft clauses.
+struct MlnClauseG {
+  std::vector<MlnLiteral> literals;
+  double weight = 1.0;
+  bool hard = false;
+};
+
+/// A ground MLN: named boolean atoms plus weighted clauses.
+class GroundNetwork {
+ public:
+  GroundNetwork() = default;
+
+  /// Adds (or finds) an atom by name; returns its id.
+  AtomId AddAtom(const std::string& name);
+
+  /// Number of atoms so far.
+  size_t num_atoms() const { return atom_names_.size(); }
+
+  const std::string& atom_name(AtomId id) const {
+    return atom_names_[static_cast<size_t>(id)];
+  }
+
+  /// Looks up an existing atom.
+  Result<AtomId> FindAtom(const std::string& name) const;
+
+  /// Adds a clause; every literal must reference an existing atom and
+  /// soft weights must be non-negative.
+  Status AddClause(MlnClauseG clause);
+
+  size_t num_clauses() const { return clauses_.size(); }
+  const MlnClauseG& clause(size_t i) const { return clauses_[i]; }
+  const std::vector<MlnClauseG>& clauses() const { return clauses_; }
+
+  /// Clauses that mention a given atom (for incremental evaluation).
+  const std::vector<size_t>& clauses_of(AtomId atom) const {
+    return atom_clauses_[static_cast<size_t>(atom)];
+  }
+
+  /// True when the clause is satisfied in `world`.
+  static bool ClauseSatisfied(const MlnClauseG& clause, const std::vector<bool>& world);
+
+  /// Un-normalized log-probability Σ_i w_i [clause_i satisfied] of a world
+  /// (Eq. 2 without the partition function).
+  double LogScore(const std::vector<bool>& world) const;
+
+  /// Total weight of violated soft clauses plus a large penalty per
+  /// violated hard clause (the MaxWalkSAT objective, to be minimized).
+  double ViolationCost(const std::vector<bool>& world) const;
+
+ private:
+  std::vector<std::string> atom_names_;
+  std::unordered_map<std::string, AtomId> atom_ids_;
+  std::vector<MlnClauseG> clauses_;
+  std::vector<std::vector<size_t>> atom_clauses_;
+};
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_MLN_NETWORK_H_

@@ -1,0 +1,101 @@
+#include "mln/walksat.h"
+
+#include <limits>
+
+#include "common/random.h"
+
+namespace mlnclean {
+
+namespace {
+
+// Cost change caused by flipping `atom` in `world`, looking only at the
+// clauses that mention it.
+double FlipDelta(const GroundNetwork& network, const std::vector<bool>& world,
+                 size_t atom) {
+  double delta = 0.0;
+  for (size_t ci : network.clauses_of(static_cast<AtomId>(atom))) {
+    const MlnClauseG& clause = network.clause(ci);
+    double w = clause.hard ? 1e9 : clause.weight;
+    bool sat_before = GroundNetwork::ClauseSatisfied(clause, world);
+    // Evaluate after the hypothetical flip without copying the world.
+    bool sat_after = false;
+    for (const auto& lit : clause.literals) {
+      bool value = world[static_cast<size_t>(lit.atom)];
+      if (static_cast<size_t>(lit.atom) == atom) value = !value;
+      if (value == lit.positive) {
+        sat_after = true;
+        break;
+      }
+    }
+    if (sat_before && !sat_after) delta += w;
+    if (!sat_before && sat_after) delta -= w;
+  }
+  return delta;
+}
+
+}  // namespace
+
+std::vector<bool> MaxWalkSat(const GroundNetwork& network,
+                             const WalkSatOptions& options, double* best_cost) {
+  const size_t n = network.num_atoms();
+  std::vector<bool> best(n, false);
+  double best_c = std::numeric_limits<double>::infinity();
+  if (n == 0) {
+    if (best_cost) *best_cost = 0.0;
+    return best;
+  }
+
+  Rng rng(options.seed);
+  std::vector<size_t> unsat;
+  for (int restart = 0; restart < std::max(1, options.restarts); ++restart) {
+    std::vector<bool> world(n);
+    for (size_t a = 0; a < n; ++a) world[a] = rng.NextBool(0.5);
+    double cost = network.ViolationCost(world);
+    if (cost < best_c) {
+      best_c = cost;
+      best = world;
+    }
+    for (int flip = 0; flip < options.max_flips && best_c > 0.0; ++flip) {
+      // Collect currently unsatisfied clauses.
+      unsat.clear();
+      for (size_t ci = 0; ci < network.num_clauses(); ++ci) {
+        if (!GroundNetwork::ClauseSatisfied(network.clause(ci), world)) {
+          unsat.push_back(ci);
+        }
+      }
+      if (unsat.empty()) break;  // current world satisfies everything
+      const MlnClauseG& clause = network.clause(unsat[rng.NextIndex(unsat.size())]);
+      size_t chosen_atom;
+      if (rng.NextBool(options.p_random)) {
+        chosen_atom = static_cast<size_t>(
+            clause.literals[rng.NextIndex(clause.literals.size())].atom);
+      } else {
+        // Greedy: flip an atom of the clause minimizing the cost delta.
+        // Ties are broken uniformly at random — deterministic tie-breaking
+        // biases the walk and can trap it on zero-delta plateaus.
+        double best_delta = std::numeric_limits<double>::infinity();
+        std::vector<size_t> best_atoms;
+        for (const auto& lit : clause.literals) {
+          double d = FlipDelta(network, world, static_cast<size_t>(lit.atom));
+          if (d < best_delta) {
+            best_delta = d;
+            best_atoms.assign(1, static_cast<size_t>(lit.atom));
+          } else if (d == best_delta) {
+            best_atoms.push_back(static_cast<size_t>(lit.atom));
+          }
+        }
+        chosen_atom = best_atoms[rng.NextIndex(best_atoms.size())];
+      }
+      cost += FlipDelta(network, world, chosen_atom);
+      world[chosen_atom] = !world[chosen_atom];
+      if (cost < best_c) {
+        best_c = cost;
+        best = world;
+      }
+    }
+  }
+  if (best_cost) *best_cost = best_c;
+  return best;
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,31 @@
+// MaxWalkSAT: stochastic local search for the MAP (most probable) world of
+// a GroundNetwork — minimizes the total weight of violated clauses.
+
+#ifndef MLNCLEAN_MLN_WALKSAT_H_
+#define MLNCLEAN_MLN_WALKSAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mln/network.h"
+
+namespace mlnclean {
+
+/// Tuning knobs for MaxWalkSAT.
+struct WalkSatOptions {
+  int max_flips = 10000;
+  int restarts = 3;
+  /// Probability of a random walk move instead of a greedy one.
+  double p_random = 0.2;
+  uint64_t seed = 42;
+};
+
+/// Returns the best world found (one bool per atom) and writes its
+/// violation cost to `*best_cost` when non-null.
+std::vector<bool> MaxWalkSat(const GroundNetwork& network,
+                             const WalkSatOptions& options,
+                             double* best_cost = nullptr);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_MLN_WALKSAT_H_

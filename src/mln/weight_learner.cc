@@ -1,0 +1,84 @@
+#include "mln/weight_learner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlnclean {
+
+std::vector<double> PriorWeights(const std::vector<double>& counts) {
+  double total = 0.0;
+  for (double c : counts) total += c;
+  std::vector<double> out(counts.size(), 0.0);
+  if (total <= 0.0) return out;
+  for (size_t i = 0; i < counts.size(); ++i) out[i] = counts[i] / total;
+  return out;
+}
+
+std::vector<double> LearnWeights(const std::vector<double>& counts,
+                                 const std::vector<std::vector<size_t>>& groups,
+                                 const WeightLearnerOptions& options) {
+  std::vector<double> prior = PriorWeights(counts);
+  std::vector<double> w = prior;
+  const double lambda = std::max(options.l2, 1e-9);
+
+  std::vector<double> probs;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (const auto& group : groups) {
+      if (group.size() < 2) continue;  // singleton: gradient is exactly zero
+      // Softmax over the group's weights (subtract max for stability).
+      double wmax = -1e300;
+      for (size_t idx : group) wmax = std::max(wmax, w[idx]);
+      double z = 0.0;
+      probs.resize(group.size());
+      for (size_t k = 0; k < group.size(); ++k) {
+        probs[k] = std::exp(w[group[k]] - wmax);
+        z += probs[k];
+      }
+      double n_group = 0.0;
+      for (size_t idx : group) n_group += counts[idx];
+      for (size_t k = 0; k < group.size(); ++k) {
+        size_t idx = group[k];
+        double p = probs[k] / z;
+        double expected = n_group * p;
+        double grad = counts[idx] - expected - lambda * (w[idx] - prior[idx]);
+        double hess = n_group * p * (1.0 - p) + lambda;
+        double step = options.damping * grad / hess;
+        step = std::clamp(step, -options.max_step, options.max_step);
+        w[idx] += step;
+        max_delta = std::max(max_delta, std::abs(step));
+      }
+    }
+    if (max_delta < options.tolerance) break;
+  }
+  return w;
+}
+
+std::vector<double> LearnGroupProbabilities(
+    const std::vector<double>& counts, const std::vector<std::vector<size_t>>& groups,
+    const WeightLearnerOptions& options) {
+  // Items outside every group default to their Eq. 4 prior.
+  std::vector<double> out = PriorWeights(counts);
+  std::vector<double> log_w = LearnWeights(counts, groups, options);
+  double total = 0.0;
+  for (double c : counts) total += c;
+  if (total <= 0.0) return out;
+  for (const auto& group : groups) {
+    if (group.empty()) continue;
+    double n_group = 0.0;
+    double wmax = -1e300;
+    for (size_t idx : group) {
+      n_group += counts[idx];
+      wmax = std::max(wmax, log_w[idx]);
+    }
+    double z = 0.0;
+    for (size_t idx : group) z += std::exp(log_w[idx] - wmax);
+    const double group_mass = n_group / total;
+    for (size_t idx : group) {
+      out[idx] = std::exp(log_w[idx] - wmax) / z * group_mass;
+    }
+  }
+  return out;
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,65 @@
+// Umbrella header: the full public API of the MLNClean library.
+//
+// MLNClean is a hybrid data-cleaning framework on top of Markov logic
+// networks (Gao et al.): integrity constraints (FDs, CFDs, DCs) are
+// softened into weighted MLN rules, grounded over the dirty data, indexed
+// in a two-layer structure, and cleaned in two stages (per-rule data
+// versions via AGP + RSC, then cross-rule fusion via FSCR).
+//
+// Quick start:
+//
+//   #include "mlnclean/mlnclean.h"
+//   using namespace mlnclean;
+//
+//   Dataset dirty = *Dataset::FromCsvFile("hospital.csv");
+//   RuleSet rules = *ParseRules(dirty.schema(),
+//                               "FD: City -> State\n"
+//                               "CFD: HN=ELIZA, CT=BOAZ -> PN=2567688400\n");
+//   MlnCleanPipeline cleaner;
+//   CleanResult result = *cleaner.Clean(dirty, rules);
+//   // result.deduped is the clean dataset.
+
+#ifndef MLNCLEAN_MLNCLEAN_H_
+#define MLNCLEAN_MLNCLEAN_H_
+
+#include "baseline/holoclean.h"
+#include "cleaning/agp.h"
+#include "cleaning/dedup.h"
+#include "cleaning/fscr.h"
+#include "cleaning/options.h"
+#include "cleaning/pipeline.h"
+#include "cleaning/report.h"
+#include "cleaning/rsc.h"
+#include "common/csv.h"
+#include "common/distance.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "datagen/car.h"
+#include "datagen/hospital.h"
+#include "datagen/sample.h"
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "dataset/dataset.h"
+#include "dataset/schema.h"
+#include "distributed/distributed_pipeline.h"
+#include "distributed/partitioner.h"
+#include "distributed/weight_merge.h"
+#include "errorgen/injector.h"
+#include "eval/component_metrics.h"
+#include "eval/metrics.h"
+#include "index/mln_index.h"
+#include "index/piece.h"
+#include "mln/gibbs.h"
+#include "mln/ground_rule.h"
+#include "mln/network.h"
+#include "mln/walksat.h"
+#include "mln/weight_learner.h"
+#include "rules/constraint.h"
+#include "rules/rule_parser.h"
+#include "rules/violation.h"
+
+#endif  // MLNCLEAN_MLNCLEAN_H_

@@ -1,0 +1,224 @@
+#include "rules/rule_parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace mlnclean {
+
+namespace {
+
+// Splits "lhs -> rhs" around the first "->" not inside quotes.
+Status SplitArrow(std::string_view body, std::string_view* lhs, std::string_view* rhs) {
+  bool in_quotes = false;
+  for (size_t i = 0; i + 1 < body.size(); ++i) {
+    char c = body[i];
+    if (c == '"') in_quotes = !in_quotes;
+    if (!in_quotes && c == '-' && body[i + 1] == '>') {
+      *lhs = TrimView(body.substr(0, i));
+      *rhs = TrimView(body.substr(i + 2));
+      return Status::OK();
+    }
+  }
+  return Status::Invalid("rule body lacks '->': " + std::string(body));
+}
+
+// Splits on commas outside quotes, trimming each piece.
+std::vector<std::string> SplitTopLevel(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quotes = false;
+  for (char c : s) {
+    if (c == '"') {
+      in_quotes = !in_quotes;
+      cur += c;
+    } else if (c == ',' && !in_quotes) {
+      out.push_back(Trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(Trim(cur));
+  return out;
+}
+
+// Strips surrounding double quotes if present.
+std::string Unquote(std::string_view s) {
+  s = TrimView(s);
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+    return std::string(s.substr(1, s.size() - 2));
+  }
+  return std::string(s);
+}
+
+Result<std::vector<AttrId>> ParseAttrList(const Schema& schema, std::string_view s) {
+  std::vector<AttrId> out;
+  for (const std::string& item : SplitTopLevel(s)) {
+    if (item.empty()) return Status::Invalid("empty attribute in rule");
+    MLN_ASSIGN_OR_RETURN(AttrId id, schema.Find(item));
+    out.push_back(id);
+  }
+  return out;
+}
+
+Result<std::vector<CfdPattern>> ParsePatternList(const Schema& schema,
+                                                 std::string_view s) {
+  std::vector<CfdPattern> out;
+  for (const std::string& item : SplitTopLevel(s)) {
+    if (item.empty()) return Status::Invalid("empty pattern in CFD");
+    size_t eq = std::string_view::npos;
+    bool in_quotes = false;
+    for (size_t i = 0; i < item.size(); ++i) {
+      if (item[i] == '"') in_quotes = !in_quotes;
+      if (item[i] == '=' && !in_quotes) {
+        eq = i;
+        break;
+      }
+    }
+    CfdPattern p;
+    if (eq == std::string_view::npos) {
+      MLN_ASSIGN_OR_RETURN(p.attr, schema.Find(Trim(item)));
+      p.constant = std::nullopt;
+    } else {
+      MLN_ASSIGN_OR_RETURN(p.attr, schema.Find(Trim(item.substr(0, eq))));
+      std::string constant = Unquote(TrimView(std::string_view(item).substr(eq + 1)));
+      if (constant == "_") {
+        p.constant = std::nullopt;
+      } else {
+        p.constant = std::move(constant);
+      }
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+Result<PredOp> ParseOp(std::string_view s) {
+  if (s == "=") return PredOp::kEq;
+  if (s == "!=" || s == "<>") return PredOp::kNeq;
+  if (s == "<") return PredOp::kLt;
+  if (s == "<=") return PredOp::kLeq;
+  if (s == ">") return PredOp::kGt;
+  if (s == ">=") return PredOp::kGeq;
+  return Status::Invalid("unknown predicate operator: " + std::string(s));
+}
+
+// Parses "Attr(t1) OP Attr(t2)".
+Result<DcPredicate> ParseDcPredicate(const Schema& schema, std::string_view s) {
+  s = TrimView(s);
+  auto parse_side = [&schema](std::string_view side,
+                              std::string_view tvar) -> Result<AttrId> {
+    side = TrimView(side);
+    size_t open = side.find('(');
+    if (open == std::string_view::npos || side.back() != ')') {
+      return Status::Invalid("DC term must look like Attr(t1): " + std::string(side));
+    }
+    std::string_view var = TrimView(side.substr(open + 1, side.size() - open - 2));
+    if (var != tvar) {
+      return Status::Invalid("expected tuple variable " + std::string(tvar) +
+                             " in DC term: " + std::string(side));
+    }
+    return schema.Find(TrimView(side.substr(0, open)));
+  };
+  // Find the operator: first of <=, >=, !=, <>, =, <, > outside parens.
+  size_t op_pos = std::string_view::npos;
+  size_t op_len = 0;
+  int depth = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (depth != 0) continue;
+    if (c == '<' || c == '>' || c == '!' || c == '=') {
+      op_pos = i;
+      op_len = (i + 1 < s.size() && s[i + 1] == '=') ? 2 : 1;
+      if (c == '<' && i + 1 < s.size() && s[i + 1] == '>') op_len = 2;
+      break;
+    }
+  }
+  if (op_pos == std::string_view::npos) {
+    return Status::Invalid("DC predicate lacks an operator: " + std::string(s));
+  }
+  MLN_ASSIGN_OR_RETURN(PredOp op, ParseOp(s.substr(op_pos, op_len)));
+  DcPredicate pred;
+  pred.op = op;
+  MLN_ASSIGN_OR_RETURN(pred.left_attr, parse_side(s.substr(0, op_pos), "t1"));
+  MLN_ASSIGN_OR_RETURN(pred.right_attr, parse_side(s.substr(op_pos + op_len), "t2"));
+  return pred;
+}
+
+Result<Constraint> ParseDc(const Schema& schema, std::string_view body) {
+  body = TrimView(body);
+  if (!StartsWith(body, "!(") || !EndsWith(body, ")")) {
+    return Status::Invalid("DC body must look like !(p1 & p2 & ...): " +
+                           std::string(body));
+  }
+  std::string_view inner = body.substr(2, body.size() - 3);
+  std::vector<DcPredicate> preds;
+  size_t start = 0;
+  int depth = 0;
+  for (size_t i = 0; i <= inner.size(); ++i) {
+    if (i < inner.size() && inner[i] == '(') ++depth;
+    if (i < inner.size() && inner[i] == ')') --depth;
+    bool split = (i == inner.size()) || (inner[i] == '&' && depth == 0);
+    if (!split) continue;
+    std::string_view piece = TrimView(inner.substr(start, i - start));
+    if (!piece.empty()) {
+      MLN_ASSIGN_OR_RETURN(DcPredicate p, ParseDcPredicate(schema, piece));
+      preds.push_back(p);
+    }
+    start = i + 1;
+  }
+  return Constraint::MakeDc(schema, std::move(preds));
+}
+
+}  // namespace
+
+Result<Constraint> ParseRule(const Schema& schema, std::string_view text) {
+  std::string_view line = TrimView(text);
+  size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::Invalid("rule must start with 'FD:', 'CFD:' or 'DC:': " +
+                           std::string(line));
+  }
+  std::string kind = ToLower(TrimView(line.substr(0, colon)));
+  std::string_view body = TrimView(line.substr(colon + 1));
+  if (kind == "fd") {
+    std::string_view lhs, rhs;
+    MLN_RETURN_NOT_OK(SplitArrow(body, &lhs, &rhs));
+    MLN_ASSIGN_OR_RETURN(std::vector<AttrId> l, ParseAttrList(schema, lhs));
+    MLN_ASSIGN_OR_RETURN(std::vector<AttrId> r, ParseAttrList(schema, rhs));
+    return Constraint::MakeFd(schema, std::move(l), std::move(r));
+  }
+  if (kind == "cfd") {
+    std::string_view lhs, rhs;
+    MLN_RETURN_NOT_OK(SplitArrow(body, &lhs, &rhs));
+    MLN_ASSIGN_OR_RETURN(std::vector<CfdPattern> l, ParsePatternList(schema, lhs));
+    MLN_ASSIGN_OR_RETURN(std::vector<CfdPattern> r, ParsePatternList(schema, rhs));
+    return Constraint::MakeCfd(schema, std::move(l), std::move(r));
+  }
+  if (kind == "dc") {
+    return ParseDc(schema, body);
+  }
+  return Status::Invalid("unknown rule kind: " + kind);
+}
+
+Result<RuleSet> ParseRules(const Schema& schema, std::string_view text) {
+  RuleSet set(schema);
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    std::string_view line = (nl == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, nl - start);
+    start = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    line = TrimView(line);
+    if (line.empty() || line.front() == '#') continue;
+    MLN_ASSIGN_OR_RETURN(Constraint rule, ParseRule(schema, line));
+    set.Add(std::move(rule));
+  }
+  return set;
+}
+
+}  // namespace mlnclean

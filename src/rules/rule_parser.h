@@ -1,0 +1,33 @@
+// Text DSL for integrity constraints:
+//
+//   FD:  CT -> ST
+//   FD:  Model, Type -> Make
+//   CFD: HN=ELIZA, CT=BOAZ -> PN=2567688400
+//   CFD: Make=acura, Type -> Doors
+//   DC:  !(PN(t1)=PN(t2) & ST(t1)!=ST(t2))
+//
+// Attribute names must exist in the schema. Constants may be quoted with
+// double quotes when they contain ',', '-', '>' or spaces.
+
+#ifndef MLNCLEAN_RULES_RULE_PARSER_H_
+#define MLNCLEAN_RULES_RULE_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "rules/constraint.h"
+
+namespace mlnclean {
+
+/// Parses one rule definition against `schema`.
+Result<Constraint> ParseRule(const Schema& schema, std::string_view text);
+
+/// Parses a newline-separated list of rules; blank lines and lines starting
+/// with '#' are ignored. Rules are named r1..rn in order.
+Result<RuleSet> ParseRules(const Schema& schema, std::string_view text);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_RULES_RULE_PARSER_H_

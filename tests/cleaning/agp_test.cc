@@ -1,0 +1,106 @@
+#include "cleaning/agp.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/sample.h"
+
+namespace mlnclean {
+namespace {
+
+struct SampleFixture {
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  MlnIndex index = *MlnIndex::Build(dirty, rules);
+  CleaningOptions options;
+  DistanceFn dist = MakeDistanceFn(DistanceMetric::kLevenshtein);
+};
+
+TEST(AgpTest, PaperExampleMergesWithTauOne) {
+  // Section 5.1.1: with τ = 1, G12, G22 and G31 are abnormal; G12 merges
+  // into G11, G22 into G23, G31 into G32.
+  SampleFixture f;
+  f.options.agp_threshold = 1;
+  CleaningReport report;
+  RunAgpAll(&f.index, f.options, f.dist, &report);
+
+  ASSERT_EQ(report.agp.size(), 3u);
+  EXPECT_EQ(report.agp[0].abnormal_key, (std::vector<Value>{"DOTH"}));
+  EXPECT_EQ(report.agp[0].target_key, (std::vector<Value>{"DOTHAN"}));
+  EXPECT_TRUE(report.agp[0].merged);
+  EXPECT_EQ(report.agp[1].abnormal_key, (std::vector<Value>{"2567638410"}));
+  EXPECT_EQ(report.agp[1].target_key, (std::vector<Value>{"2567688400"}));
+  EXPECT_EQ(report.agp[2].abnormal_key, (std::vector<Value>{"ELIZA", "DOTHAN"}));
+  EXPECT_EQ(report.agp[2].target_key, (std::vector<Value>{"ELIZA", "BOAZ"}));
+
+  // Post-merge shape: 2, 2, 1 groups.
+  EXPECT_EQ(f.index.block(0).groups.size(), 2u);
+  EXPECT_EQ(f.index.block(1).groups.size(), 2u);
+  EXPECT_EQ(f.index.block(2).groups.size(), 1u);
+  // The merged-in γ keeps its own values inside the target group.
+  const Group& g11 = f.index.block(0).groups[*f.index.FindGroup(0, {"DOTHAN"})];
+  ASSERT_EQ(g11.pieces.size(), 2u);
+  EXPECT_EQ(g11.pieces[1].reason, (std::vector<Value>{"DOTH"}));
+}
+
+TEST(AgpTest, TauZeroDetectsNothing) {
+  SampleFixture f;
+  f.options.agp_threshold = 0;
+  CleaningReport report;
+  RunAgpAll(&f.index, f.options, f.dist, &report);
+  EXPECT_TRUE(report.agp.empty());
+  EXPECT_EQ(f.index.block(0).groups.size(), 3u);
+}
+
+TEST(AgpTest, LargeTauSwallowsEverythingIntoNothing) {
+  // When every group is "abnormal" there is no normal group to merge
+  // into: groups stay, records say merged = false.
+  SampleFixture f;
+  f.options.agp_threshold = 100;
+  CleaningReport report;
+  RunAgpAll(&f.index, f.options, f.dist, &report);
+  EXPECT_EQ(report.agp.size(), 8u);  // all groups of all blocks
+  for (const auto& rec : report.agp) {
+    EXPECT_FALSE(rec.merged);
+  }
+  EXPECT_EQ(f.index.block(0).groups.size(), 3u);
+}
+
+TEST(AgpTest, DagCountsPieces) {
+  SampleFixture f;
+  f.options.agp_threshold = 1;
+  CleaningReport report;
+  RunAgpAll(&f.index, f.options, f.dist, &report);
+  // Each abnormal group in the sample holds exactly one γ.
+  EXPECT_EQ(report.NumDetectedAbnormalPieces(), 3u);
+  EXPECT_EQ(report.NumDetectedAbnormalGroups(), 3u);
+}
+
+TEST(AgpTest, ThresholdTwoMergesMidSizeGroups) {
+  SampleFixture f;
+  f.options.agp_threshold = 2;
+  CleaningReport report;
+  RunAgpAll(&f.index, f.options, f.dist, &report);
+  // B1: G11 (2 tuples) and G12 (1) are now abnormal; only G13 (3) is
+  // normal, so both merge into it.
+  EXPECT_EQ(f.index.block(0).groups.size(), 1u);
+  EXPECT_EQ(f.index.block(0).groups[0].TupleCount(), 6u);
+}
+
+TEST(AgpTest, RecordsAffectedTuples) {
+  SampleFixture f;
+  f.options.agp_threshold = 1;
+  CleaningReport report;
+  RunAgpAll(&f.index, f.options, f.dist, &report);
+  EXPECT_EQ(report.agp[0].abnormal_tuples, (std::vector<TupleId>{1}));  // t2
+  EXPECT_EQ(report.agp[2].abnormal_tuples, (std::vector<TupleId>{2}));  // t3
+}
+
+TEST(AgpTest, NullReportIsAllowed) {
+  SampleFixture f;
+  f.options.agp_threshold = 1;
+  RunAgpAll(&f.index, f.options, f.dist, nullptr);
+  EXPECT_EQ(f.index.block(0).groups.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mlnclean

@@ -1,0 +1,56 @@
+#include "cleaning/dedup.h"
+
+#include <gtest/gtest.h>
+
+namespace mlnclean {
+namespace {
+
+TEST(DedupTest, RemovesExactDuplicates) {
+  Schema s = *Schema::Make({"A", "B"});
+  Dataset d = *Dataset::Make(
+      s, {{"x", "1"}, {"y", "2"}, {"x", "1"}, {"x", "1"}, {"z", "3"}});
+  std::vector<std::pair<TupleId, TupleId>> removed;
+  Dataset out = RemoveDuplicates(d, &removed);
+  EXPECT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.row(0), (std::vector<Value>{"x", "1"}));
+  EXPECT_EQ(out.row(1), (std::vector<Value>{"y", "2"}));
+  EXPECT_EQ(out.row(2), (std::vector<Value>{"z", "3"}));
+  ASSERT_EQ(removed.size(), 2u);
+  EXPECT_EQ(removed[0], (std::pair<TupleId, TupleId>{2, 0}));
+  EXPECT_EQ(removed[1], (std::pair<TupleId, TupleId>{3, 0}));
+}
+
+TEST(DedupTest, NoDuplicatesNoChange) {
+  Schema s = *Schema::Make({"A"});
+  Dataset d = *Dataset::Make(s, {{"x"}, {"y"}});
+  std::vector<std::pair<TupleId, TupleId>> removed;
+  Dataset out = RemoveDuplicates(d, &removed);
+  EXPECT_EQ(out, d);
+  EXPECT_TRUE(removed.empty());
+}
+
+TEST(DedupTest, EmptyDataset) {
+  Schema s = *Schema::Make({"A"});
+  Dataset d(s);
+  Dataset out = RemoveDuplicates(d, nullptr);
+  EXPECT_EQ(out.num_rows(), 0u);
+}
+
+TEST(DedupTest, ValuesDifferingOnlyInOneAttrAreKept) {
+  Schema s = *Schema::Make({"A", "B"});
+  Dataset d = *Dataset::Make(s, {{"x", "1"}, {"x", "2"}});
+  Dataset out = RemoveDuplicates(d, nullptr);
+  EXPECT_EQ(out.num_rows(), 2u);
+}
+
+TEST(DedupTest, SeparatorInjectionDoesNotConfuseKeys) {
+  // Values containing the internal separator must not collide.
+  Schema s = *Schema::Make({"A", "B"});
+  Dataset d = *Dataset::Make(s, {{"x\x1fy", "z"}, {"x", "\x1fy z"}});
+  Dataset out = RemoveDuplicates(d, nullptr);
+  // These two rows are different; a naive concatenation would merge them.
+  EXPECT_EQ(out.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace mlnclean

@@ -1,0 +1,131 @@
+#include "cleaning/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/hospital.h"
+#include "datagen/sample.h"
+#include "errorgen/injector.h"
+#include "eval/metrics.h"
+
+namespace mlnclean {
+namespace {
+
+TEST(PipelineTest, CleansTable1ToGroundTruth) {
+  // The headline walk-through: MLNClean on Table 1 produces the clean
+  // table, then deduplication collapses it to the two real entities.
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  CleaningOptions options;
+  options.agp_threshold = 1;
+  MlnCleanPipeline cleaner(options);
+  auto result = cleaner.Clean(dirty, rules);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->cleaned, *SampleHospitalClean());
+  // t1/t2 collapse to one tuple, t3-t6 to another.
+  EXPECT_EQ(result->deduped.num_rows(), 2u);
+  EXPECT_EQ(result->report.duplicates.size(), 4u);
+}
+
+TEST(PipelineTest, CleanInputIsFixpoint) {
+  // Cleaning already-clean data must not change it (idempotence).
+  Dataset clean = *SampleHospitalClean();
+  RuleSet rules = *SampleHospitalRules();
+  CleaningOptions options;
+  options.agp_threshold = 1;
+  options.remove_duplicates = false;
+  MlnCleanPipeline cleaner(options);
+  auto result = cleaner.Clean(clean, rules);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->cleaned, clean);
+}
+
+TEST(PipelineTest, TimingsPopulated) {
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  MlnCleanPipeline cleaner;
+  auto result = cleaner.Clean(dirty, rules);
+  ASSERT_TRUE(result.ok());
+  const StageTimings& t = result->report.timings;
+  EXPECT_GE(t.index, 0.0);
+  EXPECT_GT(t.total, 0.0);
+  EXPECT_GE(t.total, t.index + t.agp + t.learn + t.rsc + t.fscr);
+}
+
+TEST(PipelineTest, OptionValidationRejectsBadConfig) {
+  CleaningOptions options;
+  options.max_fusion_nodes = 0;
+  MlnCleanPipeline cleaner(options);
+  auto result = cleaner.Clean(*SampleHospitalDirty(), *SampleHospitalRules());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalid());
+}
+
+TEST(PipelineTest, DuplicateRemovalCanBeDisabled) {
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  CleaningOptions options;
+  options.remove_duplicates = false;
+  MlnCleanPipeline cleaner(options);
+  auto result = cleaner.Clean(dirty, rules);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->deduped.num_rows(), dirty.num_rows());
+  EXPECT_TRUE(result->report.duplicates.empty());
+}
+
+TEST(PipelineTest, PriorOnlyAblationStillCleansSample) {
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  CleaningOptions options;
+  options.agp_threshold = 1;
+  options.learn_weights = false;  // Eq. 4 priors only
+  MlnCleanPipeline cleaner(options);
+  auto result = cleaner.Clean(dirty, rules);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cleaned, *SampleHospitalClean());
+}
+
+TEST(PipelineTest, RepairsInjectedErrorsOnGeneratedData) {
+  HospitalConfig config;
+  config.num_hospitals = 30;
+  config.num_measures = 10;
+  Workload wl = *MakeHospitalWorkload(config);
+  ErrorSpec spec;
+  spec.error_rate = 0.05;
+  spec.seed = 3;
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+  CleaningOptions options;
+  options.agp_threshold = 3;
+  MlnCleanPipeline cleaner(options);
+  auto result = cleaner.Clean(dd.dirty, wl.rules);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  RepairMetrics m = EvaluateRepair(dd.dirty, result->cleaned, dd.truth);
+  EXPECT_GT(m.F1(), 0.6) << "precision=" << m.Precision()
+                         << " recall=" << m.Recall();
+}
+
+TEST(PipelineTest, EmptyRuleSetLeavesDataUntouched) {
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules(dirty.schema());
+  MlnCleanPipeline cleaner;
+  auto result = cleaner.Clean(dirty, rules);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cleaned, dirty);
+}
+
+TEST(PipelineTest, StageDecompositionMatchesClean) {
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  CleaningOptions options;
+  options.agp_threshold = 1;
+  MlnCleanPipeline cleaner(options);
+  CleaningReport report;
+  auto index = cleaner.RunStageOne(dirty, rules, &report);
+  ASSERT_TRUE(index.ok());
+  CleanResult two = cleaner.RunStageTwo(dirty, rules, *index, std::move(report));
+  auto direct = cleaner.Clean(dirty, rules);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(two.cleaned, direct->cleaned);
+}
+
+}  // namespace
+}  // namespace mlnclean

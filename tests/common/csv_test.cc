@@ -1,0 +1,95 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace mlnclean {
+namespace {
+
+TEST(CsvTest, ParseSimple) {
+  auto r = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0], (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(r->rows[1], (std::vector<std::string>{"4", "5", "6"}));
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  auto r = ParseCsv("name,notes\n\"Doe, John\",\"said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0], "Doe, John");
+  EXPECT_EQ(r->rows[0][1], "said \"hi\"");
+}
+
+TEST(CsvTest, ParseEmbeddedNewline) {
+  auto r = ParseCsv("a,b\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, ParseCrLf) {
+  auto r = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, MissingNewlineAtEof) {
+  auto r = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+TEST(CsvTest, ArityMismatchIsError) {
+  auto r = ParseCsv("a,b\n1,2,3\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(CsvTest, EmptyInputIsError) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, StrayQuoteIsError) {
+  EXPECT_FALSE(ParseCsv("a\nx\"y\n").ok());
+}
+
+TEST(CsvTest, WriteQuotesOnlyWhenNeeded) {
+  CsvTable t;
+  t.header = {"a", "b"};
+  t.rows = {{"plain", "with,comma"}, {"with\"quote", "with\nnewline"}};
+  std::string text = WriteCsv(t);
+  EXPECT_EQ(text,
+            "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(CsvTest, RoundTrip) {
+  CsvTable t;
+  t.header = {"x", "y"};
+  t.rows = {{"a,b", "c\"d"}, {"", "plain"}, {"nl\nin", "end"}};
+  auto r = ParseCsv(WriteCsv(t));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->header, t.header);
+  EXPECT_EQ(r->rows, t.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable t;
+  t.header = {"k", "v"};
+  t.rows = {{"1", "one"}, {"2", "two"}};
+  std::string path = ::testing::TempDir() + "/mlnclean_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto r = ReadCsvFile(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows, t.rows);
+}
+
+TEST(CsvTest, MissingFileIsError) {
+  EXPECT_TRUE(ReadCsvFile("/nonexistent/path.csv").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace mlnclean

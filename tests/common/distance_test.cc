@@ -1,0 +1,155 @@
+#include "common/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+
+namespace mlnclean {
+namespace {
+
+TEST(LevenshteinTest, KnownValues) {
+  EXPECT_EQ(Levenshtein("", ""), 0u);
+  EXPECT_EQ(Levenshtein("abc", ""), 3u);
+  EXPECT_EQ(Levenshtein("", "abc"), 3u);
+  EXPECT_EQ(Levenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(Levenshtein("flaw", "lawn"), 2u);
+  EXPECT_EQ(Levenshtein("abc", "abc"), 0u);
+  // Paper examples: the typo "DOTH" is two deletions from "DOTHAN".
+  EXPECT_EQ(Levenshtein("DOTH", "DOTHAN"), 2u);
+  EXPECT_EQ(Levenshtein("AK", "AL"), 1u);
+  EXPECT_EQ(Levenshtein("2567638410", "2567688400"), 2u);
+}
+
+TEST(DamerauTest, TranspositionCountsAsOne) {
+  EXPECT_EQ(DamerauLevenshtein("ab", "ba"), 1u);
+  EXPECT_EQ(Levenshtein("ab", "ba"), 2u);
+  EXPECT_EQ(DamerauLevenshtein("ca", "abc"), 3u);  // classic OSA example
+  EXPECT_EQ(DamerauLevenshtein("abcdef", "abcdfe"), 1u);
+  EXPECT_EQ(DamerauLevenshtein("", "xy"), 2u);
+}
+
+TEST(CosineTest, RangeAndIdentity) {
+  EXPECT_DOUBLE_EQ(CosineBigramDistance("same", "same"), 0.0);
+  EXPECT_DOUBLE_EQ(CosineBigramDistance("", "abc"), 1.0);
+  double d = CosineBigramDistance("night", "nacht");
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+TEST(CosineTest, PrefixTypoVsSuffixTypo) {
+  // Cosine over bigrams is position-insensitive: a corrupted first
+  // character destroys only one bigram, same as a corrupted last one, so
+  // both land far from the prefix-sensitive behaviour the paper discusses
+  // for ordering (Table 5 rationale: cosine mis-ranks prefix errors).
+  double prefix = CosineBigramDistance("XOTHAN", "DOTHAN");
+  double suffix = CosineBigramDistance("DOTHAX", "DOTHAN");
+  EXPECT_NEAR(prefix, suffix, 1e-9);
+}
+
+TEST(CosineTest, ShortStringsFallBackToUnigrams) {
+  EXPECT_DOUBLE_EQ(CosineBigramDistance("a", "a"), 0.0);
+  EXPECT_DOUBLE_EQ(CosineBigramDistance("a", "b"), 1.0);
+}
+
+TEST(DistanceFnTest, FactoryMatchesDirectCalls) {
+  auto lev = MakeDistanceFn(DistanceMetric::kLevenshtein);
+  auto cos = MakeDistanceFn(DistanceMetric::kCosine);
+  auto dam = MakeDistanceFn(DistanceMetric::kDamerau);
+  EXPECT_DOUBLE_EQ(lev("kitten", "sitting"), 3.0);
+  EXPECT_DOUBLE_EQ(dam("ab", "ba"), 1.0);
+  EXPECT_DOUBLE_EQ(cos("x", "x"), 0.0);
+}
+
+TEST(DistanceFnTest, ParseNames) {
+  EXPECT_EQ(*ParseDistanceMetric("levenshtein"), DistanceMetric::kLevenshtein);
+  EXPECT_EQ(*ParseDistanceMetric("Cosine"), DistanceMetric::kCosine);
+  EXPECT_EQ(*ParseDistanceMetric("DAMERAU"), DistanceMetric::kDamerau);
+  EXPECT_FALSE(ParseDistanceMetric("hamming").ok());
+  EXPECT_STREQ(DistanceMetricName(DistanceMetric::kCosine), "cosine");
+}
+
+TEST(NormalizedDistanceTest, EditDistancesScaledByLength) {
+  auto norm = MakeNormalizedDistanceFn(DistanceMetric::kLevenshtein);
+  EXPECT_DOUBLE_EQ(norm("DOTH", "DOTHAN"), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(norm("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(norm("abc", ""), 1.0);  // total rewrite costs 1
+  EXPECT_DOUBLE_EQ(norm("AK", "AL"), 0.5);
+}
+
+TEST(NormalizedDistanceTest, BoundedByOneForEditMetrics) {
+  for (auto metric : {DistanceMetric::kLevenshtein, DistanceMetric::kDamerau}) {
+    auto norm = MakeNormalizedDistanceFn(metric);
+    EXPECT_LE(norm("abcdef", "xyz"), 1.0);
+    EXPECT_LE(norm("a", "completely-different"), 1.0);
+  }
+}
+
+TEST(NormalizedDistanceTest, CosinePassesThroughUnchanged) {
+  auto raw = MakeDistanceFn(DistanceMetric::kCosine);
+  auto norm = MakeNormalizedDistanceFn(DistanceMetric::kCosine);
+  EXPECT_DOUBLE_EQ(raw("night", "nacht"), norm("night", "nacht"));
+}
+
+TEST(NormalizedDistanceTest, OneLongAttrCheaperThanTwoShortOnes) {
+  // The property AGP relies on: a fully different long value costs ~1,
+  // less than two fully different short values (~2).
+  auto norm = MakeNormalizedDistanceFn(DistanceMetric::kLevenshtein);
+  double one_long = norm("telluride", "borrego");
+  double two_short = norm("suv", "van") + norm("kia", "bmw");
+  EXPECT_LT(one_long, two_short);
+}
+
+// Property sweep: metric axioms over random strings.
+class DistancePropertyTest : public ::testing::TestWithParam<DistanceMetric> {};
+
+TEST_P(DistancePropertyTest, IdentitySymmetryNonNegativity) {
+  DistanceFn fn = MakeDistanceFn(GetParam());
+  Rng rng(123);
+  const std::string alphabet = "abcde";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string a, b;
+    for (size_t i = rng.NextIndex(10); i > 0; --i) {
+      a += alphabet[rng.NextIndex(alphabet.size())];
+    }
+    for (size_t i = rng.NextIndex(10); i > 0; --i) {
+      b += alphabet[rng.NextIndex(alphabet.size())];
+    }
+    EXPECT_DOUBLE_EQ(fn(a, a), 0.0) << a;
+    EXPECT_DOUBLE_EQ(fn(a, b), fn(b, a)) << a << " vs " << b;
+    EXPECT_GE(fn(a, b), 0.0);
+  }
+}
+
+TEST_P(DistancePropertyTest, EditDistancesSatisfyTriangleInequality) {
+  if (GetParam() == DistanceMetric::kCosine) {
+    GTEST_SKIP() << "cosine over bigram counts is not a metric";
+  }
+  DistanceFn fn = MakeDistanceFn(GetParam());
+  Rng rng(321);
+  const std::string alphabet = "abc";
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string s[3];
+    for (auto& str : s) {
+      for (size_t i = rng.NextIndex(8); i > 0; --i) {
+        str += alphabet[rng.NextIndex(alphabet.size())];
+      }
+    }
+    EXPECT_LE(fn(s[0], s[2]), fn(s[0], s[1]) + fn(s[1], s[2]))
+        << s[0] << " " << s[1] << " " << s[2];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, DistancePropertyTest,
+                         ::testing::Values(DistanceMetric::kLevenshtein,
+                                           DistanceMetric::kCosine,
+                                           DistanceMetric::kDamerau),
+                         [](const auto& info) {
+                           return DistanceMetricName(info.param);
+                         });
+
+}  // namespace
+}  // namespace mlnclean

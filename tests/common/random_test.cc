@@ -1,0 +1,106 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace mlnclean {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextIndex(1000), b.NextIndex(1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 20 && !differ; ++i) {
+    differ = a.NextIndex(1 << 30) != b.NextIndex(1 << 30);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RngTest, NextIndexInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextIndex(13), 13u);
+  }
+  EXPECT_EQ(rng.NextIndex(1), 0u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolApproximatesProbability) {
+  Rng rng(7);
+  int hits = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.03);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ChooseReturnsMember) {
+  Rng rng(11);
+  std::vector<std::string> items{"a", "b", "c"};
+  for (int i = 0; i < 50; ++i) {
+    const std::string& pick = rng.Choose(items);
+    EXPECT_TRUE(pick == "a" || pick == "b" || pick == "c");
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  // The fork consumes one draw from the parent; both streams stay
+  // deterministic.
+  Rng b(5);
+  Rng child2 = b.Fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child.NextIndex(100), child2.NextIndex(100));
+    EXPECT_EQ(a.NextIndex(100), b.NextIndex(100));
+  }
+}
+
+}  // namespace
+}  // namespace mlnclean

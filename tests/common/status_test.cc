@@ -1,0 +1,95 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace mlnclean {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_TRUE(Status::Invalid("x").IsInvalid());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  Status s = Status::Invalid("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "Invalid: bad input");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::IOError("disk gone");
+  Status t = s;
+  EXPECT_TRUE(t.IsIOError());
+  EXPECT_EQ(t.message(), "disk gone");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalid), "Invalid");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).ValueUnsafe();
+  EXPECT_EQ(v, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::Invalid("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  MLN_ASSIGN_OR_RETURN(int h, Half(x));
+  MLN_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+Status CheckEven(int x) {
+  MLN_RETURN_NOT_OK(Half(x).ok() ? Status::OK() : Half(x).status());
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> bad = Quarter(6);  // 6/2 = 3, odd -> Invalid
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalid());
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(CheckEven(4).ok());
+  EXPECT_FALSE(CheckEven(3).ok());
+}
+
+}  // namespace
+}  // namespace mlnclean

@@ -1,0 +1,50 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace mlnclean {
+namespace {
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, SplitAndTrim) {
+  EXPECT_EQ(SplitAndTrim("a, b , c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitAndTrim("solo", ','), (std::vector<std::string>{"solo"}));
+  EXPECT_EQ(SplitAndTrim("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitAndTrim("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC123"), "abc123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello world", "hello"));
+  EXPECT_FALSE(StartsWith("hi", "hello"));
+  EXPECT_TRUE(EndsWith("hello world", "world"));
+  EXPECT_FALSE(EndsWith("rld", "world"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace mlnclean

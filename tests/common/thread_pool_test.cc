@@ -1,0 +1,73 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace mlnclean {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, FutureResolves) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  auto fut = pool.Submit([&ran] { ran = true; });
+  fut.wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> x{0};
+  pool.Submit([&x] { x = 7; });
+  pool.WaitIdle();
+  EXPECT_EQ(x.load(), 7);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(3);
+  pool.WaitIdle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, CoversAllIndices) {
+  std::vector<int> hits(1000, 0);
+  ParallelFor(hits.size(), 4, [&hits](size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, ZeroItemsNoop) {
+  ParallelFor(0, 4, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForTest, SingleThreadPath) {
+  std::vector<int> order;
+  ParallelFor(5, 1, [&order](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace mlnclean

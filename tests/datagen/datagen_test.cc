@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "datagen/car.h"
+#include "datagen/hospital.h"
+#include "datagen/sample.h"
+#include "datagen/tpch.h"
+#include "rules/violation.h"
+
+namespace mlnclean {
+namespace {
+
+TEST(SampleTest, Table1Shape) {
+  Dataset dirty = *SampleHospitalDirty();
+  EXPECT_EQ(dirty.num_rows(), 6u);
+  EXPECT_EQ(dirty.num_attrs(), 4u);
+  EXPECT_EQ(dirty.at(1, 1), "DOTH");        // t2's typo
+  EXPECT_EQ(dirty.at(3, 2), "AK");          // t4's wrong state
+  EXPECT_EQ(dirty.at(2, 3), "2567638410");  // t3's replaced phone
+}
+
+TEST(SampleTest, CleanVersionSatisfiesRules) {
+  Dataset clean = *SampleHospitalClean();
+  RuleSet rules = *SampleHospitalRules();
+  EXPECT_TRUE(FindAllViolations(clean, rules).empty());
+}
+
+TEST(SampleTest, RuleShapes) {
+  RuleSet rules = *SampleHospitalRules();
+  ASSERT_EQ(rules.size(), 3u);
+  EXPECT_EQ(rules.rule(0).kind(), RuleKind::kFd);
+  EXPECT_EQ(rules.rule(1).kind(), RuleKind::kDc);
+  EXPECT_EQ(rules.rule(2).kind(), RuleKind::kCfd);
+}
+
+class WorkloadTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  Workload Make() const {
+    std::string which = GetParam();
+    if (which == "HAI") {
+      return *MakeHospitalWorkload({.num_hospitals = 25, .num_measures = 8});
+    }
+    if (which == "CAR") {
+      return *MakeCarWorkload({.num_rows = 2000});
+    }
+    return *MakeTpchWorkload({.num_customers = 50, .num_rows = 2000});
+  }
+};
+
+TEST_P(WorkloadTest, CleanByConstruction) {
+  // Every generator must produce data on which its Table 4 rules hold.
+  Workload wl = Make();
+  EXPECT_GT(wl.clean.num_rows(), 0u);
+  EXPECT_TRUE(FindAllViolations(wl.clean, wl.rules).empty())
+      << wl.name << " generator emitted rule violations";
+}
+
+TEST_P(WorkloadTest, DeterministicForSeed) {
+  Workload a = Make();
+  Workload b = Make();
+  EXPECT_EQ(a.clean, b.clean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, WorkloadTest,
+                         ::testing::Values("HAI", "CAR", "TPCH"));
+
+TEST(HospitalTest, RowTargetHonored) {
+  Workload wl = *MakeHospitalWorkload(
+      {.num_hospitals = 10, .num_measures = 4, .num_rows = 123});
+  EXPECT_EQ(wl.clean.num_rows(), 123u);
+}
+
+TEST(HospitalTest, DefaultRowsAreAllPairs) {
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 10, .num_measures = 4});
+  EXPECT_EQ(wl.clean.num_rows(), 40u);
+}
+
+TEST(HospitalTest, SevenRulesFromTable4) {
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 5, .num_measures = 2});
+  EXPECT_EQ(wl.rules.size(), 7u);
+  EXPECT_EQ(wl.rules.rule(6).kind(), RuleKind::kDc);
+}
+
+TEST(HospitalTest, DenseSupport) {
+  // Each hospital appears once per measure: reason keys are well
+  // supported (the "dense" property the paper attributes to HAI).
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 10, .num_measures = 8});
+  AttrId phone = *wl.clean.schema().Find("PhoneNumber");
+  std::unordered_map<Value, size_t> counts;
+  for (size_t t = 0; t < wl.clean.num_rows(); ++t) {
+    counts[wl.clean.at(static_cast<TupleId>(t), phone)]++;
+  }
+  for (const auto& [v, c] : counts) {
+    EXPECT_GE(c, 8u) << v;
+  }
+}
+
+TEST(CarTest, TwoRulesFromTable4) {
+  Workload wl = *MakeCarWorkload({.num_rows = 100});
+  EXPECT_EQ(wl.rules.size(), 2u);
+  EXPECT_EQ(wl.rules.rule(0).kind(), RuleKind::kCfd);
+  EXPECT_EQ(wl.rules.rule(1).kind(), RuleKind::kFd);
+}
+
+TEST(CarTest, ContainsAcuraRows) {
+  Workload wl = *MakeCarWorkload({.num_rows = 3000});
+  AttrId make = *wl.clean.schema().Find("Make");
+  bool has_acura = false;
+  for (size_t t = 0; t < wl.clean.num_rows() && !has_acura; ++t) {
+    has_acura = wl.clean.at(static_cast<TupleId>(t), make) == "acura";
+  }
+  EXPECT_TRUE(has_acura);
+}
+
+TEST(CarTest, RowCountExact) {
+  Workload wl = *MakeCarWorkload({.num_rows = 777});
+  EXPECT_EQ(wl.clean.num_rows(), 777u);
+}
+
+TEST(TpchTest, CustKeyAddressFunctional) {
+  Workload wl = *MakeTpchWorkload({.num_customers = 20, .num_rows = 500});
+  EXPECT_EQ(wl.rules.size(), 1u);
+  AttrId ck = *wl.clean.schema().Find("CustKey");
+  AttrId addr = *wl.clean.schema().Find("Address");
+  std::unordered_map<Value, Value> mapping;
+  for (size_t t = 0; t < wl.clean.num_rows(); ++t) {
+    const Value& k = wl.clean.at(static_cast<TupleId>(t), ck);
+    const Value& a = wl.clean.at(static_cast<TupleId>(t), addr);
+    auto [it, inserted] = mapping.emplace(k, a);
+    if (!inserted) {
+      EXPECT_EQ(it->second, a);
+    }
+  }
+}
+
+TEST(GeneratorTest, InvalidConfigsRejected) {
+  EXPECT_FALSE(MakeHospitalWorkload({.num_hospitals = 0}).ok());
+  EXPECT_FALSE(MakeCarWorkload({.num_makes = 0}).ok());
+  EXPECT_FALSE(MakeTpchWorkload({.num_customers = 0}).ok());
+}
+
+}  // namespace
+}  // namespace mlnclean

@@ -1,0 +1,83 @@
+#include "dataset/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace mlnclean {
+namespace {
+
+Dataset MakeSmall() {
+  Schema s = *Schema::Make({"A", "B"});
+  return *Dataset::Make(s, {{"x", "1"}, {"y", "2"}, {"x", "3"}});
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = MakeSmall();
+  EXPECT_EQ(d.num_rows(), 3u);
+  EXPECT_EQ(d.num_attrs(), 2u);
+  EXPECT_EQ(d.num_cells(), 6u);
+  EXPECT_EQ(d.at(0, 0), "x");
+  EXPECT_EQ(d.at(2, 1), "3");
+  EXPECT_EQ(d.row(1), (std::vector<Value>{"y", "2"}));
+}
+
+TEST(DatasetTest, SetMutatesCell) {
+  Dataset d = MakeSmall();
+  d.set(1, 0, "z");
+  EXPECT_EQ(d.at(1, 0), "z");
+}
+
+TEST(DatasetTest, AppendChecksArity) {
+  Dataset d = MakeSmall();
+  EXPECT_TRUE(d.Append({"a", "b"}).ok());
+  EXPECT_TRUE(d.Append({"only-one"}).IsInvalid());
+  EXPECT_EQ(d.num_rows(), 4u);
+}
+
+TEST(DatasetTest, MakeRejectsBadRows) {
+  Schema s = *Schema::Make({"A", "B"});
+  auto r = Dataset::Make(s, {{"x", "1"}, {"bad"}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DatasetTest, DomainFirstAppearanceOrder) {
+  Dataset d = MakeSmall();
+  EXPECT_EQ(d.Domain(0), (std::vector<Value>{"x", "y"}));
+  EXPECT_EQ(d.Domain(1), (std::vector<Value>{"1", "2", "3"}));
+}
+
+TEST(DatasetTest, CloneIsDeep) {
+  Dataset d = MakeSmall();
+  Dataset copy = d.Clone();
+  copy.set(0, 0, "changed");
+  EXPECT_EQ(d.at(0, 0), "x");
+  EXPECT_EQ(copy.at(0, 0), "changed");
+}
+
+TEST(DatasetTest, Equality) {
+  EXPECT_EQ(MakeSmall(), MakeSmall());
+  Dataset d = MakeSmall();
+  d.set(0, 0, "q");
+  EXPECT_FALSE(d == MakeSmall());
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  Dataset d = MakeSmall();
+  CsvTable t = d.ToCsv();
+  EXPECT_EQ(t.header, (std::vector<std::string>{"A", "B"}));
+  auto back = Dataset::FromCsv(WriteCsv(t));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, d);
+}
+
+TEST(DatasetTest, FromCsvRejectsDuplicateHeader) {
+  EXPECT_FALSE(Dataset::FromCsv("A,A\n1,2\n").ok());
+}
+
+TEST(DatasetTest, EmptyValueIsNull) {
+  Schema s = *Schema::Make({"A"});
+  Dataset d = *Dataset::Make(s, {{""}});
+  EXPECT_EQ(d.at(0, 0), "");
+}
+
+}  // namespace
+}  // namespace mlnclean

@@ -1,0 +1,52 @@
+#include "dataset/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace mlnclean {
+namespace {
+
+TEST(SchemaTest, MakeAndLookup) {
+  auto r = Schema::Make({"HN", "CT", "ST", "PN"});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Schema& s = *r;
+  EXPECT_EQ(s.num_attrs(), 4u);
+  EXPECT_EQ(s.name(0), "HN");
+  EXPECT_EQ(s.name(3), "PN");
+  EXPECT_EQ(*s.Find("CT"), 1);
+  EXPECT_TRUE(s.Find("missing").status().IsNotFound());
+}
+
+TEST(SchemaTest, DuplicateNameRejected) {
+  auto r = Schema::Make({"A", "B", "A"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsAlreadyExists());
+}
+
+TEST(SchemaTest, EmptyNameRejected) {
+  EXPECT_TRUE(Schema::Make({"A", ""}).status().IsInvalid());
+}
+
+TEST(SchemaTest, Contains) {
+  Schema s = *Schema::Make({"A", "B"});
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_FALSE(s.Contains(-1));
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a = *Schema::Make({"A", "B"});
+  Schema b = *Schema::Make({"A", "B"});
+  Schema c = *Schema::Make({"B", "A"});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SchemaTest, EmptySchemaAllowed) {
+  auto r = Schema::Make({});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_attrs(), 0u);
+}
+
+}  // namespace
+}  // namespace mlnclean

@@ -1,0 +1,119 @@
+#include "distributed/distributed_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/tpch.h"
+#include "errorgen/injector.h"
+#include "eval/metrics.h"
+
+namespace mlnclean {
+namespace {
+
+struct TpchFixture {
+  Workload wl = *MakeTpchWorkload({.num_customers = 40, .num_rows = 1200});
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules,
+                                  ErrorSpec{.error_rate = 0.05, .seed = 9});
+};
+
+TEST(DistributedTest, CleansWithReasonableAccuracy) {
+  TpchFixture f;
+  DistributedOptions opts;
+  opts.num_parts = 4;
+  opts.num_workers = 2;
+  // Per-part groups carry ~1/4 of their global support, so the per-part
+  // AGP threshold scales down.
+  opts.cleaning.agp_threshold = 1;
+  DistributedMlnClean cleaner(opts);
+  auto result = cleaner.Clean(f.dd.dirty, f.wl.rules);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  RepairMetrics m = EvaluateRepair(f.dd.dirty, result->cleaned, f.dd.truth);
+  EXPECT_GT(m.F1(), 0.5) << "P=" << m.Precision() << " R=" << m.Recall();
+  EXPECT_EQ(result->part_seconds.size(), 4u);
+  EXPECT_GT(result->wall_seconds, 0.0);
+  EXPECT_GT(result->global_weights, 0u);
+}
+
+TEST(DistributedTest, RowAlignmentPreserved) {
+  TpchFixture f;
+  DistributedOptions opts;
+  opts.num_parts = 3;
+  opts.num_workers = 2;
+  DistributedMlnClean cleaner(opts);
+  auto result = cleaner.Clean(f.dd.dirty, f.wl.rules);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cleaned.num_rows(), f.dd.dirty.num_rows());
+  // Attributes untouched by any rule keep their dirty values.
+  AttrId qty = *f.wl.clean.schema().Find("Quantity");
+  for (TupleId t = 0; t < static_cast<TupleId>(f.dd.dirty.num_rows()); ++t) {
+    EXPECT_EQ(result->cleaned.at(t, qty), f.dd.dirty.at(t, qty));
+  }
+}
+
+TEST(DistributedTest, MoreWorkersNotWorseAccuracy) {
+  // Accuracy should be roughly stable across worker counts (Table 6:
+  // "the accuracy has very slight fluctuation").
+  TpchFixture f;
+  double f1[2];
+  size_t workers[2] = {1, 2};
+  for (int i = 0; i < 2; ++i) {
+    DistributedOptions opts;
+    opts.num_parts = 4;
+    opts.num_workers = workers[i];
+    opts.cleaning.agp_threshold = 2;
+    DistributedMlnClean cleaner(opts);
+    auto result = cleaner.Clean(f.dd.dirty, f.wl.rules);
+    ASSERT_TRUE(result.ok());
+    f1[i] = EvaluateRepair(f.dd.dirty, result->cleaned, f.dd.truth).F1();
+  }
+  // Worker count must not change the result at all: the partition and the
+  // per-part cleaning are deterministic.
+  EXPECT_NEAR(f1[0], f1[1], 1e-12);
+}
+
+TEST(DistributedTest, SimulatedMakespanDecreasesWithWorkers) {
+  DistributedResult r;
+  r.part_seconds = {4.0, 3.0, 2.0, 2.0, 1.0, 1.0, 1.0, 1.0};
+  double prev = 1e9;
+  for (size_t w = 1; w <= 8; ++w) {
+    double m = r.SimulatedMakespan(w);
+    EXPECT_LE(m, prev);
+    prev = m;
+  }
+  EXPECT_DOUBLE_EQ(r.SimulatedMakespan(1), 15.0);  // serial sum
+  EXPECT_DOUBLE_EQ(r.SimulatedMakespan(8), 4.0);   // longest part
+}
+
+TEST(DistributedTest, MakespanEdgeCases) {
+  DistributedResult r;
+  EXPECT_DOUBLE_EQ(r.SimulatedMakespan(4), 0.0);  // no parts
+  r.part_seconds = {2.5};
+  EXPECT_DOUBLE_EQ(r.SimulatedMakespan(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.SimulatedMakespan(3), 2.5);
+}
+
+TEST(DistributedTest, InvalidOptionsRejected) {
+  TpchFixture f;
+  DistributedOptions opts;
+  opts.num_parts = 0;
+  EXPECT_FALSE(DistributedMlnClean(opts).Clean(f.dd.dirty, f.wl.rules).ok());
+  opts.num_parts = 2;
+  opts.num_workers = 0;
+  EXPECT_FALSE(DistributedMlnClean(opts).Clean(f.dd.dirty, f.wl.rules).ok());
+}
+
+TEST(DistributedTest, PartsClampedToRowCount) {
+  Schema s = *Schema::Make({"A", "B"});
+  Dataset tiny = *Dataset::Make(s, {{"x", "1"}, {"y", "2"}});
+  RuleSet rules(s);
+  rules.Add(*Constraint::MakeFd(s, {0}, {1}));
+  DistributedOptions opts;
+  opts.num_parts = 10;  // more parts than rows
+  opts.num_workers = 2;
+  DistributedMlnClean cleaner(opts);
+  auto result = cleaner.Clean(tiny, rules);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->part_seconds.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mlnclean

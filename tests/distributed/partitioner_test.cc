@@ -1,0 +1,134 @@
+#include "distributed/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "datagen/tpch.h"
+
+namespace mlnclean {
+namespace {
+
+Dataset SmallData() {
+  Workload wl = *MakeTpchWorkload({.num_customers = 10, .num_rows = 100});
+  return wl.clean;
+}
+
+TEST(PartitionerTest, CoversEveryTupleExactlyOnce) {
+  Dataset d = SmallData();
+  PartitionOptions opts;
+  opts.num_parts = 4;
+  Partition p = *PartitionDataset(d, opts);
+  std::vector<int> seen(d.num_rows(), 0);
+  for (const auto& part : p.parts) {
+    for (TupleId tid : part) seen[static_cast<size_t>(tid)]++;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](int c) { return c == 1; }));
+}
+
+TEST(PartitionerTest, RespectsCapacity) {
+  Dataset d = SmallData();
+  PartitionOptions opts;
+  opts.num_parts = 3;
+  Partition p = *PartitionDataset(d, opts);
+  EXPECT_EQ(p.capacity, (d.num_rows() + 2) / 3);
+  for (const auto& part : p.parts) {
+    EXPECT_LE(part.size(), p.capacity);
+    EXPECT_FALSE(part.empty());  // every part holds at least its centroid
+  }
+}
+
+TEST(PartitionerTest, CentroidsAreMembersOfTheirParts) {
+  Dataset d = SmallData();
+  PartitionOptions opts;
+  opts.num_parts = 5;
+  Partition p = *PartitionDataset(d, opts);
+  ASSERT_EQ(p.centroids.size(), 5u);
+  for (size_t i = 0; i < p.parts.size(); ++i) {
+    EXPECT_TRUE(std::find(p.parts[i].begin(), p.parts[i].end(), p.centroids[i]) !=
+                p.parts[i].end());
+  }
+}
+
+TEST(PartitionerTest, DeterministicForSeed) {
+  Dataset d = SmallData();
+  PartitionOptions opts;
+  opts.num_parts = 4;
+  opts.seed = 123;
+  Partition a = *PartitionDataset(d, opts);
+  Partition b = *PartitionDataset(d, opts);
+  EXPECT_EQ(a.parts, b.parts);
+  opts.seed = 124;
+  Partition c = *PartitionDataset(d, opts);
+  EXPECT_TRUE(a.parts != c.parts || a.centroids != c.centroids);
+}
+
+TEST(PartitionerTest, SinglePartHoldsEverything) {
+  Dataset d = SmallData();
+  PartitionOptions opts;
+  opts.num_parts = 1;
+  Partition p = *PartitionDataset(d, opts);
+  ASSERT_EQ(p.parts.size(), 1u);
+  EXPECT_EQ(p.parts[0].size(), d.num_rows());
+}
+
+TEST(PartitionerTest, PartsEqualRowsYieldsSingletons) {
+  Schema s = *Schema::Make({"A"});
+  Dataset d = *Dataset::Make(s, {{"aa"}, {"bb"}, {"cc"}});
+  PartitionOptions opts;
+  opts.num_parts = 3;
+  Partition p = *PartitionDataset(d, opts);
+  for (const auto& part : p.parts) {
+    EXPECT_EQ(part.size(), 1u);
+  }
+}
+
+TEST(PartitionerTest, InvalidConfigs) {
+  Dataset d = SmallData();
+  PartitionOptions opts;
+  opts.num_parts = 0;
+  EXPECT_FALSE(PartitionDataset(d, opts).ok());
+  opts.num_parts = d.num_rows() + 1;
+  EXPECT_FALSE(PartitionDataset(d, opts).ok());
+}
+
+TEST(PartitionerTest, SimilarTuplesGravitateToSameParts) {
+  // Two well-separated clusters and k=2: whenever the random centroids
+  // land in different clusters (centroid choice is random, so try a few
+  // seeds), the partitioner must keep the clusters essentially intact.
+  Schema s = *Schema::Make({"A"});
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < 20; ++i) rows.push_back({"aaaaaaaa" + std::to_string(i % 3)});
+  for (int i = 0; i < 20; ++i) rows.push_back({"zzzzzzzz" + std::to_string(i % 3)});
+  Dataset d = *Dataset::Make(s, rows);
+  bool checked = false;
+  for (uint64_t seed = 1; seed <= 16 && !checked; ++seed) {
+    PartitionOptions opts;
+    opts.num_parts = 2;
+    opts.seed = seed;
+    Partition p = *PartitionDataset(d, opts);
+    bool c0_in_a = p.centroids[0] < 20;
+    bool c1_in_a = p.centroids[1] < 20;
+    if (c0_in_a == c1_in_a) continue;  // both centroids in one cluster
+    checked = true;
+    size_t part_of_a = c0_in_a ? 0 : 1;
+    size_t a_tuples = 0;
+    for (TupleId tid : p.parts[part_of_a]) {
+      if (tid < 20) ++a_tuples;
+    }
+    EXPECT_EQ(a_tuples, 20u) << "seed " << seed;
+  }
+  EXPECT_TRUE(checked) << "no seed produced cross-cluster centroids";
+}
+
+TEST(TupleDistanceTest, SumsAttributeDistances) {
+  Schema s = *Schema::Make({"A", "B"});
+  Dataset d = *Dataset::Make(s, {{"abc", "xy"}, {"abd", "xz"}});
+  auto lev = MakeDistanceFn(DistanceMetric::kLevenshtein);
+  EXPECT_DOUBLE_EQ(TupleDistance(d, 0, 1, lev), 2.0);
+  EXPECT_DOUBLE_EQ(TupleDistance(d, 0, 0, lev), 0.0);
+}
+
+}  // namespace
+}  // namespace mlnclean

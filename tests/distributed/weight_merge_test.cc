@@ -1,0 +1,83 @@
+#include "distributed/weight_merge.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/sample.h"
+
+namespace mlnclean {
+namespace {
+
+// Builds a one-block index over the given rows with learned-looking
+// weights assigned manually.
+MlnIndex IndexOver(const std::vector<std::vector<Value>>& rows, double weight) {
+  Schema s = *Schema::Make({"CT", "ST"});
+  Dataset d = *Dataset::Make(s, rows);
+  RuleSet rules(s);
+  rules.Add(*Constraint::MakeFd(s, {0}, {1}));
+  MlnIndex index = *MlnIndex::Build(d, rules);
+  for (auto& block : index.blocks()) {
+    for (auto& group : block.groups) {
+      for (auto& piece : group.pieces) piece.weight = weight;
+    }
+  }
+  return index;
+}
+
+TEST(WeightMergeTest, Eq6SupportWeightedAverage) {
+  // Part 1: γ {DOTHAN, AL} with 3 tuples, weight 0.9.
+  // Part 2: the same γ with 1 tuple, weight 0.1.
+  // Eq. 6: w = (3*0.9 + 1*0.1) / 4 = 0.7.
+  MlnIndex part1 = IndexOver({{"DOTHAN", "AL"}, {"DOTHAN", "AL"}, {"DOTHAN", "AL"}},
+                             0.9);
+  MlnIndex part2 = IndexOver({{"DOTHAN", "AL"}}, 0.1);
+  GlobalWeightTable table;
+  table.Accumulate(part1);
+  table.Accumulate(part2);
+  auto w = table.Lookup(0, {"DOTHAN"}, {"AL"});
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR(*w, 0.7, 1e-12);
+}
+
+TEST(WeightMergeTest, ApplyOverwritesLocalWeights) {
+  MlnIndex part1 = IndexOver({{"DOTHAN", "AL"}, {"DOTHAN", "AL"}}, 0.8);
+  MlnIndex part2 = IndexOver({{"DOTHAN", "AL"}, {"BOAZ", "AL"}}, 0.2);
+  GlobalWeightTable table;
+  table.Accumulate(part1);
+  table.Accumulate(part2);
+  table.Apply(&part2);
+  // {DOTHAN, AL}: (2*0.8 + 1*0.2)/3 = 0.6.
+  EXPECT_NEAR(part2.block(0).groups[0].pieces[0].weight, 0.6, 1e-12);
+  // {BOAZ, AL} was seen only in part2: stays at its own average (0.2).
+  EXPECT_NEAR(part2.block(0).groups[1].pieces[0].weight, 0.2, 1e-12);
+}
+
+TEST(WeightMergeTest, DistinctGammasDoNotMix) {
+  MlnIndex part1 = IndexOver({{"DOTHAN", "AL"}}, 0.9);
+  MlnIndex part2 = IndexOver({{"DOTHAN", "AK"}}, 0.1);  // different result
+  GlobalWeightTable table;
+  table.Accumulate(part1);
+  table.Accumulate(part2);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_NEAR(*table.Lookup(0, {"DOTHAN"}, {"AL"}), 0.9, 1e-12);
+  EXPECT_NEAR(*table.Lookup(0, {"DOTHAN"}, {"AK"}), 0.1, 1e-12);
+}
+
+TEST(WeightMergeTest, LookupMissIsNotFound) {
+  GlobalWeightTable table;
+  EXPECT_TRUE(table.Lookup(0, {"X"}, {"Y"}).status().IsNotFound());
+}
+
+TEST(WeightMergeTest, RuleIndexSeparatesBlocks) {
+  // The same (reason, result) under different rules must not merge.
+  Dataset d = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  MlnIndex index = *MlnIndex::Build(d, rules);
+  index.AssignPriorWeights();
+  GlobalWeightTable table;
+  table.Accumulate(index);
+  // B1 has 4 γs, B2 has 4, B3 has 2: all distinct keys.
+  EXPECT_EQ(table.size(), 10u);
+}
+
+}  // namespace
+}  // namespace mlnclean

@@ -1,0 +1,248 @@
+#include "errorgen/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+#include "datagen/car.h"
+#include "datagen/hospital.h"
+#include "datagen/sample.h"
+
+namespace mlnclean {
+namespace {
+
+TEST(TypoTest, DeletesOneCharacter) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    Value v = MakeTypo("DOTHAN", &rng);
+    EXPECT_EQ(v.size(), 5u);
+    EXPECT_NE(v, "DOTHAN");
+  }
+}
+
+TEST(TypoTest, ShortValuesGrowInstead) {
+  Rng rng(1);
+  Value v = MakeTypo("a", &rng);
+  EXPECT_EQ(v.size(), 2u);
+  Value w = MakeTypo("", &rng);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(ReplacementTest, PicksDifferentDomainValue) {
+  Rng rng(2);
+  std::vector<Value> domain{"AL", "AK", "GA"};
+  for (int i = 0; i < 50; ++i) {
+    Value v = MakeReplacement("AL", domain, &rng);
+    EXPECT_NE(v, "AL");
+    EXPECT_TRUE(v == "AK" || v == "GA");
+  }
+}
+
+TEST(ReplacementTest, DegenerateDomainFallsBackToTypo) {
+  Rng rng(3);
+  std::vector<Value> domain{"ONLY"};
+  Value v = MakeReplacement("ONLY", domain, &rng);
+  EXPECT_NE(v, "ONLY");
+}
+
+TEST(InjectorTest, ErrorCountMatchesRateOverAllCells) {
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 20, .num_measures = 10});
+  ErrorSpec spec;
+  spec.error_rate = 0.10;
+  spec.restrict_to_rule_attrs = false;  // candidates = every cell
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+  size_t expected = static_cast<size_t>(
+      std::llround(0.10 * static_cast<double>(wl.clean.num_cells())));
+  EXPECT_EQ(dd.truth.NumErrors(), expected);
+}
+
+TEST(InjectorTest, ErrorCountMatchesRateOverRuleCells) {
+  // With scoping, the rate is measured against the rule-related cells:
+  // HAI rules touch 8 of the 9 attributes on every tuple.
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 20, .num_measures = 10});
+  ErrorSpec spec;
+  spec.error_rate = 0.10;
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+  size_t expected = static_cast<size_t>(
+      std::llround(0.10 * static_cast<double>(wl.clean.num_rows() * 8)));
+  EXPECT_EQ(dd.truth.NumErrors(), expected);
+}
+
+TEST(InjectorTest, EveryErrorCellDiffersFromTruth) {
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 10, .num_measures = 5});
+  ErrorSpec spec;
+  spec.error_rate = 0.2;
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+  for (const auto& e : dd.truth.errors()) {
+    EXPECT_NE(dd.dirty.at(e.tid, e.attr), dd.truth.TrueValue(e.tid, e.attr));
+    EXPECT_EQ(e.original, dd.truth.TrueValue(e.tid, e.attr));
+    EXPECT_TRUE(dd.truth.IsErrorCell(e.tid, e.attr));
+  }
+}
+
+TEST(InjectorTest, NonErrorCellsUntouched) {
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 10, .num_measures = 5});
+  ErrorSpec spec;
+  spec.error_rate = 0.05;
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+  size_t touched = 0;
+  for (TupleId t = 0; t < static_cast<TupleId>(wl.clean.num_rows()); ++t) {
+    for (AttrId a = 0; a < static_cast<AttrId>(wl.clean.num_attrs()); ++a) {
+      if (dd.dirty.at(t, a) != wl.clean.at(t, a)) {
+        ++touched;
+        EXPECT_TRUE(dd.truth.IsErrorCell(t, a));
+      }
+    }
+  }
+  EXPECT_EQ(touched, dd.truth.NumErrors());
+}
+
+TEST(InjectorTest, ReplacementRatioRespected) {
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 30, .num_measures = 10});
+  ErrorSpec spec;
+  spec.error_rate = 0.1;
+  spec.replacement_ratio = 0.25;
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+  size_t replacements = 0;
+  for (const auto& e : dd.truth.errors()) {
+    if (e.kind == ErrorKind::kReplacement) ++replacements;
+  }
+  double ratio = static_cast<double>(replacements) / dd.truth.NumErrors();
+  EXPECT_NEAR(ratio, 0.25, 0.01);
+}
+
+TEST(InjectorTest, RretExtremes) {
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 10, .num_measures = 5});
+  ErrorSpec spec;
+  spec.error_rate = 0.05;
+  spec.replacement_ratio = 0.0;
+  DirtyDataset all_typos = *InjectErrors(wl.clean, wl.rules, spec);
+  for (const auto& e : all_typos.truth.errors()) {
+    EXPECT_EQ(e.kind, ErrorKind::kTypo);
+  }
+  spec.replacement_ratio = 1.0;
+  DirtyDataset all_repl = *InjectErrors(wl.clean, wl.rules, spec);
+  for (const auto& e : all_repl.truth.errors()) {
+    EXPECT_EQ(e.kind, ErrorKind::kReplacement);
+  }
+}
+
+TEST(InjectorTest, RestrictsToRuleAttributes) {
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 10, .num_measures = 5});
+  // HospitalName is the only attribute no rule touches.
+  AttrId hospital_name = *wl.clean.schema().Find("HospitalName");
+  ErrorSpec spec;
+  spec.error_rate = 0.3;
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+  for (const auto& e : dd.truth.errors()) {
+    EXPECT_NE(e.attr, hospital_name);
+  }
+}
+
+TEST(InjectorTest, DeterministicForSeed) {
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 10, .num_measures = 5});
+  ErrorSpec spec;
+  spec.error_rate = 0.1;
+  spec.seed = 77;
+  DirtyDataset a = *InjectErrors(wl.clean, wl.rules, spec);
+  DirtyDataset b = *InjectErrors(wl.clean, wl.rules, spec);
+  EXPECT_EQ(a.dirty, b.dirty);
+  spec.seed = 78;
+  DirtyDataset c = *InjectErrors(wl.clean, wl.rules, spec);
+  EXPECT_FALSE(a.dirty == c.dirty);
+}
+
+TEST(InjectorTest, InvalidSpecsRejected) {
+  Dataset clean = *SampleHospitalClean();
+  RuleSet rules = *SampleHospitalRules();
+  ErrorSpec bad;
+  bad.error_rate = 1.5;
+  EXPECT_FALSE(InjectErrors(clean, rules, bad).ok());
+  bad.error_rate = 0.05;
+  bad.replacement_ratio = -0.1;
+  EXPECT_FALSE(InjectErrors(clean, rules, bad).ok());
+}
+
+TEST(InjectorTest, CountClampedToCandidateCapacity) {
+  // All four sample attrs are rule-related; a 100% rate over 6x4 cells is
+  // feasible, so pick a tiny dataset with one rule attr to force clamping.
+  Schema s = *Schema::Make({"A", "B"});
+  Dataset clean = *Dataset::Make(s, {{"x", "1"}, {"y", "2"}});
+  RuleSet rules(s);
+  rules.Add(*Constraint::MakeFd(s, {0}, {1}));
+  ErrorSpec spec;
+  spec.error_rate = 1.0;  // wants 4 errors, but only 4 rule cells exist
+  DirtyDataset dd = *InjectErrors(clean, rules, spec);
+  EXPECT_LE(dd.truth.NumErrors(), 4u);
+}
+
+TEST(InjectorTest, BurstClustersErrorsInTuples) {
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 30, .num_measures = 10});
+  ErrorSpec spec;
+  spec.error_rate = 0.05;
+  spec.burst = 3;
+  spec.seed = 44;
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+  // Count errors per tuple: with burst = 3 most corrupted tuples carry
+  // exactly 3 errors (the last visited tuple may carry fewer).
+  std::unordered_map<TupleId, size_t> per_tuple;
+  for (const auto& e : dd.truth.errors()) per_tuple[e.tid]++;
+  size_t full_bursts = 0;
+  for (const auto& [tid, n] : per_tuple) {
+    EXPECT_LE(n, 3u) << "tuple " << tid;
+    if (n == 3) ++full_bursts;
+  }
+  EXPECT_GE(full_bursts, per_tuple.size() - 1);
+}
+
+TEST(InjectorTest, BurstPreservesTotalCount) {
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 20, .num_measures = 8});
+  ErrorSpec uniform;
+  uniform.error_rate = 0.08;
+  uniform.seed = 45;
+  ErrorSpec bursty = uniform;
+  bursty.burst = 4;
+  DirtyDataset a = *InjectErrors(wl.clean, wl.rules, uniform);
+  DirtyDataset b = *InjectErrors(wl.clean, wl.rules, bursty);
+  EXPECT_EQ(a.truth.NumErrors(), b.truth.NumErrors());
+}
+
+TEST(InjectorTest, BurstZeroRejected) {
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 5, .num_measures = 2});
+  ErrorSpec spec;
+  spec.burst = 0;
+  EXPECT_TRUE(InjectErrors(wl.clean, wl.rules, spec).status().IsInvalid());
+}
+
+TEST(InjectorTest, CfdScopeLimitsCandidates) {
+  // CAR's CFD only relates to acura rows: Doors errors must land only on
+  // acura tuples.
+  Workload wl = *MakeCarWorkload({.num_rows = 1500});
+  AttrId doors = *wl.clean.schema().Find("Doors");
+  AttrId make = *wl.clean.schema().Find("Make");
+  ErrorSpec spec;
+  spec.error_rate = 0.2;
+  spec.seed = 46;
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+  for (const auto& e : dd.truth.errors()) {
+    if (e.attr == doors) {
+      EXPECT_EQ(wl.clean.at(e.tid, make), "acura");
+    }
+  }
+}
+
+TEST(DuplicatesTest, AppendsExactCopies) {
+  Dataset d = *SampleHospitalClean();
+  Rng rng(5);
+  std::vector<std::pair<TupleId, TupleId>> pairs;
+  AppendDuplicates(&d, 0.5, &rng, &pairs);
+  EXPECT_EQ(d.num_rows(), 9u);  // 6 + round(0.5*6)
+  ASSERT_EQ(pairs.size(), 3u);
+  for (const auto& [copy, src] : pairs) {
+    EXPECT_EQ(d.row(copy), d.row(src));
+  }
+}
+
+}  // namespace
+}  // namespace mlnclean

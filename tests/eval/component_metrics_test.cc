@@ -1,0 +1,112 @@
+#include "eval/component_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/hospital.h"
+#include "datagen/sample.h"
+
+namespace mlnclean {
+namespace {
+
+// Ground truth of the paper's sample: the four dirty cells of Table 1.
+GroundTruth SampleTruth() {
+  Dataset clean = *SampleHospitalClean();
+  std::vector<InjectedError> errors = {
+      {1, 1, ErrorKind::kTypo, "DOTHAN"},            // t2.CT
+      {2, 1, ErrorKind::kReplacement, "BOAZ"},       // t3.CT
+      {2, 3, ErrorKind::kReplacement, "2567688400"}, // t3.PN
+      {3, 2, ErrorKind::kReplacement, "AL"},         // t4.ST
+  };
+  return GroundTruth(std::move(clean), std::move(errors));
+}
+
+TEST(ComponentMetricsTest, SampleAllComponentsPerfect) {
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  CleaningOptions options;
+  options.agp_threshold = 1;
+  auto eval = EvaluateComponents(dirty, rules, options, SampleTruth());
+  ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+
+  // AGP: 3 abnormal groups detected, all real, all merged correctly.
+  EXPECT_EQ(eval->agp.detected, 3u);
+  EXPECT_EQ(eval->agp.real, 3u);
+  EXPECT_EQ(eval->agp.correct, 3u);
+  EXPECT_DOUBLE_EQ(eval->agp.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(eval->agp.Recall(), 1.0);
+  EXPECT_EQ(eval->dag, 3u);
+
+  // RSC: 5 γs repaired, 5 erroneous, all correct.
+  EXPECT_EQ(eval->rsc.detected, 5u);
+  EXPECT_EQ(eval->rsc.real, 5u);
+  EXPECT_DOUBLE_EQ(eval->rsc.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(eval->rsc.Recall(), 1.0);
+
+  // FSCR: one conflicted erroneous cell (t3.CT), repaired correctly; the
+  // dataset has 4 erroneous cells in total.
+  EXPECT_EQ(eval->fscr.detected, 1u);
+  EXPECT_EQ(eval->fscr.correct, 1u);
+  EXPECT_EQ(eval->fscr.real, 4u);
+  EXPECT_DOUBLE_EQ(eval->fscr.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(eval->fscr.Recall(), 0.25);
+
+  // Overall: perfect repair of the sample.
+  EXPECT_DOUBLE_EQ(eval->overall.F1(), 1.0);
+  EXPECT_EQ(eval->cleaned, *SampleHospitalClean());
+}
+
+TEST(ComponentMetricsTest, TauZeroKillsAgp) {
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  CleaningOptions options;
+  options.agp_threshold = 0;
+  auto eval = EvaluateComponents(dirty, rules, options, SampleTruth());
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->agp.detected, 0u);
+  EXPECT_EQ(eval->dag, 0u);
+  EXPECT_DOUBLE_EQ(eval->agp.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(eval->agp.Recall(), 0.0);
+}
+
+TEST(ComponentMetricsTest, OversizedTauHurtsPrecision) {
+  // With τ large enough to flag everything, no normal target exists and
+  // nothing merges: zero correct merges.
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  CleaningOptions options;
+  options.agp_threshold = 50;
+  auto eval = EvaluateComponents(dirty, rules, options, SampleTruth());
+  ASSERT_TRUE(eval.ok());
+  EXPECT_GT(eval->agp.detected, 3u);
+  EXPECT_DOUBLE_EQ(eval->agp.Precision(), 0.0);
+}
+
+TEST(ComponentMetricsTest, ScoresBoundedOnGeneratedWorkload) {
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 20, .num_measures = 8});
+  ErrorSpec spec;
+  spec.error_rate = 0.08;
+  spec.seed = 5;
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+  CleaningOptions options;
+  options.agp_threshold = 2;
+  auto eval = EvaluateComponents(dd.dirty, wl.rules, options, dd.truth);
+  ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+  for (const ComponentScore* s : {&eval->agp, &eval->rsc, &eval->fscr}) {
+    EXPECT_GE(s->Precision(), 0.0);
+    EXPECT_LE(s->Precision(), 1.0);
+    EXPECT_GE(s->Recall(), 0.0);
+    EXPECT_LE(s->Recall(), 1.0);
+  }
+  EXPECT_GT(eval->overall.F1(), 0.3);
+}
+
+TEST(ComponentScoreTest, EdgeConventions) {
+  ComponentScore s;
+  EXPECT_DOUBLE_EQ(s.Precision(), 0.0);  // nothing detected
+  EXPECT_DOUBLE_EQ(s.Recall(), 1.0);     // nothing real, nothing claimed
+  s.real = 2;
+  EXPECT_DOUBLE_EQ(s.Recall(), 0.0);
+}
+
+}  // namespace
+}  // namespace mlnclean

@@ -1,0 +1,74 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/sample.h"
+
+namespace mlnclean {
+namespace {
+
+GroundTruth MakeTruth(const Dataset& clean, std::vector<InjectedError> errors) {
+  return GroundTruth(clean.Clone(), std::move(errors));
+}
+
+TEST(MetricsTest, PerfectRepair) {
+  Dataset clean = *SampleHospitalClean();
+  Dataset dirty = *SampleHospitalDirty();
+  // The sample has 4 dirty cells: t2.CT, t3.CT, t3.PN, t4.ST.
+  GroundTruth truth = MakeTruth(clean, {});
+  RepairMetrics m = EvaluateRepair(dirty, clean, truth);
+  EXPECT_EQ(m.erroneous, 4u);
+  EXPECT_EQ(m.updated, 4u);
+  EXPECT_EQ(m.correct, 4u);
+  EXPECT_DOUBLE_EQ(m.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.F1(), 1.0);
+}
+
+TEST(MetricsTest, NoRepair) {
+  Dataset clean = *SampleHospitalClean();
+  Dataset dirty = *SampleHospitalDirty();
+  GroundTruth truth = MakeTruth(clean, {});
+  RepairMetrics m = EvaluateRepair(dirty, dirty, truth);
+  EXPECT_EQ(m.updated, 0u);
+  EXPECT_EQ(m.correct, 0u);
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(m.F1(), 0.0);
+}
+
+TEST(MetricsTest, PartialAndWrongRepairs) {
+  Schema s = *Schema::Make({"A", "B"});
+  Dataset clean = *Dataset::Make(s, {{"x", "1"}, {"y", "2"}});
+  Dataset dirty = *Dataset::Make(s, {{"x", "9"}, {"q", "2"}});  // 2 errors
+  // Cleaner fixes (0,B) correctly, breaks (1,B), misses (1,A).
+  Dataset repaired = *Dataset::Make(s, {{"x", "1"}, {"q", "7"}});
+  GroundTruth truth = MakeTruth(clean, {});
+  RepairMetrics m = EvaluateRepair(dirty, repaired, truth);
+  EXPECT_EQ(m.erroneous, 2u);
+  EXPECT_EQ(m.updated, 2u);  // (0,B) and (1,B)
+  EXPECT_EQ(m.correct, 1u);
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(m.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(m.F1(), 0.5);
+}
+
+TEST(MetricsTest, CleanInputPerfectRecallByConvention) {
+  Schema s = *Schema::Make({"A"});
+  Dataset d = *Dataset::Make(s, {{"x"}});
+  GroundTruth truth = MakeTruth(d, {});
+  RepairMetrics m = EvaluateRepair(d, d, truth);
+  EXPECT_EQ(m.erroneous, 0u);
+  EXPECT_DOUBLE_EQ(m.Recall(), 1.0);
+}
+
+TEST(MetricsTest, F1IsHarmonicMean) {
+  RepairMetrics m;
+  m.updated = 4;
+  m.correct = 2;   // precision 0.5
+  m.erroneous = 8;  // recall 0.25
+  EXPECT_NEAR(m.F1(), 2 * 0.5 * 0.25 / 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace mlnclean

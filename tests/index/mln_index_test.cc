@@ -1,0 +1,117 @@
+#include "index/mln_index.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/sample.h"
+
+namespace mlnclean {
+namespace {
+
+MlnIndex BuildSampleIndex() {
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  return *MlnIndex::Build(dirty, rules);
+}
+
+TEST(MlnIndexTest, Figure2BlockAndGroupCounts) {
+  // Figure 2: blocks B1, B2, B3 with 3, 3, 2 groups respectively.
+  MlnIndex index = BuildSampleIndex();
+  ASSERT_EQ(index.num_blocks(), 3u);
+  EXPECT_EQ(index.block(0).groups.size(), 3u);
+  EXPECT_EQ(index.block(1).groups.size(), 3u);
+  EXPECT_EQ(index.block(2).groups.size(), 2u);
+}
+
+TEST(MlnIndexTest, Figure2GroupKeys) {
+  MlnIndex index = BuildSampleIndex();
+  // B1 keyed by CT.
+  EXPECT_EQ(index.block(0).groups[0].key, (std::vector<Value>{"DOTHAN"}));
+  EXPECT_EQ(index.block(0).groups[1].key, (std::vector<Value>{"DOTH"}));
+  EXPECT_EQ(index.block(0).groups[2].key, (std::vector<Value>{"BOAZ"}));
+  // B2 keyed by PN.
+  EXPECT_EQ(index.block(1).groups[0].key, (std::vector<Value>{"3347938701"}));
+  // B3 keyed by (HN, CT).
+  EXPECT_EQ(index.block(2).groups[0].key,
+            (std::vector<Value>{"ELIZA", "DOTHAN"}));
+  EXPECT_EQ(index.block(2).groups[1].key, (std::vector<Value>{"ELIZA", "BOAZ"}));
+}
+
+TEST(MlnIndexTest, Figure2GroupContents) {
+  MlnIndex index = BuildSampleIndex();
+  // G13 (BOAZ) holds two γs: {BOAZ, AK} (t4) and {BOAZ, AL} (t5, t6).
+  const Group& g13 = index.block(0).groups[2];
+  ASSERT_EQ(g13.pieces.size(), 2u);
+  EXPECT_EQ(g13.pieces[0].result, (std::vector<Value>{"AK"}));
+  EXPECT_EQ(g13.pieces[0].tuples, (std::vector<TupleId>{3}));
+  EXPECT_EQ(g13.pieces[1].result, (std::vector<Value>{"AL"}));
+  EXPECT_EQ(g13.pieces[1].tuples, (std::vector<TupleId>{4, 5}));
+  EXPECT_EQ(g13.TupleCount(), 3u);
+  // γ* of G13 is the better-supported {BOAZ, AL}.
+  EXPECT_EQ(g13.Star().result, (std::vector<Value>{"AL"}));
+}
+
+TEST(MlnIndexTest, BlockCounters) {
+  MlnIndex index = BuildSampleIndex();
+  // B1: 4 distinct γs over 6 tuples (the M and Σc of Eq. 4).
+  EXPECT_EQ(index.block(0).PieceCount(), 4u);
+  EXPECT_EQ(index.block(0).TupleCount(), 6u);
+  // B3 covers only the four ELIZA tuples.
+  EXPECT_EQ(index.block(2).TupleCount(), 4u);
+}
+
+TEST(MlnIndexTest, FindGroup) {
+  MlnIndex index = BuildSampleIndex();
+  auto idx = index.FindGroup(0, {"BOAZ"});
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2u);
+  EXPECT_TRUE(index.FindGroup(0, {"NOWHERE"}).status().IsNotFound());
+}
+
+TEST(MlnIndexTest, PriorWeightsMatchEq4) {
+  // Section 5.1.2: {CT: BOAZ, ST: AK} in B1 gets prior weight 1/6.
+  MlnIndex index = BuildSampleIndex();
+  index.AssignPriorWeights();
+  const Group& g13 = index.block(0).groups[2];
+  EXPECT_DOUBLE_EQ(g13.pieces[0].weight, 1.0 / 6.0);  // {BOAZ, AK}
+  EXPECT_DOUBLE_EQ(g13.pieces[1].weight, 2.0 / 6.0);  // {BOAZ, AL}
+}
+
+TEST(MlnIndexTest, LearnedWeightsOrderBySupportWithinGroup) {
+  MlnIndex index = BuildSampleIndex();
+  index.LearnWeights();
+  const Group& g13 = index.block(0).groups[2];
+  EXPECT_GT(g13.pieces[1].weight, g13.pieces[0].weight);  // AL beats AK
+}
+
+TEST(MlnIndexTest, ReindexAfterMutation) {
+  MlnIndex index = BuildSampleIndex();
+  Block& b1 = index.block(0);
+  // Merge group 1 (DOTH) into group 0 (DOTHAN) manually.
+  for (auto& piece : b1.groups[1].pieces) {
+    b1.groups[0].pieces.push_back(std::move(piece));
+  }
+  b1.groups.erase(b1.groups.begin() + 1);
+  index.ReindexBlock(0);
+  EXPECT_TRUE(index.FindGroup(0, {"DOTH"}).status().IsNotFound());
+  EXPECT_EQ(*index.FindGroup(0, {"BOAZ"}), 1u);
+}
+
+TEST(MlnIndexTest, GeneralDcRejectedAtBuild) {
+  Schema s = *Schema::Make({"Salary", "Tax"});
+  Dataset d = *Dataset::Make(s, {{"1", "2"}});
+  RuleSet rules(s);
+  rules.Add(*Constraint::MakeDc(s, {{0, PredOp::kGt, 0}, {1, PredOp::kLt, 1}}));
+  auto r = MlnIndex::Build(d, rules);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalid());
+}
+
+TEST(MlnIndexTest, EmptyRuleSetYieldsEmptyIndex) {
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules(dirty.schema());
+  MlnIndex index = *MlnIndex::Build(dirty, rules);
+  EXPECT_EQ(index.num_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace mlnclean

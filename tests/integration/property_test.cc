@@ -1,0 +1,150 @@
+// Property-style sweeps over seeds and configurations: invariants that
+// must hold for every run, regardless of the random draw.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cleaning/pipeline.h"
+#include "datagen/car.h"
+#include "datagen/hospital.h"
+#include "errorgen/injector.h"
+#include "eval/metrics.h"
+#include "rules/violation.h"
+
+namespace mlnclean {
+namespace {
+
+using SweepParam = std::tuple<int /*seed*/, int /*error_pct*/>;
+
+class PipelineSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PipelineSweepTest, InvariantsHoldOnHai) {
+  auto [seed, error_pct] = GetParam();
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 15, .num_measures = 6});
+  ErrorSpec spec;
+  spec.error_rate = error_pct / 100.0;
+  spec.seed = static_cast<uint64_t>(seed);
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+
+  CleaningOptions options;
+  options.agp_threshold = 2;
+  MlnCleanPipeline cleaner(options);
+  auto result = cleaner.Clean(dd.dirty, wl.rules);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Invariant 1: row alignment — cleaned has exactly the input rows.
+  EXPECT_EQ(result->cleaned.num_rows(), dd.dirty.num_rows());
+
+  // Invariant 2: attributes outside every rule are never modified.
+  AttrId name_attr = *wl.clean.schema().Find("HospitalName");
+  for (TupleId t = 0; t < static_cast<TupleId>(dd.dirty.num_rows()); ++t) {
+    EXPECT_EQ(result->cleaned.at(t, name_attr), dd.dirty.at(t, name_attr));
+  }
+
+  // Invariant 3: metrics are well-formed.
+  RepairMetrics m = EvaluateRepair(dd.dirty, result->cleaned, dd.truth);
+  EXPECT_LE(m.correct, m.updated);
+  EXPECT_GE(m.Precision(), 0.0);
+  EXPECT_LE(m.Precision(), 1.0);
+  EXPECT_LE(m.F1(), 1.0);
+
+  // Invariant 4: dedup output is a subset (no invented tuples).
+  EXPECT_LE(result->deduped.num_rows(), result->cleaned.num_rows());
+
+  // Invariant 5: the cleaned data has no violation of FD-style rules that
+  // the cleaner actually resolved groups for (soundness of stage 1+2 on
+  // covered tuples is approximate; we check it does not *increase*).
+  size_t dirty_violations = FindAllViolations(dd.dirty, wl.rules).size();
+  size_t clean_violations = FindAllViolations(result->cleaned, wl.rules).size();
+  EXPECT_LE(clean_violations, dirty_violations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 3), ::testing::Values(5, 15, 30)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_err" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class StageOneInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StageOneInvariantTest, RscLeavesOneGammaPerGroup) {
+  Workload wl = *MakeCarWorkload({.num_rows = 1500, .seed = 77});
+  ErrorSpec spec;
+  spec.error_rate = 0.08;
+  spec.seed = static_cast<uint64_t>(GetParam());
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+  CleaningOptions options;
+  options.agp_threshold = 1;
+  MlnCleanPipeline cleaner(options);
+  auto index = cleaner.RunStageOne(dd.dirty, wl.rules, nullptr);
+  ASSERT_TRUE(index.ok());
+  size_t covered = 0;
+  for (const Block& block : index->blocks()) {
+    for (const Group& group : block.groups) {
+      EXPECT_EQ(group.pieces.size(), 1u);
+      covered += group.pieces[0].support();
+      EXPECT_GT(group.pieces[0].weight, 0.0);
+    }
+  }
+  EXPECT_GT(covered, 0u);
+}
+
+TEST_P(StageOneInvariantTest, TuplePartitionPreservedThroughStageOne) {
+  // Every in-scope tuple appears in exactly one γ per block after RSC.
+  Workload wl = *MakeHospitalWorkload({.num_hospitals = 12, .num_measures = 5});
+  ErrorSpec spec;
+  spec.error_rate = 0.1;
+  spec.seed = static_cast<uint64_t>(GetParam());
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+  CleaningOptions options;
+  options.agp_threshold = 2;
+  MlnCleanPipeline cleaner(options);
+  auto index = cleaner.RunStageOne(dd.dirty, wl.rules, nullptr);
+  ASSERT_TRUE(index.ok());
+  for (const Block& block : index->blocks()) {
+    std::vector<int> seen(dd.dirty.num_rows(), 0);
+    for (const Group& group : block.groups) {
+      for (const Piece& piece : group.pieces) {
+        for (TupleId tid : piece.tuples) seen[static_cast<size_t>(tid)]++;
+      }
+    }
+    const Constraint& rule = wl.rules.rule(block.rule_index);
+    for (TupleId t = 0; t < static_cast<TupleId>(dd.dirty.num_rows()); ++t) {
+      int expected = rule.InScope(dd.dirty.row(t)) ? 1 : 0;
+      EXPECT_EQ(seen[static_cast<size_t>(t)], expected)
+          << "tuple " << t << " in block " << block.rule_index;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StageOneInvariantTest, ::testing::Values(4, 8, 15));
+
+class InjectionSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(InjectionSweepTest, ErrorAccountingExact) {
+  auto [seed, pct] = GetParam();
+  Workload wl = *MakeCarWorkload({.num_rows = 800, .seed = 3});
+  ErrorSpec spec;
+  spec.error_rate = pct / 100.0;
+  spec.seed = static_cast<uint64_t>(seed);
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+  // Recount diffs; must equal the recorded error set exactly.
+  size_t diffs = 0;
+  for (TupleId t = 0; t < static_cast<TupleId>(wl.clean.num_rows()); ++t) {
+    for (AttrId a = 0; a < static_cast<AttrId>(wl.clean.num_attrs()); ++a) {
+      if (dd.dirty.at(t, a) != wl.clean.at(t, a)) ++diffs;
+    }
+  }
+  EXPECT_EQ(diffs, dd.truth.NumErrors());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InjectionSweepTest,
+    ::testing::Combine(::testing::Values(10, 20), ::testing::Values(5, 20, 30)));
+
+}  // namespace
+}  // namespace mlnclean

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mln/gibbs.h"
+#include "mln/network.h"
+#include "mln/walksat.h"
+
+namespace mlnclean {
+namespace {
+
+TEST(GibbsTest, SingleAtomMatchesSigmoid) {
+  // One soft clause (a) with weight w: Pr(a) = e^w / (e^w + 1).
+  GroundNetwork net;
+  AtomId a = net.AddAtom("a");
+  ASSERT_TRUE(net.AddClause({{{a, true}}, 1.5, false}).ok());
+  GibbsOptions opts;
+  opts.burn_in_sweeps = 200;
+  opts.sample_sweeps = 3000;
+  auto marginals = GibbsMarginals(net, opts);
+  double expected = 1.0 / (1.0 + std::exp(-1.5));
+  EXPECT_NEAR(marginals[static_cast<size_t>(a)], expected, 0.04);
+}
+
+TEST(GibbsTest, EvidenceClamping) {
+  GroundNetwork net;
+  AtomId a = net.AddAtom("a");
+  AtomId b = net.AddAtom("b");
+  // a => b as clause (!a | b) with a clamped true: b should be pushed up.
+  ASSERT_TRUE(net.AddClause({{{a, false}, {b, true}}, 2.0, false}).ok());
+  GibbsOptions opts;
+  opts.burn_in_sweeps = 100;
+  opts.sample_sweeps = 2000;
+  auto marginals = GibbsMarginals(net, opts, {{a, true}});
+  EXPECT_DOUBLE_EQ(marginals[static_cast<size_t>(a)], 1.0);
+  EXPECT_GT(marginals[static_cast<size_t>(b)], 0.7);
+}
+
+TEST(GibbsTest, ZeroWeightClauseIsUninformative) {
+  GroundNetwork net;
+  AtomId a = net.AddAtom("a");
+  ASSERT_TRUE(net.AddClause({{{a, true}}, 0.0, false}).ok());
+  GibbsOptions opts;
+  opts.burn_in_sweeps = 100;
+  opts.sample_sweeps = 3000;
+  auto marginals = GibbsMarginals(net, opts);
+  EXPECT_NEAR(marginals[static_cast<size_t>(a)], 0.5, 0.05);
+}
+
+TEST(GibbsTest, EmptyNetwork) {
+  GroundNetwork net;
+  auto marginals = GibbsMarginals(net, {});
+  EXPECT_TRUE(marginals.empty());
+}
+
+TEST(WalkSatTest, SatisfiableInstanceSolved) {
+  // (a | b) & (!a | b) & (a | !b): satisfied by a=b=true.
+  GroundNetwork net;
+  AtomId a = net.AddAtom("a");
+  AtomId b = net.AddAtom("b");
+  ASSERT_TRUE(net.AddClause({{{a, true}, {b, true}}, 1.0, false}).ok());
+  ASSERT_TRUE(net.AddClause({{{a, false}, {b, true}}, 1.0, false}).ok());
+  ASSERT_TRUE(net.AddClause({{{a, true}, {b, false}}, 1.0, false}).ok());
+  double cost = 0.0;
+  auto world = MaxWalkSat(net, {}, &cost);
+  EXPECT_DOUBLE_EQ(cost, 0.0);
+  EXPECT_TRUE(world[static_cast<size_t>(a)]);
+  EXPECT_TRUE(world[static_cast<size_t>(b)]);
+}
+
+TEST(WalkSatTest, PrefersHeavierClauseWhenInconsistent) {
+  // (a) weight 5 vs (!a) weight 1: MAP sets a=true, cost 1.
+  GroundNetwork net;
+  AtomId a = net.AddAtom("a");
+  ASSERT_TRUE(net.AddClause({{{a, true}}, 5.0, false}).ok());
+  ASSERT_TRUE(net.AddClause({{{a, false}}, 1.0, false}).ok());
+  double cost = 0.0;
+  auto world = MaxWalkSat(net, {}, &cost);
+  EXPECT_TRUE(world[static_cast<size_t>(a)]);
+  EXPECT_DOUBLE_EQ(cost, 1.0);
+}
+
+TEST(WalkSatTest, HardClauseDominates) {
+  GroundNetwork net;
+  AtomId a = net.AddAtom("a");
+  ASSERT_TRUE(net.AddClause({{{a, true}}, 100.0, false}).ok());
+  ASSERT_TRUE(net.AddClause({{{a, false}}, 0.0, true}).ok());  // hard !a
+  double cost = 0.0;
+  auto world = MaxWalkSat(net, {}, &cost);
+  EXPECT_FALSE(world[static_cast<size_t>(a)]);
+  EXPECT_DOUBLE_EQ(cost, 100.0);
+}
+
+TEST(WalkSatTest, EmptyNetworkZeroCost) {
+  GroundNetwork net;
+  double cost = -1.0;
+  auto world = MaxWalkSat(net, {}, &cost);
+  EXPECT_TRUE(world.empty());
+  EXPECT_DOUBLE_EQ(cost, 0.0);
+}
+
+TEST(WalkSatTest, LargerRandomInstanceImproves) {
+  // A chain a1 => a2 => ... => a8 with a heavy unit clause on a1: MAP
+  // should satisfy everything (all true).
+  GroundNetwork net;
+  std::vector<AtomId> atoms;
+  for (int i = 0; i < 8; ++i) atoms.push_back(net.AddAtom("x" + std::to_string(i)));
+  ASSERT_TRUE(net.AddClause({{{atoms[0], true}}, 10.0, false}).ok());
+  for (int i = 0; i + 1 < 8; ++i) {
+    ASSERT_TRUE(
+        net.AddClause({{{atoms[i], false}, {atoms[i + 1], true}}, 3.0, false}).ok());
+  }
+  WalkSatOptions opts;
+  opts.max_flips = 5000;
+  opts.restarts = 5;
+  double cost = 0.0;
+  auto world = MaxWalkSat(net, opts, &cost);
+  EXPECT_DOUBLE_EQ(cost, 0.0);
+  for (AtomId a : atoms) EXPECT_TRUE(world[static_cast<size_t>(a)]);
+}
+
+}  // namespace
+}  // namespace mlnclean

@@ -1,0 +1,73 @@
+#include "mln/network.h"
+
+#include <gtest/gtest.h>
+
+namespace mlnclean {
+namespace {
+
+TEST(GroundNetworkTest, AtomDeduplication) {
+  GroundNetwork net;
+  AtomId a = net.AddAtom("ST(AL)");
+  AtomId b = net.AddAtom("ST(AK)");
+  AtomId a2 = net.AddAtom("ST(AL)");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(net.num_atoms(), 2u);
+  EXPECT_EQ(net.atom_name(a), "ST(AL)");
+  EXPECT_EQ(*net.FindAtom("ST(AK)"), b);
+  EXPECT_TRUE(net.FindAtom("missing").status().IsNotFound());
+}
+
+TEST(GroundNetworkTest, ClauseValidation) {
+  GroundNetwork net;
+  AtomId a = net.AddAtom("a");
+  EXPECT_TRUE(net.AddClause({{}, 1.0, false}).IsInvalid());          // empty
+  EXPECT_TRUE(net.AddClause({{{a, true}}, -1.0, false}).IsInvalid());  // neg soft
+  EXPECT_TRUE(net.AddClause({{{a + 5, true}}, 1.0, false}).IsInvalid());
+  EXPECT_TRUE(net.AddClause({{{a, true}}, 1.0, false}).ok());
+}
+
+TEST(GroundNetworkTest, ClauseSatisfaction) {
+  GroundNetwork net;
+  AtomId a = net.AddAtom("a");
+  AtomId b = net.AddAtom("b");
+  MlnClauseG clause{{{a, true}, {b, false}}, 1.0, false};  // a | !b
+  EXPECT_TRUE(GroundNetwork::ClauseSatisfied(clause, {true, true}));
+  EXPECT_TRUE(GroundNetwork::ClauseSatisfied(clause, {false, false}));
+  EXPECT_FALSE(GroundNetwork::ClauseSatisfied(clause, {false, true}));
+}
+
+TEST(GroundNetworkTest, LogScoreSumsSatisfiedWeights) {
+  GroundNetwork net;
+  AtomId a = net.AddAtom("a");
+  AtomId b = net.AddAtom("b");
+  ASSERT_TRUE(net.AddClause({{{a, true}}, 2.0, false}).ok());
+  ASSERT_TRUE(net.AddClause({{{b, true}}, 3.0, false}).ok());
+  EXPECT_DOUBLE_EQ(net.LogScore({true, false}), 2.0);
+  EXPECT_DOUBLE_EQ(net.LogScore({true, true}), 5.0);
+  EXPECT_DOUBLE_EQ(net.LogScore({false, false}), 0.0);
+}
+
+TEST(GroundNetworkTest, ViolationCostAndHardClauses) {
+  GroundNetwork net;
+  AtomId a = net.AddAtom("a");
+  ASSERT_TRUE(net.AddClause({{{a, true}}, 2.5, false}).ok());
+  ASSERT_TRUE(net.AddClause({{{a, false}}, 0.0, true}).ok());  // hard: !a
+  // a=true satisfies the soft clause but violates the hard one.
+  EXPECT_GT(net.ViolationCost({true}), 1e8);
+  // a=false violates only the soft clause.
+  EXPECT_DOUBLE_EQ(net.ViolationCost({false}), 2.5);
+}
+
+TEST(GroundNetworkTest, ClausesOfTracksMembership) {
+  GroundNetwork net;
+  AtomId a = net.AddAtom("a");
+  AtomId b = net.AddAtom("b");
+  ASSERT_TRUE(net.AddClause({{{a, true}}, 1.0, false}).ok());
+  ASSERT_TRUE(net.AddClause({{{a, false}, {b, true}}, 1.0, false}).ok());
+  EXPECT_EQ(net.clauses_of(a).size(), 2u);
+  EXPECT_EQ(net.clauses_of(b).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mlnclean

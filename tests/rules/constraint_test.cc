@@ -1,0 +1,159 @@
+#include "rules/constraint.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/sample.h"
+
+namespace mlnclean {
+namespace {
+
+Schema HospitalSchema() { return *Schema::Make({"HN", "CT", "ST", "PN"}); }
+
+TEST(ConstraintTest, FdReasonResultSplit) {
+  Schema s = HospitalSchema();
+  Constraint fd = *Constraint::MakeFd(s, {1}, {2});  // CT -> ST
+  EXPECT_EQ(fd.kind(), RuleKind::kFd);
+  EXPECT_EQ(fd.reason_attrs(), (std::vector<AttrId>{1}));
+  EXPECT_EQ(fd.result_attrs(), (std::vector<AttrId>{2}));
+  EXPECT_EQ(fd.attrs(), (std::vector<AttrId>{1, 2}));
+  EXPECT_TRUE(fd.IndexCompatible());
+  EXPECT_TRUE(fd.InScope({"x", "y", "z", "w"}));
+}
+
+TEST(ConstraintTest, FdValidation) {
+  Schema s = HospitalSchema();
+  EXPECT_TRUE(Constraint::MakeFd(s, {}, {1}).status().IsInvalid());
+  EXPECT_TRUE(Constraint::MakeFd(s, {1}, {}).status().IsInvalid());
+  EXPECT_TRUE(Constraint::MakeFd(s, {1}, {1}).status().IsInvalid());  // overlap
+  EXPECT_TRUE(Constraint::MakeFd(s, {9}, {1}).status().IsInvalid());  // bad attr
+}
+
+TEST(ConstraintTest, FdValues) {
+  Schema s = HospitalSchema();
+  Constraint fd = *Constraint::MakeFd(s, {1}, {2});
+  std::vector<Value> row{"ELIZA", "BOAZ", "AL", "123"};
+  EXPECT_EQ(fd.ReasonValues(row), (std::vector<Value>{"BOAZ"}));
+  EXPECT_EQ(fd.ResultValues(row), (std::vector<Value>{"AL"}));
+}
+
+TEST(ConstraintTest, CfdScopeMatchesFigure2) {
+  // r3: HN("ELIZA"), CT("BOAZ") -> PN("2567688400"). Figure 2 places t3
+  // (HN=ELIZA but CT=DOTHAN) inside block B3, so scope requires matching
+  // at least one lhs constant, not all.
+  Schema s = HospitalSchema();
+  Constraint cfd = *Constraint::MakeCfd(
+      s, {{0, "ELIZA"}, {1, "BOAZ"}}, {{3, "2567688400"}});
+  EXPECT_TRUE(cfd.InScope({"ELIZA", "DOTHAN", "AL", "111"}));   // t3
+  EXPECT_TRUE(cfd.InScope({"ELIZA", "BOAZ", "AL", "111"}));     // t4-t6
+  EXPECT_FALSE(cfd.InScope({"ALABAMA", "DOTHAN", "AL", "111"}));  // t1, t2
+  // But the full antecedent match distinguishes t3 from t4.
+  EXPECT_FALSE(cfd.MatchesAllLhsConstants({"ELIZA", "DOTHAN", "AL", "111"}));
+  EXPECT_TRUE(cfd.MatchesAllLhsConstants({"ELIZA", "BOAZ", "AL", "111"}));
+}
+
+TEST(ConstraintTest, CfdWithWildcardLhs) {
+  // Make=acura, Type -> Doors: Type is a wildcard.
+  Schema s = *Schema::Make({"Make", "Type", "Doors"});
+  Constraint cfd = *Constraint::MakeCfd(s, {{0, "acura"}, {1, std::nullopt}},
+                                        {{2, std::nullopt}});
+  EXPECT_TRUE(cfd.InScope({"acura", "suv", "5"}));
+  EXPECT_FALSE(cfd.InScope({"toyota", "suv", "5"}));
+  EXPECT_EQ(cfd.reason_attrs(), (std::vector<AttrId>{0, 1}));
+  EXPECT_EQ(cfd.result_attrs(), (std::vector<AttrId>{2}));
+}
+
+TEST(ConstraintTest, CfdWithoutConstantsBehavesLikeFd) {
+  Schema s = *Schema::Make({"A", "B"});
+  Constraint cfd =
+      *Constraint::MakeCfd(s, {{0, std::nullopt}}, {{1, std::nullopt}});
+  EXPECT_TRUE(cfd.InScope({"x", "y"}));
+}
+
+TEST(ConstraintTest, CfdRepeatedAttrRejected) {
+  Schema s = *Schema::Make({"A", "B"});
+  EXPECT_TRUE(Constraint::MakeCfd(s, {{0, "x"}, {0, "y"}}, {{1, std::nullopt}})
+                  .status()
+                  .IsInvalid());
+}
+
+TEST(ConstraintTest, DcReasonResultSplit) {
+  // r2: !(PN(t1)=PN(t2) & ST(t1)!=ST(t2)): last predicate is the result.
+  Schema s = HospitalSchema();
+  Constraint dc = *Constraint::MakeDc(
+      s, {{3, PredOp::kEq, 3}, {2, PredOp::kNeq, 2}});
+  EXPECT_EQ(dc.reason_attrs(), (std::vector<AttrId>{3}));
+  EXPECT_EQ(dc.result_attrs(), (std::vector<AttrId>{2}));
+  EXPECT_TRUE(dc.IndexCompatible());
+}
+
+TEST(ConstraintTest, GeneralDcNotIndexCompatible) {
+  Schema s = *Schema::Make({"Salary", "Tax"});
+  Constraint dc = *Constraint::MakeDc(
+      s, {{0, PredOp::kGt, 0}, {1, PredOp::kLt, 1}});
+  EXPECT_FALSE(dc.IndexCompatible());
+}
+
+TEST(ConstraintTest, DcNeedsTwoPredicates) {
+  Schema s = HospitalSchema();
+  EXPECT_TRUE(Constraint::MakeDc(s, {{3, PredOp::kEq, 3}}).status().IsInvalid());
+}
+
+TEST(ConstraintTest, DcPredicateNumericComparison) {
+  DcPredicate lt{0, PredOp::kLt, 0};
+  EXPECT_TRUE(lt.Eval("9", "10"));    // numeric, not lexicographic
+  EXPECT_FALSE(lt.Eval("10", "9"));
+  DcPredicate eq{0, PredOp::kEq, 0};
+  EXPECT_TRUE(eq.Eval("1.50", "1.5"));  // numeric equality
+  EXPECT_FALSE(eq.Eval("a", "b"));
+  DcPredicate geq{0, PredOp::kGeq, 0};
+  EXPECT_TRUE(geq.Eval("b", "a"));  // lexicographic fallback
+}
+
+TEST(ConstraintTest, MlnClauseForms) {
+  // Section 3: r1 becomes !CT | ST; r3 keeps its constants.
+  Schema s = HospitalSchema();
+  Constraint fd = *Constraint::MakeFd(s, {1}, {2});
+  EXPECT_EQ(fd.MlnClause(s), "!CT | ST");
+  Constraint cfd = *Constraint::MakeCfd(
+      s, {{0, "ELIZA"}, {1, "BOAZ"}}, {{3, "2567688400"}});
+  EXPECT_EQ(cfd.MlnClause(s), "!HN(\"ELIZA\") | !CT(\"BOAZ\") | PN(\"2567688400\")");
+}
+
+TEST(ConstraintTest, ToStringRendering) {
+  Schema s = HospitalSchema();
+  Constraint fd = *Constraint::MakeFd(s, {1}, {2});
+  EXPECT_EQ(fd.ToString(s), "FD: CT -> ST");
+  Constraint dc =
+      *Constraint::MakeDc(s, {{3, PredOp::kEq, 3}, {2, PredOp::kNeq, 2}});
+  EXPECT_EQ(dc.ToString(s), "DC: !(PN(t1)=PN(t2) & ST(t1)!=ST(t2))");
+}
+
+TEST(RuleSetTest, AutoNaming) {
+  Schema s = HospitalSchema();
+  RuleSet set(s);
+  set.Add(*Constraint::MakeFd(s, {1}, {2}));
+  set.Add(*Constraint::MakeFd(s, {3}, {2}));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.rule(0).name(), "r1");
+  EXPECT_EQ(set.rule(1).name(), "r2");
+}
+
+TEST(RuleSetTest, ExplicitNameKept) {
+  Schema s = HospitalSchema();
+  RuleSet set(s);
+  Constraint fd = *Constraint::MakeFd(s, {1}, {2});
+  fd.set_name("city_state");
+  set.Add(std::move(fd));
+  EXPECT_EQ(set.rule(0).name(), "city_state");
+}
+
+TEST(ConstraintTest, RuleWeightDefaultsToOne) {
+  Schema s = HospitalSchema();
+  Constraint fd = *Constraint::MakeFd(s, {1}, {2});
+  EXPECT_DOUBLE_EQ(fd.rule_weight(), 1.0);
+  fd.set_rule_weight(2.5);
+  EXPECT_DOUBLE_EQ(fd.rule_weight(), 2.5);
+}
+
+}  // namespace
+}  // namespace mlnclean

@@ -1,0 +1,130 @@
+#include "rules/rule_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace mlnclean {
+namespace {
+
+Schema HospitalSchema() { return *Schema::Make({"HN", "CT", "ST", "PN"}); }
+
+TEST(RuleParserTest, ParseFd) {
+  Schema s = HospitalSchema();
+  auto r = ParseRule(s, "FD: CT -> ST");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->kind(), RuleKind::kFd);
+  EXPECT_EQ(r->reason_attrs(), (std::vector<AttrId>{1}));
+  EXPECT_EQ(r->result_attrs(), (std::vector<AttrId>{2}));
+}
+
+TEST(RuleParserTest, ParseFdMultiAttr) {
+  Schema s = *Schema::Make({"Model", "Type", "Make", "Doors"});
+  auto r = ParseRule(s, "FD: Model, Type -> Make, Doors");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reason_attrs(), (std::vector<AttrId>{0, 1}));
+  EXPECT_EQ(r->result_attrs(), (std::vector<AttrId>{2, 3}));
+}
+
+TEST(RuleParserTest, ParseCfdWithConstants) {
+  Schema s = HospitalSchema();
+  auto r = ParseRule(s, "CFD: HN=ELIZA, CT=BOAZ -> PN=2567688400");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->kind(), RuleKind::kCfd);
+  ASSERT_EQ(r->lhs_patterns().size(), 2u);
+  EXPECT_EQ(*r->lhs_patterns()[0].constant, "ELIZA");
+  EXPECT_EQ(*r->lhs_patterns()[1].constant, "BOAZ");
+  ASSERT_EQ(r->rhs_patterns().size(), 1u);
+  EXPECT_EQ(*r->rhs_patterns()[0].constant, "2567688400");
+}
+
+TEST(RuleParserTest, ParseCfdWithWildcard) {
+  Schema s = *Schema::Make({"Make", "Type", "Doors"});
+  auto r = ParseRule(s, "CFD: Make=acura, Type -> Doors");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->lhs_patterns()[0].is_constant());
+  EXPECT_FALSE(r->lhs_patterns()[1].is_constant());
+  EXPECT_FALSE(r->rhs_patterns()[0].is_constant());
+}
+
+TEST(RuleParserTest, ParseCfdQuotedConstant) {
+  Schema s = *Schema::Make({"Name", "Phone"});
+  auto r = ParseRule(s, "CFD: Name=\"Doe, John -> Jr\" -> Phone=\"555\"");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r->lhs_patterns()[0].constant, "Doe, John -> Jr");
+  EXPECT_EQ(*r->rhs_patterns()[0].constant, "555");
+}
+
+TEST(RuleParserTest, ParseCfdUnderscoreIsWildcard) {
+  Schema s = *Schema::Make({"A", "B"});
+  auto r = ParseRule(s, "CFD: A=_ -> B");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->lhs_patterns()[0].is_constant());
+}
+
+TEST(RuleParserTest, ParseDc) {
+  Schema s = HospitalSchema();
+  auto r = ParseRule(s, "DC: !(PN(t1)=PN(t2) & ST(t1)!=ST(t2))");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->kind(), RuleKind::kDc);
+  ASSERT_EQ(r->predicates().size(), 2u);
+  EXPECT_EQ(r->predicates()[0].op, PredOp::kEq);
+  EXPECT_EQ(r->predicates()[1].op, PredOp::kNeq);
+  EXPECT_EQ(r->reason_attrs(), (std::vector<AttrId>{3}));
+  EXPECT_EQ(r->result_attrs(), (std::vector<AttrId>{2}));
+}
+
+TEST(RuleParserTest, ParseDcComparisonOps) {
+  Schema s = *Schema::Make({"Salary", "Tax"});
+  auto r = ParseRule(s, "DC: !(Salary(t1)>Salary(t2) & Tax(t1)<=Tax(t2))");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->predicates()[0].op, PredOp::kGt);
+  EXPECT_EQ(r->predicates()[1].op, PredOp::kLeq);
+}
+
+TEST(RuleParserTest, Errors) {
+  Schema s = HospitalSchema();
+  EXPECT_FALSE(ParseRule(s, "no colon here").ok());
+  EXPECT_FALSE(ParseRule(s, "XX: CT -> ST").ok());
+  EXPECT_FALSE(ParseRule(s, "FD: CT ST").ok());            // no arrow
+  EXPECT_FALSE(ParseRule(s, "FD: Missing -> ST").ok());    // unknown attr
+  EXPECT_FALSE(ParseRule(s, "DC: PN(t1)=PN(t2)").ok());    // missing !( )
+  EXPECT_FALSE(ParseRule(s, "DC: !(PN(t1)~PN(t2) & ST(t1)!=ST(t2))").ok());
+  EXPECT_FALSE(ParseRule(s, "DC: !(PN(t3)=PN(t2) & ST(t1)!=ST(t2))").ok());
+}
+
+TEST(RuleParserTest, ParseRulesSkipsCommentsAndBlanks) {
+  Schema s = HospitalSchema();
+  auto r = ParseRules(s,
+                      "# hospital rules\n"
+                      "\n"
+                      "FD: CT -> ST\n"
+                      "  # indented comment\n"
+                      "DC: !(PN(t1)=PN(t2) & ST(t1)!=ST(t2))\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(r->rule(0).name(), "r1");
+  EXPECT_EQ(r->rule(1).name(), "r2");
+}
+
+TEST(RuleParserTest, ParseRulesPropagatesError) {
+  Schema s = HospitalSchema();
+  EXPECT_FALSE(ParseRules(s, "FD: CT -> ST\nFD: bogus -> ST\n").ok());
+}
+
+TEST(RuleParserTest, RoundTripThroughToString) {
+  Schema s = HospitalSchema();
+  const char* inputs[] = {
+      "FD: CT -> ST",
+      "CFD: HN=ELIZA, CT=BOAZ -> PN=2567688400",
+      "DC: !(PN(t1)=PN(t2) & ST(t1)!=ST(t2))",
+  };
+  for (const char* input : inputs) {
+    auto first = ParseRule(s, input);
+    ASSERT_TRUE(first.ok()) << input;
+    auto second = ParseRule(s, first->ToString(s));
+    ASSERT_TRUE(second.ok()) << first->ToString(s);
+    EXPECT_EQ(first->ToString(s), second->ToString(s));
+  }
+}
+
+}  // namespace
+}  // namespace mlnclean
