@@ -36,6 +36,24 @@ void BM_Levenshtein(benchmark::State& state) {
 }
 BENCHMARK(BM_Levenshtein);
 
+void BM_LevenshteinScratch(benchmark::State& state) {
+  std::string a = "3341000325", b = "3341000052";
+  EditDistanceScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Levenshtein(a, b, &scratch));
+  }
+}
+BENCHMARK(BM_LevenshteinScratch);
+
+void BM_DamerauScratch(benchmark::State& state) {
+  std::string a = "3341000325", b = "3341000052";
+  EditDistanceScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DamerauLevenshtein(a, b, &scratch));
+  }
+}
+BENCHMARK(BM_DamerauScratch);
+
 void BM_CosineBigram(benchmark::State& state) {
   std::string a = "MRSA BACTEREMIA", b = "MRSA BACTEREMA";
   for (auto _ : state) {
@@ -43,6 +61,60 @@ void BM_CosineBigram(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CosineBigram);
+
+void BM_CosineProfilePrebuilt(benchmark::State& state) {
+  // Profile construction amortized away: the steady-state cost of
+  // comparing two distinct values that AGP/RSC see over and over.
+  BigramProfile a("MRSA BACTEREMIA"), b("MRSA BACTEREMA");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CosineProfileDistance(a, b));
+  }
+}
+BENCHMARK(BM_CosineProfilePrebuilt);
+
+// Stage-I cleaners on the 40-hospital workload. Arg 0/1 = distance cache
+// off/on; threads are pinned to 1 so the cache effect is isolated (block
+// parallelism shows up in BM_StageOne/threads below).
+CleaningOptions StageOneOptions(bool cached, size_t threads) {
+  CleaningOptions options = Options(SharedHai());
+  options.cache_distances = cached;
+  options.num_threads = threads;
+  return options;
+}
+
+void BM_AgpAll(benchmark::State& state) {
+  const DirtyDataset& dd = SharedDirty();
+  const Workload& wl = SharedHai();
+  CleaningOptions options = StageOneOptions(state.range(0) != 0, 1);
+  DistanceFn dist = MakeNormalizedDistanceFn(options.distance);
+  MlnIndex base = *MlnIndex::Build(dd.dirty, wl.rules);
+  for (auto _ : state) {
+    state.PauseTiming();
+    MlnIndex index = base;  // AGP mutates the index; rebuild from the copy
+    state.ResumeTiming();
+    RunAgpAll(&index, options, dist, nullptr);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_AgpAll)->Arg(0)->Arg(1);
+
+void BM_RscAll(benchmark::State& state) {
+  const DirtyDataset& dd = SharedDirty();
+  const Workload& wl = SharedHai();
+  CleaningOptions options = StageOneOptions(state.range(0) != 0, 1);
+  DistanceFn dist = MakeNormalizedDistanceFn(options.distance);
+  MlnIndex base = *MlnIndex::Build(dd.dirty, wl.rules);
+  RunAgpAll(&base, options, dist, nullptr);
+  base.LearnWeights();
+  for (auto _ : state) {
+    state.PauseTiming();
+    MlnIndex index = base;
+    state.ResumeTiming();
+    RunRscAll(&index, options, dist, nullptr);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_RscAll)->Arg(0)->Arg(1);
 
 void BM_GroundConstraint(benchmark::State& state) {
   const Workload& wl = SharedHai();
@@ -71,25 +143,31 @@ void BM_WeightLearning(benchmark::State& state) {
 }
 BENCHMARK(BM_WeightLearning);
 
+// Arg = worker threads (default cache setting): the end-to-end stage-I
+// trajectory tracked against the sequential seed.
 void BM_StageOne(benchmark::State& state) {
   const DirtyDataset& dd = SharedDirty();
   const Workload& wl = SharedHai();
-  MlnCleanPipeline cleaner(Options(wl));
+  CleaningOptions options = Options(wl);
+  options.num_threads = static_cast<size_t>(state.range(0));
+  MlnCleanPipeline cleaner(options);
   for (auto _ : state) {
     benchmark::DoNotOptimize(cleaner.RunStageOne(dd.dirty, wl.rules, nullptr));
   }
 }
-BENCHMARK(BM_StageOne);
+BENCHMARK(BM_StageOne)->Arg(1)->Arg(8);
 
 void BM_FullPipeline(benchmark::State& state) {
   const DirtyDataset& dd = SharedDirty();
   const Workload& wl = SharedHai();
-  MlnCleanPipeline cleaner(Options(wl));
+  CleaningOptions options = Options(wl);
+  options.num_threads = static_cast<size_t>(state.range(0));
+  MlnCleanPipeline cleaner(options);
   for (auto _ : state) {
     benchmark::DoNotOptimize(cleaner.Clean(dd.dirty, wl.rules));
   }
 }
-BENCHMARK(BM_FullPipeline);
+BENCHMARK(BM_FullPipeline)->Arg(1)->Arg(8);
 
 void BM_Partition(benchmark::State& state) {
   const DirtyDataset& dd = SharedDirty();

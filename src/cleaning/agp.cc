@@ -1,6 +1,11 @@
 #include "cleaning/agp.h"
 
+#include <iterator>
 #include <limits>
+#include <optional>
+
+#include "common/distance_cache.h"
+#include "common/thread_pool.h"
 
 namespace mlnclean {
 
@@ -16,6 +21,17 @@ size_t RunAgp(Block* block, const CleaningOptions& options, const DistanceFn& di
     }
   }
   if (abnormal_idx.empty()) return 0;
+
+  // One value-pair memo for the whole abnormal × normal scan. Each normal
+  // γ* is resolved (and interned) once; a group's entry is refreshed only
+  // after a merge lands in it (the merged-in pieces can change its γ*).
+  std::optional<DistanceCache> cache;
+  if (options.cache_distances) {
+    cache.emplace(dist, DistanceCache::DirectLengthSumFor(options.distance));
+  }
+  std::vector<ValueId> abnormal_ids;
+  std::vector<std::vector<ValueId>> normal_ids(cache ? normal_idx.size() : 0);
+  std::vector<const Piece*> normal_star(normal_idx.size(), nullptr);
 
   size_t merged_count = 0;
   std::vector<bool> remove(block->groups.size(), false);
@@ -37,15 +53,30 @@ size_t RunAgp(Block* block, const CleaningOptions& options, const DistanceFn& di
     }
     // Nearest normal group by γ*-to-γ* distance.
     const Piece& a_star = abnormal.Star();
+    if (cache) InternPieceValues(a_star, &*cache, &abnormal_ids);
     double best = std::numeric_limits<double>::infinity();
+    size_t best_pos = 0;
     size_t best_gi = normal_idx.front();
-    for (size_t ni : normal_idx) {
-      double d = PieceDistance(a_star, block->groups[ni].Star(), dist);
+    for (size_t pos = 0; pos < normal_idx.size(); ++pos) {
+      const size_t ni = normal_idx[pos];
+      if (normal_star[pos] == nullptr) {
+        normal_star[pos] = &block->groups[ni].Star();
+        if (cache) InternPieceValues(*normal_star[pos], &*cache, &normal_ids[pos]);
+      }
+      // Bounded by the running best: only the strict minimum matters, so
+      // candidates may be abandoned mid-sum without changing the winner.
+      double d = cache
+                     ? CachedPieceDistanceBounded(abnormal_ids, normal_ids[pos],
+                                                  &*cache, best)
+                     : PieceDistanceBounded(a_star, *normal_star[pos], dist, best);
       if (d < best) {
         best = d;
+        best_pos = pos;
         best_gi = ni;
       }
     }
+    // The merge below can change the target's γ* and reallocate its pieces.
+    normal_star[best_pos] = nullptr;
     Group& target = block->groups[best_gi];
     rec.target_key = target.key;
     rec.merged = true;
@@ -71,9 +102,28 @@ size_t RunAgp(Block* block, const CleaningOptions& options, const DistanceFn& di
 
 void RunAgpAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn& dist,
                CleaningReport* report) {
-  for (size_t bi = 0; bi < index->num_blocks(); ++bi) {
-    size_t merged = RunAgp(&index->block(bi), options, dist, report);
+  const size_t num_blocks = index->num_blocks();
+  const size_t threads = options.ResolvedNumThreads();
+  if (threads <= 1 || num_blocks <= 1) {
+    for (size_t bi = 0; bi < num_blocks; ++bi) {
+      size_t merged = RunAgp(&index->block(bi), options, dist, report);
+      if (merged > 0) index->ReindexBlock(bi);
+    }
+    return;
+  }
+  // Blocks are independent; collect per-block records and splice them back
+  // in block order so the report is identical to the sequential run.
+  std::vector<CleaningReport> local(report ? num_blocks : 0);
+  ParallelFor(num_blocks, threads, [&](size_t bi) {
+    size_t merged = RunAgp(&index->block(bi), options, dist,
+                           report ? &local[bi] : nullptr);
     if (merged > 0) index->ReindexBlock(bi);
+  });
+  if (report) {
+    for (auto& block_report : local) {
+      std::move(block_report.agp.begin(), block_report.agp.end(),
+                std::back_inserter(report->agp));
+    }
   }
 }
 

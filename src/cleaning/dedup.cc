@@ -3,6 +3,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/string_util.h"
+
 namespace mlnclean {
 
 Dataset RemoveDuplicates(const Dataset& data,
@@ -11,12 +13,7 @@ Dataset RemoveDuplicates(const Dataset& data,
   std::unordered_map<std::string, TupleId> seen;
   for (TupleId tid = 0; tid < static_cast<TupleId>(data.num_rows()); ++tid) {
     const auto& row = data.row(tid);
-    std::string key;
-    for (const auto& v : row) {
-      key += v;
-      key += '\x1f';
-    }
-    auto [it, inserted] = seen.emplace(std::move(key), tid);
+    auto [it, inserted] = seen.emplace(JoinKey(row), tid);
     if (inserted) {
       // Append preserves arity by construction; ignore the impossible error.
       (void)out.Append(row);

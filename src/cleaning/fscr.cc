@@ -2,25 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <unordered_map>
 
 #include "common/distance.h"
+#include "common/thread_pool.h"
 
 namespace mlnclean {
 
 namespace {
 
+// Sparse attribute assignment accumulated during fusion.
+using Assignment = std::vector<std::pair<AttrId, Value>>;
+
 // A stage-1 clean version of a tuple: a γ (one per block the tuple is in
-// scope for) flattened into (attr, value) pairs.
+// scope for). The flattened (attr, value) form is shared with every other
+// tuple the γ covers — it is computed once per γ, not once per (γ, tuple).
 struct Version {
   size_t block_index = 0;
   const Piece* piece = nullptr;
-  std::vector<std::pair<AttrId, Value>> assignment;
+  const Assignment* assignment = nullptr;
   double weight = 0.0;
 };
-
-// Sparse attribute assignment accumulated during fusion.
-using Assignment = std::vector<std::pair<AttrId, Value>>;
 
 // Returns the value assigned to `attr`, or nullptr.
 const Value* Lookup(const Assignment& a, AttrId attr) {
@@ -31,7 +34,7 @@ const Value* Lookup(const Assignment& a, AttrId attr) {
 }
 
 // True when `v` disagrees with `a` on some shared attribute.
-bool ConflictsWith(const Assignment& a, const std::vector<std::pair<AttrId, Value>>& v) {
+bool ConflictsWith(const Assignment& a, const Assignment& v) {
   for (const auto& [attr, value] : v) {
     const Value* cur = Lookup(a, attr);
     if (cur != nullptr && *cur != value) return true;
@@ -40,17 +43,17 @@ bool ConflictsWith(const Assignment& a, const std::vector<std::pair<AttrId, Valu
 }
 
 // Merges `v` into `a` (values for already-assigned attrs must agree).
-void MergeInto(Assignment* a, const std::vector<std::pair<AttrId, Value>>& v) {
+void MergeInto(Assignment* a, const Assignment& v) {
   for (const auto& [attr, value] : v) {
     if (Lookup(*a, attr) == nullptr) a->emplace_back(attr, value);
   }
 }
 
 // Flattens a γ into (attr, value) pairs using its rule's attribute lists.
-std::vector<std::pair<AttrId, Value>> PieceAssignment(const Constraint& rule,
-                                                      const Piece& piece) {
-  std::vector<std::pair<AttrId, Value>> out;
+Assignment PieceAssignment(const Constraint& rule, const Piece& piece) {
+  Assignment out;
   const auto& reason_attrs = rule.reason_attrs();
+  out.reserve(reason_attrs.size() + rule.result_attrs().size());
   for (size_t i = 0; i < reason_attrs.size(); ++i) {
     out.emplace_back(reason_attrs[i], piece.reason[i]);
   }
@@ -62,10 +65,11 @@ std::vector<std::pair<AttrId, Value>> PieceAssignment(const Constraint& rule,
 }
 
 // Per-block list of γs sorted by descending weight, for the γ' fallback
-// search of Algorithm 2 (line 19).
+// search of Algorithm 2 (line 19). Assignments point into the per-piece
+// storage owned by RunFscr.
 struct BlockCandidates {
   std::vector<const Piece*> by_weight;
-  std::vector<std::vector<std::pair<AttrId, Value>>> assignments;
+  std::vector<const Assignment*> assignments;
 };
 
 // Recursive exploration of merge orders (GetFusionT). `remaining` is a
@@ -135,7 +139,7 @@ class FusionSearch {
       for (size_t j = 0; j < versions_.size(); ++j) {
         if ((remaining >> j) & 1u) {
           total *= versions_[j].weight;
-          MergeInto(&merged, versions_[j].assignment);
+          MergeInto(&merged, *versions_[j].assignment);
         }
       }
       total = FinalScore(total, merged);
@@ -150,8 +154,8 @@ class FusionSearch {
       const Version& vj = versions_[j];
       Assignment next = current;
       double fj;
-      if (!ConflictsWith(current, vj.assignment)) {
-        MergeInto(&next, vj.assignment);
+      if (!ConflictsWith(current, *vj.assignment)) {
+        MergeInto(&next, *vj.assignment);
         fj = vj.weight;
       } else {
         // Algorithm 2 line 19: substitute γj by the highest-weight γ' of
@@ -161,10 +165,10 @@ class FusionSearch {
         double found_w = 0.0;
         for (size_t c = 0; c < cands.by_weight.size(); ++c) {
           if (cands.by_weight[c] == vj.piece) continue;  // Bj - {γj}
-          if (!ConflictsWith(current, cands.assignments[c])) {
+          if (!ConflictsWith(current, *cands.assignments[c])) {
             found = cands.by_weight[c];
             found_w = found->weight;
-            MergeInto(&next, cands.assignments[c]);
+            MergeInto(&next, *cands.assignments[c]);
             break;
           }
         }
@@ -179,7 +183,7 @@ class FusionSearch {
     for (size_t j = 0; j < versions_.size(); ++j) {
       if (((remaining >> j) & 1u) == 0) continue;
       if (conflict_masks_[j] & remaining) return false;
-      if (ConflictsWith(current, versions_[j].assignment)) return false;
+      if (ConflictsWith(current, *versions_[j].assignment)) return false;
     }
     return true;
   }
@@ -208,8 +212,8 @@ double GreedyFusion(const std::vector<Version>& versions,
   double f = 1.0;
   for (size_t j : order) {
     const Version& vj = versions[j];
-    if (!ConflictsWith(current, vj.assignment)) {
-      MergeInto(&current, vj.assignment);
+    if (!ConflictsWith(current, *vj.assignment)) {
+      MergeInto(&current, *vj.assignment);
       f *= vj.weight;
       continue;
     }
@@ -217,8 +221,8 @@ double GreedyFusion(const std::vector<Version>& versions,
     bool found = false;
     for (size_t c = 0; c < cands.by_weight.size(); ++c) {
       if (cands.by_weight[c] == vj.piece) continue;
-      if (!ConflictsWith(current, cands.assignments[c])) {
-        MergeInto(&current, cands.assignments[c]);
+      if (!ConflictsWith(current, *cands.assignments[c])) {
+        MergeInto(&current, *cands.assignments[c]);
         f *= cands.by_weight[c]->weight;
         found = true;
         break;
@@ -236,52 +240,75 @@ void RunFscr(const Dataset& dirty, const RuleSet& rules, const MlnIndex& index,
              const CleaningOptions& options, Dataset* cleaned,
              CleaningReport* report) {
   const size_t num_rows = dirty.num_rows();
+  // Per block: every γ's flattened assignment, computed exactly once (a γ
+  // covering k tuples used to be flattened k times).
+  std::vector<std::vector<const Piece*>> block_pieces(index.num_blocks());
+  std::vector<std::vector<Assignment>> block_assignments(index.num_blocks());
   // tid -> versions (one per block whose γ covers the tuple).
   std::vector<std::vector<Version>> versions_of(num_rows);
   std::vector<BlockCandidates> candidates(index.num_blocks());
   for (size_t bi = 0; bi < index.num_blocks(); ++bi) {
     const Block& block = index.block(bi);
     const Constraint& rule = rules.rule(block.rule_index);
-    BlockCandidates& cands = candidates[bi];
+    std::vector<const Piece*>& pieces = block_pieces[bi];
+    std::vector<Assignment>& assignments = block_assignments[bi];
+    pieces.reserve(block.PieceCount());
     for (const Group& group : block.groups) {
-      for (const Piece& piece : group.pieces) {
-        cands.by_weight.push_back(&piece);
-        for (TupleId tid : piece.tuples) {
-          Version v;
-          v.block_index = bi;
-          v.piece = &piece;
-          v.assignment = PieceAssignment(rule, piece);
-          v.weight = piece.weight;
-          versions_of[static_cast<size_t>(tid)].push_back(std::move(v));
-        }
+      for (const Piece& piece : group.pieces) pieces.push_back(&piece);
+    }
+    assignments.reserve(pieces.size());
+    for (const Piece* piece : pieces) {
+      assignments.push_back(PieceAssignment(rule, *piece));
+    }
+    for (size_t pi = 0; pi < pieces.size(); ++pi) {
+      Version v;
+      v.block_index = bi;
+      v.piece = pieces[pi];
+      v.assignment = &assignments[pi];
+      v.weight = pieces[pi]->weight;
+      for (TupleId tid : pieces[pi]->tuples) {
+        versions_of[static_cast<size_t>(tid)].push_back(v);
       }
     }
-    std::sort(cands.by_weight.begin(), cands.by_weight.end(),
-              [](const Piece* a, const Piece* b) { return a->weight > b->weight; });
-    cands.assignments.reserve(cands.by_weight.size());
-    for (const Piece* p : cands.by_weight) {
-      cands.assignments.push_back(PieceAssignment(rule, *p));
+    // Candidate order for the γ' fallback: descending weight.
+    BlockCandidates& cands = candidates[bi];
+    std::vector<size_t> order(pieces.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return pieces[a]->weight > pieces[b]->weight;
+    });
+    cands.by_weight.reserve(order.size());
+    cands.assignments.reserve(order.size());
+    for (size_t i : order) {
+      cands.by_weight.push_back(pieces[i]);
+      cands.assignments.push_back(&assignments[i]);
     }
   }
 
-  for (size_t tid = 0; tid < num_rows; ++tid) {
+  // Fusion is per tuple (reads shared candidates, writes only its own row
+  // and record slot), so the tuple space shards freely across threads; the
+  // record vector is indexed by tid, keeping the report in tuple order no
+  // matter which shard finishes first. Without a report the records are
+  // not materialized at all.
+  std::vector<FscrRecord> records(report ? num_rows : 0);
+  auto fuse_tuple = [&](size_t tid) {
     std::vector<Version>& versions = versions_of[tid];
-    FscrRecord rec;
+    FscrRecord local;
+    FscrRecord& rec = report ? records[tid] : local;
     rec.tuple = static_cast<TupleId>(tid);
-    if (versions.empty()) {
-      if (report) report->fscr.push_back(std::move(rec));
-      continue;
-    }
+    if (versions.empty()) return;
     // Conflict attributes among the original versions (order-independent;
     // this is the "detected conflicts" signal of the Precision-F metric).
+    // The bitmask only tracks the first 32 versions — the exhaustive search
+    // is capped below that anyway — but conflict_attrs records every pair.
     std::vector<uint32_t> conflict_masks(versions.size(), 0);
     for (size_t i = 0; i < versions.size(); ++i) {
       for (size_t j = i + 1; j < versions.size(); ++j) {
-        for (const auto& [attr, value] : versions[i].assignment) {
-          const Value* other = Lookup(versions[j].assignment, attr);
+        for (const auto& [attr, value] : *versions[i].assignment) {
+          const Value* other = Lookup(*versions[j].assignment, attr);
           if (other != nullptr && *other != value) {
-            conflict_masks[i] |= uint32_t{1} << j;
-            conflict_masks[j] |= uint32_t{1} << i;
+            if (j < 32) conflict_masks[i] |= uint32_t{1} << j;
+            if (i < 32) conflict_masks[j] |= uint32_t{1} << i;
             if (std::find(rec.conflict_attrs.begin(), rec.conflict_attrs.end(),
                           attr) == rec.conflict_attrs.end()) {
               rec.conflict_attrs.push_back(attr);
@@ -296,7 +323,9 @@ void RunFscr(const Dataset& dirty, const RuleSet& rules, const MlnIndex& index,
     FusionSearch search(versions, candidates, conflict_masks,
                         options.max_fusion_nodes, dirty.row(tid),
                         options.fscr_minimality_discount);
-    if (versions.size() <= options.max_exhaustive_fusion) {
+    // The search's version bitmask is a uint32_t, so exhaustive exploration
+    // is hard-capped at 31 versions regardless of the configured limit.
+    if (versions.size() <= std::min<size_t>(options.max_exhaustive_fusion, 31)) {
       f = search.Run(&best);
     } else {
       f = GreedyFusion(versions, candidates, &best);
@@ -311,7 +340,28 @@ void RunFscr(const Dataset& dirty, const RuleSet& rules, const MlnIndex& index,
     }
     // f == 0: every merge order failed; the tuple keeps its current values
     // (Algorithm 2 initializes tfmax to t itself).
-    if (report) report->fscr.push_back(std::move(rec));
+  };
+
+  // The requested thread count is passed through unclamped so the shared
+  // ParallelFor pool stays one-per-configured-concurrency; trailing shards
+  // simply get empty ranges when there are fewer rows than threads.
+  const size_t threads = options.ResolvedNumThreads();
+  if (threads <= 1 || num_rows <= 1) {
+    for (size_t tid = 0; tid < num_rows; ++tid) fuse_tuple(tid);
+  } else {
+    // Contiguous shards, one per worker: each tuple's fusion is computed
+    // identically regardless of which shard runs it.
+    const size_t chunk = (num_rows + threads - 1) / threads;
+    ParallelFor(threads, threads, [&](size_t s) {
+      const size_t begin = s * chunk;
+      const size_t end = std::min(num_rows, begin + chunk);
+      for (size_t tid = begin; tid < end; ++tid) fuse_tuple(tid);
+    });
+  }
+
+  if (report) {
+    report->fscr.reserve(report->fscr.size() + records.size());
+    std::move(records.begin(), records.end(), std::back_inserter(report->fscr));
   }
 }
 

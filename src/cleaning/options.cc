@@ -1,8 +1,16 @@
 #include "cleaning/options.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/status.h"
 
 namespace mlnclean {
+
+size_t CleaningOptions::ResolvedNumThreads() const {
+  if (num_threads != 0) return num_threads;
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
 
 Status CleaningOptions::Validate() const {
   if (learner.max_iterations < 0) {

@@ -38,6 +38,25 @@ struct CleaningOptions {
   /// Algorithm 2 is bounded in practice; this bounds it in theory too).
   size_t max_fusion_nodes = 20000;
 
+  /// Worker threads for the parallelizable stages: AGP, weight learning,
+  /// and RSC run per block; FSCR runs sharded over tuples. Blocks (and
+  /// tuples in stage II) are independent, and per-shard report entries are
+  /// merged back in deterministic order, so any thread count produces a
+  /// CleanResult bit-identical to the sequential run. 1 (default) keeps
+  /// every stage sequential; 0 means "auto" (hardware concurrency).
+  size_t num_threads = 1;
+
+  /// Memoize pairwise value distances during AGP's abnormal-vs-normal γ*
+  /// scan and RSC's per-group loops (one DistanceCache per block). Purely
+  /// an evaluation cache: results are identical with it on or off. Off by
+  /// default: on the hospital/car-style workloads the scratch-buffer
+  /// kernels with their equal-string fast paths are cheaper than interning
+  /// plus memo probes (measured ~30% AGP overhead at 40 and 120
+  /// hospitals); enable it for workloads with long values (the memo only
+  /// engages past DistanceCache::DirectLengthSumFor) or heavy cross-group
+  /// value-pair reuse.
+  bool cache_distances = false;
+
   /// Minimality bias of FSCR: each attribute a candidate fusion changes
   /// away from the tuple's current (dirty) value multiplies its f-score
   /// by this factor. Pure Eq. 5 maximization ties between "repair the one
@@ -49,6 +68,9 @@ struct CleaningOptions {
 
   /// Validates option consistency.
   Status Validate() const;
+
+  /// num_threads with 0 resolved to the hardware concurrency (min 1).
+  size_t ResolvedNumThreads() const;
 };
 
 }  // namespace mlnclean

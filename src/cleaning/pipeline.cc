@@ -18,7 +18,8 @@ Result<MlnIndex> MlnCleanPipeline::RunStageOne(const Dataset& dirty,
   DistanceFn dist = MakeNormalizedDistanceFn(options_.distance);
 
   Timer timer;
-  MLN_ASSIGN_OR_RETURN(MlnIndex index, MlnIndex::Build(dirty, rules));
+  MLN_ASSIGN_OR_RETURN(MlnIndex index,
+                       MlnIndex::Build(dirty, rules, options_.ResolvedNumThreads()));
   if (report) report->timings.index = timer.ElapsedSeconds();
 
   timer.Restart();
@@ -27,7 +28,7 @@ Result<MlnIndex> MlnCleanPipeline::RunStageOne(const Dataset& dirty,
 
   timer.Restart();
   if (options_.learn_weights) {
-    index.LearnWeights(options_.learner);
+    index.LearnWeights(options_.learner, options_.ResolvedNumThreads());
   } else {
     index.AssignPriorWeights();  // ablation: Eq. 4 priors only
   }

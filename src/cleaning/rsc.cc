@@ -1,24 +1,51 @@
 #include "cleaning/rsc.h"
 
 #include <algorithm>
+#include <iterator>
 #include <limits>
+#include <optional>
+
+#include "common/thread_pool.h"
 
 namespace mlnclean {
 
-std::vector<double> ReliabilityScores(const Group& group, const DistanceFn& dist) {
+namespace {
+
+// Reused across all the groups of a block: the inner id vectors keep their
+// capacity, so interning a group's γs stops allocating after the first few
+// groups.
+struct RscScratch {
+  std::vector<std::vector<ValueId>> ids;
+  std::vector<double> min_dist;
+};
+
+void ComputeReliabilityScores(const Group& group, const DistanceFn& dist,
+                              DistanceCache* cache, RscScratch* scratch,
+                              std::vector<double>* scores) {
   const size_t m = group.pieces.size();
-  std::vector<double> scores(m, 0.0);
-  if (m == 0) return scores;
+  scores->assign(m, 0.0);
+  if (m == 0) return;
   if (m == 1) {
-    scores[0] = static_cast<double>(group.pieces[0].support()) * group.pieces[0].weight;
-    return scores;
+    (*scores)[0] =
+        static_cast<double>(group.pieces[0].support()) * group.pieces[0].weight;
+    return;
   }
   // Pairwise raw distances and the normalizer Z (max pairwise distance).
-  std::vector<double> min_dist(m, std::numeric_limits<double>::infinity());
+  // With a cache, each γ's values are interned once up front so the O(m²)
+  // loop costs hash probes instead of distance kernels on repeats.
+  if (cache) {
+    if (scratch->ids.size() < m) scratch->ids.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      InternPieceValues(group.pieces[i], cache, &scratch->ids[i]);
+    }
+  }
+  std::vector<double>& min_dist = scratch->min_dist;
+  min_dist.assign(m, std::numeric_limits<double>::infinity());
   double z = 0.0;
   for (size_t i = 0; i < m; ++i) {
     for (size_t j = i + 1; j < m; ++j) {
-      double d = PieceDistance(group.pieces[i], group.pieces[j], dist);
+      double d = cache ? CachedPieceDistance(scratch->ids[i], scratch->ids[j], cache)
+                       : PieceDistance(group.pieces[i], group.pieces[j], dist);
       z = std::max(z, d);
       min_dist[i] = std::min(min_dist[i], d);
       min_dist[j] = std::min(min_dist[j], d);
@@ -30,15 +57,39 @@ std::vector<double> ReliabilityScores(const Group& group, const DistanceFn& dist
     double d = (min_dist[i] == std::numeric_limits<double>::infinity())
                    ? 1.0
                    : min_dist[i];
-    scores[i] = (n / z) * d * group.pieces[i].weight;
+    (*scores)[i] = (n / z) * d * group.pieces[i].weight;
   }
+}
+
+void RunRscGroupImpl(Group* group, size_t block_rule_index, const DistanceFn& dist,
+                     CleaningReport* report, DistanceCache* cache,
+                     RscScratch* scratch, std::vector<double>* scores);
+
+}  // namespace
+
+std::vector<double> ReliabilityScores(const Group& group, const DistanceFn& dist,
+                                      DistanceCache* cache) {
+  RscScratch scratch;
+  std::vector<double> scores;
+  ComputeReliabilityScores(group, dist, cache, &scratch, &scores);
   return scores;
 }
 
 void RunRscGroup(Group* group, size_t block_rule_index, const DistanceFn& dist,
-                 CleaningReport* report) {
+                 CleaningReport* report, DistanceCache* cache) {
+  RscScratch scratch;
+  std::vector<double> scores;
+  RunRscGroupImpl(group, block_rule_index, dist, report, cache, &scratch, &scores);
+}
+
+namespace {
+
+void RunRscGroupImpl(Group* group, size_t block_rule_index, const DistanceFn& dist,
+                     CleaningReport* report, DistanceCache* cache,
+                     RscScratch* scratch, std::vector<double>* scores_buf) {
   if (group->pieces.size() <= 1) return;  // already in the ideal state
-  std::vector<double> scores = ReliabilityScores(*group, dist);
+  ComputeReliabilityScores(*group, dist, cache, scratch, scores_buf);
+  std::vector<double>& scores = *scores_buf;
   // Winner: max r-score; ties broken by weight, then support, then order.
   size_t best = 0;
   for (size_t i = 1; i < scores.size(); ++i) {
@@ -74,15 +125,47 @@ void RunRscGroup(Group* group, size_t block_rule_index, const DistanceFn& dist,
   group->key = group->pieces.front().reason;
 }
 
+// RSC over one block: one shared distance memo and one interning scratch
+// for all of its groups.
+void RunRscBlock(MlnIndex* index, size_t block_index, const CleaningOptions& options,
+                 const DistanceFn& dist, CleaningReport* report) {
+  Block& block = index->block(block_index);
+  std::optional<DistanceCache> cache;
+  if (options.cache_distances) {
+    cache.emplace(dist, DistanceCache::DirectLengthSumFor(options.distance));
+  }
+  RscScratch scratch;
+  std::vector<double> scores;
+  for (Group& group : block.groups) {
+    RunRscGroupImpl(&group, block.rule_index, dist, report,
+                    cache ? &*cache : nullptr, &scratch, &scores);
+  }
+  index->ReindexBlock(block_index);
+}
+
+}  // namespace
+
 void RunRscAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn& dist,
                CleaningReport* report) {
-  (void)options;
-  for (size_t bi = 0; bi < index->num_blocks(); ++bi) {
-    Block& block = index->block(bi);
-    for (Group& group : block.groups) {
-      RunRscGroup(&group, block.rule_index, dist, report);
+  const size_t num_blocks = index->num_blocks();
+  const size_t threads = options.ResolvedNumThreads();
+  if (threads <= 1 || num_blocks <= 1) {
+    for (size_t bi = 0; bi < num_blocks; ++bi) {
+      RunRscBlock(index, bi, options, dist, report);
     }
-    index->ReindexBlock(bi);
+    return;
+  }
+  // Per-block record buffers spliced back in block order keep the report
+  // identical to the sequential run.
+  std::vector<CleaningReport> local(report ? num_blocks : 0);
+  ParallelFor(num_blocks, threads, [&](size_t bi) {
+    RunRscBlock(index, bi, options, dist, report ? &local[bi] : nullptr);
+  });
+  if (report) {
+    for (auto& block_report : local) {
+      std::move(block_report.rsc.begin(), block_report.rsc.end(),
+                std::back_inserter(report->rsc));
+    }
   }
 }
 

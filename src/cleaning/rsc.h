@@ -13,6 +13,7 @@
 
 #include "cleaning/options.h"
 #include "cleaning/report.h"
+#include "common/distance_cache.h"
 #include "index/mln_index.h"
 
 namespace mlnclean {
@@ -20,11 +21,14 @@ namespace mlnclean {
 /// Reliability scores of every γ in `group`, in piece order. Groups with a
 /// single γ get the score n/Z·w with dist treated as 1 (they are skipped by
 /// RSC anyway). Z is the maximum raw pairwise distance within the group.
-std::vector<double> ReliabilityScores(const Group& group, const DistanceFn& dist);
+/// `cache` (optional) memoizes the pairwise value distances; it may be
+/// shared across the groups of one block.
+std::vector<double> ReliabilityScores(const Group& group, const DistanceFn& dist,
+                                      DistanceCache* cache = nullptr);
 
 /// Runs RSC over one group in place; appends one record per replaced γ.
 void RunRscGroup(Group* group, size_t block_rule_index, const DistanceFn& dist,
-                 CleaningReport* report);
+                 CleaningReport* report, DistanceCache* cache = nullptr);
 
 /// Runs RSC over every group of every block and refreshes the group maps.
 void RunRscAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn& dist,

@@ -1,23 +1,54 @@
 #include "common/distance.h"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
-#include <cstdint>
 #include <numeric>
-#include <vector>
 
 #include "common/string_util.h"
 
 namespace mlnclean {
 
+namespace {
+
+EditDistanceScratch& ThreadLocalScratch() {
+  thread_local EditDistanceScratch scratch;
+  return scratch;
+}
+
+// Strips the longest shared prefix and suffix; the edit distance of the
+// remainder equals the edit distance of the originals.
+void TrimCommonAffixes(std::string_view* a, std::string_view* b) {
+  size_t prefix = 0;
+  const size_t limit = std::min(a->size(), b->size());
+  while (prefix < limit && (*a)[prefix] == (*b)[prefix]) ++prefix;
+  a->remove_prefix(prefix);
+  b->remove_prefix(prefix);
+  size_t suffix = 0;
+  const size_t rest = std::min(a->size(), b->size());
+  while (suffix < rest && (*a)[a->size() - 1 - suffix] == (*b)[b->size() - 1 - suffix]) {
+    ++suffix;
+  }
+  a->remove_suffix(suffix);
+  b->remove_suffix(suffix);
+}
+
+}  // namespace
+
 size_t Levenshtein(std::string_view a, std::string_view b) {
+  return Levenshtein(a, b, &ThreadLocalScratch());
+}
+
+size_t Levenshtein(std::string_view a, std::string_view b,
+                   EditDistanceScratch* scratch) {
+  if (a == b) return 0;
+  TrimCommonAffixes(&a, &b);
   if (a.size() > b.size()) std::swap(a, b);  // keep the row for the shorter string
   const size_t n = a.size();
   const size_t m = b.size();
   if (n == 0) return m;
-  std::vector<size_t> row(n + 1);
-  std::iota(row.begin(), row.end(), size_t{0});
+  std::vector<size_t>& row = scratch->rows;
+  if (row.size() < n + 1) row.resize(n + 1);
+  std::iota(row.begin(), row.begin() + static_cast<ptrdiff_t>(n + 1), size_t{0});
   for (size_t j = 1; j <= m; ++j) {
     size_t prev_diag = row[0];
     row[0] = j;
@@ -32,13 +63,24 @@ size_t Levenshtein(std::string_view a, std::string_view b) {
 }
 
 size_t DamerauLevenshtein(std::string_view a, std::string_view b) {
+  return DamerauLevenshtein(a, b, &ThreadLocalScratch());
+}
+
+size_t DamerauLevenshtein(std::string_view a, std::string_view b,
+                          EditDistanceScratch* scratch) {
+  if (a == b) return 0;
   const size_t n = a.size();
   const size_t m = b.size();
   if (n == 0) return m;
   if (m == 0) return n;
-  // Three rolling rows: i-2, i-1, i.
-  std::vector<size_t> two(m + 1), one(m + 1), cur(m + 1);
-  std::iota(one.begin(), one.end(), size_t{0});
+  // Three rolling rows (i-2, i-1, i) packed into one scratch buffer.
+  const size_t stride = m + 1;
+  std::vector<size_t>& buf = scratch->rows;
+  if (buf.size() < 3 * stride) buf.resize(3 * stride);
+  size_t* two = buf.data();
+  size_t* one = buf.data() + stride;
+  size_t* cur = buf.data() + 2 * stride;
+  std::iota(one, one + stride, size_t{0});
   for (size_t i = 1; i <= n; ++i) {
     cur[0] = i;
     for (size_t j = 1; j <= m; ++j) {
@@ -54,57 +96,73 @@ size_t DamerauLevenshtein(std::string_view a, std::string_view b) {
   return one[m];
 }
 
-namespace {
-
-// Accumulates character-bigram counts of `s` into a sparse map keyed by the
-// 16-bit packed bigram. Unigrams are used for strings of length < 2.
-void BigramCounts(std::string_view s, std::vector<std::pair<uint16_t, double>>* out) {
-  out->clear();
-  auto add = [out](uint16_t key) {
-    for (auto& kv : *out) {
-      if (kv.first == key) {
-        kv.second += 1.0;
-        return;
-      }
-    }
-    out->emplace_back(key, 1.0);
-  };
+void BigramProfile::Assign(std::string_view s) {
+  counts_.clear();
+  norm_ = 0.0;
   if (s.size() < 2) {
-    for (char c : s) add(static_cast<uint16_t>(static_cast<unsigned char>(c)));
-    return;
+    for (char c : s) {
+      counts_.emplace_back(static_cast<uint16_t>(static_cast<unsigned char>(c)), 1.0);
+    }
+  } else {
+    for (size_t i = 0; i + 1 < s.size(); ++i) {
+      uint16_t key = static_cast<uint16_t>((static_cast<unsigned char>(s[i]) << 8) |
+                                           static_cast<unsigned char>(s[i + 1]));
+      counts_.emplace_back(key, 1.0);
+    }
   }
-  for (size_t i = 0; i + 1 < s.size(); ++i) {
-    uint16_t key = static_cast<uint16_t>((static_cast<unsigned char>(s[i]) << 8) |
-                                         static_cast<unsigned char>(s[i + 1]));
-    add(key);
+  std::sort(counts_.begin(), counts_.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  // Coalesce duplicate keys in place.
+  size_t w = 0;
+  for (size_t r = 0; r < counts_.size(); ++r) {
+    if (w > 0 && counts_[w - 1].first == counts_[r].first) {
+      counts_[w - 1].second += counts_[r].second;
+    } else {
+      counts_[w++] = counts_[r];
+    }
   }
+  counts_.resize(w);
+  double sq = 0.0;
+  for (const auto& [key, count] : counts_) sq += count * count;
+  norm_ = std::sqrt(sq);
 }
 
-}  // namespace
+double CosineProfileDistance(const BigramProfile& a, const BigramProfile& b) {
+  if (a.empty() || b.empty()) return 1.0;
+  const auto& va = a.counts();
+  const auto& vb = b.counts();
+  double dot = 0.0;
+  size_t i = 0, j = 0;
+  while (i < va.size() && j < vb.size()) {
+    if (va[i].first < vb[j].first) {
+      ++i;
+    } else if (vb[j].first < va[i].first) {
+      ++j;
+    } else {
+      dot += va[i].second * vb[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  if (dot == 0.0) return 1.0;
+  double sim = dot / (a.norm() * b.norm());
+  return std::clamp(1.0 - sim, 0.0, 1.0);
+}
 
 double CosineBigramDistance(std::string_view a, std::string_view b) {
   if (a == b) return 0.0;
   if (a.empty() || b.empty()) return 1.0;
-  std::vector<std::pair<uint16_t, double>> va, vb;
-  BigramCounts(a, &va);
-  BigramCounts(b, &vb);
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (const auto& [ka, ca] : va) {
-    na += ca * ca;
-    for (const auto& [kb, cb] : vb) {
-      if (ka == kb) dot += ca * cb;
-    }
-  }
-  for (const auto& [kb, cb] : vb) nb += cb * cb;
-  if (na == 0.0 || nb == 0.0) return 1.0;
-  double sim = dot / (std::sqrt(na) * std::sqrt(nb));
-  return std::clamp(1.0 - sim, 0.0, 1.0);
+  thread_local BigramProfile pa, pb;
+  pa.Assign(a);
+  pb.Assign(b);
+  return CosineProfileDistance(pa, pb);
 }
 
 DistanceFn MakeDistanceFn(DistanceMetric metric) {
   switch (metric) {
     case DistanceMetric::kLevenshtein:
       return [](std::string_view a, std::string_view b) {
+        if (a == b) return 0.0;
         return static_cast<double>(Levenshtein(a, b));
       };
     case DistanceMetric::kCosine:
@@ -113,6 +171,7 @@ DistanceFn MakeDistanceFn(DistanceMetric metric) {
       };
     case DistanceMetric::kDamerau:
       return [](std::string_view a, std::string_view b) {
+        if (a == b) return 0.0;
         return static_cast<double>(DamerauLevenshtein(a, b));
       };
   }
@@ -123,6 +182,7 @@ DistanceFn MakeNormalizedDistanceFn(DistanceMetric metric) {
   if (metric == DistanceMetric::kCosine) return MakeDistanceFn(metric);
   DistanceFn raw = MakeDistanceFn(metric);
   return [raw](std::string_view a, std::string_view b) {
+    if (a == b) return 0.0;
     size_t max_len = std::max(a.size(), b.size());
     if (max_len == 0) return 0.0;
     return raw(a, b) / static_cast<double>(max_len);

@@ -1,15 +1,24 @@
 // String distance metrics used by AGP (group-to-group distance) and RSC
 // (reliability score). The paper evaluates Levenshtein vs. cosine distance
 // (Table 5); Damerau-Levenshtein is provided as an extension.
+//
+// The kernels here are the pipeline's innermost hot path: stage I calls
+// them for every abnormal-vs-normal γ* pair (AGP) and every γ pair inside
+// every group (RSC). All entry points are allocation-free in steady state —
+// the DP rows and bigram profiles live in caller-provided (or thread-local)
+// scratch that only ever grows.
 
 #ifndef MLNCLEAN_COMMON_DISTANCE_H_
 #define MLNCLEAN_COMMON_DISTANCE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 
@@ -22,22 +31,64 @@ enum class DistanceMetric {
   kDamerau,  // Damerau-Levenshtein (adjacent transpositions count as 1)
 };
 
+/// Reusable DP rows for the edit-distance kernels. Pass one instance into
+/// a tight comparison loop to keep the kernels allocation-free; the buffer
+/// grows to the longest string seen and is never shrunk.
+struct EditDistanceScratch {
+  std::vector<size_t> rows;
+};
+
 /// Classic dynamic-programming edit distance (insert/delete/substitute).
+/// Equal strings and shared prefixes/suffixes are resolved without touching
+/// the DP table. The two-argument form uses a thread-local scratch.
 size_t Levenshtein(std::string_view a, std::string_view b);
+size_t Levenshtein(std::string_view a, std::string_view b, EditDistanceScratch* scratch);
 
 /// Damerau-Levenshtein distance with adjacent transpositions.
 size_t DamerauLevenshtein(std::string_view a, std::string_view b);
+size_t DamerauLevenshtein(std::string_view a, std::string_view b,
+                          EditDistanceScratch* scratch);
+
+/// Sorted character-bigram frequency profile of a string: distinct packed
+/// bigrams in ascending key order with their counts, plus the vector's
+/// Euclidean norm. Build once per distinct value, then compare profiles in
+/// O(|a| + |b|) via CosineProfileDistance. Strings shorter than two
+/// characters fall back to unigram profiles (matching CosineBigramDistance).
+class BigramProfile {
+ public:
+  BigramProfile() = default;
+  explicit BigramProfile(std::string_view s) { Assign(s); }
+
+  /// Rebuilds the profile for `s`, reusing the existing capacity.
+  void Assign(std::string_view s);
+
+  const std::vector<std::pair<uint16_t, double>>& counts() const { return counts_; }
+  double norm() const { return norm_; }
+  bool empty() const { return counts_.empty(); }
+
+ private:
+  std::vector<std::pair<uint16_t, double>> counts_;  // sorted by key
+  double norm_ = 0.0;
+};
+
+/// Cosine distance between two prebuilt profiles: a single linear merge of
+/// the two sorted count vectors. Empty profiles are at distance 1 from
+/// everything (including each other), matching CosineBigramDistance's
+/// handling of empty strings.
+double CosineProfileDistance(const BigramProfile& a, const BigramProfile& b);
 
 /// Cosine distance (1 - cosine similarity) between character-bigram
-/// frequency vectors; returns a value in [0, 1]. Strings shorter than two
-/// characters fall back to unigram vectors.
+/// frequency vectors; returns a value in [0, 1]. Builds the two profiles in
+/// thread-local scratch; prefer prebuilt BigramProfiles when comparing the
+/// same value many times.
 double CosineBigramDistance(std::string_view a, std::string_view b);
 
 /// A string distance function. All built-in metrics return non-negative
 /// values with d(a, a) == 0.
 using DistanceFn = std::function<double(std::string_view, std::string_view)>;
 
-/// Returns the distance function for `metric`.
+/// Returns the distance function for `metric`. Every returned function has
+/// an a == b -> 0.0 fast path that skips the kernel entirely.
 DistanceFn MakeDistanceFn(DistanceMetric metric);
 
 /// Returns the length-normalized variant used for multi-attribute piece

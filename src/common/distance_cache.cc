@@ -1,0 +1,110 @@
+#include "common/distance_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+namespace mlnclean {
+
+namespace {
+
+constexpr size_t kInitialIdSlots = 64;     // power of two
+constexpr size_t kInitialPairSlots = 256;  // power of two
+
+uint32_t HashValue(std::string_view value) {
+  return static_cast<uint32_t>(std::hash<std::string_view>{}(value));
+}
+
+}  // namespace
+
+DistanceCache::DistanceCache(const DistanceFn& dist, size_t direct_length_sum)
+    : dist_(&dist),
+      direct_length_sum_(direct_length_sum),
+      id_slots_(kInitialIdSlots),
+      pair_slots_(kInitialPairSlots) {}
+
+ValueId DistanceCache::Intern(std::string_view value) {
+  // Keep load factor below 1/2 so probes stay short.
+  if ((values_.size() + 1) * 2 > id_slots_.size()) GrowIdTable();
+  const uint32_t hash = HashValue(value);
+  const size_t mask = id_slots_.size() - 1;
+  size_t i = hash & mask;
+  while (true) {
+    IdSlot& slot = id_slots_[i];
+    if (slot.id_plus_one == 0) {
+      const ValueId id = static_cast<ValueId>(values_.size());
+      values_.emplace_back(value);
+      hashes_.push_back(hash);
+      slot.hash = hash;
+      slot.id_plus_one = id + 1;
+      return id;
+    }
+    if (slot.hash == hash && values_[slot.id_plus_one - 1] == value) {
+      return slot.id_plus_one - 1;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+double DistanceCache::Distance(ValueId a, ValueId b) {
+  if (a == b) {
+    ++hits_;
+    return 0.0;
+  }
+  // Cost-based bypass: for a pair of short values the optimized kernels
+  // (affix trimming, tiny DP) are about as cheap as a table probe, so
+  // memoizing them only adds insert traffic. Long pairs are the ones worth
+  // remembering.
+  if (values_[a].size() + values_[b].size() <= direct_length_sum_) {
+    ++misses_;
+    return (*dist_)(values_[a], values_[b]);
+  }
+  if ((num_pairs_ + 1) * 2 > pair_slots_.size()) GrowPairTable();
+  const uint64_t key = (static_cast<uint64_t>(std::min(a, b)) << 32) |
+                       static_cast<uint64_t>(std::max(a, b));
+  const size_t mask = pair_slots_.size() - 1;
+  // Multiplicative mixing spreads the packed ids across the table.
+  size_t i = (key * uint64_t{0x9e3779b97f4a7c15}) >> 32 & mask;
+  while (true) {
+    PairSlot& slot = pair_slots_[i];
+    if (slot.key == key) {
+      ++hits_;
+      return slot.distance;
+    }
+    if (slot.key == kEmptyKey) {
+      ++misses_;
+      const double d = (*dist_)(values_[a], values_[b]);
+      slot.key = key;
+      slot.distance = d;
+      ++num_pairs_;
+      return d;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void DistanceCache::GrowIdTable() {
+  std::vector<IdSlot> grown(id_slots_.size() * 2);
+  const size_t mask = grown.size() - 1;
+  for (ValueId id = 0; id < values_.size(); ++id) {
+    size_t i = hashes_[id] & mask;
+    while (grown[i].id_plus_one != 0) i = (i + 1) & mask;
+    grown[i].hash = hashes_[id];
+    grown[i].id_plus_one = id + 1;
+  }
+  id_slots_ = std::move(grown);
+}
+
+void DistanceCache::GrowPairTable() {
+  std::vector<PairSlot> grown(pair_slots_.size() * 2);
+  const size_t mask = grown.size() - 1;
+  for (const PairSlot& slot : pair_slots_) {
+    if (slot.key == kEmptyKey) continue;
+    size_t i = (slot.key * uint64_t{0x9e3779b97f4a7c15}) >> 32 & mask;
+    while (grown[i].key != kEmptyKey) i = (i + 1) & mask;
+    grown[i] = slot;
+  }
+  pair_slots_ = std::move(grown);
+}
+
+}  // namespace mlnclean

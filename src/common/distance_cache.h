@@ -1,0 +1,105 @@
+// DistanceCache: value interning plus pairwise distance memoization for
+// one block's stage-I scans. AGP compares every abnormal γ* against every
+// normal γ* and RSC runs an O(m²) loop inside every group; both keep
+// hitting the same pairs of attribute values (cities, states, measure
+// names repeat across γs), so each distinct unordered value pair pays for
+// the distance kernel at most once per block.
+//
+// Both the value interner and the pair memo are flat open-addressing
+// tables: a lookup is a hash plus a short linear probe, an insert never
+// allocates a node, and in steady state (tables at size) the cache does no
+// heap allocation at all — a plain std::unordered_map memo was measurably
+// slower than just re-running the optimized kernels.
+//
+// Not thread-safe: the parallel stages create one cache per block task.
+
+#ifndef MLNCLEAN_COMMON_DISTANCE_CACHE_H_
+#define MLNCLEAN_COMMON_DISTANCE_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/distance.h"
+
+namespace mlnclean {
+
+/// Interned handle of a distinct value string inside one cache.
+using ValueId = uint32_t;
+
+/// Memoizes a symmetric string distance over an interned value universe.
+class DistanceCache {
+ public:
+  /// `dist` must outlive the cache (the stage runners own it).
+  /// `direct_length_sum`: pairs whose combined value length is at most
+  /// this run the kernel directly instead of going through the memo — for
+  /// edit distances a tiny DP is cheaper than a probe + insert, while
+  /// cosine pays profile construction at any length (pass 0 to always
+  /// memoize). DirectLengthSumFor picks the measured default per metric.
+  explicit DistanceCache(const DistanceFn& dist,
+                         size_t direct_length_sum = kDefaultDirectLengthSum);
+
+  /// The measured break-even bypass threshold for a metric.
+  static size_t DirectLengthSumFor(DistanceMetric metric) {
+    return metric == DistanceMetric::kCosine ? 0 : kDefaultDirectLengthSum;
+  }
+
+  DistanceCache(const DistanceCache&) = delete;
+  DistanceCache& operator=(const DistanceCache&) = delete;
+
+  /// Returns the stable id of `value`, interning it on first sight.
+  ValueId Intern(std::string_view value);
+
+  /// Memoized distance between two interned values; d(x, x) == 0 without
+  /// consulting the kernel.
+  double Distance(ValueId a, ValueId b);
+
+  /// Convenience: intern-then-distance for raw strings.
+  double Distance(std::string_view a, std::string_view b) {
+    return Distance(Intern(a), Intern(b));
+  }
+
+  size_t num_values() const { return values_.size(); }
+  size_t num_cached_pairs() const { return num_pairs_; }
+  /// Distance() calls answered without the kernel (memo hits plus the
+  /// id-equality fast path); exposed for tests and benchmarks.
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  // Value interner: id slots store (hash, id + 1); 0 marks an empty slot.
+  struct IdSlot {
+    uint32_t hash = 0;
+    uint32_t id_plus_one = 0;
+  };
+  // Pair memo: key packs the two ids as min << 32 | max. min < max always
+  // (equal ids short-circuit), so ~0 can never be a real key.
+  struct PairSlot {
+    uint64_t key = kEmptyKey;
+    double distance = 0.0;
+  };
+  static constexpr uint64_t kEmptyKey = ~uint64_t{0};
+
+ public:
+  static constexpr size_t kDefaultDirectLengthSum = 16;
+
+ private:
+
+  void GrowIdTable();
+  void GrowPairTable();
+
+  const DistanceFn* dist_;
+  size_t direct_length_sum_;
+  std::vector<std::string> values_;   // id -> value
+  std::vector<uint32_t> hashes_;      // id -> full value hash (for rehash)
+  std::vector<IdSlot> id_slots_;      // power-of-two open addressing
+  std::vector<PairSlot> pair_slots_;  // power-of-two open addressing
+  size_t num_pairs_ = 0;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_COMMON_DISTANCE_CACHE_H_

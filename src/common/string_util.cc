@@ -43,6 +43,18 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
   return out;
 }
 
+std::string JoinKey(const std::vector<std::string>& parts) {
+  size_t total = parts.size();
+  for (const auto& p : parts) total += p.size();
+  std::string out;
+  out.reserve(total);
+  for (const auto& p : parts) {
+    out += p;
+    out += '\x1f';
+  }
+  return out;
+}
+
 std::string ToLower(std::string_view s) {
   std::string out(s);
   for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));

@@ -19,6 +19,12 @@ std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
 /// Joins `parts` with `sep` between consecutive elements.
 std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 
+/// Hash key for a value vector: every element followed by the ASCII unit
+/// separator '\x1f' (unambiguous because values never contain it). The
+/// output is reserved up front. Shared by the MLN index's group keys and
+/// duplicate elimination's row keys.
+std::string JoinKey(const std::vector<std::string>& parts);
+
 /// ASCII lower-casing (data values in this library are ASCII).
 std::string ToLower(std::string_view s);
 

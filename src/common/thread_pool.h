@@ -48,6 +48,10 @@ class ThreadPool {
 };
 
 /// Runs `fn(i)` for i in [0, n) across `num_threads` workers and waits.
+/// Workers come from a long-lived shared pool (one per distinct thread
+/// count), so calling this in a loop does not re-spawn threads; indices
+/// are handed out dynamically for load balance. `fn` must be safe to call
+/// concurrently. num_threads == 1 runs inline with zero overhead.
 void ParallelFor(size_t n, size_t num_threads, const std::function<void(size_t)>& fn);
 
 }  // namespace mlnclean

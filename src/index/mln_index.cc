@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "mln/ground_rule.h"
 
 namespace mlnclean {
@@ -37,27 +39,29 @@ size_t Block::PieceCount() const {
 }
 
 std::string MlnIndex::KeyOf(const std::vector<Value>& values) {
-  std::string key;
-  for (const auto& v : values) {
-    key += v;
-    key += '\x1f';
-  }
-  return key;
+  return JoinKey(values);
 }
 
-Result<MlnIndex> MlnIndex::Build(const Dataset& data, const RuleSet& rules) {
+Result<MlnIndex> MlnIndex::Build(const Dataset& data, const RuleSet& rules,
+                                 size_t num_threads) {
   MlnIndex index;
-  index.blocks_.reserve(rules.size());
+  index.blocks_.resize(rules.size());
   index.group_maps_.resize(rules.size());
-  for (size_t ri = 0; ri < rules.size(); ++ri) {
+  // Each rule grounds and groups independently into its own slot; errors
+  // are surfaced in rule order so the result is thread-count-agnostic.
+  std::vector<Status> statuses(rules.size());
+  ParallelFor(rules.size(), num_threads, [&](size_t ri) {
     const Constraint& rule = rules.rule(ri);
     // Grounding yields the distinct γs with their supporting tuples.
-    MLN_ASSIGN_OR_RETURN(std::vector<GroundRule> grounds,
-                         GroundConstraint(data, rule));
-    Block block;
+    Result<std::vector<GroundRule>> grounds = GroundConstraint(data, rule);
+    if (!grounds.ok()) {
+      statuses[ri] = grounds.status();
+      return;
+    }
+    Block& block = index.blocks_[ri];
     block.rule_index = ri;
     auto& group_map = index.group_maps_[ri];
-    for (auto& g : grounds) {
+    for (auto& g : grounds.ValueUnsafe()) {
       std::string key = KeyOf(g.reason);
       auto it = group_map.find(key);
       size_t group_idx;
@@ -73,7 +77,9 @@ Result<MlnIndex> MlnIndex::Build(const Dataset& data, const RuleSet& rules) {
       block.groups[group_idx].pieces.push_back(
           Piece{std::move(g.reason), std::move(g.result), std::move(g.tuples), 0.0});
     }
-    index.blocks_.push_back(std::move(block));
+  });
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
   }
   return index;
 }
@@ -109,8 +115,11 @@ void MlnIndex::LearnBlockWeights(Block* block, const WeightLearnerOptions& optio
   for (size_t i = 0; i < pieces.size(); ++i) pieces[i]->weight = weights[i];
 }
 
-void MlnIndex::LearnWeights(const WeightLearnerOptions& options) {
-  for (auto& block : blocks_) LearnBlockWeights(&block, options);
+void MlnIndex::LearnWeights(const WeightLearnerOptions& options, size_t num_threads) {
+  // Blocks are independent weight-learning problems; each task writes only
+  // its own block's γ weights.
+  ParallelFor(blocks_.size(), num_threads,
+              [&](size_t bi) { LearnBlockWeights(&blocks_[bi], options); });
 }
 
 void MlnIndex::AssignPriorWeights() {

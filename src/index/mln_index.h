@@ -50,8 +50,10 @@ class MlnIndex {
  public:
   /// Builds the index: one block per rule, groups keyed by reason values
   /// (lines 1-13 of Algorithm 1). Fails on rules the index cannot host
-  /// (general DCs).
-  static Result<MlnIndex> Build(const Dataset& data, const RuleSet& rules);
+  /// (general DCs). Rules ground in parallel across `num_threads` workers;
+  /// the result is identical for any thread count.
+  static Result<MlnIndex> Build(const Dataset& data, const RuleSet& rules,
+                                size_t num_threads = 1);
 
   size_t num_blocks() const { return blocks_.size(); }
   const Block& block(size_t i) const { return blocks_[i]; }
@@ -64,8 +66,10 @@ class MlnIndex {
   Result<size_t> FindGroup(size_t block_index, const std::vector<Value>& key) const;
 
   /// Learns MLN weights for every γ of every block: Eq. 4 priors refined
-  /// by diagonal Newton over the current (post-AGP) grouping.
-  void LearnWeights(const WeightLearnerOptions& options = {});
+  /// by diagonal Newton over the current (post-AGP) grouping. Blocks are
+  /// learned in parallel across `num_threads` workers (deterministic: each
+  /// block's problem is independent and computed identically).
+  void LearnWeights(const WeightLearnerOptions& options = {}, size_t num_threads = 1);
 
   /// Learns weights for a single block.
   static void LearnBlockWeights(Block* block, const WeightLearnerOptions& options = {});

@@ -1,5 +1,7 @@
 #include "index/piece.h"
 
+#include <algorithm>
+
 namespace mlnclean {
 
 std::vector<Value> Piece::AllValues() const {
@@ -33,6 +35,47 @@ double PieceDistance(const Piece& a, const Piece& b, const DistanceFn& dist) {
   }
   for (size_t i = 0; i < a.result.size() && i < b.result.size(); ++i) {
     total += dist(a.result[i], b.result[i]);
+  }
+  return total;
+}
+
+void InternPieceValues(const Piece& piece, DistanceCache* cache,
+                       std::vector<ValueId>* out) {
+  out->clear();
+  for (const auto& v : piece.reason) out->push_back(cache->Intern(v));
+  for (const auto& v : piece.result) out->push_back(cache->Intern(v));
+}
+
+double CachedPieceDistance(const std::vector<ValueId>& a,
+                           const std::vector<ValueId>& b, DistanceCache* cache) {
+  double total = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) total += cache->Distance(a[i], b[i]);
+  return total;
+}
+
+double PieceDistanceBounded(const Piece& a, const Piece& b, const DistanceFn& dist,
+                            double bound) {
+  double total = 0.0;
+  for (size_t i = 0; i < a.reason.size() && i < b.reason.size(); ++i) {
+    total += dist(a.reason[i], b.reason[i]);
+    if (total >= bound) return total;
+  }
+  for (size_t i = 0; i < a.result.size() && i < b.result.size(); ++i) {
+    total += dist(a.result[i], b.result[i]);
+    if (total >= bound) return total;
+  }
+  return total;
+}
+
+double CachedPieceDistanceBounded(const std::vector<ValueId>& a,
+                                  const std::vector<ValueId>& b,
+                                  DistanceCache* cache, double bound) {
+  double total = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    total += cache->Distance(a[i], b[i]);
+    if (total >= bound) return total;
   }
   return total;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/distance.h"
+#include "common/distance_cache.h"
 #include "dataset/dataset.h"
 
 namespace mlnclean {
@@ -36,6 +37,28 @@ struct Piece {
 /// reason and result values (both γs must come from the same rule, so the
 /// attribute lists align).
 double PieceDistance(const Piece& a, const Piece& b, const DistanceFn& dist);
+
+/// Interns a γ's reason+result values into `cache`, writing the ids into
+/// `out` (cleared first; capacity is reused across calls).
+void InternPieceValues(const Piece& piece, DistanceCache* cache,
+                       std::vector<ValueId>* out);
+
+/// Memoized counterpart of PieceDistance over interned value ids. Both id
+/// vectors must come from same-rule γs (aligned attribute lists), which is
+/// always the case inside one block — the only place caches live.
+double CachedPieceDistance(const std::vector<ValueId>& a,
+                           const std::vector<ValueId>& b, DistanceCache* cache);
+
+/// PieceDistance with early abandon: stops accumulating attribute
+/// distances once the running sum reaches `bound` and returns it (some
+/// value >= bound). Nearest-neighbour scans that only keep the strict
+/// minimum can pass their current best — abandoned candidates could never
+/// have won, so the selected minimum is unchanged.
+double PieceDistanceBounded(const Piece& a, const Piece& b, const DistanceFn& dist,
+                            double bound);
+double CachedPieceDistanceBounded(const std::vector<ValueId>& a,
+                                  const std::vector<ValueId>& b,
+                                  DistanceCache* cache, double bound);
 
 }  // namespace mlnclean
 

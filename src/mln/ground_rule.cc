@@ -6,19 +6,22 @@ namespace mlnclean {
 
 namespace {
 
-std::string BindingKey(const std::vector<Value>& reason,
-                       const std::vector<Value>& result) {
-  std::string key;
-  for (const auto& v : reason) {
-    key += v;
-    key += '\x1f';
+// Builds the reason\x1e result binding key straight from the row (values
+// gathered by attribute id), reusing `key`'s capacity across tuples so the
+// common repeated-binding case costs no allocation.
+void BindingKeyFromRow(const std::vector<Value>& row,
+                       const std::vector<AttrId>& reason_attrs,
+                       const std::vector<AttrId>& result_attrs, std::string* key) {
+  key->clear();
+  for (AttrId a : reason_attrs) {
+    *key += row[static_cast<size_t>(a)];
+    *key += '\x1f';
   }
-  key += '\x1e';
-  for (const auto& v : result) {
-    key += v;
-    key += '\x1f';
+  *key += '\x1e';
+  for (AttrId a : result_attrs) {
+    *key += row[static_cast<size_t>(a)];
+    *key += '\x1f';
   }
-  return key;
 }
 
 }  // namespace
@@ -33,16 +36,17 @@ Result<std::vector<GroundRule>> GroundConstraint(const Dataset& data,
   }
   std::vector<GroundRule> out;
   std::unordered_map<std::string, size_t> by_binding;
+  std::string key;
   for (TupleId tid = 0; tid < static_cast<TupleId>(data.num_rows()); ++tid) {
     const auto& row = data.row(tid);
     if (!rule.InScope(row)) continue;
-    std::vector<Value> reason = rule.ReasonValues(row);
-    std::vector<Value> result = rule.ResultValues(row);
-    std::string key = BindingKey(reason, result);
+    BindingKeyFromRow(row, rule.reason_attrs(), rule.result_attrs(), &key);
     auto it = by_binding.find(key);
     if (it == by_binding.end()) {
-      by_binding.emplace(std::move(key), out.size());
-      out.push_back(GroundRule{std::move(reason), std::move(result), {tid}, 0.0});
+      // First sight of this binding: materialize the γ's value vectors.
+      by_binding.emplace(key, out.size());
+      out.push_back(GroundRule{rule.ReasonValues(row), rule.ResultValues(row),
+                               {tid}, 0.0});
     } else {
       out[it->second].tuples.push_back(tid);
     }

@@ -112,6 +112,98 @@ TEST(PipelineTest, EmptyRuleSetLeavesDataUntouched) {
   EXPECT_EQ(result->cleaned, dirty);
 }
 
+// Field-wise equality of the full decision trace (the record structs carry
+// no operator==); timings are excluded, everything else must match.
+void ExpectSameReport(const CleaningReport& a, const CleaningReport& b) {
+  ASSERT_EQ(a.agp.size(), b.agp.size());
+  for (size_t i = 0; i < a.agp.size(); ++i) {
+    EXPECT_EQ(a.agp[i].block, b.agp[i].block);
+    EXPECT_EQ(a.agp[i].abnormal_key, b.agp[i].abnormal_key);
+    EXPECT_EQ(a.agp[i].abnormal_tuples, b.agp[i].abnormal_tuples);
+    EXPECT_EQ(a.agp[i].num_pieces, b.agp[i].num_pieces);
+    EXPECT_EQ(a.agp[i].target_key, b.agp[i].target_key);
+    EXPECT_EQ(a.agp[i].merged, b.agp[i].merged);
+  }
+  ASSERT_EQ(a.rsc.size(), b.rsc.size());
+  for (size_t i = 0; i < a.rsc.size(); ++i) {
+    EXPECT_EQ(a.rsc[i].block, b.rsc[i].block);
+    EXPECT_EQ(a.rsc[i].group_key, b.rsc[i].group_key);
+    EXPECT_EQ(a.rsc[i].winner_values, b.rsc[i].winner_values);
+    EXPECT_EQ(a.rsc[i].loser_values, b.rsc[i].loser_values);
+    EXPECT_EQ(a.rsc[i].affected_tuples, b.rsc[i].affected_tuples);
+  }
+  ASSERT_EQ(a.fscr.size(), b.fscr.size());
+  for (size_t i = 0; i < a.fscr.size(); ++i) {
+    EXPECT_EQ(a.fscr[i].tuple, b.fscr[i].tuple);
+    EXPECT_EQ(a.fscr[i].conflict_attrs, b.fscr[i].conflict_attrs);
+    EXPECT_EQ(a.fscr[i].fused, b.fscr[i].fused);
+    // Bit-identical, not just close: the parallel run must execute the
+    // same floating-point operations in the same order per tuple.
+    EXPECT_EQ(a.fscr[i].f_score, b.fscr[i].f_score);
+  }
+  EXPECT_EQ(a.duplicates, b.duplicates);
+}
+
+TEST(PipelineTest, ParallelRunMatchesSequentialBitIdentically) {
+  HospitalConfig config;
+  config.num_hospitals = 30;
+  config.num_measures = 10;
+  Workload wl = *MakeHospitalWorkload(config);
+  ErrorSpec spec;
+  spec.error_rate = 0.05;
+  spec.seed = 7;
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+
+  CleaningOptions sequential;
+  sequential.agp_threshold = 3;
+  sequential.num_threads = 1;
+  CleaningOptions parallel = sequential;
+  parallel.num_threads = 8;
+
+  auto seq = MlnCleanPipeline(sequential).Clean(dd.dirty, wl.rules);
+  auto par = MlnCleanPipeline(parallel).Clean(dd.dirty, wl.rules);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+  EXPECT_EQ(seq->cleaned, par->cleaned);
+  EXPECT_EQ(seq->deduped, par->deduped);
+  ExpectSameReport(seq->report, par->report);
+}
+
+TEST(PipelineTest, CacheAndThreadKnobsDoNotChangeResults) {
+  // All four {cache on/off} x {1/4 threads} corners agree on the sample.
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  CleaningOptions base;
+  base.agp_threshold = 1;
+  Dataset reference;
+  bool first = true;
+  for (bool cached : {true, false}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      CleaningOptions options = base;
+      options.cache_distances = cached;
+      options.num_threads = threads;
+      auto result = MlnCleanPipeline(options).Clean(dirty, rules);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      if (first) {
+        reference = result->cleaned;
+        first = false;
+        EXPECT_EQ(reference, *SampleHospitalClean());
+      } else {
+        EXPECT_EQ(result->cleaned, reference)
+            << "cache=" << cached << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(PipelineTest, AutoThreadCountResolves) {
+  CleaningOptions options;
+  options.num_threads = 0;  // auto
+  EXPECT_GE(options.ResolvedNumThreads(), 1u);
+  options.num_threads = 3;
+  EXPECT_EQ(options.ResolvedNumThreads(), 3u);
+}
+
 TEST(PipelineTest, StageDecompositionMatchesClean) {
   Dataset dirty = *SampleHospitalDirty();
   RuleSet rules = *SampleHospitalRules();

@@ -1,0 +1,94 @@
+#include "common/distance_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mlnclean {
+namespace {
+
+DistanceFn CountingLevenshtein(size_t* calls) {
+  return [calls](std::string_view a, std::string_view b) {
+    ++*calls;
+    return static_cast<double>(Levenshtein(a, b));
+  };
+}
+
+TEST(DistanceCacheTest, InterningIsStableAndDeduplicates) {
+  size_t calls = 0;
+  DistanceFn fn = CountingLevenshtein(&calls);
+  DistanceCache cache(fn);
+  ValueId a = cache.Intern("DOTHAN");
+  ValueId b = cache.Intern("BOAZ");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(cache.Intern("DOTHAN"), a);
+  EXPECT_EQ(cache.Intern("BOAZ"), b);
+  EXPECT_EQ(cache.num_values(), 2u);
+}
+
+TEST(DistanceCacheTest, MemoizesSymmetricPairs) {
+  size_t calls = 0;
+  DistanceFn fn = CountingLevenshtein(&calls);
+  DistanceCache cache(fn);
+  // Long enough that the pair goes through the memo, not the short-string
+  // bypass.
+  ValueId a = cache.Intern("MRSA BLOODSTREAM INFECTION");
+  ValueId b = cache.Intern("MRSA BLOODSTREAM INFECTIONS");
+  EXPECT_DOUBLE_EQ(cache.Distance(a, b), 1.0);
+  EXPECT_EQ(calls, 1u);
+  // Repeat and mirrored lookups come from the memo.
+  EXPECT_DOUBLE_EQ(cache.Distance(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(cache.Distance(b, a), 1.0);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(cache.num_cached_pairs(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(DistanceCacheTest, ShortPairsBypassTheMemo) {
+  // Below the combined-length threshold the kernel runs directly: correct
+  // results, nothing stored.
+  size_t calls = 0;
+  DistanceFn fn = CountingLevenshtein(&calls);
+  DistanceCache cache(fn);
+  ValueId a = cache.Intern("DOTH");
+  ValueId b = cache.Intern("DOTHAN");
+  EXPECT_DOUBLE_EQ(cache.Distance(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(cache.Distance(a, b), 2.0);
+  EXPECT_EQ(calls, 2u);
+  EXPECT_EQ(cache.num_cached_pairs(), 0u);
+}
+
+TEST(DistanceCacheTest, IdenticalIdsSkipTheKernel) {
+  size_t calls = 0;
+  DistanceFn fn = CountingLevenshtein(&calls);
+  DistanceCache cache(fn);
+  ValueId a = cache.Intern("AL");
+  EXPECT_DOUBLE_EQ(cache.Distance(a, a), 0.0);
+  EXPECT_EQ(calls, 0u);
+}
+
+TEST(DistanceCacheTest, StringConvenienceMatchesDirect) {
+  size_t calls = 0;
+  DistanceFn fn = CountingLevenshtein(&calls);
+  DistanceCache cache(fn);
+  EXPECT_DOUBLE_EQ(cache.Distance("surgical site infection", "surgical cite infections"), 2.0);
+  EXPECT_DOUBLE_EQ(cache.Distance("surgical cite infections", "surgical site infection"), 2.0);
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(DistanceCacheTest, SurvivesRehash) {
+  // Interned ids must keep pointing at valid strings after the id map
+  // grows past its initial bucket count.
+  size_t calls = 0;
+  DistanceFn fn = CountingLevenshtein(&calls);
+  DistanceCache cache(fn);
+  ValueId first = cache.Intern("value-0");
+  for (int i = 1; i < 500; ++i) cache.Intern("value-" + std::to_string(i));
+  ValueId again = cache.Intern("value-0");
+  EXPECT_EQ(first, again);
+  EXPECT_DOUBLE_EQ(cache.Distance(first, cache.Intern("value-499")), 3.0);
+}
+
+}  // namespace
+}  // namespace mlnclean

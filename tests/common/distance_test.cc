@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -150,6 +152,154 @@ INSTANTIATE_TEST_SUITE_P(AllMetrics, DistancePropertyTest,
                          [](const auto& info) {
                            return DistanceMetricName(info.param);
                          });
+
+// ---- reference implementations the optimized kernels must agree with ----
+
+// Full-matrix Levenshtein, no trimming or rolling rows.
+size_t ReferenceLevenshtein(const std::string& a, const std::string& b) {
+  std::vector<std::vector<size_t>> d(a.size() + 1,
+                                     std::vector<size_t>(b.size() + 1, 0));
+  for (size_t i = 0; i <= a.size(); ++i) d[i][0] = i;
+  for (size_t j = 0; j <= b.size(); ++j) d[0][j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      d[i][j] = std::min({d[i - 1][j] + 1, d[i][j - 1] + 1, d[i - 1][j - 1] + cost});
+    }
+  }
+  return d[a.size()][b.size()];
+}
+
+// Full-matrix optimal-string-alignment Damerau-Levenshtein.
+size_t ReferenceDamerau(const std::string& a, const std::string& b) {
+  std::vector<std::vector<size_t>> d(a.size() + 1,
+                                     std::vector<size_t>(b.size() + 1, 0));
+  for (size_t i = 0; i <= a.size(); ++i) d[i][0] = i;
+  for (size_t j = 0; j <= b.size(); ++j) d[0][j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      d[i][j] = std::min({d[i - 1][j] + 1, d[i][j - 1] + 1, d[i - 1][j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        d[i][j] = std::min(d[i][j], d[i - 2][j - 2] + 1);
+      }
+    }
+  }
+  return d[a.size()][b.size()];
+}
+
+// Naive quadratic cosine over bigram (or unigram) count vectors.
+double ReferenceCosine(const std::string& a, const std::string& b) {
+  if (a == b) return 0.0;
+  if (a.empty() || b.empty()) return 1.0;
+  auto grams = [](const std::string& s) {
+    std::vector<std::pair<uint16_t, double>> out;
+    auto add = [&out](uint16_t key) {
+      for (auto& kv : out) {
+        if (kv.first == key) {
+          kv.second += 1.0;
+          return;
+        }
+      }
+      out.emplace_back(key, 1.0);
+    };
+    if (s.size() < 2) {
+      for (char c : s) add(static_cast<uint16_t>(static_cast<unsigned char>(c)));
+    } else {
+      for (size_t i = 0; i + 1 < s.size(); ++i) {
+        add(static_cast<uint16_t>((static_cast<unsigned char>(s[i]) << 8) |
+                                  static_cast<unsigned char>(s[i + 1])));
+      }
+    }
+    return out;
+  };
+  auto va = grams(a), vb = grams(b);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [ka, ca] : va) {
+    na += ca * ca;
+    for (const auto& [kb, cb] : vb) {
+      if (ka == kb) dot += ca * cb;
+    }
+  }
+  for (const auto& [kb, cb] : vb) nb += cb * cb;
+  if (na == 0.0 || nb == 0.0) return 1.0;
+  double sim = dot / (std::sqrt(na) * std::sqrt(nb));
+  return std::min(std::max(1.0 - sim, 0.0), 1.0);
+}
+
+std::string RandomString(Rng* rng, const std::string& alphabet, size_t max_len) {
+  std::string s;
+  for (size_t i = rng->NextIndex(max_len + 1); i > 0; --i) {
+    s += alphabet[rng->NextIndex(alphabet.size())];
+  }
+  return s;
+}
+
+TEST(KernelPropertyTest, ScratchLevenshteinMatchesReference) {
+  Rng rng(2024);
+  EditDistanceScratch scratch;
+  // A small alphabet forces long shared prefixes/suffixes, exercising the
+  // affix-trimming fast path against the untrimmed full matrix.
+  const std::string alphabet = "abcd";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string a = RandomString(&rng, alphabet, 16);
+    std::string b = RandomString(&rng, alphabet, 16);
+    EXPECT_EQ(Levenshtein(a, b, &scratch), ReferenceLevenshtein(a, b))
+        << '"' << a << "\" vs \"" << b << '"';
+    EXPECT_EQ(Levenshtein(a, b), ReferenceLevenshtein(a, b));
+  }
+}
+
+TEST(KernelPropertyTest, ScratchDamerauMatchesReference) {
+  Rng rng(2025);
+  EditDistanceScratch scratch;
+  const std::string alphabet = "abc";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string a = RandomString(&rng, alphabet, 14);
+    std::string b = RandomString(&rng, alphabet, 14);
+    EXPECT_EQ(DamerauLevenshtein(a, b, &scratch), ReferenceDamerau(a, b))
+        << '"' << a << "\" vs \"" << b << '"';
+  }
+}
+
+TEST(KernelPropertyTest, ProfileCosineMatchesReference) {
+  Rng rng(2026);
+  const std::string alphabet = "abcdef";
+  BigramProfile pa, pb;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string a = RandomString(&rng, alphabet, 20);
+    std::string b = RandomString(&rng, alphabet, 20);
+    EXPECT_NEAR(CosineBigramDistance(a, b), ReferenceCosine(a, b), 1e-12)
+        << '"' << a << "\" vs \"" << b << '"';
+    pa.Assign(a);
+    pb.Assign(b);
+    if (!a.empty() && !b.empty() && a != b) {
+      EXPECT_NEAR(CosineProfileDistance(pa, pb), ReferenceCosine(a, b), 1e-12);
+    }
+  }
+}
+
+TEST(BigramProfileTest, CountsSortedAndNormConsistent) {
+  BigramProfile p("banana");
+  double sq = 0.0;
+  for (size_t i = 0; i < p.counts().size(); ++i) {
+    if (i > 0) EXPECT_LT(p.counts()[i - 1].first, p.counts()[i].first);
+    sq += p.counts()[i].second * p.counts()[i].second;
+  }
+  EXPECT_DOUBLE_EQ(p.norm(), std::sqrt(sq));
+  // "banana" bigrams: ba, an, na, an, na -> 3 distinct keys.
+  EXPECT_EQ(p.counts().size(), 3u);
+  // Reassignment reuses the profile object.
+  p.Assign("");
+  EXPECT_TRUE(p.empty());
+  EXPECT_DOUBLE_EQ(p.norm(), 0.0);
+}
+
+TEST(BigramProfileTest, EmptyProfilesAreDistanceOne) {
+  BigramProfile empty(""), other("ab");
+  EXPECT_DOUBLE_EQ(CosineProfileDistance(empty, other), 1.0);
+  EXPECT_DOUBLE_EQ(CosineProfileDistance(empty, empty), 1.0);
+}
 
 }  // namespace
 }  // namespace mlnclean

@@ -40,6 +40,16 @@ TEST(StringUtilTest, StartsEndsWith) {
   EXPECT_TRUE(EndsWith("abc", ""));
 }
 
+TEST(StringUtilTest, JoinKeyAppendsUnitSeparators) {
+  EXPECT_EQ(JoinKey({}), "");
+  EXPECT_EQ(JoinKey({"a"}), "a\x1f");
+  EXPECT_EQ(JoinKey({"DOTHAN", "AL"}), "DOTHAN\x1f\x41L\x1f");
+  // Distinguishes splits that plain concatenation would collide on.
+  EXPECT_NE(JoinKey({"ab", "c"}), JoinKey({"a", "bc"}));
+  // Empty fields still contribute a separator.
+  EXPECT_EQ(JoinKey({"", ""}), "\x1f\x1f");
+}
+
 TEST(StringUtilTest, FormatDouble) {
   EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
