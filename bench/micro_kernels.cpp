@@ -124,6 +124,21 @@ void BM_GroundConstraint(benchmark::State& state) {
 }
 BENCHMARK(BM_GroundConstraint);
 
+// Grounding every rule of the workload over the dirty data: the per-tuple
+// half of index construction (ROADMAP's ~430 µs grounding hot spot). The
+// id-tuple rewrite is on trial here — bindings dedup on dictionary ids
+// with no per-tuple key strings.
+void BM_Grounding(benchmark::State& state) {
+  const DirtyDataset& dd = SharedDirty();
+  const Workload& wl = SharedHai();
+  for (auto _ : state) {
+    for (size_t ri = 0; ri < wl.rules.size(); ++ri) {
+      benchmark::DoNotOptimize(GroundConstraint(dd.dirty, wl.rules.rule(ri)));
+    }
+  }
+}
+BENCHMARK(BM_Grounding);
+
 void BM_IndexBuild(benchmark::State& state) {
   const DirtyDataset& dd = SharedDirty();
   const Workload& wl = SharedHai();

@@ -87,8 +87,7 @@ CleanStats BuildStats(const Dataset& data, const RuleSet& rules,
   for (size_t ri = 0; ri < rules.size(); ++ri) {
     const Constraint& rule = rules.rule(ri);
     for (TupleId t = 0; t < rows; ++t) {
-      const auto& row = data.row(t);
-      if (!rule.InScope(row)) continue;
+      if (!rule.InScope(data, t)) continue;
       bool all_clean = true;
       for (AttrId a : rule.attrs()) {
         if (noisy[t][static_cast<size_t>(a)]) {
@@ -97,10 +96,10 @@ CleanStats BuildStats(const Dataset& data, const RuleSet& rules,
         }
       }
       if (!all_clean) continue;
-      std::string rk = RuleReasonKey(ri, rule.ReasonValues(row));
+      std::string rk = RuleReasonKey(ri, rule.ReasonValues(data, t));
       stats.rule_reason_total[rk] += 1.0;
       std::string result_key = rk + '\x1d';
-      for (const Value& v : rule.ResultValues(row)) {
+      for (const Value& v : rule.ResultValues(data, t)) {
         result_key += v;
         result_key += '\x1f';
       }
@@ -154,20 +153,19 @@ std::vector<double> Featurize(const Dataset& data, const RuleSet& rules,
     const auto& result_attrs = rule.result_attrs();
     auto pos = std::find(result_attrs.begin(), result_attrs.end(), a);
     if (pos == result_attrs.end()) continue;
-    const auto& row = data.row(t);
-    if (!rule.InScope(row)) continue;
+    if (!rule.InScope(data, t)) continue;
     if (rule.kind() == RuleKind::kCfd) {
       // Constant-rhs CFD: direct agreement with the constant.
       const auto& rhs = rule.rhs_patterns();
       size_t idx = static_cast<size_t>(pos - result_attrs.begin());
-      if (rhs[idx].is_constant() && rule.MatchesAllLhsConstants(row)) {
+      if (rhs[idx].is_constant() && rule.MatchesAllLhsConstants(data, t)) {
         considered += 1.0;
         if (v == *rhs[idx].constant) agree += 1.0;
         continue;
       }
     }
     // Majority result among clean tuples sharing the reason key.
-    std::string rk = RuleReasonKey(ri, rule.ReasonValues(row));
+    std::string rk = RuleReasonKey(ri, rule.ReasonValues(data, t));
     auto total = stats.rule_reason_total.find(rk);
     if (total == stats.rule_reason_total.end() || total->second <= 0.0) continue;
     // Candidate result vector: the tuple's current result values with

@@ -4,7 +4,6 @@
 #include <limits>
 #include <optional>
 
-#include "common/distance_cache.h"
 #include "common/thread_pool.h"
 
 namespace mlnclean {
@@ -22,15 +21,12 @@ size_t RunAgp(Block* block, const CleaningOptions& options, const DistanceFn& di
   }
   if (abnormal_idx.empty()) return 0;
 
-  // One value-pair memo for the whole abnormal × normal scan. Each normal
-  // γ* is resolved (and interned) once; a group's entry is refreshed only
-  // after a merge lands in it (the merged-in pieces can change its γ*).
-  std::optional<DistanceCache> cache;
-  if (options.cache_distances) {
-    cache.emplace(dist, DistanceCache::DirectLengthSumFor(options.distance));
-  }
-  std::vector<ValueId> abnormal_ids;
-  std::vector<std::vector<ValueId>> normal_ids(cache ? normal_idx.size() : 0);
+  // One id-pair memo set for the whole abnormal × normal scan (values are
+  // dictionary-interned at load time, so γ* pairs key directly on ids).
+  // Each normal γ* pointer is resolved once; a group's entry is refreshed
+  // only after a merge lands in it (merged-in pieces can change its γ*).
+  std::optional<PieceDistanceMemo> memo;
+  if (options.cache_distances) memo.emplace(dist);
   std::vector<const Piece*> normal_star(normal_idx.size(), nullptr);
 
   size_t merged_count = 0;
@@ -53,7 +49,6 @@ size_t RunAgp(Block* block, const CleaningOptions& options, const DistanceFn& di
     }
     // Nearest normal group by γ*-to-γ* distance.
     const Piece& a_star = abnormal.Star();
-    if (cache) InternPieceValues(a_star, &*cache, &abnormal_ids);
     double best = std::numeric_limits<double>::infinity();
     size_t best_pos = 0;
     size_t best_gi = normal_idx.front();
@@ -61,14 +56,11 @@ size_t RunAgp(Block* block, const CleaningOptions& options, const DistanceFn& di
       const size_t ni = normal_idx[pos];
       if (normal_star[pos] == nullptr) {
         normal_star[pos] = &block->groups[ni].Star();
-        if (cache) InternPieceValues(*normal_star[pos], &*cache, &normal_ids[pos]);
       }
       // Bounded by the running best: only the strict minimum matters, so
       // candidates may be abandoned mid-sum without changing the winner.
-      double d = cache
-                     ? CachedPieceDistanceBounded(abnormal_ids, normal_ids[pos],
-                                                  &*cache, best)
-                     : PieceDistanceBounded(a_star, *normal_star[pos], dist, best);
+      double d = memo ? memo->DistanceBounded(a_star, *normal_star[pos], best)
+                      : PieceDistanceBounded(a_star, *normal_star[pos], dist, best);
       if (d < best) {
         best = d;
         best_pos = pos;

@@ -1,24 +1,33 @@
 #include "cleaning/dedup.h"
 
-#include <string>
+#include <cstdint>
 #include <unordered_map>
-
-#include "common/string_util.h"
+#include <vector>
 
 namespace mlnclean {
 
 Dataset RemoveDuplicates(const Dataset& data,
                          std::vector<std::pair<TupleId, TupleId>>* removed) {
-  Dataset out(data.schema());
-  std::unordered_map<std::string, TupleId> seen;
+  // Within one dataset, rows are equal iff their id rows are equal, so
+  // duplicate detection never touches value bytes; the output shares the
+  // input's dictionaries and copies survivors by id.
+  Dataset out = Dataset::EmptyLike(data);
+  std::unordered_map<uint64_t, std::vector<TupleId>> seen;
+  seen.reserve(data.num_rows() * 2);
   for (TupleId tid = 0; tid < static_cast<TupleId>(data.num_rows()); ++tid) {
-    const auto& row = data.row(tid);
-    auto [it, inserted] = seen.emplace(JoinKey(row), tid);
-    if (inserted) {
-      // Append preserves arity by construction; ignore the impossible error.
-      (void)out.Append(row);
+    auto& bucket = seen[HashRowIds(data, tid)];
+    TupleId first = -1;
+    for (TupleId prev : bucket) {
+      if (SameRowIds(data, prev, tid)) {
+        first = prev;
+        break;
+      }
+    }
+    if (first < 0) {
+      bucket.push_back(tid);
+      out.AppendRowFrom(data, tid);
     } else if (removed != nullptr) {
-      removed->emplace_back(tid, it->second);
+      removed->emplace_back(tid, first);
     }
   }
   return out;

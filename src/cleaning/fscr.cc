@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <iterator>
-#include <unordered_map>
 
 #include "common/distance.h"
 #include "common/thread_pool.h"
@@ -12,12 +11,25 @@ namespace mlnclean {
 
 namespace {
 
-// Sparse attribute assignment accumulated during fusion.
-using Assignment = std::vector<std::pair<AttrId, Value>>;
+// One fused cell: the target attribute, the repair value's id in the
+// cleaned dataset's dictionary (dirty ids are a prefix of it, so dirty
+// cells compare directly), and a pointer to the value string owned by the
+// γ it came from.
+struct AssignedCell {
+  AttrId attr;
+  ValueId id;
+  const Value* value;
+};
+
+// Sparse attribute assignment accumulated during fusion. Conflict checks
+// compare ids — within one attribute's dictionary, id equality is value
+// equality.
+using Assignment = std::vector<AssignedCell>;
 
 // A stage-1 clean version of a tuple: a γ (one per block the tuple is in
-// scope for). The flattened (attr, value) form is shared with every other
-// tuple the γ covers — it is computed once per γ, not once per (γ, tuple).
+// scope for). The flattened (attr, id, value) form is shared with every
+// other tuple the γ covers — it is computed once per γ, not once per
+// (γ, tuple).
 struct Version {
   size_t block_index = 0;
   const Piece* piece = nullptr;
@@ -25,41 +37,56 @@ struct Version {
   double weight = 0.0;
 };
 
-// Returns the value assigned to `attr`, or nullptr.
-const Value* Lookup(const Assignment& a, AttrId attr) {
-  for (const auto& [k, v] : a) {
-    if (k == attr) return &v;
+// Returns the cell assigned to `attr`, or nullptr.
+const AssignedCell* Lookup(const Assignment& a, AttrId attr) {
+  for (const auto& cell : a) {
+    if (cell.attr == attr) return &cell;
   }
   return nullptr;
 }
 
 // True when `v` disagrees with `a` on some shared attribute.
 bool ConflictsWith(const Assignment& a, const Assignment& v) {
-  for (const auto& [attr, value] : v) {
-    const Value* cur = Lookup(a, attr);
-    if (cur != nullptr && *cur != value) return true;
+  for (const auto& cell : v) {
+    const AssignedCell* cur = Lookup(a, cell.attr);
+    if (cur != nullptr && cur->id != cell.id) return true;
   }
   return false;
 }
 
 // Merges `v` into `a` (values for already-assigned attrs must agree).
 void MergeInto(Assignment* a, const Assignment& v) {
-  for (const auto& [attr, value] : v) {
-    if (Lookup(*a, attr) == nullptr) a->emplace_back(attr, value);
+  for (const auto& cell : v) {
+    if (Lookup(*a, cell.attr) == nullptr) a->push_back(cell);
   }
 }
 
-// Flattens a γ into (attr, value) pairs using its rule's attribute lists.
-Assignment PieceAssignment(const Constraint& rule, const Piece& piece) {
+// Flattens a γ into assigned cells using its rule's attribute lists,
+// resolving every value to an id in `cleaned`'s dictionaries (interning is
+// only needed for hand-built pieces whose values never occurred in the
+// data; grounded pieces reuse their dataset ids).
+Assignment PieceAssignment(const Constraint& rule, const Piece& piece,
+                           Dataset* cleaned) {
   Assignment out;
   const auto& reason_attrs = rule.reason_attrs();
-  out.reserve(reason_attrs.size() + rule.result_attrs().size());
-  for (size_t i = 0; i < reason_attrs.size(); ++i) {
-    out.emplace_back(reason_attrs[i], piece.reason[i]);
-  }
   const auto& result_attrs = rule.result_attrs();
+  out.reserve(reason_attrs.size() + result_attrs.size());
+  auto resolve = [&](AttrId attr, const Value& value, const std::vector<ValueId>& ids,
+                     size_t i) {
+    ValueId id;
+    if (i < ids.size() && ids[i] < cleaned->dict(attr).size() &&
+        cleaned->dict(attr).value(ids[i]) == value) {
+      id = ids[i];
+    } else {
+      id = cleaned->InternValue(attr, value);
+    }
+    out.push_back(AssignedCell{attr, id, &value});
+  };
+  for (size_t i = 0; i < reason_attrs.size(); ++i) {
+    resolve(reason_attrs[i], piece.reason[i], piece.reason_ids, i);
+  }
   for (size_t i = 0; i < result_attrs.size(); ++i) {
-    out.emplace_back(result_attrs[i], piece.result[i]);
+    resolve(result_attrs[i], piece.result[i], piece.result_ids, i);
   }
   return out;
 }
@@ -79,12 +106,13 @@ class FusionSearch {
   FusionSearch(const std::vector<Version>& versions,
                const std::vector<BlockCandidates>& candidates,
                const std::vector<uint32_t>& conflict_masks, size_t node_budget,
-               const std::vector<Value>& dirty_row, double minimality_discount)
+               const Dataset& dirty, TupleId tid, double minimality_discount)
       : versions_(versions),
         candidates_(candidates),
         conflict_masks_(conflict_masks),
         node_budget_(node_budget),
-        dirty_row_(dirty_row),
+        dirty_(dirty),
+        tid_(tid),
         minimality_discount_(minimality_discount) {}
 
   // Returns the best (minimality-discounted) f-score; writes the
@@ -101,15 +129,16 @@ class FusionSearch {
   // between the fusion and the tuple's current values. Rewriting a value
   // entirely costs a full discount factor; nudging a typo costs a small
   // fraction — the same distance-over-minimality reasoning the
-  // reliability score applies in stage I.
+  // reliability score applies in stage I. Unchanged cells are detected by
+  // id compare alone.
   double FinalScore(double f, const Assignment& assignment) const {
     double total = 0.0;
-    for (const auto& [attr, value] : assignment) {
-      const Value& current = dirty_row_[static_cast<size_t>(attr)];
-      if (current == value) continue;
-      size_t max_len = std::max(current.size(), value.size());
+    for (const auto& cell : assignment) {
+      if (dirty_.id_at(tid_, cell.attr) == cell.id) continue;
+      const Value& current = dirty_.at(tid_, cell.attr);
+      size_t max_len = std::max(current.size(), cell.value->size());
       if (max_len == 0) continue;
-      total += static_cast<double>(Levenshtein(current, value)) / max_len;
+      total += static_cast<double>(Levenshtein(current, *cell.value)) / max_len;
     }
     return total == 0.0 ? f : f * std::pow(minimality_discount_, total);
   }
@@ -192,7 +221,8 @@ class FusionSearch {
   const std::vector<BlockCandidates>& candidates_;
   const std::vector<uint32_t>& conflict_masks_;
   size_t node_budget_;
-  const std::vector<Value>& dirty_row_;
+  const Dataset& dirty_;
+  TupleId tid_;
   double minimality_discount_;
   double best_f_ = 0.0;
   Assignment best_assignment_;
@@ -241,7 +271,10 @@ void RunFscr(const Dataset& dirty, const RuleSet& rules, const MlnIndex& index,
              CleaningReport* report) {
   const size_t num_rows = dirty.num_rows();
   // Per block: every γ's flattened assignment, computed exactly once (a γ
-  // covering k tuples used to be flattened k times).
+  // covering k tuples used to be flattened k times). Value-to-id
+  // resolution (and any interning of never-seen values) happens here, in
+  // the sequential setup — the parallel fusion below only reads
+  // dictionaries and writes column slots via set_id.
   std::vector<std::vector<const Piece*>> block_pieces(index.num_blocks());
   std::vector<std::vector<Assignment>> block_assignments(index.num_blocks());
   // tid -> versions (one per block whose γ covers the tuple).
@@ -258,7 +291,7 @@ void RunFscr(const Dataset& dirty, const RuleSet& rules, const MlnIndex& index,
     }
     assignments.reserve(pieces.size());
     for (const Piece* piece : pieces) {
-      assignments.push_back(PieceAssignment(rule, *piece));
+      assignments.push_back(PieceAssignment(rule, *piece, cleaned));
     }
     for (size_t pi = 0; pi < pieces.size(); ++pi) {
       Version v;
@@ -304,14 +337,14 @@ void RunFscr(const Dataset& dirty, const RuleSet& rules, const MlnIndex& index,
     std::vector<uint32_t> conflict_masks(versions.size(), 0);
     for (size_t i = 0; i < versions.size(); ++i) {
       for (size_t j = i + 1; j < versions.size(); ++j) {
-        for (const auto& [attr, value] : *versions[i].assignment) {
-          const Value* other = Lookup(*versions[j].assignment, attr);
-          if (other != nullptr && *other != value) {
+        for (const auto& cell : *versions[i].assignment) {
+          const AssignedCell* other = Lookup(*versions[j].assignment, cell.attr);
+          if (other != nullptr && other->id != cell.id) {
             if (j < 32) conflict_masks[i] |= uint32_t{1} << j;
             if (i < 32) conflict_masks[j] |= uint32_t{1} << i;
             if (std::find(rec.conflict_attrs.begin(), rec.conflict_attrs.end(),
-                          attr) == rec.conflict_attrs.end()) {
-              rec.conflict_attrs.push_back(attr);
+                          cell.attr) == rec.conflict_attrs.end()) {
+              rec.conflict_attrs.push_back(cell.attr);
             }
           }
         }
@@ -321,7 +354,7 @@ void RunFscr(const Dataset& dirty, const RuleSet& rules, const MlnIndex& index,
     Assignment best;
     double f;
     FusionSearch search(versions, candidates, conflict_masks,
-                        options.max_fusion_nodes, dirty.row(tid),
+                        options.max_fusion_nodes, dirty, static_cast<TupleId>(tid),
                         options.fscr_minimality_discount);
     // The search's version bitmask is a uint32_t, so exhaustive exploration
     // is hard-capped at 31 versions regardless of the configured limit.
@@ -334,8 +367,8 @@ void RunFscr(const Dataset& dirty, const RuleSet& rules, const MlnIndex& index,
     if (f > 0.0) {
       rec.fused = true;
       rec.f_score = f;
-      for (const auto& [attr, value] : best) {
-        cleaned->set(static_cast<TupleId>(tid), attr, value);
+      for (const auto& cell : best) {
+        cleaned->set_id(static_cast<TupleId>(tid), cell.attr, cell.id);
       }
     }
     // f == 0: every merge order failed; the tuple keeps its current values

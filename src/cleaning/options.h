@@ -47,14 +47,19 @@ struct CleaningOptions {
   size_t num_threads = 1;
 
   /// Memoize pairwise value distances during AGP's abnormal-vs-normal γ*
-  /// scan and RSC's per-group loops (one DistanceCache per block). Purely
-  /// an evaluation cache: results are identical with it on or off. Off by
-  /// default: on the hospital/car-style workloads the scratch-buffer
-  /// kernels with their equal-string fast paths are cheaper than interning
-  /// plus memo probes (measured ~30% AGP overhead at 40 and 120
-  /// hospitals); enable it for workloads with long values (the memo only
-  /// engages past DistanceCache::DirectLengthSumFor) or heavy cross-group
-  /// value-pair reuse.
+  /// scan and RSC's per-group loops (one PieceDistanceMemo per block task,
+  /// keyed on dictionary id pairs). Purely an evaluation cache: results
+  /// are identical with it on or off. Re-measured after the columnar
+  /// refactor interned all values at load time (which deleted the old
+  /// DistanceCache's interner half and its per-scan interning cost): the
+  /// memo no longer hurts AGP (~equal to off, occasionally ahead, vs ~30%
+  /// overhead pre-refactor) but still loses ~20% on RSC for hospital/car
+  /// style short values — within a group most positions share one id
+  /// (free id-equality fast path either way) and the distinct pairs
+  /// rarely repeat, so the memo pays insert traffic for no reuse. Off by
+  /// default; enable it for workloads with long values or heavy
+  /// cross-group value-pair reuse, where one kernel call per distinct
+  /// pair per block wins.
   bool cache_distances = false;
 
   /// Minimality bias of FSCR: each attribute a candidate fusion changes

@@ -11,16 +11,13 @@ namespace mlnclean {
 
 namespace {
 
-// Reused across all the groups of a block: the inner id vectors keep their
-// capacity, so interning a group's γs stops allocating after the first few
-// groups.
+// min-distance scratch reused across all the groups of a block.
 struct RscScratch {
-  std::vector<std::vector<ValueId>> ids;
   std::vector<double> min_dist;
 };
 
 void ComputeReliabilityScores(const Group& group, const DistanceFn& dist,
-                              DistanceCache* cache, RscScratch* scratch,
+                              PieceDistanceMemo* memo, RscScratch* scratch,
                               std::vector<double>* scores) {
   const size_t m = group.pieces.size();
   scores->assign(m, 0.0);
@@ -31,21 +28,15 @@ void ComputeReliabilityScores(const Group& group, const DistanceFn& dist,
     return;
   }
   // Pairwise raw distances and the normalizer Z (max pairwise distance).
-  // With a cache, each γ's values are interned once up front so the O(m²)
-  // loop costs hash probes instead of distance kernels on repeats.
-  if (cache) {
-    if (scratch->ids.size() < m) scratch->ids.resize(m);
-    for (size_t i = 0; i < m; ++i) {
-      InternPieceValues(group.pieces[i], cache, &scratch->ids[i]);
-    }
-  }
+  // With a memo, repeated (id, id) value pairs cost a table probe instead
+  // of a distance kernel; equal-id positions are free either way.
   std::vector<double>& min_dist = scratch->min_dist;
   min_dist.assign(m, std::numeric_limits<double>::infinity());
   double z = 0.0;
   for (size_t i = 0; i < m; ++i) {
     for (size_t j = i + 1; j < m; ++j) {
-      double d = cache ? CachedPieceDistance(scratch->ids[i], scratch->ids[j], cache)
-                       : PieceDistance(group.pieces[i], group.pieces[j], dist);
+      double d = memo ? memo->Distance(group.pieces[i], group.pieces[j])
+                      : PieceDistance(group.pieces[i], group.pieces[j], dist);
       z = std::max(z, d);
       min_dist[i] = std::min(min_dist[i], d);
       min_dist[j] = std::min(min_dist[j], d);
@@ -62,33 +53,33 @@ void ComputeReliabilityScores(const Group& group, const DistanceFn& dist,
 }
 
 void RunRscGroupImpl(Group* group, size_t block_rule_index, const DistanceFn& dist,
-                     CleaningReport* report, DistanceCache* cache,
+                     CleaningReport* report, PieceDistanceMemo* memo,
                      RscScratch* scratch, std::vector<double>* scores);
 
 }  // namespace
 
 std::vector<double> ReliabilityScores(const Group& group, const DistanceFn& dist,
-                                      DistanceCache* cache) {
+                                      PieceDistanceMemo* memo) {
   RscScratch scratch;
   std::vector<double> scores;
-  ComputeReliabilityScores(group, dist, cache, &scratch, &scores);
+  ComputeReliabilityScores(group, dist, memo, &scratch, &scores);
   return scores;
 }
 
 void RunRscGroup(Group* group, size_t block_rule_index, const DistanceFn& dist,
-                 CleaningReport* report, DistanceCache* cache) {
+                 CleaningReport* report, PieceDistanceMemo* memo) {
   RscScratch scratch;
   std::vector<double> scores;
-  RunRscGroupImpl(group, block_rule_index, dist, report, cache, &scratch, &scores);
+  RunRscGroupImpl(group, block_rule_index, dist, report, memo, &scratch, &scores);
 }
 
 namespace {
 
 void RunRscGroupImpl(Group* group, size_t block_rule_index, const DistanceFn& dist,
-                     CleaningReport* report, DistanceCache* cache,
+                     CleaningReport* report, PieceDistanceMemo* memo,
                      RscScratch* scratch, std::vector<double>* scores_buf) {
   if (group->pieces.size() <= 1) return;  // already in the ideal state
-  ComputeReliabilityScores(*group, dist, cache, scratch, scores_buf);
+  ComputeReliabilityScores(*group, dist, memo, scratch, scores_buf);
   std::vector<double>& scores = *scores_buf;
   // Winner: max r-score; ties broken by weight, then support, then order.
   size_t best = 0;
@@ -125,20 +116,18 @@ void RunRscGroupImpl(Group* group, size_t block_rule_index, const DistanceFn& di
   group->key = group->pieces.front().reason;
 }
 
-// RSC over one block: one shared distance memo and one interning scratch
-// for all of its groups.
+// RSC over one block: one shared id-pair memo set and one scratch for all
+// of its groups.
 void RunRscBlock(MlnIndex* index, size_t block_index, const CleaningOptions& options,
                  const DistanceFn& dist, CleaningReport* report) {
   Block& block = index->block(block_index);
-  std::optional<DistanceCache> cache;
-  if (options.cache_distances) {
-    cache.emplace(dist, DistanceCache::DirectLengthSumFor(options.distance));
-  }
+  std::optional<PieceDistanceMemo> memo;
+  if (options.cache_distances) memo.emplace(dist);
   RscScratch scratch;
   std::vector<double> scores;
   for (Group& group : block.groups) {
     RunRscGroupImpl(&group, block.rule_index, dist, report,
-                    cache ? &*cache : nullptr, &scratch, &scores);
+                    memo ? &*memo : nullptr, &scratch, &scores);
   }
   index->ReindexBlock(block_index);
 }

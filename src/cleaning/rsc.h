@@ -13,7 +13,6 @@
 
 #include "cleaning/options.h"
 #include "cleaning/report.h"
-#include "common/distance_cache.h"
 #include "index/mln_index.h"
 
 namespace mlnclean {
@@ -21,14 +20,14 @@ namespace mlnclean {
 /// Reliability scores of every γ in `group`, in piece order. Groups with a
 /// single γ get the score n/Z·w with dist treated as 1 (they are skipped by
 /// RSC anyway). Z is the maximum raw pairwise distance within the group.
-/// `cache` (optional) memoizes the pairwise value distances; it may be
-/// shared across the groups of one block.
+/// `memo` (optional) memoizes the pairwise value distances on dictionary
+/// id pairs; it may be shared across the groups of one block.
 std::vector<double> ReliabilityScores(const Group& group, const DistanceFn& dist,
-                                      DistanceCache* cache = nullptr);
+                                      PieceDistanceMemo* memo = nullptr);
 
 /// Runs RSC over one group in place; appends one record per replaced γ.
 void RunRscGroup(Group* group, size_t block_rule_index, const DistanceFn& dist,
-                 CleaningReport* report, DistanceCache* cache = nullptr);
+                 CleaningReport* report, PieceDistanceMemo* memo = nullptr);
 
 /// Runs RSC over every group of every block and refreshes the group maps.
 void RunRscAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn& dist,

@@ -1,0 +1,50 @@
+#include "common/distance_memo.h"
+
+#include <algorithm>
+
+namespace mlnclean {
+
+double PairDistanceMemo::Distance(ValueId a, ValueId b, std::string_view va,
+                                  std::string_view vb, const DistanceFn& dist) {
+  if (a == b) {
+    ++hits_;
+    return 0.0;
+  }
+  if (slots_.empty()) slots_.resize(256);
+  if ((num_pairs_ + 1) * 2 > slots_.size()) Grow();
+  const uint64_t key = (static_cast<uint64_t>(std::min(a, b)) << 32) |
+                       static_cast<uint64_t>(std::max(a, b));
+  const size_t mask = slots_.size() - 1;
+  // Multiplicative mixing spreads the packed ids across the table.
+  size_t i = (key * uint64_t{0x9e3779b97f4a7c15}) >> 32 & mask;
+  while (true) {
+    Slot& slot = slots_[i];
+    if (slot.key == key) {
+      ++hits_;
+      return slot.distance;
+    }
+    if (slot.key == kEmptyKey) {
+      ++misses_;
+      const double d = dist(va, vb);
+      slot.key = key;
+      slot.distance = d;
+      ++num_pairs_;
+      return d;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void PairDistanceMemo::Grow() {
+  std::vector<Slot> grown(slots_.size() * 2);
+  const size_t mask = grown.size() - 1;
+  for (const Slot& slot : slots_) {
+    if (slot.key == kEmptyKey) continue;
+    size_t i = (slot.key * uint64_t{0x9e3779b97f4a7c15}) >> 32 & mask;
+    while (grown[i].key != kEmptyKey) i = (i + 1) & mask;
+    grown[i] = slot;
+  }
+  slots_ = std::move(grown);
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,64 @@
+// PairDistanceMemo: symmetric distance memoization over one dictionary's
+// ValueIds. With values interned at load time (see dataset/value_dict.h),
+// the memo key is just the (min, max) id pair — no value hashing, no
+// separate interner. AGP's abnormal-vs-normal γ* scan and RSC's O(m²)
+// per-group loops keep hitting the same value pairs (cities, states,
+// measure names repeat across γs), so each distinct unordered pair pays
+// for the distance kernel at most once per block.
+//
+// The table is flat open addressing: a lookup is a 64-bit mix plus a short
+// linear probe, an insert never allocates a node, and in steady state the
+// memo does no heap allocation at all.
+//
+// Not thread-safe: the parallel stages create one memo set per block task.
+
+#ifndef MLNCLEAN_COMMON_DISTANCE_MEMO_H_
+#define MLNCLEAN_COMMON_DISTANCE_MEMO_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/distance.h"
+#include "dataset/value_dict.h"
+
+namespace mlnclean {
+
+/// Memoizes a symmetric distance over the ValueIds of one dictionary.
+/// Callers supply the value strings on a miss (pieces carry them), so the
+/// memo never needs the dictionary itself.
+class PairDistanceMemo {
+ public:
+  PairDistanceMemo() = default;
+
+  /// Memoized distance. `a`/`b` must identify `va`/`vb` in one dictionary;
+  /// equal ids return 0 without consulting the kernel or the memo.
+  double Distance(ValueId a, ValueId b, std::string_view va, std::string_view vb,
+                  const DistanceFn& dist);
+
+  size_t num_cached_pairs() const { return num_pairs_; }
+  /// Distance() calls answered without the kernel (memo hits plus the
+  /// id-equality fast path); exposed for tests and benchmarks.
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  // Key packs the two ids as min << 32 | max. min < max always (equal ids
+  // short-circuit), so ~0 can never be a real key.
+  struct Slot {
+    uint64_t key = kEmptyKey;
+    double distance = 0.0;
+  };
+  static constexpr uint64_t kEmptyKey = ~uint64_t{0};
+
+  void Grow();
+
+  std::vector<Slot> slots_;
+  size_t num_pairs_ = 0;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_COMMON_DISTANCE_MEMO_H_

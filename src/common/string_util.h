@@ -21,8 +21,9 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 
 /// Hash key for a value vector: every element followed by the ASCII unit
 /// separator '\x1f' (unambiguous because values never contain it). The
-/// output is reserved up front. Shared by the MLN index's group keys and
-/// duplicate elimination's row keys.
+/// output is reserved up front. Used for the MLN index's string-facing
+/// group keys (built once per group) and cross-shard weight merging; the
+/// per-tuple hot paths key on dictionary ids instead.
 std::string JoinKey(const std::vector<std::string>& parts);
 
 /// ASCII lower-casing (data values in this library are ASCII).

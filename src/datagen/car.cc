@@ -98,6 +98,7 @@ Result<Workload> MakeCarWorkload(const CarConfig& config) {
   }
 
   Dataset data(schema);
+  data.Reserve(config.num_rows);
   size_t produced = 0;
   // Cycle over the catalogue in bursts of at least two listings so every
   // (model, type) reason key has support >= 2: singleton groups then

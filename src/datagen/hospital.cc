@@ -108,6 +108,7 @@ Result<Workload> MakeHospitalWorkload(const HospitalConfig& config) {
   const size_t target = config.num_rows == 0 ? all_pairs : config.num_rows;
 
   Dataset data(schema);
+  data.Reserve(target);
   for (size_t i = 0; i < target; ++i) {
     const Hospital& h = hospitals[(i / config.num_measures) % config.num_hospitals];
     const auto& m = measures[i % config.num_measures];

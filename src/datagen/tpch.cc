@@ -53,6 +53,7 @@ Result<Workload> MakeTpchWorkload(const TpchConfig& config) {
   }
 
   Dataset data(schema);
+  data.Reserve(config.num_rows);
   for (size_t i = 0; i < config.num_rows; ++i) {
     const Customer& cust = customers[rng.NextIndex(customers.size())];
     size_t quantity = 1 + rng.NextIndex(50);

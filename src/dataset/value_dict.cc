@@ -1,0 +1,87 @@
+#include "dataset/value_dict.h"
+
+namespace mlnclean {
+
+namespace {
+
+// FNV-1a; the low 32 bits index the slot table.
+uint32_t HashValue(std::string_view v) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : v) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  // Fold the high half in so short values still spread across slots.
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+}  // namespace
+
+ValueDict::ValueDict() {
+  values_.emplace_back();  // id 0 = NULL
+  hashes_.push_back(HashValue(""));
+  slots_.resize(16);
+  Slot& s = slots_[hashes_[0] & (slots_.size() - 1)];
+  s.hash = hashes_[0];
+  s.id_plus_one = 1;
+}
+
+ValueId ValueDict::Intern(std::string_view v) {
+  const uint32_t h = HashValue(v);
+  const size_t mask = slots_.size() - 1;
+  size_t i = h & mask;
+  while (true) {
+    Slot& s = slots_[i];
+    if (s.id_plus_one == 0) break;
+    if (s.hash == h && values_[s.id_plus_one - 1] == v) {
+      ValueId id = s.id_plus_one - 1;
+      if (id == kNullValueId && null_rank_ == kNeverUsed) {
+        null_rank_ = values_.size() - 1;
+      }
+      return id;
+    }
+    i = (i + 1) & mask;
+  }
+  const ValueId id = static_cast<ValueId>(values_.size());
+  values_.emplace_back(v);
+  hashes_.push_back(h);
+  slots_[i] = Slot{h, id + 1};
+  if (values_.size() * 4 >= slots_.size() * 3) Grow();
+  return id;
+}
+
+ValueId ValueDict::Find(std::string_view v) const {
+  const uint32_t h = HashValue(v);
+  const size_t mask = slots_.size() - 1;
+  size_t i = h & mask;
+  while (true) {
+    const Slot& s = slots_[i];
+    if (s.id_plus_one == 0) return kInvalidValueId;
+    if (s.hash == h && values_[s.id_plus_one - 1] == v) return s.id_plus_one - 1;
+    i = (i + 1) & mask;
+  }
+}
+
+void ValueDict::Grow() {
+  std::vector<Slot> grown(slots_.size() * 2);
+  const size_t mask = grown.size() - 1;
+  for (size_t id = 0; id < values_.size(); ++id) {
+    size_t i = hashes_[id] & mask;
+    while (grown[i].id_plus_one != 0) i = (i + 1) & mask;
+    grown[i] = Slot{hashes_[id], static_cast<uint32_t>(id + 1)};
+  }
+  slots_ = std::move(grown);
+}
+
+std::vector<Value> ValueDict::FirstAppearanceDomain() const {
+  std::vector<Value> out;
+  out.reserve(values_.size());
+  for (size_t id = 1; id < values_.size(); ++id) {
+    if (null_rank_ == out.size()) out.emplace_back();  // splice NULL in
+    out.push_back(values_[id]);
+  }
+  if (null_rank_ != kNeverUsed && null_rank_ >= out.size()) out.emplace_back();
+  return out;
+}
+
+}  // namespace mlnclean

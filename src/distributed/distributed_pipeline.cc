@@ -41,11 +41,17 @@ Result<DistributedResult> DistributedMlnClean::Clean(const Dataset& dirty,
   MLN_ASSIGN_OR_RETURN(Partition partition, PartitionDataset(dirty, popts));
   const size_t k = partition.parts.size();
 
-  // Materialize the per-part sub-datasets (local tid -> global tid).
-  std::vector<Dataset> part_data(k, Dataset(dirty.schema()));
+  // Materialize the per-part sub-datasets (local tid -> global tid). Each
+  // shard ships with a copy of the global dictionaries, so its rows copy
+  // over by id and every shard's ids stay aligned with the global table
+  // (the merge below remaps whatever a shard interned on top).
+  std::vector<Dataset> part_data;
+  part_data.reserve(k);
   for (size_t p = 0; p < k; ++p) {
+    part_data.push_back(Dataset::EmptyLike(dirty));
+    part_data[p].Reserve(partition.parts[p].size());
     for (TupleId gtid : partition.parts[p]) {
-      MLN_RETURN_NOT_OK(part_data[p].Append(dirty.row(gtid)));
+      part_data[p].AppendRowFrom(dirty, gtid);
     }
   }
 
@@ -88,12 +94,14 @@ Result<DistributedResult> DistributedMlnClean::Clean(const Dataset& dirty,
   for (const MlnIndex& index : indexes) table.Accumulate(index);
   for (MlnIndex& index : indexes) table.Apply(&index);
 
-  // ---- Phase B (parallel): RSC + FSCR per part, writing into the global
-  // cleaned dataset (parts own disjoint global rows).
+  // ---- Phase B (parallel): RSC + FSCR per part, into a per-part cleaned
+  // dataset. The write-back into the global table happens sequentially
+  // below because remapping may intern shard-local values globally.
   DistributedResult result;
   result.cleaned = dirty.Clone();
   result.global_weights = table.size();
   std::vector<double> phase_b(k, 0.0);
+  std::vector<Dataset> local_cleans(k);
   {
     ThreadPool pool(options_.num_workers);
     for (size_t p = 0; p < k; ++p) {
@@ -107,19 +115,40 @@ Result<DistributedResult> DistributedMlnClean::Clean(const Dataset& dirty,
           }
           index.ReindexBlock(bi);
         }
-        Dataset local_clean = part_data[p].Clone();
-        RunFscr(part_data[p], rules, index, options_.cleaning, &local_clean, nullptr);
-        const auto& mapping = partition.parts[p];
-        for (size_t local = 0; local < mapping.size(); ++local) {
-          for (AttrId a = 0; a < static_cast<AttrId>(dirty.num_attrs()); ++a) {
-            result.cleaned.set(mapping[local], a,
-                               local_clean.at(static_cast<TupleId>(local), a));
-          }
-        }
+        local_cleans[p] = part_data[p].Clone();
+        RunFscr(part_data[p], rules, index, options_.cleaning, &local_cleans[p],
+                nullptr);
         phase_b[p] = t.ElapsedSeconds();
       });
     }
     pool.WaitIdle();
+  }
+
+  // ---- Merge: copy each shard's cleaned rows back into the global rows
+  // it owns, remapping dictionary ids. Every shard's dictionaries extend
+  // the ones it shipped with, so ids below the shipped size are identical
+  // across shards and the global table and pass through untouched;
+  // anything a shard interned on top is re-interned globally by value
+  // (shipped-size ids, not current global size — the global dictionaries
+  // grow during this loop).
+  const auto num_attrs = static_cast<AttrId>(dirty.num_attrs());
+  std::vector<size_t> shipped_size(static_cast<size_t>(num_attrs));
+  for (AttrId a = 0; a < num_attrs; ++a) {
+    shipped_size[static_cast<size_t>(a)] = dirty.dict(a).size();
+  }
+  for (size_t p = 0; p < k; ++p) {
+    const Dataset& local_clean = local_cleans[p];
+    const auto& mapping = partition.parts[p];
+    for (size_t local = 0; local < mapping.size(); ++local) {
+      for (AttrId a = 0; a < num_attrs; ++a) {
+        const ValueId id = local_clean.id_at(static_cast<TupleId>(local), a);
+        if (id < shipped_size[static_cast<size_t>(a)]) {
+          result.cleaned.set_id(mapping[local], a, id);
+        } else {
+          result.cleaned.set(mapping[local], a, local_clean.dict(a).value(id));
+        }
+      }
+    }
   }
 
   // ---- Gather: global duplicate elimination, as in the stand-alone flow.

@@ -6,18 +6,41 @@
 #include <queue>
 #include <unordered_set>
 
+#include "common/distance_memo.h"
 #include "common/random.h"
 
 namespace mlnclean {
 
 double TupleDistance(const Dataset& data, TupleId a, TupleId b,
                      const DistanceFn& dist) {
-  const auto& ra = data.row(a);
-  const auto& rb = data.row(b);
   double total = 0.0;
-  for (size_t i = 0; i < ra.size(); ++i) total += dist(ra[i], rb[i]);
+  for (AttrId attr = 0; attr < static_cast<AttrId>(data.num_attrs()); ++attr) {
+    ValueId ia = data.id_at(a, attr), ib = data.id_at(b, attr);
+    if (ia == ib) continue;
+    total += dist(data.dict(attr).value(ia), data.dict(attr).value(ib));
+  }
   return total;
 }
+
+namespace {
+
+// TupleDistance with a per-attribute id-pair memo: the assignment loop
+// compares every tuple against the same k centroids, so each distinct
+// (value, centroid value) pair per attribute pays for the kernel once.
+double MemoTupleDistance(const Dataset& data, TupleId a, TupleId b,
+                         const DistanceFn& dist,
+                         std::vector<PairDistanceMemo>* memos) {
+  double total = 0.0;
+  for (AttrId attr = 0; attr < static_cast<AttrId>(data.num_attrs()); ++attr) {
+    ValueId ia = data.id_at(a, attr), ib = data.id_at(b, attr);
+    if (ia == ib) continue;
+    total += (*memos)[static_cast<size_t>(attr)].Distance(
+        ia, ib, data.dict(attr).value(ia), data.dict(attr).value(ib), dist);
+  }
+  return total;
+}
+
+}  // namespace
 
 Result<Partition> PartitionDataset(const Dataset& data,
                                    const PartitionOptions& options) {
@@ -54,12 +77,13 @@ Result<Partition> PartitionDataset(const Dataset& data,
     heaps[p].emplace(0.0, partition.centroids[p]);
   }
 
+  std::vector<PairDistanceMemo> memos(data.num_attrs());
   auto nearest_part = [&](TupleId tid, bool require_space) {
     double best = std::numeric_limits<double>::infinity();
     size_t best_p = k;  // sentinel: no eligible part
     for (size_t p = 0; p < k; ++p) {
       if (require_space && heaps[p].size() >= partition.capacity) continue;
-      double d = TupleDistance(data, tid, partition.centroids[p], dist);
+      double d = MemoTupleDistance(data, tid, partition.centroids[p], dist, &memos);
       if (d < best) {
         best = d;
         best_p = p;

@@ -34,6 +34,7 @@ struct Partition {
 };
 
 /// Distance between two tuples: sum of attribute-wise string distances.
+/// Cells with equal dictionary ids are distance 0 without a kernel call.
 double TupleDistance(const Dataset& data, TupleId a, TupleId b,
                      const DistanceFn& dist);
 

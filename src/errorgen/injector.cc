@@ -68,10 +68,9 @@ Result<DirtyDataset> InjectErrors(const Dataset& clean, const RuleSet& rules,
   std::vector<bool> attr_used(clean.num_attrs(), false);
   if (spec.restrict_to_rule_attrs && !rules.empty()) {
     for (TupleId tid = 0; tid < static_cast<TupleId>(clean.num_rows()); ++tid) {
-      const auto& row = clean.row(tid);
       std::unordered_set<AttrId> attrs_here;
       for (const auto& rule : rules.rules()) {
-        if (!rule.InScope(row)) continue;
+        if (!rule.InScope(clean, tid)) continue;
         for (AttrId a : rule.attrs()) attrs_here.insert(a);
       }
       for (AttrId a : attrs_here) {
@@ -179,8 +178,8 @@ void AppendDuplicates(Dataset* data, double fraction, Rng* rng,
       std::llround(fraction * static_cast<double>(base_rows)));
   for (size_t i = 0; i < copies; ++i) {
     TupleId src = static_cast<TupleId>(rng->NextIndex(base_rows));
-    // Arity matches by construction; the error path is unreachable.
-    (void)data->Append(data->row(src));
+    // Same-dataset copy: the duplicate row is appended by id.
+    data->AppendRowFrom(*data, src);
     if (pairs != nullptr) {
       pairs->emplace_back(static_cast<TupleId>(data->num_rows() - 1), src);
     }

@@ -61,21 +61,33 @@ Result<MlnIndex> MlnIndex::Build(const Dataset& data, const RuleSet& rules,
     Block& block = index.blocks_[ri];
     block.rule_index = ri;
     auto& group_map = index.group_maps_[ri];
+    // Groups dedup on reason ids (γs carry them from grounding); the
+    // string key of the lookup map is built once per final group, for the
+    // FindGroup/ReindexBlock facade.
+    std::unordered_map<uint64_t, std::vector<size_t>> by_reason_ids;
     for (auto& g : grounds.ValueUnsafe()) {
-      std::string key = KeyOf(g.reason);
-      auto it = group_map.find(key);
-      size_t group_idx;
-      if (it == group_map.end()) {
-        group_idx = block.groups.size();
-        group_map.emplace(std::move(key), group_idx);
+      auto& bucket = by_reason_ids[HashValueIds(g.reason_ids)];
+      size_t group_idx = block.groups.size();
+      for (size_t gi : bucket) {
+        if (block.groups[gi].pieces.front().reason_ids == g.reason_ids) {
+          group_idx = gi;
+          break;
+        }
+      }
+      if (group_idx == block.groups.size()) {
+        bucket.push_back(group_idx);
+        group_map.emplace(KeyOf(g.reason), group_idx);
         Group group;
         group.key = g.reason;
         block.groups.push_back(std::move(group));
-      } else {
-        group_idx = it->second;
       }
-      block.groups[group_idx].pieces.push_back(
-          Piece{std::move(g.reason), std::move(g.result), std::move(g.tuples), 0.0});
+      Piece piece;
+      piece.reason = std::move(g.reason);
+      piece.result = std::move(g.result);
+      piece.tuples = std::move(g.tuples);
+      piece.reason_ids = std::move(g.reason_ids);
+      piece.result_ids = std::move(g.result_ids);
+      block.groups[group_idx].pieces.push_back(std::move(piece));
     }
   });
   for (const Status& status : statuses) {

@@ -28,53 +28,82 @@ std::string Piece::ToString(const Schema& schema,
   return out;
 }
 
-double PieceDistance(const Piece& a, const Piece& b, const DistanceFn& dist) {
+namespace {
+
+// Attribute-wise accumulation shared by the four distance entry points.
+// `use_ids` callers guarantee both γs carry complete id mirrors.
+template <bool kUseIds, bool kBounded>
+double Accumulate(const Piece& a, const Piece& b, const DistanceFn& dist,
+                  double bound) {
   double total = 0.0;
-  for (size_t i = 0; i < a.reason.size() && i < b.reason.size(); ++i) {
+  const size_t nr = std::min(a.reason.size(), b.reason.size());
+  for (size_t i = 0; i < nr; ++i) {
+    if (kUseIds) {
+      if (a.reason_ids[i] == b.reason_ids[i]) continue;
+    }
     total += dist(a.reason[i], b.reason[i]);
+    if (kBounded && total >= bound) return total;
   }
-  for (size_t i = 0; i < a.result.size() && i < b.result.size(); ++i) {
+  const size_t ns = std::min(a.result.size(), b.result.size());
+  for (size_t i = 0; i < ns; ++i) {
+    if (kUseIds) {
+      if (a.result_ids[i] == b.result_ids[i]) continue;
+    }
     total += dist(a.result[i], b.result[i]);
+    if (kBounded && total >= bound) return total;
   }
   return total;
 }
 
-void InternPieceValues(const Piece& piece, DistanceCache* cache,
-                       std::vector<ValueId>* out) {
-  out->clear();
-  for (const auto& v : piece.reason) out->push_back(cache->Intern(v));
-  for (const auto& v : piece.result) out->push_back(cache->Intern(v));
-}
+}  // namespace
 
-double CachedPieceDistance(const std::vector<ValueId>& a,
-                           const std::vector<ValueId>& b, DistanceCache* cache) {
-  double total = 0.0;
-  const size_t n = std::min(a.size(), b.size());
-  for (size_t i = 0; i < n; ++i) total += cache->Distance(a[i], b[i]);
-  return total;
+double PieceDistance(const Piece& a, const Piece& b, const DistanceFn& dist) {
+  if (a.has_ids() && b.has_ids()) {
+    return Accumulate<true, false>(a, b, dist, 0.0);
+  }
+  return Accumulate<false, false>(a, b, dist, 0.0);
 }
 
 double PieceDistanceBounded(const Piece& a, const Piece& b, const DistanceFn& dist,
                             double bound) {
-  double total = 0.0;
-  for (size_t i = 0; i < a.reason.size() && i < b.reason.size(); ++i) {
-    total += dist(a.reason[i], b.reason[i]);
-    if (total >= bound) return total;
+  if (a.has_ids() && b.has_ids()) {
+    return Accumulate<true, true>(a, b, dist, bound);
   }
-  for (size_t i = 0; i < a.result.size() && i < b.result.size(); ++i) {
-    total += dist(a.result[i], b.result[i]);
-    if (total >= bound) return total;
+  return Accumulate<false, true>(a, b, dist, bound);
+}
+
+double PieceDistanceMemo::Distance(const Piece& a, const Piece& b) {
+  if (!a.has_ids() || !b.has_ids()) return PieceDistance(a, b, *dist_);
+  const size_t nr = std::min(a.reason.size(), b.reason.size());
+  const size_t ns = std::min(a.result.size(), b.result.size());
+  if (per_attr_.size() < nr + ns) per_attr_.resize(nr + ns);
+  double total = 0.0;
+  for (size_t i = 0; i < nr; ++i) {
+    total += per_attr_[i].Distance(a.reason_ids[i], b.reason_ids[i], a.reason[i],
+                                   b.reason[i], *dist_);
+  }
+  for (size_t i = 0; i < ns; ++i) {
+    total += per_attr_[nr + i].Distance(a.result_ids[i], b.result_ids[i], a.result[i],
+                                        b.result[i], *dist_);
   }
   return total;
 }
 
-double CachedPieceDistanceBounded(const std::vector<ValueId>& a,
-                                  const std::vector<ValueId>& b,
-                                  DistanceCache* cache, double bound) {
+double PieceDistanceMemo::DistanceBounded(const Piece& a, const Piece& b,
+                                          double bound) {
+  if (!a.has_ids() || !b.has_ids()) return PieceDistanceBounded(a, b, *dist_, bound);
+  const size_t nr = std::min(a.reason.size(), b.reason.size());
+  const size_t ns = std::min(a.result.size(), b.result.size());
+  if (per_attr_.size() < nr + ns) per_attr_.resize(nr + ns);
   double total = 0.0;
-  const size_t n = std::min(a.size(), b.size());
-  for (size_t i = 0; i < n; ++i) {
-    total += cache->Distance(a[i], b[i]);
+  for (size_t i = 0; i < nr; ++i) {
+    total += per_attr_[i].Distance(a.reason_ids[i], b.reason_ids[i], a.reason[i],
+                                   b.reason[i], *dist_);
+    if (total >= bound) return total;
+  }
+  for (size_t i = 0; i < ns; ++i) {
+    total += per_attr_[nr + i].Distance(a.result_ids[i], b.result_ids[i], a.result[i],
+                                        b.result[i], *dist_);
     if (total >= bound) return total;
   }
   return total;

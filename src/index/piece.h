@@ -1,6 +1,12 @@
 // Piece of data (γ, Section 4): the attribute values of one tuple with
 // respect to one rule — reason-part values plus result-part values —
 // together with the set of tuples exhibiting exactly those values.
+//
+// Grounded pieces carry their values twice: as strings (for reports and
+// cross-shard weight merging) and as the source dataset's dictionary ids.
+// The stage-I distance scans compare ids first — equal ids are distance 0
+// without touching value bytes — and key the optional per-attribute memo
+// on id pairs.
 
 #ifndef MLNCLEAN_INDEX_PIECE_H_
 #define MLNCLEAN_INDEX_PIECE_H_
@@ -9,21 +15,31 @@
 #include <vector>
 
 #include "common/distance.h"
-#include "common/distance_cache.h"
+#include "common/distance_memo.h"
 #include "dataset/dataset.h"
 
 namespace mlnclean {
 
 /// A γ: one distinct (reason, result) binding inside a block, its
-/// supporting tuples, and its learned MLN weight.
+/// supporting tuples, and its learned MLN weight. `reason_ids`/
+/// `result_ids` mirror the value vectors as dictionary ids of the dataset
+/// the γ was grounded over (empty on hand-built pieces, in which case the
+/// distance paths fall back to plain string comparison).
 struct Piece {
   std::vector<Value> reason;
   std::vector<Value> result;
   std::vector<TupleId> tuples;
   double weight = 0.0;
+  std::vector<ValueId> reason_ids;
+  std::vector<ValueId> result_ids;
 
   /// Tuple support c(γ) (Eq. 4).
   size_t support() const { return tuples.size(); }
+
+  /// True when the id mirrors are populated for every value.
+  bool has_ids() const {
+    return reason_ids.size() == reason.size() && result_ids.size() == result.size();
+  }
 
   /// All values, reason part first (the unit RSC compares and replaces).
   std::vector<Value> AllValues() const;
@@ -35,19 +51,9 @@ struct Piece {
 
 /// Distance between two γs: the sum of attribute-wise distances over
 /// reason and result values (both γs must come from the same rule, so the
-/// attribute lists align).
+/// attribute lists align). Positions with equal dictionary ids cost an
+/// integer compare, not a kernel call.
 double PieceDistance(const Piece& a, const Piece& b, const DistanceFn& dist);
-
-/// Interns a γ's reason+result values into `cache`, writing the ids into
-/// `out` (cleared first; capacity is reused across calls).
-void InternPieceValues(const Piece& piece, DistanceCache* cache,
-                       std::vector<ValueId>* out);
-
-/// Memoized counterpart of PieceDistance over interned value ids. Both id
-/// vectors must come from same-rule γs (aligned attribute lists), which is
-/// always the case inside one block — the only place caches live.
-double CachedPieceDistance(const std::vector<ValueId>& a,
-                           const std::vector<ValueId>& b, DistanceCache* cache);
 
 /// PieceDistance with early abandon: stops accumulating attribute
 /// distances once the running sum reaches `bound` and returns it (some
@@ -56,9 +62,22 @@ double CachedPieceDistance(const std::vector<ValueId>& a,
 /// have won, so the selected minimum is unchanged.
 double PieceDistanceBounded(const Piece& a, const Piece& b, const DistanceFn& dist,
                             double bound);
-double CachedPieceDistanceBounded(const std::vector<ValueId>& a,
-                                  const std::vector<ValueId>& b,
-                                  DistanceCache* cache, double bound);
+
+/// Per-attribute-position id-pair memos for one block task. Same-rule γs
+/// align position-by-position, and each position draws from one
+/// attribute's dictionary, so position p gets its own PairDistanceMemo.
+/// Pieces without ids fall back to the unmemoized kernels.
+class PieceDistanceMemo {
+ public:
+  explicit PieceDistanceMemo(const DistanceFn& dist) : dist_(&dist) {}
+
+  double Distance(const Piece& a, const Piece& b);
+  double DistanceBounded(const Piece& a, const Piece& b, double bound);
+
+ private:
+  const DistanceFn* dist_;
+  std::vector<PairDistanceMemo> per_attr_;  // indexed by value position
+};
 
 }  // namespace mlnclean
 

@@ -1,27 +1,15 @@
 #include "mln/ground_rule.h"
 
-#include <unordered_map>
+#include <algorithm>
 
 namespace mlnclean {
 
 namespace {
 
-// Builds the reason\x1e result binding key straight from the row (values
-// gathered by attribute id), reusing `key`'s capacity across tuples so the
-// common repeated-binding case costs no allocation.
-void BindingKeyFromRow(const std::vector<Value>& row,
-                       const std::vector<AttrId>& reason_attrs,
-                       const std::vector<AttrId>& result_attrs, std::string* key) {
-  key->clear();
-  for (AttrId a : reason_attrs) {
-    *key += row[static_cast<size_t>(a)];
-    *key += '\x1f';
-  }
-  *key += '\x1e';
-  for (AttrId a : result_attrs) {
-    *key += row[static_cast<size_t>(a)];
-    *key += '\x1f';
-  }
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
 }
 
 }  // namespace
@@ -34,21 +22,64 @@ Result<std::vector<GroundRule>> GroundConstraint(const Dataset& data,
         "' is not index-compatible: DC reason predicates must be same-attribute "
         "equalities and the result predicate a same-attribute disequality");
   }
+  const auto& reason_attrs = rule.reason_attrs();
+  const auto& result_attrs = rule.result_attrs();
+  const size_t n_reason = reason_attrs.size();
+  const size_t arity = n_reason + result_attrs.size();
+  // Column pointers in binding order (reason attrs then result attrs).
+  std::vector<const ValueId*> cols;
+  cols.reserve(arity);
+  for (AttrId a : reason_attrs) cols.push_back(data.column(a).data());
+  for (AttrId a : result_attrs) cols.push_back(data.column(a).data());
+
+  const ScopeFilter scope = rule.MakeScopeFilter(data);
+  const auto num_rows = static_cast<TupleId>(data.num_rows());
+
   std::vector<GroundRule> out;
-  std::unordered_map<std::string, size_t> by_binding;
-  std::string key;
-  for (TupleId tid = 0; tid < static_cast<TupleId>(data.num_rows()); ++tid) {
-    const auto& row = data.row(tid);
-    if (!rule.InScope(row)) continue;
-    BindingKeyFromRow(row, rule.reason_attrs(), rule.result_attrs(), &key);
-    auto it = by_binding.find(key);
-    if (it == by_binding.end()) {
-      // First sight of this binding: materialize the γ's value vectors.
-      by_binding.emplace(key, out.size());
-      out.push_back(GroundRule{rule.ReasonValues(row), rule.ResultValues(row),
-                               {tid}, 0.0});
-    } else {
-      out[it->second].tuples.push_back(tid);
+  // Flat open-addressing binding table: slots hold (hash, γ index + 1);
+  // matches are confirmed against the stored γ's id vectors. Sized for the
+  // worst case (every tuple a distinct binding) so it never rehashes.
+  const size_t cap = NextPowerOfTwo(static_cast<size_t>(num_rows) * 2 + 1);
+  const size_t mask = cap - 1;
+  std::vector<uint64_t> slot_hash(cap);
+  std::vector<uint32_t> slot_idx(cap, 0);
+
+  std::vector<ValueId> ids(arity);
+  for (TupleId tid = 0; tid < num_rows; ++tid) {
+    if (!scope.InScope(tid)) continue;
+    for (size_t p = 0; p < arity; ++p) ids[p] = cols[p][tid];
+    const uint64_t h = HashValueIds(ids);
+    size_t i = h & mask;
+    while (true) {
+      if (slot_idx[i] == 0) {
+        // First sight of this binding: materialize the γ's value vectors
+        // from the dictionaries (once per distinct γ, not per tuple).
+        slot_hash[i] = h;
+        slot_idx[i] = static_cast<uint32_t>(out.size()) + 1;
+        GroundRule g;
+        g.reason_ids.assign(ids.begin(), ids.begin() + n_reason);
+        g.result_ids.assign(ids.begin() + n_reason, ids.end());
+        g.reason.reserve(n_reason);
+        for (size_t p = 0; p < n_reason; ++p) {
+          g.reason.push_back(data.dict(reason_attrs[p]).value(ids[p]));
+        }
+        g.result.reserve(arity - n_reason);
+        for (size_t p = n_reason; p < arity; ++p) {
+          g.result.push_back(data.dict(result_attrs[p - n_reason]).value(ids[p]));
+        }
+        g.tuples.push_back(tid);
+        out.push_back(std::move(g));
+        break;
+      }
+      if (slot_hash[i] == h) {
+        GroundRule& g = out[slot_idx[i] - 1];
+        if (std::equal(ids.begin(), ids.begin() + n_reason, g.reason_ids.begin()) &&
+            std::equal(ids.begin() + n_reason, ids.end(), g.result_ids.begin())) {
+          g.tuples.push_back(tid);
+          break;
+        }
+      }
+      i = (i + 1) & mask;
     }
   }
   return out;

@@ -3,6 +3,12 @@
 // index-compatible constraint is a distinct (reason values, result values)
 // combination together with its supporting tuples; its learned weight
 // reflects the probability of those attribute values being clean.
+//
+// Grounding runs entirely on the dataset's dictionary ids: per tuple it
+// gathers the rule's attribute ids straight from the columns, hashes the
+// id tuple, and dedups bindings in a flat open-addressing table — no
+// per-tuple key strings are built. Value strings are materialized once per
+// distinct γ, from the dictionaries.
 
 #ifndef MLNCLEAN_MLN_GROUND_RULE_H_
 #define MLNCLEAN_MLN_GROUND_RULE_H_
@@ -16,12 +22,15 @@
 namespace mlnclean {
 
 /// One ground MLN rule: a concrete binding of a rule's reason/result
-/// attributes, with the tuples exhibiting it.
+/// attributes, with the tuples exhibiting it. The `*_ids` vectors mirror
+/// the values as dictionary ids of the grounded-over dataset.
 struct GroundRule {
   std::vector<Value> reason;
   std::vector<Value> result;
   std::vector<TupleId> tuples;
   double weight = 0.0;
+  std::vector<ValueId> reason_ids;
+  std::vector<ValueId> result_ids;
 
   /// Number of supporting tuples (the c(γ) of Eq. 4).
   size_t support() const { return tuples.size(); }

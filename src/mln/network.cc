@@ -24,6 +24,26 @@ Result<AtomId> GroundNetwork::FindAtom(const std::string& name) const {
   return it->second;
 }
 
+AtomId GroundNetwork::AddCellAtom(TupleId tid, AttrId attr, ValueId value) {
+  const CellKey key{tid, attr, value};
+  auto it = cell_atom_ids_.find(key);
+  if (it != cell_atom_ids_.end()) return it->second;
+  // Printable name built exactly once per distinct cell atom.
+  AtomId id = AddAtom("t" + std::to_string(tid) + ":" + std::to_string(attr) + "=" +
+                      std::to_string(value));
+  cell_atom_ids_.emplace(key, id);
+  return id;
+}
+
+Result<AtomId> GroundNetwork::FindCellAtom(TupleId tid, AttrId attr,
+                                           ValueId value) const {
+  auto it = cell_atom_ids_.find(CellKey{tid, attr, value});
+  if (it == cell_atom_ids_.end()) {
+    return Status::NotFound("no atom for the given (tuple, attr, value id) cell");
+  }
+  return it->second;
+}
+
 Status GroundNetwork::AddClause(MlnClauseG clause) {
   if (clause.literals.empty()) {
     return Status::Invalid("clause must have at least one literal");

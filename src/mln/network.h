@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "dataset/dataset.h"
 
 namespace mlnclean {
 
@@ -50,6 +51,16 @@ class GroundNetwork {
   /// Looks up an existing atom.
   Result<AtomId> FindAtom(const std::string& name) const;
 
+  /// Adds (or finds) the atom "cell (tid, attr) takes the value with
+  /// dictionary id `value`". Candidate-domain networks draw their atoms
+  /// from an attribute's dictionary ids: the id triple is the lookup key,
+  /// so repeated queries never build name strings (the printable name is
+  /// materialized once, on first insertion).
+  AtomId AddCellAtom(TupleId tid, AttrId attr, ValueId value);
+
+  /// Looks up an existing cell atom by its id triple.
+  Result<AtomId> FindCellAtom(TupleId tid, AttrId attr, ValueId value) const;
+
   /// Adds a clause; every literal must reference an existing atom and
   /// soft weights must be non-negative.
   Status AddClause(MlnClauseG clause);
@@ -75,8 +86,30 @@ class GroundNetwork {
   double ViolationCost(const std::vector<bool>& world) const;
 
  private:
+  // Exact key of a cell atom; hashed as a mixed triple.
+  struct CellKey {
+    TupleId tid;
+    AttrId attr;
+    ValueId value;
+    bool operator==(const CellKey& o) const {
+      return tid == o.tid && attr == o.attr && value == o.value;
+    }
+  };
+  struct CellKeyHash {
+    size_t operator()(const CellKey& k) const {
+      uint64_t x = (static_cast<uint64_t>(static_cast<uint32_t>(k.tid)) << 32) |
+                   k.value;
+      x ^= static_cast<uint64_t>(static_cast<uint32_t>(k.attr)) << 17;
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      return static_cast<size_t>(x);
+    }
+  };
+
   std::vector<std::string> atom_names_;
   std::unordered_map<std::string, AtomId> atom_ids_;
+  std::unordered_map<CellKey, AtomId, CellKeyHash> cell_atom_ids_;
   std::vector<MlnClauseG> clauses_;
   std::vector<std::vector<size_t>> atom_clauses_;
 };

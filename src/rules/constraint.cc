@@ -169,26 +169,86 @@ std::vector<AttrId> Constraint::attrs() const {
   return out;
 }
 
-bool Constraint::InScope(const std::vector<Value>& row) const {
-  if (kind_ != RuleKind::kCfd) return true;
+namespace {
+
+// The row-based and columnar overload pairs below share these bodies;
+// `get(attr)` reads one cell of the tuple under test.
+
+template <typename GetCell>
+bool InScopeImpl(RuleKind kind, const std::vector<CfdPattern>& lhs_patterns,
+                 GetCell get) {
+  if (kind != RuleKind::kCfd) return true;
   bool has_constant = false;
-  for (const auto& p : lhs_patterns_) {
+  for (const auto& p : lhs_patterns) {
     if (!p.is_constant()) continue;
     has_constant = true;
-    if (row[static_cast<size_t>(p.attr)] == *p.constant) return true;
+    if (get(p.attr) == *p.constant) return true;
   }
   // A CFD without lhs constants behaves like an FD: every tuple in scope.
   return !has_constant;
 }
 
-bool Constraint::MatchesAllLhsConstants(const std::vector<Value>& row) const {
-  if (kind_ != RuleKind::kCfd) return true;
-  for (const auto& p : lhs_patterns_) {
-    if (p.is_constant() && row[static_cast<size_t>(p.attr)] != *p.constant) {
-      return false;
-    }
+template <typename GetCell>
+bool MatchesAllLhsConstantsImpl(RuleKind kind,
+                                const std::vector<CfdPattern>& lhs_patterns,
+                                GetCell get) {
+  if (kind != RuleKind::kCfd) return true;
+  for (const auto& p : lhs_patterns) {
+    if (p.is_constant() && get(p.attr) != *p.constant) return false;
   }
   return true;
+}
+
+template <typename GetCell>
+std::vector<Value> GatherValues(const std::vector<AttrId>& attrs, GetCell get) {
+  std::vector<Value> out;
+  out.reserve(attrs.size());
+  for (AttrId a : attrs) out.push_back(get(a));
+  return out;
+}
+
+// Cell accessors over the two tuple representations.
+auto CellOf(const std::vector<Value>& row) {
+  return [&row](AttrId a) -> const Value& { return row[static_cast<size_t>(a)]; };
+}
+auto CellOf(const Dataset& data, TupleId tid) {
+  return [&data, tid](AttrId a) -> const Value& { return data.at(tid, a); };
+}
+
+}  // namespace
+
+bool Constraint::InScope(const std::vector<Value>& row) const {
+  return InScopeImpl(kind_, lhs_patterns_, CellOf(row));
+}
+
+bool Constraint::InScope(const Dataset& data, TupleId tid) const {
+  return InScopeImpl(kind_, lhs_patterns_, CellOf(data, tid));
+}
+
+bool Constraint::MatchesAllLhsConstants(const std::vector<Value>& row) const {
+  return MatchesAllLhsConstantsImpl(kind_, lhs_patterns_, CellOf(row));
+}
+
+bool Constraint::MatchesAllLhsConstants(const Dataset& data, TupleId tid) const {
+  return MatchesAllLhsConstantsImpl(kind_, lhs_patterns_, CellOf(data, tid));
+}
+
+ScopeFilter Constraint::MakeScopeFilter(const Dataset& data) const {
+  // Mirrors InScopeImpl ("at least one lhs constant matches; a CFD
+  // without constants admits every tuple"), resolved to ids once.
+  ScopeFilter f;
+  if (kind_ != RuleKind::kCfd) return f;
+  bool has_constant = false;
+  for (const auto& p : lhs_patterns_) {
+    if (!p.is_constant()) continue;
+    has_constant = true;
+    ValueId id = data.dict(p.attr).Find(*p.constant);
+    if (id != kInvalidValueId) {
+      f.matchers_.emplace_back(&data.column(p.attr), id);
+    }
+  }
+  f.check_ = has_constant;
+  return f;
 }
 
 bool Constraint::IndexCompatible() const {
@@ -202,17 +262,19 @@ bool Constraint::IndexCompatible() const {
 }
 
 std::vector<Value> Constraint::ReasonValues(const std::vector<Value>& row) const {
-  std::vector<Value> out;
-  out.reserve(reason_attrs_.size());
-  for (AttrId a : reason_attrs_) out.push_back(row[static_cast<size_t>(a)]);
-  return out;
+  return GatherValues(reason_attrs_, CellOf(row));
+}
+
+std::vector<Value> Constraint::ReasonValues(const Dataset& data, TupleId tid) const {
+  return GatherValues(reason_attrs_, CellOf(data, tid));
 }
 
 std::vector<Value> Constraint::ResultValues(const std::vector<Value>& row) const {
-  std::vector<Value> out;
-  out.reserve(result_attrs_.size());
-  for (AttrId a : result_attrs_) out.push_back(row[static_cast<size_t>(a)]);
-  return out;
+  return GatherValues(result_attrs_, CellOf(row));
+}
+
+std::vector<Value> Constraint::ResultValues(const Dataset& data, TupleId tid) const {
+  return GatherValues(result_attrs_, CellOf(data, tid));
 }
 
 std::string Constraint::MlnClause(const Schema& schema) const {

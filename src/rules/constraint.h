@@ -45,6 +45,26 @@ struct CfdPattern {
   bool is_constant() const { return constant.has_value(); }
 };
 
+/// Id-resolved tuple-scope test bound to one dataset (see
+/// Constraint::MakeScopeFilter). Per tuple it compares column ids against
+/// pre-resolved CFD constant ids — no string compares on the hot path.
+class ScopeFilter {
+ public:
+  bool InScope(TupleId tid) const {
+    if (!check_) return true;
+    for (const auto& [col, id] : matchers_) {
+      if ((*col)[static_cast<size_t>(tid)] == id) return true;
+    }
+    return false;
+  }
+
+ private:
+  friend class Constraint;
+  bool check_ = false;  // false: every tuple in scope
+  // (column, constant id) per lhs constant present in the dictionary.
+  std::vector<std::pair<const std::vector<ValueId>*, ValueId>> matchers_;
+};
+
 /// An integrity constraint with its reason/result decomposition.
 ///
 /// * FD   `A1,..,Ak -> B1,..,Bm`: reason = lhs attrs, result = rhs attrs.
@@ -91,11 +111,21 @@ class Constraint {
   /// Whether a tuple contributes a piece of data (γ) to this rule's block.
   /// FDs and DCs admit every tuple. CFDs admit a tuple when it matches at
   /// least one lhs constant pattern — the membership criterion implied by
-  /// Figure 2 of the paper (see DESIGN.md).
+  /// Figure 2 of the paper (see DESIGN.md). The (data, tid) overload reads
+  /// the cells straight off the columns without materializing a row.
   bool InScope(const std::vector<Value>& row) const;
+  bool InScope(const Dataset& data, TupleId tid) const;
+
+  /// The scope test pre-resolved against `data`'s dictionaries for
+  /// whole-table scans (grounding): CFD lhs constants become ids up
+  /// front (a constant absent from an attribute's dictionary can never
+  /// match), and InScope(tid) is id compares only. The filter borrows
+  /// `data`'s columns and must not outlive them or survive appends.
+  ScopeFilter MakeScopeFilter(const Dataset& data) const;
 
   /// Whether a tuple matches *all* lhs constants (CFD antecedent holds).
   bool MatchesAllLhsConstants(const std::vector<Value>& row) const;
+  bool MatchesAllLhsConstants(const Dataset& data, TupleId tid) const;
 
   /// True when the index builder can use this rule: FDs, CFDs, and DCs
   /// whose reason predicates are same-attribute equalities and whose result
@@ -104,8 +134,10 @@ class Constraint {
 
   /// Reason-part values of a tuple (the group key of Section 4).
   std::vector<Value> ReasonValues(const std::vector<Value>& row) const;
+  std::vector<Value> ReasonValues(const Dataset& data, TupleId tid) const;
   /// Result-part values of a tuple.
   std::vector<Value> ResultValues(const std::vector<Value>& row) const;
+  std::vector<Value> ResultValues(const Dataset& data, TupleId tid) const;
 
   /// Clausal MLN form, e.g. "!CT | ST" for the FD CT -> ST (Section 3).
   std::string MlnClause(const Schema& schema) const;

@@ -1,47 +1,49 @@
 #include "rules/violation.h"
 
-#include <map>
+#include <cstdint>
 #include <unordered_map>
-
-#include "common/string_util.h"
 
 namespace mlnclean {
 
 namespace {
 
-// Joins values with an unlikely separator to form a hash key.
-std::string KeyOf(const std::vector<Value>& values) {
-  std::string key;
-  for (const auto& v : values) {
-    key += v;
-    key += '\x1f';
-  }
-  return key;
-}
-
-// FD-style detection: group tuples by reason key; a group whose tuples
-// disagree on the result values is a violation.
+// FD-style detection: group tuples by their reason-part dictionary ids; a
+// group whose tuples disagree on the result ids is a violation. Within one
+// dataset, id equality is value equality, so no keys or value strings are
+// built. Groups are emitted in first-appearance order.
 void DetectGrouped(const Dataset& data, const Constraint& rule, size_t rule_index,
                    bool require_all_constants, std::vector<Violation>* out) {
-  std::unordered_map<std::string, std::vector<TupleId>> groups;
+  const std::vector<AttrId>& reason_attrs = rule.reason_attrs();
+  const std::vector<AttrId>& result_attrs = rule.result_attrs();
+  std::vector<std::vector<TupleId>> groups;
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
   for (TupleId tid = 0; tid < static_cast<TupleId>(data.num_rows()); ++tid) {
-    const auto& row = data.row(tid);
-    if (require_all_constants && !rule.MatchesAllLhsConstants(row)) continue;
-    groups[KeyOf(rule.ReasonValues(row))].push_back(tid);
+    if (require_all_constants && !rule.MatchesAllLhsConstants(data, tid)) continue;
+    auto& bucket = buckets[HashRowIds(data, tid, reason_attrs)];
+    size_t group_idx = groups.size();
+    for (size_t gi : bucket) {
+      if (SameRowIds(data, groups[gi].front(), tid, reason_attrs)) {
+        group_idx = gi;
+        break;
+      }
+    }
+    if (group_idx == groups.size()) {
+      bucket.push_back(group_idx);
+      groups.emplace_back();
+    }
+    groups[group_idx].push_back(tid);
   }
-  for (auto& [key, tids] : groups) {
-    (void)key;
+  for (const auto& tids : groups) {
     if (tids.size() < 2) continue;
-    const std::string first = KeyOf(rule.ResultValues(data.row(tids[0])));
     bool conflict = false;
     for (size_t i = 1; i < tids.size(); ++i) {
-      if (KeyOf(rule.ResultValues(data.row(tids[i]))) != first) {
+      if (!SameRowIds(data, tids[0], tids[i], result_attrs)) {
         conflict = true;
         break;
       }
     }
     if (conflict) {
-      out->push_back(Violation{rule_index, tids, rule.result_attrs()});
+      out->push_back(Violation{rule_index, tids, result_attrs});
     }
   }
 }
@@ -51,10 +53,9 @@ void DetectGrouped(const Dataset& data, const Constraint& rule, size_t rule_inde
 void DetectCfdConstants(const Dataset& data, const Constraint& rule,
                         size_t rule_index, std::vector<Violation>* out) {
   for (TupleId tid = 0; tid < static_cast<TupleId>(data.num_rows()); ++tid) {
-    const auto& row = data.row(tid);
-    if (!rule.MatchesAllLhsConstants(row)) continue;
+    if (!rule.MatchesAllLhsConstants(data, tid)) continue;
     for (const auto& p : rule.rhs_patterns()) {
-      if (p.is_constant() && row[static_cast<size_t>(p.attr)] != *p.constant) {
+      if (p.is_constant() && data.at(tid, p.attr) != *p.constant) {
         out->push_back(Violation{rule_index, {tid}, {p.attr}});
         break;
       }

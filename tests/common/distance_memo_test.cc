@@ -1,0 +1,71 @@
+#include "common/distance_memo.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mlnclean {
+namespace {
+
+TEST(PairDistanceMemoTest, EqualIdsSkipKernelEntirely) {
+  size_t calls = 0;
+  DistanceFn counting = [&](std::string_view a, std::string_view b) {
+    ++calls;
+    return static_cast<double>(Levenshtein(a, b));
+  };
+  PairDistanceMemo memo;
+  EXPECT_DOUBLE_EQ(memo.Distance(7, 7, "whatever", "whatever", counting), 0.0);
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(memo.hits(), 1u);
+  EXPECT_EQ(memo.num_cached_pairs(), 0u);
+}
+
+TEST(PairDistanceMemoTest, MemoizesSymmetricPairs) {
+  size_t calls = 0;
+  DistanceFn counting = [&](std::string_view a, std::string_view b) {
+    ++calls;
+    return static_cast<double>(Levenshtein(a, b));
+  };
+  PairDistanceMemo memo;
+  EXPECT_DOUBLE_EQ(memo.Distance(1, 2, "DOTH", "DOTHAN", counting), 2.0);
+  EXPECT_EQ(calls, 1u);
+  // Repeat and the reversed order both hit the memo.
+  EXPECT_DOUBLE_EQ(memo.Distance(1, 2, "DOTH", "DOTHAN", counting), 2.0);
+  EXPECT_DOUBLE_EQ(memo.Distance(2, 1, "DOTHAN", "DOTH", counting), 2.0);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(memo.num_cached_pairs(), 1u);
+  EXPECT_EQ(memo.hits(), 2u);
+  EXPECT_EQ(memo.misses(), 1u);
+}
+
+TEST(PairDistanceMemoTest, SurvivesGrowthWithManyPairs) {
+  DistanceFn lev = MakeDistanceFn(DistanceMetric::kLevenshtein);
+  PairDistanceMemo memo;
+  // Enough distinct pairs to force several table growths; values are the
+  // decimal renderings of the ids.
+  std::vector<std::string> values;
+  values.reserve(200);
+  for (int i = 0; i < 200; ++i) values.push_back(std::to_string(i));
+  for (ValueId a = 0; a < 200; ++a) {
+    for (ValueId b = a + 1; b < 200; b += 7) {
+      double expected = static_cast<double>(Levenshtein(values[a], values[b]));
+      EXPECT_DOUBLE_EQ(memo.Distance(a, b, values[a], values[b], lev), expected);
+    }
+  }
+  const size_t pairs = memo.num_cached_pairs();
+  EXPECT_GT(pairs, 256u);  // grew past the initial table
+  // A full re-query is all hits.
+  const size_t misses_before = memo.misses();
+  for (ValueId a = 0; a < 200; ++a) {
+    for (ValueId b = a + 1; b < 200; b += 7) {
+      double expected = static_cast<double>(Levenshtein(values[a], values[b]));
+      EXPECT_DOUBLE_EQ(memo.Distance(a, b, values[a], values[b], lev), expected);
+    }
+  }
+  EXPECT_EQ(memo.misses(), misses_before);
+  EXPECT_EQ(memo.num_cached_pairs(), pairs);
+}
+
+}  // namespace
+}  // namespace mlnclean

@@ -77,6 +77,80 @@ TEST(DatasetTest, EmptyValueIsNull) {
   Schema s = *Schema::Make({"A"});
   Dataset d = *Dataset::Make(s, {{""}});
   EXPECT_EQ(d.at(0, 0), "");
+  EXPECT_EQ(d.id_at(0, 0), kNullValueId);
+}
+
+TEST(DatasetTest, CsvRoundTripWithNullsAndDuplicates) {
+  Schema s = *Schema::Make({"A", "B"});
+  Dataset d = *Dataset::Make(
+      s, {{"x", ""}, {"", "x"}, {"x", "x"}, {"", ""}, {"x", "y"}});
+  auto back = Dataset::FromCsv(WriteCsv(d.ToCsv()));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, d);
+  // Domains survive the round trip, NULL at its first-appearance rank.
+  EXPECT_EQ(back->Domain(0), (std::vector<Value>{"x", ""}));
+  EXPECT_EQ(back->Domain(1), (std::vector<Value>{"", "x", "y"}));
+}
+
+TEST(DatasetTest, DuplicateValuesShareOneId) {
+  Dataset d = MakeSmall();  // column A = x, y, x
+  EXPECT_EQ(d.id_at(0, 0), d.id_at(2, 0));
+  EXPECT_NE(d.id_at(0, 0), d.id_at(1, 0));
+  EXPECT_EQ(d.dict(0).size(), 3u);  // NULL + x + y
+}
+
+TEST(DatasetTest, SetWithNovelValueGrowsDictionary) {
+  Dataset d = MakeSmall();
+  const size_t before = d.dict(0).size();
+  d.set(1, 0, "novel");
+  EXPECT_EQ(d.dict(0).size(), before + 1);
+  EXPECT_EQ(d.at(1, 0), "novel");
+  // Setting an existing value reuses its id instead of growing.
+  d.set(1, 0, "x");
+  EXPECT_EQ(d.dict(0).size(), before + 1);
+  EXPECT_EQ(d.id_at(1, 0), d.id_at(0, 0));
+  // The overwritten value stays in the attribute's domain (the dictionary
+  // never forgets), in first-appearance order.
+  EXPECT_EQ(d.Domain(0), (std::vector<Value>{"x", "y", "novel"}));
+}
+
+TEST(DatasetTest, CloneSharesIdUniverse) {
+  Dataset d = MakeSmall();
+  Dataset copy = d.Clone();
+  for (TupleId t = 0; t < 3; ++t) {
+    for (AttrId a = 0; a < 2; ++a) {
+      EXPECT_EQ(copy.id_at(t, a), d.id_at(t, a));
+    }
+  }
+  // Writing an original id into the clone round-trips through strings.
+  copy.set_id(1, 0, d.id_at(0, 0));
+  EXPECT_EQ(copy.at(1, 0), "x");
+  EXPECT_EQ(d.at(1, 0), "y");  // deep copy: the original is untouched
+}
+
+TEST(DatasetTest, EmptyLikeAndAppendRowFrom) {
+  Dataset d = MakeSmall();
+  Dataset out = Dataset::EmptyLike(d);
+  EXPECT_EQ(out.num_rows(), 0u);
+  EXPECT_EQ(out.dict(0).size(), d.dict(0).size());
+  out.AppendRowFrom(d, 2);
+  out.AppendRowFrom(d, 0);
+  EXPECT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.row(0), (std::vector<Value>{"x", "3"}));
+  EXPECT_EQ(out.row(1), (std::vector<Value>{"x", "1"}));
+  EXPECT_EQ(out.id_at(0, 0), d.id_at(2, 0));
+}
+
+TEST(DatasetTest, EqualityIgnoresIdAssignment) {
+  // Same content, different intern order: b's dictionary assigns different
+  // ids than a's, but the tables are equal.
+  Schema s = *Schema::Make({"A"});
+  Dataset a = *Dataset::Make(s, {{"x"}, {"y"}});
+  Dataset b = *Dataset::Make(s, {{"y"}, {"y"}});
+  b.set(0, 0, "x");
+  b.set(1, 0, "y");
+  EXPECT_NE(a.id_at(0, 0), b.id_at(0, 0));
+  EXPECT_TRUE(a == b);
 }
 
 }  // namespace

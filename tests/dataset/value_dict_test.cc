@@ -1,0 +1,97 @@
+#include "dataset/value_dict.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mlnclean {
+namespace {
+
+TEST(ValueDictTest, NullIsIdZeroFromConstruction) {
+  ValueDict d;
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.value(kNullValueId), "");
+  EXPECT_FALSE(d.null_used());
+  EXPECT_EQ(d.Intern(""), kNullValueId);
+  EXPECT_TRUE(d.null_used());
+}
+
+TEST(ValueDictTest, InternIsIdempotentAndDense) {
+  ValueDict d;
+  ValueId x = d.Intern("x");
+  ValueId y = d.Intern("y");
+  EXPECT_EQ(x, 1u);
+  EXPECT_EQ(y, 2u);
+  EXPECT_EQ(d.Intern("x"), x);
+  EXPECT_EQ(d.Intern("y"), y);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.value(x), "x");
+  EXPECT_EQ(d.value(y), "y");
+}
+
+TEST(ValueDictTest, FindDoesNotInsert) {
+  ValueDict d;
+  EXPECT_EQ(d.Find("missing"), kInvalidValueId);
+  EXPECT_EQ(d.size(), 1u);
+  ValueId x = d.Intern("x");
+  EXPECT_EQ(d.Find("x"), x);
+  EXPECT_EQ(d.Find(""), kNullValueId);
+  // Find("") must not count as a null *use*.
+  EXPECT_FALSE(d.null_used());
+}
+
+TEST(ValueDictTest, DomainOrdersNullAtFirstUse) {
+  ValueDict d;
+  d.Intern("x");
+  d.Intern("");
+  d.Intern("y");
+  d.Intern("x");
+  EXPECT_EQ(d.FirstAppearanceDomain(), (std::vector<Value>{"x", "", "y"}));
+}
+
+TEST(ValueDictTest, DomainOmitsUnusedNullAndHandlesEdges) {
+  ValueDict no_null;
+  no_null.Intern("a");
+  no_null.Intern("b");
+  EXPECT_EQ(no_null.FirstAppearanceDomain(), (std::vector<Value>{"a", "b"}));
+
+  ValueDict null_first;
+  null_first.Intern("");
+  null_first.Intern("a");
+  EXPECT_EQ(null_first.FirstAppearanceDomain(), (std::vector<Value>{"", "a"}));
+
+  ValueDict null_last;
+  null_last.Intern("a");
+  null_last.Intern("");
+  EXPECT_EQ(null_last.FirstAppearanceDomain(), (std::vector<Value>{"a", ""}));
+
+  ValueDict only_null;
+  only_null.Intern("");
+  EXPECT_EQ(only_null.FirstAppearanceDomain(), (std::vector<Value>{""}));
+
+  ValueDict empty;
+  EXPECT_TRUE(empty.FirstAppearanceDomain().empty());
+}
+
+TEST(ValueDictTest, ReferencesSurviveGrowth) {
+  ValueDict d;
+  ValueId first = d.Intern("stable-value");
+  const Value& ref = d.value(first);
+  // Force several rehashes of the slot table and growth of the storage.
+  for (int i = 0; i < 5000; ++i) {
+    d.Intern("v" + std::to_string(i));
+  }
+  EXPECT_EQ(ref, "stable-value");
+  EXPECT_EQ(d.Find("stable-value"), first);
+  // Every id still resolves after rehashing.
+  for (int i = 0; i < 5000; ++i) {
+    std::string v = "v" + std::to_string(i);
+    ValueId id = d.Find(v);
+    ASSERT_NE(id, kInvalidValueId);
+    EXPECT_EQ(d.value(id), v);
+  }
+}
+
+}  // namespace
+}  // namespace mlnclean

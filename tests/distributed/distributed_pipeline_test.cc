@@ -2,12 +2,42 @@
 
 #include <gtest/gtest.h>
 
+#include "cleaning/pipeline.h"
+#include "datagen/hospital.h"
 #include "datagen/tpch.h"
 #include "errorgen/injector.h"
 #include "eval/metrics.h"
 
 namespace mlnclean {
 namespace {
+
+struct HospitalFixture {
+  Workload wl = *[] {
+    HospitalConfig config;
+    config.num_hospitals = 40;
+    config.num_measures = 10;
+    return MakeHospitalWorkload(config);
+  }();
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules,
+                                  ErrorSpec{.error_rate = 0.05, .seed = 7});
+};
+
+// Content-identical copy whose dictionaries assign different ids (each
+// attribute's domain is interned in reverse before the rows are appended).
+Dataset WithPermutedIds(const Dataset& d) {
+  Dataset out(d.schema());
+  for (AttrId a = 0; a < static_cast<AttrId>(d.num_attrs()); ++a) {
+    std::vector<Value> domain = d.Domain(a);
+    for (auto it = domain.rbegin(); it != domain.rend(); ++it) {
+      out.InternValue(a, *it);
+    }
+  }
+  out.Reserve(d.num_rows());
+  for (TupleId t = 0; t < static_cast<TupleId>(d.num_rows()); ++t) {
+    EXPECT_TRUE(out.Append(d.row(t)).ok());
+  }
+  return out;
+}
 
 struct TpchFixture {
   Workload wl = *MakeTpchWorkload({.num_customers = 40, .num_rows = 1200});
@@ -99,6 +129,50 @@ TEST(DistributedTest, InvalidOptionsRejected) {
   opts.num_parts = 2;
   opts.num_workers = 0;
   EXPECT_FALSE(DistributedMlnClean(opts).Clean(f.dd.dirty, f.wl.rules).ok());
+}
+
+TEST(DistributedTest, SinglePartMatchesSingleNodeOnHospital) {
+  // Partition into one shard -> per-shard clean -> merge must reproduce
+  // the single-node pipeline exactly: the shard ships with the global
+  // dictionaries, cleans by id, and the merge remaps every id back. Any
+  // drift in the ship/remap round trip shows up as a cell difference.
+  HospitalFixture f;
+  CleaningOptions copts;
+  copts.agp_threshold = 3;
+  auto single = MlnCleanPipeline(copts).Clean(f.dd.dirty, f.wl.rules);
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+
+  DistributedOptions opts;
+  opts.num_parts = 1;
+  opts.num_workers = 2;
+  opts.cleaning = copts;
+  auto distr = DistributedMlnClean(opts).Clean(f.dd.dirty, f.wl.rules);
+  ASSERT_TRUE(distr.ok()) << distr.status().ToString();
+  EXPECT_EQ(distr->cleaned, single->cleaned);
+  EXPECT_EQ(distr->deduped, single->deduped);
+}
+
+TEST(DistributedTest, DictionaryIdAssignmentDoesNotChangeResult) {
+  // The whole partition -> per-shard clean -> merge path must depend only
+  // on cell *values*, never on how dictionaries happen to number them: a
+  // content-identical dirty table with permuted ids yields a bit-identical
+  // cleaned table. This pins the id-remapping merge (a shard id passed
+  // through or re-interned wrongly would surface as a value difference).
+  HospitalFixture f;
+  Dataset permuted = WithPermutedIds(f.dd.dirty);
+  ASSERT_TRUE(permuted == f.dd.dirty);
+  ASSERT_NE(permuted.id_at(0, 2), f.dd.dirty.id_at(0, 2));  // ids really differ
+
+  DistributedOptions opts;
+  opts.num_parts = 3;
+  opts.num_workers = 2;
+  opts.cleaning.agp_threshold = 3;
+  auto a = DistributedMlnClean(opts).Clean(f.dd.dirty, f.wl.rules);
+  auto b = DistributedMlnClean(opts).Clean(permuted, f.wl.rules);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->cleaned, b->cleaned);
+  EXPECT_EQ(a->deduped, b->deduped);
 }
 
 TEST(DistributedTest, PartsClampedToRowCount) {

@@ -50,6 +50,30 @@ TEST(GroundRuleTest, SupportCountsTable1) {
   EXPECT_EQ(total, dirty.num_rows());  // every tuple contributes one γ
 }
 
+TEST(GroundRuleTest, GroundRulesCarryDictionaryIds) {
+  // Every γ's id vectors mirror its value vectors through the dataset's
+  // per-attribute dictionaries.
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  for (size_t ri = 0; ri < rules.size(); ++ri) {
+    const Constraint& rule = rules.rule(ri);
+    auto grounds = GroundConstraint(dirty, rule);
+    ASSERT_TRUE(grounds.ok()) << grounds.status().ToString();
+    for (const auto& g : *grounds) {
+      ASSERT_EQ(g.reason_ids.size(), g.reason.size());
+      ASSERT_EQ(g.result_ids.size(), g.result.size());
+      for (size_t i = 0; i < g.reason.size(); ++i) {
+        EXPECT_EQ(dirty.dict(rule.reason_attrs()[i]).value(g.reason_ids[i]),
+                  g.reason[i]);
+      }
+      for (size_t i = 0; i < g.result.size(); ++i) {
+        EXPECT_EQ(dirty.dict(rule.result_attrs()[i]).value(g.result_ids[i]),
+                  g.result[i]);
+      }
+    }
+  }
+}
+
 TEST(GroundRuleTest, CfdScopeRestrictsGrounding) {
   // Block B3 of Figure 2: only the ELIZA tuples ground r3, yielding two
   // distinct γs.

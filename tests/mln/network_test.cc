@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "mln/gibbs.h"
+
 namespace mlnclean {
 namespace {
 
@@ -67,6 +69,51 @@ TEST(GroundNetworkTest, ClausesOfTracksMembership) {
   ASSERT_TRUE(net.AddClause({{{a, false}, {b, true}}, 1.0, false}).ok());
   EXPECT_EQ(net.clauses_of(a).size(), 2u);
   EXPECT_EQ(net.clauses_of(b).size(), 1u);
+}
+
+TEST(GroundNetworkTest, CellAtomsKeyOnIdTriples) {
+  GroundNetwork net;
+  AtomId a = net.AddCellAtom(3, 1, 7);
+  EXPECT_EQ(net.AddCellAtom(3, 1, 7), a);  // dedup on the id triple
+  AtomId b = net.AddCellAtom(3, 1, 8);     // different candidate value
+  AtomId c = net.AddCellAtom(3, 2, 7);     // different attribute
+  AtomId d = net.AddCellAtom(4, 1, 7);     // different tuple
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(net.num_atoms(), 4u);
+  EXPECT_EQ(*net.FindCellAtom(3, 1, 7), a);
+  EXPECT_TRUE(net.FindCellAtom(9, 9, 9).status().IsNotFound());
+}
+
+TEST(GroundNetworkTest, CellAtomDomainFromDictionaryIds) {
+  // Candidate-domain network for one cell: one atom per dictionary id of
+  // the attribute's domain, weighted clauses, Gibbs marginals favour the
+  // higher-weight candidate — the atoms never route through name strings.
+  Schema s = *Schema::Make({"CT"});
+  Dataset data = *Dataset::Make(s, {{"DOTHAN"}, {"DOTH"}, {"DOTHAN"}});
+  GroundNetwork net;
+  std::vector<AtomId> candidates;
+  for (ValueId id = 1; id < static_cast<ValueId>(data.dict(0).size()); ++id) {
+    AtomId atom = net.AddCellAtom(/*tid=*/1, /*attr=*/0, id);
+    candidates.push_back(atom);
+    // Weight by support of the value in the column.
+    double support = 0.0;
+    for (ValueId cell : data.column(0)) {
+      if (cell == id) support += 1.0;
+    }
+    ASSERT_TRUE(net.AddClause({{{atom, true}}, support, false}).ok());
+  }
+  ASSERT_EQ(candidates.size(), 2u);
+  GibbsOptions opts;
+  opts.burn_in_sweeps = 100;
+  opts.sample_sweeps = 1500;
+  auto marginals = GibbsMarginals(net, opts);
+  // DOTHAN (support 2) must dominate DOTH (support 1).
+  AtomId dothan = *net.FindCellAtom(1, 0, data.dict(0).Find("DOTHAN"));
+  AtomId doth = *net.FindCellAtom(1, 0, data.dict(0).Find("DOTH"));
+  EXPECT_GT(marginals[static_cast<size_t>(dothan)],
+            marginals[static_cast<size_t>(doth)]);
 }
 
 }  // namespace

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Diffs a fresh micro_kernels run against the committed baseline.
+
+Usage: bench_compare.py BASELINE.json FRESH.json [--threshold 0.25]
+
+Fails (exit 1) when any BM_* benchmark's real_time regressed by more than
+the threshold relative to the committed baseline, or when a baseline
+benchmark disappeared from the fresh run (silently dropping coverage must
+be an explicit baseline update, not an accident). New benchmarks that have
+no baseline entry are reported but never fail the run — committing a
+refreshed BENCH_micro.json is how they join the gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed relative real_time regression")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    failures = []
+    for name in sorted(base.keys() | fresh.keys()):
+        if name not in fresh:
+            failures.append(f"{name}: present in baseline but missing from the fresh run")
+            continue
+        new_time, unit = fresh[name]
+        if name not in base:
+            print(f"NEW   {name}: {new_time:.0f} {unit} (no baseline; not gated)")
+            continue
+        old_time, old_unit = base[name]
+        if unit != old_unit:
+            failures.append(f"{name}: time unit changed {old_unit} -> {unit}")
+            continue
+        ratio = new_time / old_time if old_time > 0 else float("inf")
+        status = "OK   "
+        if ratio > 1.0 + args.threshold:
+            status = "FAIL "
+            failures.append(
+                f"{name}: {old_time:.0f} -> {new_time:.0f} {unit} "
+                f"({(ratio - 1.0) * 100:+.1f}%, threshold +{args.threshold * 100:.0f}%)")
+        print(f"{status}{name}: {old_time:.0f} -> {new_time:.0f} {unit} "
+              f"({(ratio - 1.0) * 100:+.1f}%)")
+
+    if failures:
+        print("\nPerf gate failed:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("(If the regression is intentional, refresh BENCH_micro.json "
+              "at the repo root in the same PR.)", file=sys.stderr)
+        return 1
+    print("\nPerf gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
