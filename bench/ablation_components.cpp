@@ -12,8 +12,8 @@ namespace {
 
 double RunWith(const Workload& wl, const DirtyDataset& dd,
                const CleaningOptions& options) {
-  MlnCleanPipeline cleaner(options);
-  auto result = *cleaner.Clean(dd.dirty, wl.rules);
+  CleanModel model = *CleaningEngine(options).Compile(wl.clean.schema(), wl.rules);
+  auto result = *model.Clean(dd.dirty);
   return EvaluateRepair(dd.dirty, result.cleaned, dd.truth).F1();
 }
 

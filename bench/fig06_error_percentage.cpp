@@ -14,10 +14,13 @@ int main() {
     Header(("Figure 6: error percentage sweep on " + wl.name).c_str());
     std::printf("%6s  %12s  %12s  %14s  %14s\n", "err%", "MLNClean_F1",
                 "HoloClean_F1", "MLNClean_s", "HoloClean_s");
+    // One compiled model serves the whole sweep (fresh weights per run:
+    // each rate is an independent corruption of the same table).
+    CleanModel model =
+        *CleaningEngine(Options(wl)).Compile(wl.clean.schema(), wl.rules);
     for (double rate : kRates) {
       DirtyDataset dd = Corrupt(wl, rate);
-      MlnCleanPipeline cleaner(Options(wl));
-      auto mln = *cleaner.Clean(dd.dirty, wl.rules);
+      auto mln = *model.Clean(dd.dirty);
       RepairMetrics mm = EvaluateRepair(dd.dirty, mln.cleaned, dd.truth);
 
       HoloCleanBaseline baseline;

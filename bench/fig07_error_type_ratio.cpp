@@ -12,10 +12,11 @@ int main() {
   for (Workload wl : {Car(), Hai()}) {
     Header(("Figure 7: error type ratio sweep on " + wl.name).c_str());
     std::printf("%6s  %12s  %12s\n", "Rret%", "MLNClean_F1", "HoloClean_F1");
+    CleanModel model =
+        *CleaningEngine(Options(wl)).Compile(wl.clean.schema(), wl.rules);
     for (double rret : kRatios) {
       DirtyDataset dd = Corrupt(wl, 0.05, rret);
-      MlnCleanPipeline cleaner(Options(wl));
-      auto mln = *cleaner.Clean(dd.dirty, wl.rules);
+      auto mln = *model.Clean(dd.dirty);
       HoloCleanBaseline baseline;
       auto hc = *baseline.CleanWithOracle(dd.dirty, wl.rules, dd.truth);
       std::printf("%6.0f  %12.3f  %12.3f\n", rret * 100,

@@ -16,8 +16,9 @@ int main() {
     for (size_t tau = 0; tau <= max_tau; tau += (wl.name == "CAR" ? 1 : 2)) {
       CleaningOptions options = Options(wl);
       options.agp_threshold = tau;
-      MlnCleanPipeline cleaner(options);
-      auto result = *cleaner.Clean(dd.dirty, wl.rules);
+      CleanModel model =
+          *CleaningEngine(options).Compile(wl.clean.schema(), wl.rules);
+      auto result = *model.Clean(dd.dirty);
       std::printf("%6zu  %12.3f  %14.3f\n", tau,
                   EvaluateRepair(dd.dirty, result.cleaned, dd.truth).F1(),
                   result.report.timings.total);

@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "bench_util.h"
 #include "cleaning/agp.h"
 #include "cleaning/rsc.h"
@@ -183,6 +186,56 @@ void BM_FullPipeline(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullPipeline)->Arg(1)->Arg(8);
+
+// Serving amortization (the CleaningEngine contract): K micro-batches
+// cleaned against one prepared model — compiled once, Eq. 6 weight store
+// warmed on the first batch, per-batch sessions reusing the stored
+// weights instead of running Newton — vs K cold one-shot
+// MlnCleanPipeline::Clean runs. Everything else (trace collection, thread
+// count) is identical, so the delta is the amortized compile+learn cost.
+// Arg 0 = cold, Arg 1 = prepared model.
+const std::vector<Dataset>& ServeBatches() {
+  static const std::vector<Dataset> batches = [] {
+    const Dataset& dirty = SharedDirty().dirty;
+    const size_t k = 8;
+    const size_t chunk = (dirty.num_rows() + k - 1) / k;
+    std::vector<Dataset> out;
+    for (size_t begin = 0; begin < dirty.num_rows(); begin += chunk) {
+      out.push_back(dirty.Slice(begin, begin + chunk));
+    }
+    return out;
+  }();
+  return batches;
+}
+
+void BM_ServeBatch(benchmark::State& state) {
+  const Workload& wl = SharedHai();
+  const std::vector<Dataset>& batches = ServeBatches();
+  CleaningOptions options = Options(wl);
+  if (state.range(0) != 0) {
+    CleanModel model =
+        *CleaningEngine(options).Compile(wl.clean.schema(), wl.rules);
+    if (!model.Warm(batches.front()).ok()) {
+      state.SkipWithError("warmup failed");
+      return;
+    }
+    SessionOptions serve;
+    serve.reuse_model_weights = true;
+    for (auto _ : state) {
+      for (const Dataset& batch : batches) {
+        benchmark::DoNotOptimize(model.Clean(batch, serve));
+      }
+    }
+  } else {
+    MlnCleanPipeline cleaner(options);
+    for (auto _ : state) {
+      for (const Dataset& batch : batches) {
+        benchmark::DoNotOptimize(cleaner.Clean(batch, wl.rules));
+      }
+    }
+  }
+}
+BENCHMARK(BM_ServeBatch)->Arg(0)->Arg(1);
 
 void BM_Partition(benchmark::State& state) {
   const DirtyDataset& dd = SharedDirty();

@@ -20,8 +20,9 @@ int main() {
                                   DistanceMetric::kDamerau}) {
       CleaningOptions options = Options(wl);
       options.distance = metric;
-      MlnCleanPipeline cleaner(options);
-      auto result = *cleaner.Clean(dd.dirty, wl.rules);
+      CleanModel model =
+          *CleaningEngine(options).Compile(wl.clean.schema(), wl.rules);
+      auto result = *model.Clean(dd.dirty);
       f1[i++] = EvaluateRepair(dd.dirty, result.cleaned, dd.truth).F1();
     }
     std::printf("%8s  %14.3f  %10.3f  %10.3f\n", wl.name.c_str(), f1[0], f1[1],

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "mlnclean/internal.h"  // Rng, for the duplicate injection below
 #include "mlnclean/mlnclean.h"
 
 using namespace mlnclean;
@@ -33,8 +34,8 @@ int main() {
 
   CleaningOptions options;
   options.agp_threshold = 2;
-  MlnCleanPipeline cleaner(options);
-  CleanResult result = *cleaner.Clean(dd.dirty, wl.rules);
+  CleanModel model = *CleaningEngine(options).Compile(dd.dirty.schema(), wl.rules);
+  CleanResult result = *model.Clean(dd.dirty);
 
   RepairMetrics m = EvaluateRepair(dd.dirty, result.cleaned, dd.truth);
   std::printf("\nRepair quality: precision %.3f  recall %.3f  F1 %.3f\n",

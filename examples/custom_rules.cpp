@@ -47,8 +47,8 @@ int main() {
 
   CleaningOptions options;
   options.agp_threshold = 1;
-  MlnCleanPipeline cleaner(options);
-  CleanResult result = *cleaner.Clean(dirty, rules);
+  CleanModel model = *CleaningEngine(options).Compile(dirty.schema(), rules);
+  CleanResult result = *model.Clean(dirty);
 
   std::printf("\nRepaired table:\n%s", WriteCsv(result.deduped.ToCsv()).c_str());
   std::printf("\nTrace: %s\n", result.report.Summary().c_str());

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "mlnclean/internal.h"  // Join, for pretty-printing the trace
 #include "mlnclean/mlnclean.h"
 
 using namespace mlnclean;
@@ -42,8 +43,9 @@ int main() {
 
   CleaningOptions options;
   options.agp_threshold = 1;  // τ = 1, the paper's CAR/sample setting
-  MlnCleanPipeline cleaner(options);
-  CleanResult result = *cleaner.Clean(dirty, rules);
+  CleaningEngine engine(options);
+  CleanModel model = *engine.Compile(dirty.schema(), rules);
+  CleanResult result = *model.Clean(dirty);
 
   PrintDataset("\nRepaired (row-aligned):", result.cleaned);
   PrintDataset("\nAfter duplicate elimination:", result.deduped);

@@ -243,6 +243,9 @@ Result<HoloCleanResult> HoloCleanBaseline::CleanWithOracle(
 
 Result<HoloCleanResult> HoloCleanBaseline::CleanWithDetector(
     const Dataset& dirty, const RuleSet& rules) const {
+  if (options_.cancel.cancelled()) {
+    return Status::Cancelled("holoclean cancelled before detection");
+  }
   Timer detect;
   std::vector<std::vector<bool>> noisy = ViolationCellMask(dirty, rules);
   MLN_ASSIGN_OR_RETURN(HoloCleanResult result, Clean(dirty, rules, noisy));
@@ -260,12 +263,15 @@ Result<HoloCleanResult> HoloCleanBaseline::Clean(
   Timer total;
   HoloCleanResult result;
   result.cleaned = dirty.Clone();
+  auto cancelled = [this] { return options_.cancel.cancelled(); };
+  if (cancelled()) return Status::Cancelled("holoclean cancelled before compile");
 
   // ---- Compile: statistics over the clean partition.
   Timer compile;
   CleanStats stats = BuildStats(dirty, rules, noisy);
   FeatureSpace space{dirty.num_attrs()};
   result.compile_seconds = compile.ElapsedSeconds();
+  if (cancelled()) return Status::Cancelled("holoclean cancelled before learning");
 
   // ---- Learn shared feature weights on sampled clean cells.
   Timer learn;
@@ -287,6 +293,7 @@ Result<HoloCleanResult> HoloCleanBaseline::Clean(
     clean_cells.resize(options_.training_cells);
   }
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    if (cancelled()) return Status::Cancelled("holoclean cancelled during learning");
     for (const auto& [t, a] : clean_cells) {
       std::vector<Value> domain =
           CandidateDomain(dirty, noisy, stats, t, a, options_.max_candidates);
@@ -325,6 +332,7 @@ Result<HoloCleanResult> HoloCleanBaseline::Clean(
   // ---- Infer: repair each noisy cell with its argmax candidate.
   Timer infer;
   for (TupleId t = 0; t < static_cast<TupleId>(dirty.num_rows()); ++t) {
+    if (cancelled()) return Status::Cancelled("holoclean cancelled during inference");
     for (AttrId a = 0; a < static_cast<AttrId>(dirty.num_attrs()); ++a) {
       if (!noisy[t][static_cast<size_t>(a)]) continue;
       ++result.noisy_cells;

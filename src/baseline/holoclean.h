@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "errorgen/injector.h"
 #include "rules/constraint.h"
@@ -50,6 +51,10 @@ struct HoloCleanOptions {
   /// similar to itself), so the weight is frozen.
   double minimality_prior = 0.5;
   uint64_t seed = 17;
+  /// Cooperative cancellation, shared with the engine's serving API: the
+  /// run aborts between its phases (and between training epochs /
+  /// inference rows) with Status::Cancelled, leaving the input untouched.
+  CancelToken cancel;
 };
 
 /// Stage timing and outcome of a baseline run.

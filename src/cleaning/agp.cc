@@ -93,11 +93,15 @@ size_t RunAgp(Block* block, const CleaningOptions& options, const DistanceFn& di
 }
 
 void RunAgpAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn& dist,
-               CleaningReport* report) {
+               CleaningReport* report, const std::atomic<bool>* cancel) {
   const size_t num_blocks = index->num_blocks();
   const size_t threads = options.ResolvedNumThreads();
+  auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  };
   if (threads <= 1 || num_blocks <= 1) {
     for (size_t bi = 0; bi < num_blocks; ++bi) {
+      if (cancelled()) return;
       size_t merged = RunAgp(&index->block(bi), options, dist, report);
       if (merged > 0) index->ReindexBlock(bi);
     }
@@ -107,6 +111,7 @@ void RunAgpAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn
   // in block order so the report is identical to the sequential run.
   std::vector<CleaningReport> local(report ? num_blocks : 0);
   ParallelFor(num_blocks, threads, [&](size_t bi) {
+    if (cancelled()) return;
     size_t merged = RunAgp(&index->block(bi), options, dist,
                            report ? &local[bi] : nullptr);
     if (merged > 0) index->ReindexBlock(bi);

@@ -8,6 +8,8 @@
 #ifndef MLNCLEAN_CLEANING_AGP_H_
 #define MLNCLEAN_CLEANING_AGP_H_
 
+#include <atomic>
+
 #include "cleaning/options.h"
 #include "cleaning/report.h"
 #include "index/mln_index.h"
@@ -21,8 +23,10 @@ size_t RunAgp(Block* block, const CleaningOptions& options, const DistanceFn& di
               CleaningReport* report);
 
 /// Runs AGP over every block of the index and reindexes the group maps.
+/// When `cancel` is set, blocks not yet started are skipped once the flag
+/// goes true (cooperative cancellation; the caller reports kCancelled).
 void RunAgpAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn& dist,
-               CleaningReport* report);
+               CleaningReport* report, const std::atomic<bool>* cancel = nullptr);
 
 }  // namespace mlnclean
 

@@ -1,0 +1,313 @@
+#include "cleaning/engine.h"
+
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+
+#include "cleaning/agp.h"
+#include "cleaning/dedup.h"
+#include "cleaning/fscr.h"
+#include "cleaning/rsc.h"
+#include "common/timer.h"
+
+namespace mlnclean {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kIndex:
+      return "index";
+    case Stage::kAgp:
+      return "agp";
+    case Stage::kLearn:
+      return "learn";
+    case Stage::kRsc:
+      return "rsc";
+    case Stage::kFscr:
+      return "fscr";
+    case Stage::kDedup:
+      return "dedup";
+  }
+  return "unknown";
+}
+
+/// Shared, session-pinned model state: the compiled rules and options plus
+/// the Eq. 6 weight store. Sessions may contribute weights concurrently
+/// (the distributed driver runs sessions on a worker pool) while many
+/// serving sessions read the store, so it sits behind a reader-writer
+/// lock: Accumulate is the only writer, Apply/size are shared readers and
+/// do not serialize concurrent weight-reuse sessions. Everything else is
+/// immutable after Compile.
+struct CleanModel::State {
+  State(RuleSet rules_in, CleaningOptions options_in)
+      : rules(std::move(rules_in)), options(std::move(options_in)) {}
+
+  const RuleSet rules;
+  const CleaningOptions options;
+  mutable std::shared_mutex weights_mu;
+  GlobalWeightTable weights;
+};
+
+// ---------------------------------------------------------- CleaningEngine
+
+CleaningEngine::CleaningEngine(CleaningOptions defaults)
+    : defaults_(std::move(defaults)) {}
+
+Result<CleanModel> CleaningEngine::Compile(const Schema& schema, const RuleSet& rules,
+                                           const CleaningOptions& options) const {
+  MLN_RETURN_NOT_OK(options.Validate());
+  if (!(schema == rules.schema())) {
+    return Status::Invalid("rule set is declared over a different schema");
+  }
+  // Surface unhostable rules once at compile time instead of once per
+  // cleaning request (MlnIndex::Build would reject them on every call).
+  for (size_t ri = 0; ri < rules.size(); ++ri) {
+    if (!rules.rule(ri).IndexCompatible()) {
+      return Status::Invalid("rule '" + rules.rule(ri).name() +
+                             "' cannot be hosted by the MLN index");
+    }
+  }
+  return CleanModel(std::make_shared<CleanModel::State>(rules, options));
+}
+
+Result<CleanModel> CleaningEngine::Compile(const Schema& schema,
+                                           const RuleSet& rules) const {
+  return Compile(schema, rules, defaults_);
+}
+
+// -------------------------------------------------------------- CleanModel
+
+const Schema& CleanModel::schema() const { return state_->rules.schema(); }
+const RuleSet& CleanModel::rules() const { return state_->rules; }
+const CleaningOptions& CleanModel::options() const { return state_->options; }
+
+CleanSession CleanModel::NewSession(const Dataset& dirty, SessionOptions opts) const {
+  return CleanSession(state_, &dirty, std::move(opts));
+}
+
+CleanSession CleanModel::ResumeSession(const Dataset& dirty, const MlnIndex* index,
+                                       CleaningReport report,
+                                       SessionOptions opts) const {
+  CleanSession session(state_, &dirty, std::move(opts));
+  session.borrowed_index_ = index;
+  session.report_ = std::move(report);
+  session.next_ = static_cast<int>(Stage::kFscr);
+  return session;
+}
+
+Result<CleanResult> CleanModel::Clean(const Dataset& dirty, SessionOptions opts) const {
+  CleanSession session = NewSession(dirty, std::move(opts));
+  MLN_RETURN_NOT_OK(session.Resume());
+  return session.TakeResult();
+}
+
+Status CleanModel::Warm(const Dataset& sample) const {
+  SessionOptions opts;
+  opts.contribute_weights = true;
+  CleanSession session = NewSession(sample, std::move(opts));
+  return session.RunUntil(Stage::kLearn);
+}
+
+size_t CleanModel::num_stored_weights() const {
+  std::shared_lock<std::shared_mutex> lock(state_->weights_mu);
+  return state_->weights.size();
+}
+
+Result<size_t> CleanModel::AdjustWeightsAcross(
+    const std::vector<CleanSession*>& sessions) const {
+  // Eq. 6 over sessions instead of Spark parts: accumulate every session's
+  // post-learning weights, then write the support-weighted averages back.
+  GlobalWeightTable table;
+  for (CleanSession* session : sessions) {
+    if (session == nullptr) {
+      return Status::Invalid("AdjustWeightsAcross: null session");
+    }
+    if (session->finished() || session->next_stage() != Stage::kRsc) {
+      return Status::Invalid(
+          "AdjustWeightsAcross: session must have completed kLearn and not "
+          "yet run kRsc");
+    }
+    if (session->mutable_index() == nullptr) {
+      return Status::Invalid(
+          "AdjustWeightsAcross: session does not own its index");
+    }
+    table.Accumulate(session->index());
+  }
+  for (CleanSession* session : sessions) {
+    table.Apply(session->mutable_index());
+  }
+  return table.size();
+}
+
+// ------------------------------------------------------------ CleanSession
+
+CleanSession::CleanSession(std::shared_ptr<CleanModel::State> model,
+                           const Dataset* dirty, SessionOptions opts)
+    : model_(std::move(model)),
+      dirty_(dirty),
+      opts_(std::move(opts)),
+      dist_(MakeNormalizedDistanceFn(model_->options.distance)) {
+  if (!(dirty_->schema() == model_->rules.schema())) {
+    terminal_ = Status::Invalid("dataset schema does not match the compiled model");
+  }
+}
+
+void CleanSession::EmitProgress(Stage stage, size_t done, size_t total,
+                                double seconds) {
+  if (!opts_.progress) return;
+  StageProgress event;
+  event.stage = stage;
+  event.units_done = done;
+  event.units_total = total;
+  event.seconds = seconds;
+  opts_.progress(event);
+}
+
+size_t CleanSession::StageUnits(Stage stage) const {
+  switch (stage) {
+    case Stage::kIndex:
+      return model_->rules.size();
+    case Stage::kAgp:
+    case Stage::kLearn:
+    case Stage::kRsc:
+      return index().num_blocks();
+    case Stage::kFscr:
+    case Stage::kDedup:
+      return dirty_->num_rows();
+  }
+  return 0;
+}
+
+Status CleanSession::RunStage(Stage stage) {
+  const CleaningOptions& options = model_->options;
+  const std::atomic<bool>* cancel = opts_.cancel.flag();
+  CleaningReport* report = opts_.collect_report ? &report_ : nullptr;
+  switch (stage) {
+    case Stage::kIndex: {
+      MLN_ASSIGN_OR_RETURN(
+          owned_index_, MlnIndex::Build(*dirty_, model_->rules,
+                                        options.ResolvedNumThreads(), cancel));
+      return Status::OK();
+    }
+    case Stage::kAgp:
+      RunAgpAll(&owned_index_, options, dist_, report, cancel);
+      return Status::OK();
+    case Stage::kLearn: {
+      bool reused = false;
+      if (!options.learn_weights) {
+        owned_index_.AssignPriorWeights();  // ablation: Eq. 4 priors only
+      } else if (opts_.reuse_model_weights) {
+        // Serving path: Eq. 4 priors for γs the store has never seen,
+        // stored Eq. 6 averages for the rest — no Newton solves. The
+        // prior pass touches only this session's index, so it runs
+        // outside the lock; Apply holds it shared, letting concurrent
+        // reuse sessions read the store in parallel.
+        owned_index_.AssignPriorWeights();
+        std::shared_lock<std::shared_mutex> lock(model_->weights_mu);
+        if (model_->weights.size() > 0) {
+          model_->weights.Apply(&owned_index_);
+          reused = true;
+        }
+      }
+      if (options.learn_weights && !reused) {
+        owned_index_.LearnWeights(options.learner, options.ResolvedNumThreads(),
+                                  cancel);
+      }
+      // Only freshly learned weights enter the store: contributing reused
+      // weights would re-average the store with its own output, and
+      // contributing Eq. 4 priors would record never-learned values.
+      if (opts_.contribute_weights && options.learn_weights && !reused &&
+          !opts_.cancel.cancelled()) {
+        std::unique_lock<std::shared_mutex> lock(model_->weights_mu);
+        model_->weights.Accumulate(owned_index_);
+      }
+      return Status::OK();
+    }
+    case Stage::kRsc:
+      RunRscAll(&owned_index_, options, dist_, report, cancel);
+      return Status::OK();
+    case Stage::kFscr:
+      cleaned_ = dirty_->Clone();
+      RunFscr(*dirty_, model_->rules, index(), options, &cleaned_, report,
+              cancel);
+      return Status::OK();
+    case Stage::kDedup:
+      if (options.remove_duplicates) {
+        deduped_ =
+            RemoveDuplicates(cleaned_, report ? &report->duplicates : nullptr);
+      } else {
+        deduped_ = cleaned_;
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown stage");
+}
+
+Status CleanSession::RunUntil(Stage last) {
+  if (!terminal_.ok()) return terminal_;
+  const int target = static_cast<int>(last);
+  while (next_ <= target && next_ < kNumStages) {
+    const Stage stage = static_cast<Stage>(next_);
+    if (opts_.cancel.cancelled()) {
+      terminal_ = Status::Cancelled(std::string("cancelled before stage ") +
+                                    StageName(stage));
+      return terminal_;
+    }
+    const size_t units = StageUnits(stage);
+    EmitProgress(stage, 0, units, 0.0);
+    Timer timer;
+    Status status = RunStage(stage);
+    const double seconds = timer.ElapsedSeconds();
+    if (status.ok() && opts_.cancel.cancelled()) {
+      // The stage driver stopped at a block/shard boundary; its partial
+      // output stays inside the session (the input dataset is untouched).
+      status = Status::Cancelled(std::string("cancelled during stage ") +
+                                 StageName(stage));
+    }
+    if (!status.ok()) {
+      terminal_ = status;
+      return terminal_;
+    }
+    switch (stage) {
+      case Stage::kIndex:
+        report_.timings.index = seconds;
+        break;
+      case Stage::kAgp:
+        report_.timings.agp = seconds;
+        break;
+      case Stage::kLearn:
+        report_.timings.learn = seconds;
+        break;
+      case Stage::kRsc:
+        report_.timings.rsc = seconds;
+        break;
+      case Stage::kFscr:
+        report_.timings.fscr = seconds;
+        break;
+      case Stage::kDedup:
+        report_.timings.dedup = seconds;
+        break;
+    }
+    report_.timings.total += seconds;
+    EmitProgress(stage, units, units, seconds);
+    ++next_;
+  }
+  return Status::OK();
+}
+
+Status CleanSession::Resume() { return RunUntil(Stage::kDedup); }
+
+Result<CleanResult> CleanSession::TakeResult() {
+  if (!terminal_.ok()) return terminal_;
+  if (!finished()) {
+    return Status::Invalid("session has stages left to run; call Resume() first");
+  }
+  CleanResult result;
+  result.cleaned = std::move(cleaned_);
+  result.deduped = std::move(deduped_);
+  result.report = std::move(report_);
+  terminal_ = Status::Invalid("result already taken from this session");
+  return result;
+}
+
+}  // namespace mlnclean

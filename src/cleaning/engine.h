@@ -1,0 +1,252 @@
+// CleaningEngine: the prepared-model serving API of MLNClean.
+//
+// The two-stage design factors into a build-once phase (rule validation
+// and compilation, reusable planning state, an Eq. 6 weight store) and a
+// per-request repair phase. `CleaningEngine::Compile` performs the former
+// and returns a `CleanModel`; `CleanModel::NewSession` binds the model to
+// one (micro-)batch of dirty data and runs the pipeline with staged
+// execution:
+//
+//   CleaningEngine engine(options);
+//   MLN_ASSIGN_OR_RETURN(CleanModel model, engine.Compile(schema, rules));
+//   CleanSession session = model.NewSession(batch);
+//   MLN_RETURN_NOT_OK(session.RunUntil(Stage::kLearn));  // inspect weights
+//   MLN_RETURN_NOT_OK(session.Resume());                 // finish the plan
+//   MLN_ASSIGN_OR_RETURN(CleanResult result, session.TakeResult());
+//
+// Sessions support per-stage progress callbacks and a cooperative
+// CancelToken that aborts between blocks/shards with Status::Cancelled.
+// Learned γ-weights persist on the model (`Warm`, `contribute_weights`),
+// so serving K micro-batches against one prepared model amortizes the
+// learn cost; with weight reuse off, a session is bit-identical to a cold
+// `MlnCleanPipeline::Clean` run on the same batch.
+
+#ifndef MLNCLEAN_CLEANING_ENGINE_H_
+#define MLNCLEAN_CLEANING_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cleaning/options.h"
+#include "cleaning/report.h"
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "index/mln_index.h"
+#include "index/weight_merge.h"
+#include "rules/constraint.h"
+
+namespace mlnclean {
+
+/// Output of a cleaning run (shared with the MlnCleanPipeline facade).
+struct CleanResult {
+  /// Repaired dataset, row-aligned with the dirty input (before duplicate
+  /// removal) — the dataset accuracy metrics are computed on.
+  Dataset cleaned;
+  /// Final dataset after duplicate elimination.
+  Dataset deduped;
+  /// Decision trace and stage timings.
+  CleaningReport report;
+};
+
+/// The pipeline stages, in execution order. `RunUntil(stage)` runs every
+/// stage up to and including `stage`; `Stage::kDedup` is the full plan.
+enum class Stage : int {
+  kIndex = 0,  // MLN index construction (grounding + grouping)
+  kAgp = 1,    // abnormal group processing
+  kLearn = 2,  // γ weight learning (or prior/stored-weight assignment)
+  kRsc = 3,    // reliability-score based cleaning
+  kFscr = 4,   // fusion-score based conflict resolution
+  kDedup = 5,  // duplicate elimination
+};
+
+inline constexpr int kNumStages = 6;
+
+/// Short lowercase stage name ("index", "agp", ...).
+const char* StageName(Stage stage);
+
+/// One progress event. Sessions emit a pair per stage — units_done == 0
+/// when the stage starts and units_done == units_total when it completes —
+/// always from the thread driving the session.
+struct StageProgress {
+  Stage stage = Stage::kIndex;
+  /// Work units of the stage: rules for kIndex, blocks for kAgp/kLearn/
+  /// kRsc, tuples for kFscr/kDedup.
+  size_t units_done = 0;
+  size_t units_total = 0;
+  /// Seconds spent in the stage so far (0 at the start event).
+  double seconds = 0.0;
+};
+
+using ProgressFn = std::function<void(const StageProgress&)>;
+
+/// Per-session knobs (the cleaning knobs themselves live on the model).
+struct SessionOptions {
+  /// Called at every stage boundary; may call CancelToken::RequestCancel.
+  ProgressFn progress;
+  /// Cancels the run between blocks/shards; the session then reports
+  /// Status::Cancelled and stays terminally cancelled.
+  CancelToken cancel;
+  /// kLearn draws γ weights from the model's Eq. 6 store (Eq. 4 priors
+  /// overridden by any stored weight) instead of running the Newton
+  /// learner — the amortization lever for serving micro-batches. Falls
+  /// back to fresh learning while the store is empty. Off by default:
+  /// a fresh-weights session is bit-identical to a cold pipeline run.
+  bool reuse_model_weights = false;
+  /// After kLearn, folds this session's learned weights into the model's
+  /// store (support-weighted, Eq. 6) so later sessions can reuse them.
+  /// Only *freshly learned* weights contribute: a session that reused the
+  /// store (or ran the prior-only ablation) never writes back, so the
+  /// store cannot re-average itself or absorb unlearned priors.
+  bool contribute_weights = false;
+  /// When false, the per-decision trace (AGP/RSC/FSCR records, duplicate
+  /// pairs) is not materialized — only stage timings are kept. Serving
+  /// paths that never read the trace skip its allocation cost.
+  bool collect_report = true;
+};
+
+class CleanSession;
+
+/// A compiled, reusable cleaning model: validated rules, resolved
+/// options, and a store of learned γ weights shared by every session.
+/// Cheap to copy (a shared handle); sessions keep the state alive.
+class CleanModel {
+ public:
+  const Schema& schema() const;
+  const RuleSet& rules() const;
+  const CleaningOptions& options() const;
+
+  /// Opens a staged session over `dirty`, which must outlive the session
+  /// and match the model's schema (checked on the first Run* call).
+  CleanSession NewSession(const Dataset& dirty, SessionOptions opts = {}) const;
+
+  /// Opens a session positioned at Stage::kFscr over an externally built
+  /// stage-I index (borrowed; must outlive the session) and an existing
+  /// decision trace. Serves the stage-II-only flows (the deprecated
+  /// pipeline facade, index hand-off between processes).
+  CleanSession ResumeSession(const Dataset& dirty, const MlnIndex* index,
+                             CleaningReport report, SessionOptions opts = {}) const;
+
+  /// One-shot convenience: NewSession + Resume + TakeResult.
+  Result<CleanResult> Clean(const Dataset& dirty, SessionOptions opts = {}) const;
+
+  /// Runs index+AGP+learning over `sample` and stores the learned weights
+  /// on the model, so sessions with `reuse_model_weights` skip the
+  /// learner. Equivalent to a contribute-only session run to kLearn.
+  Status Warm(const Dataset& sample) const;
+
+  /// γs with a stored (Eq. 6 merged) weight.
+  size_t num_stored_weights() const;
+
+  /// Model-level Eq. 6 weight adjustment across concurrent sessions (the
+  /// distributed driver's global merge): every γ learned in several
+  /// sessions gets the support-weighted average of its per-session
+  /// weights, written back into every session's index. Each session must
+  /// have completed Stage::kLearn and not yet run Stage::kRsc. Returns
+  /// the number of γs in the merged global weight table.
+  Result<size_t> AdjustWeightsAcross(const std::vector<CleanSession*>& sessions) const;
+
+ private:
+  friend class CleaningEngine;
+  friend class CleanSession;
+  struct State;
+  explicit CleanModel(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// One staged cleaning run of a model over one dataset. Move-only; the
+/// dirty dataset is borrowed and never mutated (repairs are written into
+/// the session-owned `cleaned()` copy), so a cancelled or failed run
+/// leaves the input untouched.
+class CleanSession {
+ public:
+  CleanSession(CleanSession&&) = default;
+  CleanSession& operator=(CleanSession&&) = default;
+  CleanSession(const CleanSession&) = delete;
+  CleanSession& operator=(const CleanSession&) = delete;
+
+  /// Runs every not-yet-run stage up to and including `last`. Stages
+  /// already behind the cursor are not re-run (so RunUntil(kAgp) after
+  /// RunUntil(kLearn) is an OK no-op). On cancellation or failure the
+  /// session becomes terminal and every later call returns that Status.
+  Status RunUntil(Stage last);
+
+  /// Runs the remaining stages to completion: RunUntil(Stage::kDedup).
+  Status Resume();
+
+  /// The first stage a Run* call would execute next.
+  Stage next_stage() const { return static_cast<Stage>(next_); }
+  /// True once every stage has run.
+  bool finished() const { return next_ >= kNumStages; }
+
+  /// Decision trace accumulated so far.
+  const CleaningReport& report() const { return report_; }
+  /// Mutable trace, for callers that move it out or splice records in
+  /// (the deprecated pipeline facade's report-passing contract).
+  CleaningReport* mutable_report() { return &report_; }
+
+  /// The stage-I index; meaningful after Stage::kIndex has run.
+  const MlnIndex& index() const {
+    return borrowed_index_ != nullptr ? *borrowed_index_ : owned_index_;
+  }
+  /// Mutable index between stages (the model-level weight merge writes
+  /// through this). Null for ResumeSession-borrowed indexes.
+  MlnIndex* mutable_index() {
+    return borrowed_index_ == nullptr ? &owned_index_ : nullptr;
+  }
+
+  /// Repaired dataset; meaningful after Stage::kFscr has run.
+  const Dataset& cleaned() const { return cleaned_; }
+  /// Deduplicated dataset; meaningful after Stage::kDedup has run.
+  const Dataset& deduped() const { return deduped_; }
+
+  /// Moves the run's output out of a finished session (Invalid if stages
+  /// remain, the terminal Status if the run failed or was cancelled).
+  Result<CleanResult> TakeResult();
+
+ private:
+  friend class CleanModel;
+  CleanSession(std::shared_ptr<CleanModel::State> model, const Dataset* dirty,
+               SessionOptions opts);
+
+  Status RunStage(Stage stage);
+  void EmitProgress(Stage stage, size_t done, size_t total, double seconds);
+  size_t StageUnits(Stage stage) const;
+
+  std::shared_ptr<CleanModel::State> model_;  // shared: pins the model state
+  const Dataset* dirty_;
+  SessionOptions opts_;
+  DistanceFn dist_;
+  MlnIndex owned_index_;
+  const MlnIndex* borrowed_index_ = nullptr;  // ResumeSession only
+  CleaningReport report_;
+  Dataset cleaned_;
+  Dataset deduped_;
+  int next_ = 0;
+  Status terminal_;  // sticky failure/cancellation; OK while runnable
+};
+
+/// Compiles rule sets into reusable CleanModels. Construction only stores
+/// the default options; all validation happens in Compile, so a misconfig
+/// surfaces once per model, not once per request.
+class CleaningEngine {
+ public:
+  explicit CleaningEngine(CleaningOptions defaults = {});
+
+  const CleaningOptions& options() const { return defaults_; }
+
+  /// Validates `options` and every rule (schema match, index
+  /// compatibility) and returns a prepared model. `rules` is copied onto
+  /// the model; the schema must equal `rules.schema()`.
+  Result<CleanModel> Compile(const Schema& schema, const RuleSet& rules,
+                             const CleaningOptions& options) const;
+  /// Compile with the engine's default options.
+  Result<CleanModel> Compile(const Schema& schema, const RuleSet& rules) const;
+
+ private:
+  CleaningOptions defaults_;
+};
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_CLEANING_ENGINE_H_

@@ -268,8 +268,11 @@ double GreedyFusion(const std::vector<Version>& versions,
 
 void RunFscr(const Dataset& dirty, const RuleSet& rules, const MlnIndex& index,
              const CleaningOptions& options, Dataset* cleaned,
-             CleaningReport* report) {
+             CleaningReport* report, const std::atomic<bool>* cancel) {
   const size_t num_rows = dirty.num_rows();
+  auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  };
   // Per block: every γ's flattened assignment, computed exactly once (a γ
   // covering k tuples used to be flattened k times). Value-to-id
   // resolution (and any interning of never-seen values) happens here, in
@@ -380,7 +383,10 @@ void RunFscr(const Dataset& dirty, const RuleSet& rules, const MlnIndex& index,
   // simply get empty ranges when there are fewer rows than threads.
   const size_t threads = options.ResolvedNumThreads();
   if (threads <= 1 || num_rows <= 1) {
-    for (size_t tid = 0; tid < num_rows; ++tid) fuse_tuple(tid);
+    for (size_t tid = 0; tid < num_rows; ++tid) {
+      if (cancelled()) return;
+      fuse_tuple(tid);
+    }
   } else {
     // Contiguous shards, one per worker: each tuple's fusion is computed
     // identically regardless of which shard runs it.
@@ -388,7 +394,10 @@ void RunFscr(const Dataset& dirty, const RuleSet& rules, const MlnIndex& index,
     ParallelFor(threads, threads, [&](size_t s) {
       const size_t begin = s * chunk;
       const size_t end = std::min(num_rows, begin + chunk);
-      for (size_t tid = begin; tid < end; ++tid) fuse_tuple(tid);
+      for (size_t tid = begin; tid < end; ++tid) {
+        if (cancelled()) return;
+        fuse_tuple(tid);
+      }
     });
   }
 

@@ -1,73 +1,65 @@
 #include "cleaning/pipeline.h"
 
-#include "cleaning/agp.h"
-#include "cleaning/dedup.h"
-#include "cleaning/fscr.h"
-#include "cleaning/rsc.h"
-#include "common/timer.h"
+#include <utility>
 
 namespace mlnclean {
 
 MlnCleanPipeline::MlnCleanPipeline(CleaningOptions options)
     : options_(std::move(options)) {}
 
+Result<CleanResult> MlnCleanPipeline::Clean(const Dataset& dirty,
+                                            const RuleSet& rules) const {
+  MLN_ASSIGN_OR_RETURN(CleanModel model,
+                       CleaningEngine(options_).Compile(rules.schema(), rules));
+  return model.Clean(dirty);
+}
+
 Result<MlnIndex> MlnCleanPipeline::RunStageOne(const Dataset& dirty,
                                                const RuleSet& rules,
                                                CleaningReport* report) const {
-  MLN_RETURN_NOT_OK(options_.Validate());
-  DistanceFn dist = MakeNormalizedDistanceFn(options_.distance);
+  MLN_ASSIGN_OR_RETURN(CleanModel model,
+                       CleaningEngine(options_).Compile(rules.schema(), rules));
+  SessionOptions opts;
+  opts.collect_report = report != nullptr;
+  CleanSession session = model.NewSession(dirty, std::move(opts));
+  MLN_RETURN_NOT_OK(session.RunUntil(Stage::kRsc));
+  if (report != nullptr) *report = std::move(*session.mutable_report());
+  return std::move(*session.mutable_index());
+}
 
-  Timer timer;
-  MLN_ASSIGN_OR_RETURN(MlnIndex index,
-                       MlnIndex::Build(dirty, rules, options_.ResolvedNumThreads()));
-  if (report) report->timings.index = timer.ElapsedSeconds();
-
-  timer.Restart();
-  RunAgpAll(&index, options_, dist, report);
-  if (report) report->timings.agp = timer.ElapsedSeconds();
-
-  timer.Restart();
-  if (options_.learn_weights) {
-    index.LearnWeights(options_.learner, options_.ResolvedNumThreads());
-  } else {
-    index.AssignPriorWeights();  // ablation: Eq. 4 priors only
+Result<CleanResult> MlnCleanPipeline::RunStageTwo(const Dataset& dirty,
+                                                  const RuleSet& rules,
+                                                  const MlnIndex& index,
+                                                  CleaningReport* report) const {
+  MLN_ASSIGN_OR_RETURN(CleanModel model,
+                       CleaningEngine(options_).Compile(rules.schema(), rules));
+  CleaningReport trace = report != nullptr ? std::move(*report) : CleaningReport{};
+  CleanSession session = model.ResumeSession(dirty, &index, std::move(trace));
+  Status status = session.Resume();
+  if (!status.ok()) {
+    // Hand the stage-one trace back so a failed call does not destroy it.
+    if (report != nullptr) *report = std::move(*session.mutable_report());
+    return status;
   }
-  if (report) report->timings.learn = timer.ElapsedSeconds();
-
-  timer.Restart();
-  RunRscAll(&index, options_, dist, report);
-  if (report) report->timings.rsc = timer.ElapsedSeconds();
-  return index;
+  return session.TakeResult();
 }
 
 CleanResult MlnCleanPipeline::RunStageTwo(const Dataset& dirty, const RuleSet& rules,
                                           const MlnIndex& index,
                                           CleaningReport report) const {
-  Timer timer;
-  CleanResult result;
-  result.cleaned = dirty.Clone();
-  RunFscr(dirty, rules, index, options_, &result.cleaned, &report);
-  report.timings.fscr = timer.ElapsedSeconds();
-
-  timer.Restart();
-  if (options_.remove_duplicates) {
-    result.deduped = RemoveDuplicates(result.cleaned, &report.duplicates);
-  } else {
-    result.deduped = result.cleaned;
-  }
-  report.timings.dedup = timer.ElapsedSeconds();
-  result.report = std::move(report);
-  return result;
-}
-
-Result<CleanResult> MlnCleanPipeline::Clean(const Dataset& dirty,
-                                            const RuleSet& rules) const {
-  Timer total;
-  CleaningReport report;
-  MLN_ASSIGN_OR_RETURN(MlnIndex index, RunStageOne(dirty, rules, &report));
-  CleanResult result = RunStageTwo(dirty, rules, index, std::move(report));
-  result.report.timings.total = total.ElapsedSeconds();
-  return result;
+  Result<CleanResult> result = RunStageTwo(dirty, rules, index, &report);
+  if (result.ok()) return std::move(result).ValueUnsafe();
+  // This legacy signature has no error channel. Callers that went through
+  // RunStageOne cannot land here (the same options and rules compiled),
+  // but a hand-built index over mismatched options/schema now fails
+  // validation the old code never ran — return the input unrepaired with
+  // the trace intact rather than crash; the pointer overload reports the
+  // actual Status.
+  CleanResult fallback;
+  fallback.cleaned = dirty.Clone();
+  fallback.deduped = dirty.Clone();
+  fallback.report = std::move(report);
+  return fallback;
 }
 
 }  // namespace mlnclean

@@ -1,10 +1,16 @@
-// MlnCleanPipeline: the end-to-end MLNClean cleaner (Algorithm 1) —
-// MLN index construction, stage I (AGP + weight learning + RSC), stage II
-// (FSCR + duplicate removal).
+// MlnCleanPipeline: the original end-to-end facade over the MLNClean
+// cleaner (Algorithm 1), kept working for one release as a thin adapter
+// over the CleaningEngine.
+//
+// DEPRECATED: new code should compile a CleanModel once and serve
+// datasets through sessions (see cleaning/engine.h) — this facade
+// re-compiles the rules on every call, which is exactly the cost the
+// engine exists to amortize.
 
 #ifndef MLNCLEAN_CLEANING_PIPELINE_H_
 #define MLNCLEAN_CLEANING_PIPELINE_H_
 
+#include "cleaning/engine.h"
 #include "cleaning/options.h"
 #include "cleaning/report.h"
 #include "common/result.h"
@@ -13,18 +19,7 @@
 
 namespace mlnclean {
 
-/// Output of a cleaning run.
-struct CleanResult {
-  /// Repaired dataset, row-aligned with the dirty input (before duplicate
-  /// removal) — the dataset accuracy metrics are computed on.
-  Dataset cleaned;
-  /// Final dataset after duplicate elimination.
-  Dataset deduped;
-  /// Decision trace and stage timings.
-  CleaningReport report;
-};
-
-/// The MLNClean framework facade.
+/// The legacy MLNClean framework facade (adapter over CleaningEngine).
 ///
 /// Typical use:
 ///   MlnCleanPipeline cleaner(options);
@@ -35,16 +30,25 @@ class MlnCleanPipeline {
 
   const CleaningOptions& options() const { return options_; }
 
-  /// Runs the full two-stage cleaning process on `dirty`.
+  /// Runs the full two-stage cleaning process on `dirty`: compiles a
+  /// one-shot model and runs a session over the whole plan.
   Result<CleanResult> Clean(const Dataset& dirty, const RuleSet& rules) const;
 
-  /// Stage I only: builds the index, runs AGP, learns weights, runs RSC.
-  /// Exposed for the distributed driver and for component-level
-  /// experiments; `report` may be null.
+  /// Stage I only: builds the index, runs AGP, learns weights, runs RSC
+  /// (a session run until Stage::kRsc). Exposed for the distributed
+  /// driver and for component-level experiments; `report` may be null.
   Result<MlnIndex> RunStageOne(const Dataset& dirty, const RuleSet& rules,
                                CleaningReport* report) const;
 
-  /// Stage II only: FSCR over a stage-I index plus duplicate removal.
+  /// Stage II only: FSCR over a stage-I index plus duplicate removal (a
+  /// session resumed at Stage::kFscr). `report` (may be null) is consumed
+  /// into the returned CleanResult — no copy of the decision trace.
+  Result<CleanResult> RunStageTwo(const Dataset& dirty, const RuleSet& rules,
+                                  const MlnIndex& index,
+                                  CleaningReport* report) const;
+
+  /// DEPRECATED overload: copies the full decision trace per call. Kept
+  /// for one release; use the pointer overload above.
   CleanResult RunStageTwo(const Dataset& dirty, const RuleSet& rules,
                           const MlnIndex& index, CleaningReport report) const;
 

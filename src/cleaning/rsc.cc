@@ -135,11 +135,15 @@ void RunRscBlock(MlnIndex* index, size_t block_index, const CleaningOptions& opt
 }  // namespace
 
 void RunRscAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn& dist,
-               CleaningReport* report) {
+               CleaningReport* report, const std::atomic<bool>* cancel) {
   const size_t num_blocks = index->num_blocks();
   const size_t threads = options.ResolvedNumThreads();
+  auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  };
   if (threads <= 1 || num_blocks <= 1) {
     for (size_t bi = 0; bi < num_blocks; ++bi) {
+      if (cancelled()) return;
       RunRscBlock(index, bi, options, dist, report);
     }
     return;
@@ -148,6 +152,7 @@ void RunRscAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn
   // identical to the sequential run.
   std::vector<CleaningReport> local(report ? num_blocks : 0);
   ParallelFor(num_blocks, threads, [&](size_t bi) {
+    if (cancelled()) return;
     RunRscBlock(index, bi, options, dist, report ? &local[bi] : nullptr);
   });
   if (report) {

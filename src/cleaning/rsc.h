@@ -9,6 +9,7 @@
 #ifndef MLNCLEAN_CLEANING_RSC_H_
 #define MLNCLEAN_CLEANING_RSC_H_
 
+#include <atomic>
 #include <vector>
 
 #include "cleaning/options.h"
@@ -30,8 +31,10 @@ void RunRscGroup(Group* group, size_t block_rule_index, const DistanceFn& dist,
                  CleaningReport* report, PieceDistanceMemo* memo = nullptr);
 
 /// Runs RSC over every group of every block and refreshes the group maps.
+/// When `cancel` is set, blocks not yet started are skipped once the flag
+/// goes true (cooperative cancellation; the caller reports kCancelled).
 void RunRscAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn& dist,
-               CleaningReport* report);
+               CleaningReport* report, const std::atomic<bool>* cancel = nullptr);
 
 }  // namespace mlnclean
 

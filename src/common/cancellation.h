@@ -1,0 +1,34 @@
+// Cooperative cancellation. A CancelToken is a cheap shared handle to one
+// atomic flag: hand copies to long-running work (a CleanSession, the
+// distributed driver, the HoloClean baseline) and call RequestCancel()
+// from any thread; the work polls the flag at its block/shard boundaries
+// and aborts with Status::Cancelled.
+
+#ifndef MLNCLEAN_COMMON_CANCELLATION_H_
+#define MLNCLEAN_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+
+namespace mlnclean {
+
+/// Copies share one flag, so the token handed to a run can be cancelled
+/// from another thread; cancellation is sticky and cannot be reset.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void RequestCancel() { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+  /// The raw flag, for threading into stage drivers that take a plain
+  /// `const std::atomic<bool>*` instead of depending on this type.
+  const std::atomic<bool>* flag() const { return flag_.get(); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_COMMON_CANCELLATION_H_

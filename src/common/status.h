@@ -21,6 +21,7 @@ enum class StatusCode : int {
   kIOError = 4,        // filesystem / parsing failure
   kNotImplemented = 5, // requested behaviour is out of scope
   kInternal = 6,       // invariant breached inside the library
+  kCancelled = 7,      // run aborted by a cooperative CancelToken
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -61,6 +62,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
 
@@ -78,6 +82,7 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -1,5 +1,7 @@
 #include "dataset/dataset.h"
 
+#include <algorithm>
+
 namespace mlnclean {
 
 Result<Dataset> Dataset::Make(Schema schema, std::vector<std::vector<Value>> rows) {
@@ -60,6 +62,17 @@ void Dataset::AppendRowFrom(const Dataset& src, TupleId tid) {
     cols_[a].push_back(src.cols_[a][static_cast<size_t>(tid)]);
   }
   ++num_rows_;
+}
+
+Dataset Dataset::Slice(size_t begin, size_t end) const {
+  Dataset out = EmptyLike(*this);
+  end = std::min(end, num_rows_);
+  if (begin >= end) return out;
+  out.Reserve(end - begin);
+  for (size_t t = begin; t < end; ++t) {
+    out.AppendRowFrom(*this, static_cast<TupleId>(t));
+  }
+  return out;
 }
 
 CsvTable Dataset::ToCsv() const {

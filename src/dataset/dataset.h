@@ -138,6 +138,11 @@ class Dataset {
   /// has not interned past this dataset's dictionaries).
   void AppendRowFrom(const Dataset& src, TupleId tid);
 
+  /// Rows [begin, end) as a new dataset sharing this table's dictionaries
+  /// (EmptyLike + AppendRowFrom): the micro-batch/shard slicing primitive
+  /// of the serving and distributed paths.
+  Dataset Slice(size_t begin, size_t end) const;
+
  private:
   Schema schema_;
   size_t num_rows_ = 0;

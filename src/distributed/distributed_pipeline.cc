@@ -1,12 +1,9 @@
 #include "distributed/distributed_pipeline.h"
 
 #include <algorithm>
-#include <atomic>
+#include <utility>
 
-#include "cleaning/agp.h"
 #include "cleaning/dedup.h"
-#include "cleaning/fscr.h"
-#include "cleaning/rsc.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 
@@ -29,9 +26,13 @@ DistributedMlnClean::DistributedMlnClean(DistributedOptions options)
 
 Result<DistributedResult> DistributedMlnClean::Clean(const Dataset& dirty,
                                                      const RuleSet& rules) const {
-  MLN_RETURN_NOT_OK(options_.cleaning.Validate());
   if (options_.num_parts == 0) return Status::Invalid("num_parts must be > 0");
   if (options_.num_workers == 0) return Status::Invalid("num_workers must be > 0");
+  // One compiled model serves every part: rule validation happens once,
+  // and the Eq. 6 weight adjustment below is a model-level operation.
+  MLN_ASSIGN_OR_RETURN(
+      CleanModel model,
+      CleaningEngine(options_.cleaning).Compile(rules.schema(), rules));
 
   Timer wall;
   PartitionOptions popts;
@@ -55,73 +56,66 @@ Result<DistributedResult> DistributedMlnClean::Clean(const Dataset& dirty,
     }
   }
 
+  // One staged engine session per part; parts run concurrently on the
+  // worker pool, each part runs with the model's own thread setting. The
+  // per-decision trace is skipped (this driver never reads it) and the
+  // shared CancelToken aborts any part at its next block/shard boundary.
+  std::vector<CleanSession> sessions;
+  sessions.reserve(k);
+  for (size_t p = 0; p < k; ++p) {
+    SessionOptions sopts;
+    sopts.cancel = options_.cancel;
+    sopts.collect_report = false;
+    sessions.push_back(model.NewSession(part_data[p], std::move(sopts)));
+  }
+
   // ---- Phase A (parallel): per-part index + AGP + local weight learning.
   // RSC is deliberately *not* part of phase A: the Eq. 6 weight merge must
   // happen between learning and RSC so every part cleans with the global
-  // weights.
-  DistanceFn dist = MakeNormalizedDistanceFn(options_.cleaning.distance);
+  // weights — which is exactly the RunUntil(kLearn) cut of the stage plan.
   std::vector<double> phase_a(k, 0.0);
-  std::vector<MlnIndex> indexes;
-  indexes.reserve(k);
+  std::vector<Status> statuses(k);
   {
-    std::vector<Result<MlnIndex>> rebuilt(k, Status::Internal("not run"));
     ThreadPool pool(options_.num_workers);
     for (size_t p = 0; p < k; ++p) {
       pool.Submit([&, p] {
         Timer t;
-        Result<MlnIndex> r = MlnIndex::Build(part_data[p], rules);
-        if (r.ok()) {
-          RunAgpAll(&r.ValueUnsafe(), options_.cleaning, dist, nullptr);
-          if (options_.cleaning.learn_weights) {
-            r.ValueUnsafe().LearnWeights(options_.cleaning.learner);
-          } else {
-            r.ValueUnsafe().AssignPriorWeights();
-          }
-        }
-        rebuilt[p] = std::move(r);
+        statuses[p] = sessions[p].RunUntil(Stage::kLearn);
         phase_a[p] = t.ElapsedSeconds();
       });
     }
     pool.WaitIdle();
-    for (size_t p = 0; p < k; ++p) {
-      if (!rebuilt[p].ok()) return rebuilt[p].status();
-      indexes.push_back(std::move(rebuilt[p]).ValueUnsafe());
-    }
+    for (size_t p = 0; p < k; ++p) MLN_RETURN_NOT_OK(statuses[p]);
   }
 
-  // ---- Global weight adjustment (Eq. 6), sequential gather.
-  GlobalWeightTable table;
-  for (const MlnIndex& index : indexes) table.Accumulate(index);
-  for (MlnIndex& index : indexes) table.Apply(&index);
+  // ---- Global weight adjustment (Eq. 6): a model-level operation over
+  // the concurrent sessions.
+  std::vector<CleanSession*> session_ptrs;
+  session_ptrs.reserve(k);
+  for (CleanSession& session : sessions) session_ptrs.push_back(&session);
+  MLN_ASSIGN_OR_RETURN(const size_t global_weights,
+                       model.AdjustWeightsAcross(session_ptrs));
 
-  // ---- Phase B (parallel): RSC + FSCR per part, into a per-part cleaned
-  // dataset. The write-back into the global table happens sequentially
-  // below because remapping may intern shard-local values globally.
+  // ---- Phase B (parallel): RSC + FSCR per part, into the session-owned
+  // cleaned dataset. RunUntil(kFscr) stops short of kDedup: duplicate
+  // elimination is global, in the gather phase below. The write-back into
+  // the global table happens sequentially below because remapping may
+  // intern shard-local values globally.
   DistributedResult result;
   result.cleaned = dirty.Clone();
-  result.global_weights = table.size();
+  result.global_weights = global_weights;
   std::vector<double> phase_b(k, 0.0);
-  std::vector<Dataset> local_cleans(k);
   {
     ThreadPool pool(options_.num_workers);
     for (size_t p = 0; p < k; ++p) {
       pool.Submit([&, p] {
         Timer t;
-        MlnIndex& index = indexes[p];
-        for (size_t bi = 0; bi < index.num_blocks(); ++bi) {
-          Block& block = index.block(bi);
-          for (Group& group : block.groups) {
-            RunRscGroup(&group, block.rule_index, dist, nullptr);
-          }
-          index.ReindexBlock(bi);
-        }
-        local_cleans[p] = part_data[p].Clone();
-        RunFscr(part_data[p], rules, index, options_.cleaning, &local_cleans[p],
-                nullptr);
+        statuses[p] = sessions[p].RunUntil(Stage::kFscr);
         phase_b[p] = t.ElapsedSeconds();
       });
     }
     pool.WaitIdle();
+    for (size_t p = 0; p < k; ++p) MLN_RETURN_NOT_OK(statuses[p]);
   }
 
   // ---- Merge: copy each shard's cleaned rows back into the global rows
@@ -137,7 +131,7 @@ Result<DistributedResult> DistributedMlnClean::Clean(const Dataset& dirty,
     shipped_size[static_cast<size_t>(a)] = dirty.dict(a).size();
   }
   for (size_t p = 0; p < k; ++p) {
-    const Dataset& local_clean = local_cleans[p];
+    const Dataset& local_clean = sessions[p].cleaned();
     const auto& mapping = partition.parts[p];
     for (size_t local = 0; local < mapping.size(); ++local) {
       for (AttrId a = 0; a < num_attrs; ++a) {

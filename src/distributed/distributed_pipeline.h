@@ -2,8 +2,12 @@
 // cleaner on Spark: partition the data (Algorithm 3), clean every part
 // independently on a worker, adjust the learned weights globally (Eq. 6),
 // and gather the parts, removing duplicates at the end. This module
-// reproduces that dataflow with a thread-pool worker set; see DESIGN.md
-// for the substitution rationale. Worker scaling is reported both as
+// reproduces that dataflow as a thin adapter over the CleaningEngine: one
+// compiled model, one staged CleanSession per part on a thread-pool
+// worker set — phase A is RunUntil(kLearn), the Eq. 6 merge is the
+// model-level AdjustWeightsAcross, phase B is RunUntil(kFscr), and
+// duplicate elimination happens globally in the gather. See DESIGN.md for
+// the Spark-substitution rationale. Worker scaling is reported both as
 // wall-clock (bounded by host cores) and as a deterministic simulated
 // makespan (LPT scheduling of measured per-part costs), which preserves
 // the paper's scaling shape on any host.
@@ -13,9 +17,9 @@
 
 #include <vector>
 
-#include "cleaning/pipeline.h"
+#include "cleaning/engine.h"
+#include "common/cancellation.h"
 #include "distributed/partitioner.h"
-#include "distributed/weight_merge.h"
 
 namespace mlnclean {
 
@@ -27,6 +31,10 @@ struct DistributedOptions {
   /// Number of concurrent workers executing part jobs.
   size_t num_workers = 4;
   uint64_t partition_seed = 99;
+  /// Cooperative cancellation: shared with every per-part session, so a
+  /// cancelled run aborts at the next per-part block/shard boundary with
+  /// Status::Cancelled and leaves the input untouched.
+  CancelToken cancel;
 };
 
 /// Output of a distributed run.

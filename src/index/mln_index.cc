@@ -43,14 +43,19 @@ std::string MlnIndex::KeyOf(const std::vector<Value>& values) {
 }
 
 Result<MlnIndex> MlnIndex::Build(const Dataset& data, const RuleSet& rules,
-                                 size_t num_threads) {
+                                 size_t num_threads,
+                                 const std::atomic<bool>* cancel) {
   MlnIndex index;
   index.blocks_.resize(rules.size());
   index.group_maps_.resize(rules.size());
+  auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  };
   // Each rule grounds and groups independently into its own slot; errors
   // are surfaced in rule order so the result is thread-count-agnostic.
   std::vector<Status> statuses(rules.size());
   ParallelFor(rules.size(), num_threads, [&](size_t ri) {
+    if (cancelled()) return;
     const Constraint& rule = rules.rule(ri);
     // Grounding yields the distinct γs with their supporting tuples.
     Result<std::vector<GroundRule>> grounds = GroundConstraint(data, rule);
@@ -90,6 +95,7 @@ Result<MlnIndex> MlnIndex::Build(const Dataset& data, const RuleSet& rules,
       block.groups[group_idx].pieces.push_back(std::move(piece));
     }
   });
+  if (cancelled()) return Status::Cancelled("index build cancelled");
   for (const Status& status : statuses) {
     if (!status.ok()) return status;
   }
@@ -127,11 +133,14 @@ void MlnIndex::LearnBlockWeights(Block* block, const WeightLearnerOptions& optio
   for (size_t i = 0; i < pieces.size(); ++i) pieces[i]->weight = weights[i];
 }
 
-void MlnIndex::LearnWeights(const WeightLearnerOptions& options, size_t num_threads) {
+void MlnIndex::LearnWeights(const WeightLearnerOptions& options, size_t num_threads,
+                            const std::atomic<bool>* cancel) {
   // Blocks are independent weight-learning problems; each task writes only
   // its own block's γ weights.
-  ParallelFor(blocks_.size(), num_threads,
-              [&](size_t bi) { LearnBlockWeights(&blocks_[bi], options); });
+  ParallelFor(blocks_.size(), num_threads, [&](size_t bi) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return;
+    LearnBlockWeights(&blocks_[bi], options);
+  });
 }
 
 void MlnIndex::AssignPriorWeights() {

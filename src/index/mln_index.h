@@ -7,6 +7,7 @@
 #ifndef MLNCLEAN_INDEX_MLN_INDEX_H_
 #define MLNCLEAN_INDEX_MLN_INDEX_H_
 
+#include <atomic>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -51,9 +52,12 @@ class MlnIndex {
   /// Builds the index: one block per rule, groups keyed by reason values
   /// (lines 1-13 of Algorithm 1). Fails on rules the index cannot host
   /// (general DCs). Rules ground in parallel across `num_threads` workers;
-  /// the result is identical for any thread count.
+  /// the result is identical for any thread count. When `cancel` goes
+  /// true, rules not yet grounded are skipped and Build returns
+  /// Status::Cancelled instead of a half-built index.
   static Result<MlnIndex> Build(const Dataset& data, const RuleSet& rules,
-                                size_t num_threads = 1);
+                                size_t num_threads = 1,
+                                const std::atomic<bool>* cancel = nullptr);
 
   size_t num_blocks() const { return blocks_.size(); }
   const Block& block(size_t i) const { return blocks_[i]; }
@@ -68,8 +72,11 @@ class MlnIndex {
   /// Learns MLN weights for every γ of every block: Eq. 4 priors refined
   /// by diagonal Newton over the current (post-AGP) grouping. Blocks are
   /// learned in parallel across `num_threads` workers (deterministic: each
-  /// block's problem is independent and computed identically).
-  void LearnWeights(const WeightLearnerOptions& options = {}, size_t num_threads = 1);
+  /// block's problem is independent and computed identically). When
+  /// `cancel` goes true, blocks not yet learned are skipped (cooperative
+  /// cancellation; the caller reports kCancelled).
+  void LearnWeights(const WeightLearnerOptions& options = {}, size_t num_threads = 1,
+                    const std::atomic<bool>* cancel = nullptr);
 
   /// Learns weights for a single block.
   static void LearnBlockWeights(Block* block, const WeightLearnerOptions& options = {});

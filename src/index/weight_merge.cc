@@ -1,4 +1,4 @@
-#include "distributed/weight_merge.h"
+#include "index/weight_merge.h"
 
 namespace mlnclean {
 

@@ -1,11 +1,13 @@
-// Global weight adjustment for distributed MLNClean (Section 6, Eq. 6):
-// a γ learned in several parts gets the support-weighted average
+// Global weight adjustment (Section 6, Eq. 6): a γ learned in several
+// parts gets the support-weighted average
 //     w(γ) = Σ_i n_i·w_i / Σ_i n_i
 // of its per-part weights, so evidence from one part backs up γs that are
-// under-supported in another.
+// under-supported in another. Backs both the distributed driver's global
+// merge and the CleanModel weight store (it depends only on the index
+// layer, which is why it lives here rather than under distributed/).
 
-#ifndef MLNCLEAN_DISTRIBUTED_WEIGHT_MERGE_H_
-#define MLNCLEAN_DISTRIBUTED_WEIGHT_MERGE_H_
+#ifndef MLNCLEAN_INDEX_WEIGHT_MERGE_H_
+#define MLNCLEAN_INDEX_WEIGHT_MERGE_H_
 
 #include <string>
 #include <unordered_map>
@@ -44,4 +46,4 @@ class GlobalWeightTable {
 
 }  // namespace mlnclean
 
-#endif  // MLNCLEAN_DISTRIBUTED_WEIGHT_MERGE_H_
+#endif  // MLNCLEAN_INDEX_WEIGHT_MERGE_H_

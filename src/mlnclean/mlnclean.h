@@ -1,4 +1,4 @@
-// Umbrella header: the full public API of the MLNClean library.
+// Umbrella header: the public API of the MLNClean library.
 //
 // MLNClean is a hybrid data-cleaning framework on top of Markov logic
 // networks (Gao et al.): integrity constraints (FDs, CFDs, DCs) are
@@ -6,7 +6,7 @@
 // in a two-layer structure, and cleaned in two stages (per-rule data
 // versions via AGP + RSC, then cross-rule fusion via FSCR).
 //
-// Quick start:
+// Quick start — compile a model once, serve datasets through sessions:
 //
 //   #include "mlnclean/mlnclean.h"
 //   using namespace mlnclean;
@@ -15,9 +15,23 @@
 //   RuleSet rules = *ParseRules(dirty.schema(),
 //                               "FD: City -> State\n"
 //                               "CFD: HN=ELIZA, CT=BOAZ -> PN=2567688400\n");
-//   MlnCleanPipeline cleaner;
-//   CleanResult result = *cleaner.Clean(dirty, rules);
+//   CleaningEngine engine;
+//   CleanModel model = *engine.Compile(dirty.schema(), rules);
+//   CleanResult result = *model.Clean(dirty);
 //   // result.deduped is the clean dataset.
+//
+// Serving micro-batches against one prepared model amortizes rule
+// compilation and weight learning (model.Warm(sample) fills the Eq. 6
+// weight store; sessions with reuse_model_weights skip the learner), and
+// staged sessions add progress callbacks and cooperative cancellation:
+//
+//   CleanSession session = model.NewSession(batch, options);
+//   session.RunUntil(Stage::kLearn);   // inspect, then
+//   session.Resume();                  // finish; or cancel via CancelToken
+//
+// The deprecated MlnCleanPipeline facade (one-shot Clean per call) keeps
+// working for one release. Implementation utilities (thread pool, timers,
+// string/random helpers) moved to "mlnclean/internal.h".
 
 #ifndef MLNCLEAN_MLNCLEAN_H_
 #define MLNCLEAN_MLNCLEAN_H_
@@ -25,19 +39,17 @@
 #include "baseline/holoclean.h"
 #include "cleaning/agp.h"
 #include "cleaning/dedup.h"
+#include "cleaning/engine.h"
 #include "cleaning/fscr.h"
 #include "cleaning/options.h"
 #include "cleaning/pipeline.h"
 #include "cleaning/report.h"
 #include "cleaning/rsc.h"
+#include "common/cancellation.h"
 #include "common/csv.h"
 #include "common/distance.h"
-#include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
-#include "common/string_util.h"
-#include "common/thread_pool.h"
-#include "common/timer.h"
 #include "datagen/car.h"
 #include "datagen/hospital.h"
 #include "datagen/sample.h"
@@ -47,12 +59,12 @@
 #include "dataset/schema.h"
 #include "distributed/distributed_pipeline.h"
 #include "distributed/partitioner.h"
-#include "distributed/weight_merge.h"
 #include "errorgen/injector.h"
 #include "eval/component_metrics.h"
 #include "eval/metrics.h"
 #include "index/mln_index.h"
 #include "index/piece.h"
+#include "index/weight_merge.h"
 #include "mln/gibbs.h"
 #include "mln/ground_rule.h"
 #include "mln/network.h"

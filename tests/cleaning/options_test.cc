@@ -1,0 +1,70 @@
+#include "cleaning/options.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace mlnclean {
+namespace {
+
+TEST(CleaningOptionsTest, DefaultsValidate) {
+  CleaningOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(CleaningOptionsTest, ZeroFusionNodesRejected) {
+  CleaningOptions options;
+  options.max_fusion_nodes = 0;
+  Status status = options.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalid());
+}
+
+TEST(CleaningOptionsTest, HugeFusionNodesAccepted) {
+  // The cap is a budget, not an allocation size: the maximum value must
+  // validate (and simply never trip during search).
+  CleaningOptions options;
+  options.max_fusion_nodes = std::numeric_limits<size_t>::max();
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(CleaningOptionsTest, NegativeLearnerIterationsRejected) {
+  CleaningOptions options;
+  options.learner.max_iterations = -1;
+  EXPECT_TRUE(options.Validate().IsInvalid());
+}
+
+TEST(CleaningOptionsTest, ZeroLearnerIterationsAccepted) {
+  // 0 iterations = Eq. 4 priors with no Newton refinement; a valid config.
+  CleaningOptions options;
+  options.learner.max_iterations = 0;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(CleaningOptionsTest, NegativeL2Rejected) {
+  CleaningOptions options;
+  options.learner.l2 = -1e-6;
+  EXPECT_TRUE(options.Validate().IsInvalid());
+}
+
+TEST(CleaningOptionsTest, MinimalityDiscountBounds) {
+  CleaningOptions options;
+  options.fscr_minimality_discount = 0.0;  // would zero every repair
+  EXPECT_TRUE(options.Validate().IsInvalid());
+  options.fscr_minimality_discount = -0.5;
+  EXPECT_TRUE(options.Validate().IsInvalid());
+  options.fscr_minimality_discount = 1.5;  // would reward non-minimality
+  EXPECT_TRUE(options.Validate().IsInvalid());
+  options.fscr_minimality_discount = 1.0;  // disables the bias; valid
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(CleaningOptionsTest, ZeroAgpThresholdAccepted) {
+  // τ = 0 disables abnormal-group detection rather than being an error.
+  CleaningOptions options;
+  options.agp_threshold = 0;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+}  // namespace
+}  // namespace mlnclean

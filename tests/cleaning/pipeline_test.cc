@@ -213,6 +213,26 @@ TEST(PipelineTest, StageDecompositionMatchesClean) {
   CleaningReport report;
   auto index = cleaner.RunStageOne(dirty, rules, &report);
   ASSERT_TRUE(index.ok());
+  // The report is passed by pointer and consumed — no copy of the trace.
+  auto two = cleaner.RunStageTwo(dirty, rules, *index, &report);
+  ASSERT_TRUE(two.ok()) << two.status().ToString();
+  auto direct = cleaner.Clean(dirty, rules);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(two->cleaned, direct->cleaned);
+  // Stage-one records flowed through into the final trace.
+  EXPECT_EQ(two->report.agp.size(), direct->report.agp.size());
+  EXPECT_EQ(two->report.fscr.size(), direct->report.fscr.size());
+}
+
+TEST(PipelineTest, DeprecatedByValueStageTwoStillWorks) {
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  CleaningOptions options;
+  options.agp_threshold = 1;
+  MlnCleanPipeline cleaner(options);
+  CleaningReport report;
+  auto index = cleaner.RunStageOne(dirty, rules, &report);
+  ASSERT_TRUE(index.ok());
   CleanResult two = cleaner.RunStageTwo(dirty, rules, *index, std::move(report));
   auto direct = cleaner.Clean(dirty, rules);
   ASSERT_TRUE(direct.ok());

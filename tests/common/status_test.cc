@@ -22,6 +22,7 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
   EXPECT_TRUE(Status::IOError("x").IsIOError());
   EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
   Status s = Status::Invalid("bad input");
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.message(), "bad input");
@@ -39,6 +40,7 @@ TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalid), "Invalid");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
 }
 
 TEST(ResultTest, HoldsValue) {

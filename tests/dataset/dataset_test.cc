@@ -141,6 +141,19 @@ TEST(DatasetTest, EmptyLikeAndAppendRowFrom) {
   EXPECT_EQ(out.id_at(0, 0), d.id_at(2, 0));
 }
 
+TEST(DatasetTest, SliceSharesIdsAndClampsBounds) {
+  Dataset d = MakeSmall();
+  Dataset mid = d.Slice(1, 3);
+  EXPECT_EQ(mid.num_rows(), 2u);
+  EXPECT_EQ(mid.row(0), d.row(1));
+  EXPECT_EQ(mid.id_at(0, 0), d.id_at(1, 0));  // dictionary-sharing copy
+  // end past the table clamps; an empty or inverted range is empty.
+  EXPECT_EQ(d.Slice(2, 100).num_rows(), 1u);
+  EXPECT_EQ(d.Slice(1, 1).num_rows(), 0u);
+  EXPECT_EQ(d.Slice(5, 2).num_rows(), 0u);
+  EXPECT_EQ(d.Slice(0, 0).dict(0).size(), d.dict(0).size());
+}
+
 TEST(DatasetTest, EqualityIgnoresIdAssignment) {
   // Same content, different intern order: b's dictionary assigns different
   // ids than a's, but the tables are equal.
