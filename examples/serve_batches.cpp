@@ -3,11 +3,17 @@
 // then serve each incoming batch through a session that reuses the stored
 // γ weights instead of re-running the Newton learner — the amortization
 // MLNClean's build-once / repair-per-request split exists for. Also shows
-// per-stage progress callbacks and cooperative cancellation.
+// per-stage progress callbacks, cooperative cancellation, and the
+// cross-process hand-off: the model is Save()d to a snapshot, this binary
+// re-execs itself to Load() it in a fresh process, and the child's cleaned
+// output is compared against the in-process run.
 //
 //   $ ./examples/serve_batches
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "mlnclean/internal.h"  // Timer, for the cold-vs-warm comparison
 #include "mlnclean/mlnclean.h"
@@ -16,21 +22,35 @@ using namespace mlnclean;
 
 namespace {
 
-// Splits `data` into `k` contiguous micro-batches sharing its dictionaries.
-std::vector<Dataset> SplitIntoBatches(const Dataset& data, size_t k) {
-  std::vector<Dataset> batches;
-  const size_t rows = data.num_rows();
-  const size_t chunk = (rows + k - 1) / k;
-  for (size_t begin = 0; begin < rows; begin += chunk) {
-    batches.push_back(data.Slice(begin, begin + chunk));
+// Batch count of the stream; the parent and the re-exec'd child must
+// split identically (via the shared SplitIntoBatches) for the round-trip
+// comparison to mean anything.
+constexpr size_t kBatches = 8;
+
+// Wraps `s` in single quotes for /bin/sh, escaping embedded quotes, so
+// paths with spaces or apostrophes survive std::system.
+std::string ShellQuote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
   }
-  return batches;
+  out += '\'';
+  return out;
 }
 
-}  // namespace
+// The deterministic stream both processes regenerate: the parent serves it
+// against its in-process model, the re-exec'd child against the loaded
+// snapshot of the same model.
+struct Stream {
+  RuleSet rules;
+  Dataset dirty;
+};
 
-int main() {
-  // A HAI-like table arriving as a stream of micro-batches.
+Stream MakeStream() {
   HospitalConfig config;
   config.num_hospitals = 40;
   config.num_measures = 10;
@@ -39,16 +59,56 @@ int main() {
   spec.error_rate = 0.05;
   spec.seed = 21;
   DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
-  const size_t kBatches = 8;
-  std::vector<Dataset> batches = SplitIntoBatches(dd.dirty, kBatches);
+  return Stream{std::move(wl.rules), std::move(dd.dirty)};
+}
+
+// Serves every batch with stored-weight reuse and returns the concatenated
+// cleaned CSVs — the artifact the two processes compare.
+std::string ServeAll(const CleanModel& model, const std::vector<Dataset>& batches) {
+  std::string out;
+  SessionOptions serve;
+  serve.reuse_model_weights = true;
+  for (const Dataset& batch : batches) {
+    CleanResult result = *model.Clean(batch, serve);
+    out += WriteCsv(result.cleaned.ToCsv());
+  }
+  return out;
+}
+
+// Child mode (--from-snapshot SNAP OUT): load the snapshot, serve the
+// stream, write the cleaned CSVs to OUT.
+int RunChild(const char* snapshot_path, const char* out_path) {
+  std::ifstream in(snapshot_path, std::ios::binary);
+  auto model = CleaningEngine().Load(in);
+  if (!model.ok()) {
+    std::fprintf(stderr, "child load failed: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  Stream stream = MakeStream();
+  std::ofstream out(out_path, std::ios::binary);
+  out << ServeAll(*model, SplitIntoBatches(stream.dirty, kBatches));
+  out.close();  // flush now so write errors surface in the exit code
+  return out.fail() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 4 && std::string(argv[1]) == "--from-snapshot") {
+    return RunChild(argv[2], argv[3]);
+  }
+
+  // A HAI-like table arriving as a stream of micro-batches.
+  Stream stream = MakeStream();
+  std::vector<Dataset> batches = SplitIntoBatches(stream.dirty, kBatches);
   std::printf("%zu tuples arriving as %zu micro-batches of ~%zu rows\n",
-              dd.dirty.num_rows(), batches.size(), batches[0].num_rows());
+              stream.dirty.num_rows(), batches.size(), batches[0].num_rows());
 
   // Build-once phase: compile the rules and warm the weight store.
   CleaningOptions options;
   options.agp_threshold = 3;
   CleaningEngine engine(options);
-  CleanModel model = *engine.Compile(dd.dirty.schema(), wl.rules);
+  CleanModel model = *engine.Compile(stream.dirty.schema(), stream.rules);
   Status warmed = model.Warm(batches[0]);
   if (!warmed.ok()) {
     std::printf("warmup failed: %s\n", warmed.ToString().c_str());
@@ -62,7 +122,7 @@ int main() {
   Timer cold_timer;
   for (const Dataset& batch : batches) {
     MlnCleanPipeline cleaner(options);
-    CleanResult result = *cleaner.Clean(batch, wl.rules);
+    CleanResult result = *cleaner.Clean(batch, stream.rules);
     (void)result;
   }
   double cold_seconds = cold_timer.ElapsedSeconds();
@@ -105,5 +165,37 @@ int main() {
   doomed.cancel.RequestCancel();
   Status cancelled = model.NewSession(batches[2], doomed).Resume();
   std::printf("Cancelled session reports: %s\n", cancelled.ToString().c_str());
-  return 0;
+
+  // Cross-process hand-off: Save the warmed model, re-exec this binary to
+  // Load it in a fresh process, and check the child's cleaned output is
+  // bit-identical to serving the same stream in this process.
+  const std::string snapshot_path = "serve_batches_model.bin";
+  const std::string child_out_path = "serve_batches_child.csv";
+  {
+    std::ofstream snap(snapshot_path, std::ios::binary);
+    Status saved = model.Save(snap);
+    if (!saved.ok()) {
+      std::printf("snapshot save failed: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+  }
+  std::string parent_served = ServeAll(model, batches);
+  std::string cmd = ShellQuote(argv[0]) + " --from-snapshot " +
+                    ShellQuote(snapshot_path) + " " + ShellQuote(child_out_path);
+  if (std::system(cmd.c_str()) != 0) {
+    std::printf("child process failed\n");
+    return 1;
+  }
+  std::stringstream child_served;
+  child_served << std::ifstream(child_out_path, std::ios::binary).rdbuf();
+  const bool identical = child_served.str() == parent_served;
+  std::printf("Snapshot round trip: child process served %zu batches %s\n",
+              batches.size(), identical ? "bit-identically" : "DIFFERENTLY (bug!)");
+  if (identical) {
+    // On mismatch the snapshot and the child transcript are exactly the
+    // artifacts needed to debug; only clean up after a pass.
+    std::remove(snapshot_path.c_str());
+    std::remove(child_out_path.c_str());
+  }
+  return identical ? 0 : 1;
 }

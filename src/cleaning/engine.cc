@@ -8,6 +8,7 @@
 #include "cleaning/agp.h"
 #include "cleaning/dedup.h"
 #include "cleaning/fscr.h"
+#include "cleaning/model_state.h"
 #include "cleaning/rsc.h"
 #include "common/timer.h"
 
@@ -30,23 +31,6 @@ const char* StageName(Stage stage) {
   }
   return "unknown";
 }
-
-/// Shared, session-pinned model state: the compiled rules and options plus
-/// the Eq. 6 weight store. Sessions may contribute weights concurrently
-/// (the distributed driver runs sessions on a worker pool) while many
-/// serving sessions read the store, so it sits behind a reader-writer
-/// lock: Accumulate is the only writer, Apply/size are shared readers and
-/// do not serialize concurrent weight-reuse sessions. Everything else is
-/// immutable after Compile.
-struct CleanModel::State {
-  State(RuleSet rules_in, CleaningOptions options_in)
-      : rules(std::move(rules_in)), options(std::move(options_in)) {}
-
-  const RuleSet rules;
-  const CleaningOptions options;
-  mutable std::shared_mutex weights_mu;
-  GlobalWeightTable weights;
-};
 
 // ---------------------------------------------------------- CleaningEngine
 
@@ -131,10 +115,10 @@ Result<size_t> CleanModel::AdjustWeightsAcross(
       return Status::Invalid(
           "AdjustWeightsAcross: session does not own its index");
     }
-    table.Accumulate(session->index());
+    table.Accumulate(session->index(), state_->rules);
   }
   for (CleanSession* session : sessions) {
-    table.Apply(session->mutable_index());
+    table.Apply(session->mutable_index(), state_->rules);
   }
   return table.size();
 }
@@ -205,7 +189,7 @@ Status CleanSession::RunStage(Stage stage) {
         owned_index_.AssignPriorWeights();
         std::shared_lock<std::shared_mutex> lock(model_->weights_mu);
         if (model_->weights.size() > 0) {
-          model_->weights.Apply(&owned_index_);
+          model_->weights.Apply(&owned_index_, model_->rules);
           reused = true;
         }
       }
@@ -219,7 +203,7 @@ Status CleanSession::RunStage(Stage stage) {
       if (opts_.contribute_weights && options.learn_weights && !reused &&
           !opts_.cancel.cancelled()) {
         std::unique_lock<std::shared_mutex> lock(model_->weights_mu);
-        model_->weights.Accumulate(owned_index_);
+        model_->weights.Accumulate(owned_index_, model_->rules);
       }
       return Status::OK();
     }

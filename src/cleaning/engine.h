@@ -25,6 +25,7 @@
 #define MLNCLEAN_CLEANING_ENGINE_H_
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -138,6 +139,14 @@ class CleanModel {
   /// γs with a stored (Eq. 6 merged) weight.
   size_t num_stored_weights() const;
 
+  /// Writes a versioned binary snapshot of the model — schema, rules,
+  /// resolved options, and the Eq. 6 weight store with its interners — to
+  /// `out`, so a serving process can `CleaningEngine::Load` it and serve
+  /// micro-batches bit-identically to this in-process model. Safe to call
+  /// while sessions run (the store is read under the shared lock). Format
+  /// and version policy: cleaning/model_io.h and docs/snapshot_format.md.
+  Status Save(std::ostream& out) const;
+
   /// Model-level Eq. 6 weight adjustment across concurrent sessions (the
   /// distributed driver's global merge): every γ learned in several
   /// sessions gets the support-weighted average of its per-session
@@ -242,6 +251,14 @@ class CleaningEngine {
                              const CleaningOptions& options) const;
   /// Compile with the engine's default options.
   Result<CleanModel> Compile(const Schema& schema, const RuleSet& rules) const;
+
+  /// Reads a snapshot written by CleanModel::Save and returns a model
+  /// equivalent to the saved one: same schema, rules, options (the
+  /// snapshot's options override this engine's defaults), and the same
+  /// stored γ weights bit-for-bit. Truncated or corrupt input is rejected
+  /// with StatusCode::kInvalid naming the offending byte position — the
+  /// decoder never reads past a section's declared length.
+  Result<CleanModel> Load(std::istream& in) const;
 
  private:
   CleaningOptions defaults_;

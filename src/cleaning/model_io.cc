@@ -1,0 +1,524 @@
+// Snapshot codec for CleanModel (format: cleaning/model_io.h). The
+// decoder trusts nothing: every read is bounds-checked against the buffer
+// and the enclosing section's declared length, and every failure is a
+// StatusCode::kInvalid carrying the byte position — corrupt input can
+// reject, never crash.
+
+#include "cleaning/model_io.h"
+
+#include <cstring>
+#include <istream>
+#include <iterator>
+#include <mutex>
+#include <ostream>
+#include <shared_mutex>
+#include <utility>
+
+#include "cleaning/model_state.h"
+#include "rules/rule_parser.h"
+
+namespace mlnclean {
+
+namespace {
+
+// Wire encoding of ValueDict::kNoNullRank. Fixed at u64 max so the bytes
+// do not depend on the writer's size_t width (kNoNullRank is ~size_t{0},
+// which is a different value on a 32-bit host).
+constexpr uint64_t kNoNullRankWire = ~uint64_t{0};
+
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over the framed section
+// bytes. Structural decoding catches framing corruption with a precise
+// byte position; the checksum catches content corruption that stays
+// structurally valid (a flipped value byte, a bit-rotted weight).
+uint32_t Crc32(const char* data, size_t size) {
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc ^= static_cast<unsigned char>(data[i]);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xedb88320u & (~(crc & 1u) + 1u));
+    }
+  }
+  return ~crc;
+}
+
+// Section tags, in the order they must appear.
+enum SectionTag : uint32_t {
+  kSchemaTag = 1,
+  kRulesTag = 2,
+  kOptionsTag = 3,
+  kWeightsTag = 4,
+};
+constexpr uint32_t kNumSections = 4;
+
+// ------------------------------------------------------------------ encode
+
+class Encoder {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  void F64(double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "f64 must be 8 bytes");
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s);
+  }
+  /// Appends a finished sub-encoder as one framed section.
+  void Section(uint32_t tag, const Encoder& payload) {
+    U32(tag);
+    U64(payload.out_.size());
+    out_.append(payload.out_);
+  }
+  const std::string& bytes() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+// ------------------------------------------------------------------ decode
+
+/// Cursor over the fully buffered snapshot. `limit_` fences reads inside
+/// the current section so a corrupt payload cannot consume its neighbour.
+class Decoder {
+ public:
+  explicit Decoder(std::string data) : data_(std::move(data)), limit_(data_.size()) {}
+
+  size_t pos() const { return pos_; }
+  size_t size() const { return data_.size(); }
+  const char* data() const { return data_.data(); }
+
+  Status Fail(const std::string& what) const {
+    return Status::Invalid("invalid model snapshot: " + what + " at byte " +
+                           std::to_string(pos_));
+  }
+
+  Status Bytes(void* out, size_t n, const char* what) {
+    if (n > limit_ - pos_) {
+      return Fail(std::string("truncated ") + what + " (need " + std::to_string(n) +
+                  " bytes, " + std::to_string(limit_ - pos_) + " left)");
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Result<uint8_t> U8(const char* what) {
+    uint8_t v = 0;
+    MLN_RETURN_NOT_OK(Bytes(&v, 1, what));
+    return v;
+  }
+  Result<uint32_t> U32(const char* what) {
+    unsigned char b[4];
+    MLN_RETURN_NOT_OK(Bytes(b, 4, what));
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
+    return v;
+  }
+  Result<uint64_t> U64(const char* what) {
+    unsigned char b[8];
+    MLN_RETURN_NOT_OK(Bytes(b, 8, what));
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+    return v;
+  }
+  Result<double> F64(const char* what) {
+    MLN_ASSIGN_OR_RETURN(uint64_t bits, U64(what));
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  Result<std::string> Str(const char* what) {
+    MLN_ASSIGN_OR_RETURN(uint32_t len, U32(what));
+    if (len > limit_ - pos_) {
+      return Fail(std::string(what) + " length " + std::to_string(len) +
+                  " overruns its section (" + std::to_string(limit_ - pos_) +
+                  " bytes left)");
+    }
+    std::string s(data_.data() + pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  /// Enters a section of `length` bytes starting at the cursor.
+  Status EnterSection(uint64_t length, uint32_t tag) {
+    if (length > data_.size() - pos_) {
+      return Fail("section " + std::to_string(tag) + " declares " +
+                  std::to_string(length) + " bytes but only " +
+                  std::to_string(data_.size() - pos_) + " remain");
+    }
+    limit_ = pos_ + static_cast<size_t>(length);
+    return Status::OK();
+  }
+  /// Leaves the current section; the payload must be fully consumed.
+  Status ExitSection(uint32_t tag) {
+    if (pos_ != limit_) {
+      return Fail("section " + std::to_string(tag) + " has " +
+                  std::to_string(limit_ - pos_) + " trailing bytes");
+    }
+    limit_ = data_.size();
+    return Status::OK();
+  }
+
+ private:
+  std::string data_;
+  size_t pos_ = 0;
+  size_t limit_ = 0;
+};
+
+// Everything a v1 snapshot holds, decoded but not yet compiled.
+struct DecodedSnapshot {
+  uint32_t version = 0;
+  std::vector<std::string> attr_names;
+  std::vector<std::string> rule_names;
+  std::vector<double> rule_weights;
+  std::vector<std::string> rule_texts;
+  CleaningOptions options;
+  std::vector<ValueDict> dicts;  // weight-store interners, ids preserved
+  std::vector<GlobalWeightTable::EntryView> entries;
+};
+
+void EncodeOptions(const CleaningOptions& o, Encoder* e) {
+  e->U64(o.agp_threshold);
+  e->U32(static_cast<uint32_t>(o.distance));
+  e->U32(static_cast<uint32_t>(o.learner.max_iterations));
+  e->F64(o.learner.l2);
+  e->F64(o.learner.tolerance);
+  e->F64(o.learner.max_step);
+  e->F64(o.learner.damping);
+  e->U8(o.learn_weights ? 1 : 0);
+  e->U8(o.remove_duplicates ? 1 : 0);
+  e->U64(o.max_exhaustive_fusion);
+  e->U64(o.max_fusion_nodes);
+  e->U64(o.num_threads);
+  e->U8(o.cache_distances ? 1 : 0);
+  e->F64(o.fscr_minimality_discount);
+}
+
+Status DecodeOptions(Decoder* d, CleaningOptions* o) {
+  MLN_ASSIGN_OR_RETURN(uint64_t agp, d->U64("agp_threshold"));
+  o->agp_threshold = static_cast<size_t>(agp);
+  MLN_ASSIGN_OR_RETURN(uint32_t metric, d->U32("distance metric"));
+  if (metric > static_cast<uint32_t>(DistanceMetric::kDamerau)) {
+    return d->Fail("unknown distance metric " + std::to_string(metric));
+  }
+  o->distance = static_cast<DistanceMetric>(metric);
+  MLN_ASSIGN_OR_RETURN(uint32_t iters, d->U32("learner.max_iterations"));
+  o->learner.max_iterations = static_cast<int>(iters);
+  MLN_ASSIGN_OR_RETURN(o->learner.l2, d->F64("learner.l2"));
+  MLN_ASSIGN_OR_RETURN(o->learner.tolerance, d->F64("learner.tolerance"));
+  MLN_ASSIGN_OR_RETURN(o->learner.max_step, d->F64("learner.max_step"));
+  MLN_ASSIGN_OR_RETURN(o->learner.damping, d->F64("learner.damping"));
+  MLN_ASSIGN_OR_RETURN(uint8_t learn, d->U8("learn_weights"));
+  o->learn_weights = learn != 0;
+  MLN_ASSIGN_OR_RETURN(uint8_t dedup, d->U8("remove_duplicates"));
+  o->remove_duplicates = dedup != 0;
+  MLN_ASSIGN_OR_RETURN(uint64_t exhaustive, d->U64("max_exhaustive_fusion"));
+  o->max_exhaustive_fusion = static_cast<size_t>(exhaustive);
+  MLN_ASSIGN_OR_RETURN(uint64_t nodes, d->U64("max_fusion_nodes"));
+  o->max_fusion_nodes = static_cast<size_t>(nodes);
+  MLN_ASSIGN_OR_RETURN(uint64_t threads, d->U64("num_threads"));
+  o->num_threads = static_cast<size_t>(threads);
+  MLN_ASSIGN_OR_RETURN(uint8_t cache, d->U8("cache_distances"));
+  o->cache_distances = cache != 0;
+  MLN_ASSIGN_OR_RETURN(o->fscr_minimality_discount, d->F64("fscr_minimality_discount"));
+  return Status::OK();
+}
+
+Status DecodeSchemaSection(Decoder* d, DecodedSnapshot* snap) {
+  MLN_ASSIGN_OR_RETURN(uint32_t num_attrs, d->U32("attribute count"));
+  snap->attr_names.clear();
+  for (uint32_t i = 0; i < num_attrs; ++i) {
+    MLN_ASSIGN_OR_RETURN(std::string name, d->Str("attribute name"));
+    snap->attr_names.push_back(std::move(name));
+  }
+  return Status::OK();
+}
+
+Status DecodeRulesSection(Decoder* d, DecodedSnapshot* snap) {
+  MLN_ASSIGN_OR_RETURN(uint32_t num_rules, d->U32("rule count"));
+  for (uint32_t i = 0; i < num_rules; ++i) {
+    MLN_ASSIGN_OR_RETURN(std::string name, d->Str("rule name"));
+    MLN_ASSIGN_OR_RETURN(double weight, d->F64("rule weight"));
+    MLN_ASSIGN_OR_RETURN(std::string text, d->Str("rule text"));
+    snap->rule_names.push_back(std::move(name));
+    snap->rule_weights.push_back(weight);
+    snap->rule_texts.push_back(std::move(text));
+  }
+  return Status::OK();
+}
+
+Status DecodeWeightsSection(Decoder* d, DecodedSnapshot* snap) {
+  MLN_ASSIGN_OR_RETURN(uint32_t num_dicts, d->U32("weight dictionary count"));
+  for (uint32_t a = 0; a < num_dicts; ++a) {
+    MLN_ASSIGN_OR_RETURN(uint64_t num_values, d->U64("dictionary size"));
+    if (num_values == 0) {
+      return d->Fail("dictionary " + std::to_string(a) +
+                     " has zero values (id 0 is always present)");
+    }
+    ValueDict dict;  // id 0 (NULL) pre-interned by construction
+    for (uint64_t id = 1; id < num_values; ++id) {
+      MLN_ASSIGN_OR_RETURN(std::string value, d->Str("dictionary value"));
+      if (dict.Intern(value) != static_cast<ValueId>(id)) {
+        return d->Fail("dictionary " + std::to_string(a) +
+                       " repeats a value (ids would shift)");
+      }
+    }
+    MLN_ASSIGN_OR_RETURN(uint64_t null_rank, d->U64("dictionary null rank"));
+    if (null_rank != kNoNullRankWire && null_rank >= num_values) {
+      return d->Fail("dictionary " + std::to_string(a) + " null rank " +
+                     std::to_string(null_rank) + " exceeds its value count");
+    }
+    dict.RestoreNullRank(null_rank == kNoNullRankWire
+                             ? ValueDict::kNoNullRank
+                             : static_cast<size_t>(null_rank));
+    snap->dicts.push_back(std::move(dict));
+  }
+  MLN_ASSIGN_OR_RETURN(uint64_t num_entries, d->U64("weight entry count"));
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    GlobalWeightTable::EntryView entry;
+    MLN_ASSIGN_OR_RETURN(uint32_t rule_index, d->U32("weight entry rule index"));
+    entry.rule_index = rule_index;
+    MLN_ASSIGN_OR_RETURN(uint32_t n_reason, d->U32("weight entry reason arity"));
+    MLN_ASSIGN_OR_RETURN(uint32_t n_result, d->U32("weight entry result arity"));
+    for (uint32_t k = 0; k < n_reason; ++k) {
+      MLN_ASSIGN_OR_RETURN(uint32_t id, d->U32("weight entry reason id"));
+      entry.reason_ids.push_back(id);
+    }
+    for (uint32_t k = 0; k < n_result; ++k) {
+      MLN_ASSIGN_OR_RETURN(uint32_t id, d->U32("weight entry result id"));
+      entry.result_ids.push_back(id);
+    }
+    MLN_ASSIGN_OR_RETURN(entry.weighted_sum, d->F64("weight entry sum"));
+    MLN_ASSIGN_OR_RETURN(entry.support, d->F64("weight entry support"));
+    snap->entries.push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+/// Buffers the stream and decodes the whole snapshot structure. Semantic
+/// validation (schema build, rule parse, option consistency, id bounds)
+/// happens in the callers, which have the context to do it.
+Result<DecodedSnapshot> DecodeSnapshot(std::istream& in) {
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::IOError("failed to read model snapshot stream");
+  }
+  Decoder d(std::move(data));
+  char magic[4];
+  MLN_RETURN_NOT_OK(d.Bytes(magic, 4, "magic"));
+  if (std::memcmp(magic, kModelSnapshotMagic, 4) != 0) {
+    return Status::Invalid(
+        "invalid model snapshot: bad magic at byte 0 (not a CleanModel "
+        "snapshot)");
+  }
+  DecodedSnapshot snap;
+  MLN_ASSIGN_OR_RETURN(snap.version, d.U32("format version"));
+  if (snap.version != kModelSnapshotVersion) {
+    return Status::Invalid("invalid model snapshot: unsupported format version " +
+                           std::to_string(snap.version) + " at byte 4 (this "
+                           "reader understands version " +
+                           std::to_string(kModelSnapshotVersion) + ")");
+  }
+  MLN_ASSIGN_OR_RETURN(uint32_t num_sections, d.U32("section count"));
+  if (num_sections != kNumSections) {
+    return d.Fail("expected " + std::to_string(kNumSections) + " sections, got " +
+                  std::to_string(num_sections));
+  }
+  MLN_ASSIGN_OR_RETURN(uint32_t stored_crc, d.U32("checksum"));
+  const size_t sections_begin = d.pos();
+  for (uint32_t expected_tag = kSchemaTag; expected_tag <= kWeightsTag;
+       ++expected_tag) {
+    MLN_ASSIGN_OR_RETURN(uint32_t tag, d.U32("section tag"));
+    if (tag != expected_tag) {
+      return d.Fail("unexpected section tag " + std::to_string(tag) +
+                    " (expected " + std::to_string(expected_tag) + ")");
+    }
+    MLN_ASSIGN_OR_RETURN(uint64_t length, d.U64("section length"));
+    MLN_RETURN_NOT_OK(d.EnterSection(length, tag));
+    switch (tag) {
+      case kSchemaTag:
+        MLN_RETURN_NOT_OK(DecodeSchemaSection(&d, &snap));
+        break;
+      case kRulesTag:
+        MLN_RETURN_NOT_OK(DecodeRulesSection(&d, &snap));
+        break;
+      case kOptionsTag:
+        MLN_RETURN_NOT_OK(DecodeOptions(&d, &snap.options));
+        break;
+      case kWeightsTag:
+        MLN_RETURN_NOT_OK(DecodeWeightsSection(&d, &snap));
+        break;
+    }
+    MLN_RETURN_NOT_OK(d.ExitSection(tag));
+  }
+  if (d.pos() != d.size()) {
+    return d.Fail(std::to_string(d.size() - d.pos()) +
+                  " trailing bytes after the last section");
+  }
+  // Checked after the structural pass so framing errors keep their precise
+  // positions; this catches structurally valid content corruption.
+  const uint32_t computed_crc =
+      Crc32(d.data() + sections_begin, d.size() - sections_begin);
+  if (computed_crc != stored_crc) {
+    return Status::Invalid(
+        "invalid model snapshot: checksum mismatch over the section bytes "
+        "(stored " + std::to_string(stored_crc) + ", computed " +
+        std::to_string(computed_crc) + ") at byte 12");
+  }
+  return snap;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Save
+
+Status CleanModel::Save(std::ostream& out) const {
+  const Schema& schema = state_->rules.schema();
+
+  Encoder schema_section;
+  schema_section.U32(static_cast<uint32_t>(schema.num_attrs()));
+  for (const std::string& name : schema.names()) schema_section.Str(name);
+
+  Encoder rules_section;
+  rules_section.U32(static_cast<uint32_t>(state_->rules.size()));
+  for (const Constraint& rule : state_->rules.rules()) {
+    // Refuse to write a snapshot Load can never read: the DC grammar has
+    // no quoting, so a DC over attribute names containing DSL
+    // metacharacters has no round-trippable text. Catching it here keeps
+    // the failure on the builder box instead of on N serving workers.
+    const std::string canonical = rule.CanonicalText(schema);
+    auto reparsed = ParseRule(schema, canonical);
+    if (!reparsed.ok() || reparsed->CanonicalText(schema) != canonical) {
+      return Status::Invalid("rule '" + rule.name() +
+                             "' cannot be serialized: its canonical text does "
+                             "not round-trip through the rule DSL: " +
+                             canonical);
+    }
+    rules_section.Str(rule.name());
+    rules_section.F64(rule.rule_weight());
+    rules_section.Str(canonical);
+  }
+
+  Encoder options_section;
+  EncodeOptions(state_->options, &options_section);
+
+  Encoder weights_section;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_->weights_mu);
+    const GlobalWeightTable& table = state_->weights;
+    weights_section.U32(static_cast<uint32_t>(table.num_attr_dicts()));
+    for (size_t a = 0; a < table.num_attr_dicts(); ++a) {
+      const ValueDict& dict = table.attr_dict(a);
+      weights_section.U64(dict.size());
+      for (ValueId id = 1; id < dict.size(); ++id) weights_section.Str(dict.value(id));
+      weights_section.U64(dict.null_used() ? dict.null_rank() : kNoNullRankWire);
+    }
+    weights_section.U64(table.size());
+    table.ForEachEntrySorted([&weights_section](
+                                 const GlobalWeightTable::EntryView& entry) {
+      weights_section.U32(static_cast<uint32_t>(entry.rule_index));
+      weights_section.U32(static_cast<uint32_t>(entry.reason_ids.size()));
+      weights_section.U32(static_cast<uint32_t>(entry.result_ids.size()));
+      for (ValueId id : entry.reason_ids) weights_section.U32(id);
+      for (ValueId id : entry.result_ids) weights_section.U32(id);
+      weights_section.F64(entry.weighted_sum);
+      weights_section.F64(entry.support);
+    });
+  }
+
+  // Assemble: magic, version, section count, checksum, framed sections.
+  Encoder sections;
+  sections.Section(kSchemaTag, schema_section);
+  sections.Section(kRulesTag, rules_section);
+  sections.Section(kOptionsTag, options_section);
+  sections.Section(kWeightsTag, weights_section);
+  std::string bytes;
+  bytes.append(kModelSnapshotMagic, 4);
+  Encoder header;
+  header.U32(kModelSnapshotVersion);
+  header.U32(kNumSections);
+  header.U32(Crc32(sections.bytes().data(), sections.bytes().size()));
+  bytes.append(header.bytes());
+  bytes.append(sections.bytes());
+
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) {
+    return Status::IOError("failed to write model snapshot stream");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- Load
+
+Result<CleanModel> CleaningEngine::Load(std::istream& in) const {
+  MLN_ASSIGN_OR_RETURN(DecodedSnapshot snap, DecodeSnapshot(in));
+
+  MLN_ASSIGN_OR_RETURN(Schema schema, Schema::Make(snap.attr_names));
+  RuleSet rules(schema);
+  for (size_t i = 0; i < snap.rule_texts.size(); ++i) {
+    auto parsed = ParseRule(schema, snap.rule_texts[i]);
+    if (!parsed.ok()) {
+      return Status::Invalid("invalid model snapshot: rule " + std::to_string(i) +
+                             " does not decode: " + parsed.status().message());
+    }
+    Constraint rule = std::move(parsed).ValueUnsafe();
+    rule.set_name(snap.rule_names[i]);
+    rule.set_rule_weight(snap.rule_weights[i]);
+    rules.Add(std::move(rule));
+  }
+
+  // Compile re-runs the full model validation (options, schema match,
+  // index-hostability), so a snapshot cannot smuggle in a model state the
+  // engine would refuse to build directly.
+  MLN_ASSIGN_OR_RETURN(CleanModel model, Compile(schema, rules, snap.options));
+
+  if (!snap.dicts.empty() && snap.dicts.size() != schema.num_attrs()) {
+    return Status::Invalid("invalid model snapshot: weight store has " +
+                           std::to_string(snap.dicts.size()) +
+                           " dictionaries for a " +
+                           std::to_string(schema.num_attrs()) + "-attribute schema");
+  }
+  if (snap.dicts.empty() && !snap.entries.empty()) {
+    return Status::Invalid(
+        "invalid model snapshot: weight entries without dictionaries");
+  }
+  // Freshly compiled and unpublished: no lock needed yet.
+  GlobalWeightTable& weights = model.state_->weights;
+  weights.RestoreDicts(std::move(snap.dicts));
+  for (const GlobalWeightTable::EntryView& entry : snap.entries) {
+    Status st = weights.RestoreEntry(model.state_->rules, entry);
+    if (!st.ok()) {
+      return Status::Invalid("invalid model snapshot: " + st.message());
+    }
+  }
+  return model;
+}
+
+// ---------------------------------------------------------------- Inspect
+
+Result<ModelSnapshotInfo> InspectModelSnapshot(std::istream& in) {
+  MLN_ASSIGN_OR_RETURN(DecodedSnapshot snap, DecodeSnapshot(in));
+  ModelSnapshotInfo info;
+  info.version = snap.version;
+  info.attr_names = std::move(snap.attr_names);
+  info.rule_names = std::move(snap.rule_names);
+  info.rule_texts = std::move(snap.rule_texts);
+  info.rule_weights = std::move(snap.rule_weights);
+  info.options = snap.options;
+  info.num_stored_weights = snap.entries.size();
+  for (const ValueDict& dict : snap.dicts) {
+    info.weight_dict_sizes.push_back(dict.size());
+  }
+  return info;
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,83 @@
+// CleanModel snapshots: a versioned binary format for handing a compiled
+// model to another process (CleanModel::Save / CleaningEngine::Load,
+// declared in cleaning/engine.h and implemented here). A builder box
+// compiles and warms a model once; serving workers Load the snapshot and
+// serve micro-batches bit-identically to the in-process original —
+// including Eq. 6 stored weights, whose f64 bits round-trip exactly.
+//
+// Layout (all integers little-endian, f64 as IEEE-754 bits):
+//
+//   magic   "MLNM" (4 bytes)
+//   u32     format version (kModelSnapshotVersion)
+//   u32     section count (4 in version 1)
+//   u32     CRC-32 (IEEE, reflected) of every byte after this field
+//   4 x section, each: u32 tag, u64 payload length, payload
+//
+//   tag 1 schema:   u32 #attrs, then each name as str (u32 len + bytes)
+//   tag 2 rules:    u32 #rules, then per rule: str name, f64 rule weight,
+//                   str canonical DSL text (Constraint::CanonicalText,
+//                   decoded via ParseRule)
+//   tag 3 options:  the resolved CleaningOptions field by field (see
+//                   model_io.cc; validated by CleaningOptions::Validate on
+//                   load). num_threads is stored raw: 0 = "auto" resolves
+//                   against the *serving* host, as it should.
+//   tag 4 weights:  the Eq. 6 GlobalWeightTable — u32 #dicts (0 or
+//                   #attrs), per dict the interned values in id order plus
+//                   the NULL rank (so restored ids equal saved ids), then
+//                   u64 #entries, per entry the γ key (u32 rule index, u32
+//                   reason arity, u32 result arity, the ids) and f64
+//                   weighted_sum / support. Entries are written in sorted
+//                   key order: saving the same model twice produces
+//                   identical bytes.
+//
+// Sections appear exactly once, in tag order. Decoding is strict and
+// bounds-checked: truncated input, bad magic, an unsupported version, an
+// unknown tag, a length prefix pointing past the buffer, a section with
+// trailing bytes, or trailing bytes after the last section all return
+// StatusCode::kInvalid naming the offending byte position — never
+// undefined behaviour. Content corruption that stays structurally valid
+// (a flipped value byte, a bit-rotted weight) is caught by the header
+// checksum, verified after the structural pass so framing errors keep
+// their precise positions. Version policy (docs/snapshot_format.md): any
+// layout change bumps kModelSnapshotVersion; readers reject versions they
+// do not know; writers always write the current version.
+
+#ifndef MLNCLEAN_CLEANING_MODEL_IO_H_
+#define MLNCLEAN_CLEANING_MODEL_IO_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cleaning/options.h"
+#include "common/result.h"
+
+namespace mlnclean {
+
+/// First bytes of every snapshot.
+inline constexpr char kModelSnapshotMagic[4] = {'M', 'L', 'N', 'M'};
+
+/// Current snapshot format version.
+inline constexpr uint32_t kModelSnapshotVersion = 1;
+
+/// Summary of a snapshot, decoded without compiling a model — what
+/// `mlnclean_model inspect` prints.
+struct ModelSnapshotInfo {
+  uint32_t version = 0;
+  std::vector<std::string> attr_names;
+  std::vector<std::string> rule_names;
+  std::vector<std::string> rule_texts;   // canonical DSL
+  std::vector<double> rule_weights;
+  CleaningOptions options;
+  size_t num_stored_weights = 0;         // γ entries in the weight store
+  std::vector<size_t> weight_dict_sizes; // per-attribute interner sizes
+};
+
+/// Fully decodes and validates a snapshot's framing without constructing a
+/// CleanModel (rule texts stay text; use CleaningEngine::Load to serve).
+Result<ModelSnapshotInfo> InspectModelSnapshot(std::istream& in);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_CLEANING_MODEL_IO_H_

@@ -75,6 +75,17 @@ Dataset Dataset::Slice(size_t begin, size_t end) const {
   return out;
 }
 
+std::vector<Dataset> SplitIntoBatches(const Dataset& data, size_t k) {
+  std::vector<Dataset> batches;
+  if (k == 0) return batches;
+  const size_t rows = data.num_rows();
+  const size_t chunk = (rows + k - 1) / k;
+  for (size_t begin = 0; begin < rows; begin += chunk) {
+    batches.push_back(data.Slice(begin, begin + chunk));
+  }
+  return batches;
+}
+
 CsvTable Dataset::ToCsv() const {
   CsvTable table;
   table.header = schema_.names();

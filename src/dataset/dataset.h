@@ -150,6 +150,14 @@ class Dataset {
   std::vector<std::vector<ValueId>> cols_;  // [attr][row]
 };
 
+/// Splits `data` into `k` contiguous micro-batches (ceil-division row
+/// chunks) sharing its dictionaries via Slice. The serving round-trip
+/// gates compare transcripts produced in different processes, so every
+/// process must split identically — one implementation, used by the
+/// example, the snapshot CLI, and the tests. k = 0 yields no batches; the
+/// last batch may be short.
+std::vector<Dataset> SplitIntoBatches(const Dataset& data, size_t k);
+
 /// Order-sensitive hash of a tuple's dictionary ids over `attrs` (or all
 /// attributes). Shared by every layer that buckets tuples by id rows —
 /// duplicate elimination, violation grouping — with Same*Ids as the exact

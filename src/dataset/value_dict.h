@@ -75,13 +75,25 @@ class ValueDict {
   /// True once some cell actually held NULL (id 0 exists regardless).
   bool null_used() const { return null_rank_ != kNeverUsed; }
 
+  /// Rank NULL first appeared at in the Domain ordering, or kNoNullRank
+  /// when no cell ever held NULL. With the values in id order, this is the
+  /// one extra datum a snapshot needs to reproduce a dictionary exactly:
+  /// re-interning values 1..size-1 in id order and restoring the null rank
+  /// yields a dictionary with identical ids and an identical Domain.
+  static constexpr size_t kNoNullRank = ~size_t{0};
+  size_t null_rank() const { return null_rank_; }
+
+  /// Snapshot decode support: overwrites the null rank recorded by Intern.
+  /// `rank` must be kNoNullRank or <= the number of non-null values.
+  void RestoreNullRank(size_t rank) { null_rank_ = rank; }
+
   /// Distinct values ever written through this dictionary in
   /// first-appearance order. NULL appears at the rank it was first used at
   /// and is omitted entirely when no cell ever held it.
   std::vector<Value> FirstAppearanceDomain() const;
 
  private:
-  static constexpr size_t kNeverUsed = ~size_t{0};
+  static constexpr size_t kNeverUsed = kNoNullRank;
 
   // Slots store (value hash, id + 1); id_plus_one == 0 marks empty.
   struct Slot {

@@ -1,23 +1,94 @@
 #include "index/weight_merge.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace mlnclean {
 
-std::string GlobalWeightTable::KeyOf(size_t rule_index,
-                                     const std::vector<Value>& reason,
-                                     const std::vector<Value>& result) {
-  std::string key = std::to_string(rule_index);
-  key += '\x1e';
-  key += MlnIndex::KeyOf(reason);
-  key += '\x1e';
-  key += MlnIndex::KeyOf(result);
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  char bytes[4];
+  std::memcpy(bytes, &v, 4);
+  out->append(bytes, 4);
+}
+
+uint32_t ReadU32(const std::string& s, size_t pos) {
+  uint32_t v = 0;
+  std::memcpy(&v, s.data() + pos, 4);
+  return v;
+}
+
+}  // namespace
+
+std::string GlobalWeightTable::PackKey(size_t rule_index,
+                                       const std::vector<ValueId>& reason_ids,
+                                       const std::vector<ValueId>& result_ids) {
+  std::string key;
+  key.reserve(8 + 4 * (reason_ids.size() + result_ids.size()));
+  AppendU32(&key, static_cast<uint32_t>(rule_index));
+  AppendU32(&key, static_cast<uint32_t>(reason_ids.size()));
+  for (ValueId id : reason_ids) AppendU32(&key, id);
+  for (ValueId id : result_ids) AppendU32(&key, id);
   return key;
 }
 
-void GlobalWeightTable::Accumulate(const MlnIndex& part_index) {
+namespace {
+
+// Resolves one side's values to table ids via `lookup(attr, value)`; false
+// when an arity mismatches or a value cannot be resolved.
+template <typename LookupFn>
+bool ResolveSide(const std::vector<AttrId>& attrs, const std::vector<Value>& values,
+                 LookupFn lookup, std::vector<ValueId>* out) {
+  if (attrs.size() != values.size()) return false;
+  out->clear();
+  out->reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    ValueId id = lookup(static_cast<size_t>(attrs[i]), values[i]);
+    if (id == kInvalidValueId) return false;
+    out->push_back(id);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool GlobalWeightTable::InternIds(const Constraint& rule,
+                                  const std::vector<Value>& reason,
+                                  const std::vector<Value>& result,
+                                  std::vector<ValueId>* reason_ids,
+                                  std::vector<ValueId>* result_ids) {
+  auto intern = [this](size_t a, const Value& v) {
+    return a < dicts_.size() ? dicts_[a].Intern(v) : kInvalidValueId;
+  };
+  return ResolveSide(rule.reason_attrs(), reason, intern, reason_ids) &&
+         ResolveSide(rule.result_attrs(), result, intern, result_ids);
+}
+
+bool GlobalWeightTable::FindIds(const Constraint& rule,
+                                const std::vector<Value>& reason,
+                                const std::vector<Value>& result,
+                                std::vector<ValueId>* reason_ids,
+                                std::vector<ValueId>* result_ids) const {
+  auto find = [this](size_t a, const Value& v) {
+    return a < dicts_.size() ? dicts_[a].Find(v) : kInvalidValueId;
+  };
+  return ResolveSide(rule.reason_attrs(), reason, find, reason_ids) &&
+         ResolveSide(rule.result_attrs(), result, find, result_ids);
+}
+
+void GlobalWeightTable::Accumulate(const MlnIndex& part_index, const RuleSet& rules) {
+  if (dicts_.empty()) dicts_.resize(rules.schema().num_attrs());
+  std::vector<ValueId> reason_ids, result_ids;
   for (const Block& block : part_index.blocks()) {
+    if (block.rule_index >= rules.size()) continue;  // foreign index; skip
+    const Constraint& rule = rules.rule(block.rule_index);
     for (const Group& group : block.groups) {
       for (const Piece& piece : group.pieces) {
-        Entry& entry = table_[KeyOf(block.rule_index, piece.reason, piece.result)];
+        if (!InternIds(rule, piece.reason, piece.result, &reason_ids, &result_ids)) {
+          continue;  // arity mismatch: γ not built from this rule set
+        }
+        Entry& entry = table_[PackKey(block.rule_index, reason_ids, result_ids)];
         const double n = static_cast<double>(piece.support());
         entry.weighted_sum += n * piece.weight;
         entry.support += n;
@@ -26,11 +97,17 @@ void GlobalWeightTable::Accumulate(const MlnIndex& part_index) {
   }
 }
 
-void GlobalWeightTable::Apply(MlnIndex* part_index) const {
+void GlobalWeightTable::Apply(MlnIndex* part_index, const RuleSet& rules) const {
+  std::vector<ValueId> reason_ids, result_ids;
   for (Block& block : part_index->blocks()) {
+    if (block.rule_index >= rules.size()) continue;
+    const Constraint& rule = rules.rule(block.rule_index);
     for (Group& group : block.groups) {
       for (Piece& piece : group.pieces) {
-        auto it = table_.find(KeyOf(block.rule_index, piece.reason, piece.result));
+        if (!FindIds(rule, piece.reason, piece.result, &reason_ids, &result_ids)) {
+          continue;  // a value the table never saw: no merged weight
+        }
+        auto it = table_.find(PackKey(block.rule_index, reason_ids, result_ids));
         if (it != table_.end() && it->second.support > 0.0) {
           piece.weight = it->second.weighted_sum / it->second.support;
         }
@@ -39,14 +116,83 @@ void GlobalWeightTable::Apply(MlnIndex* part_index) const {
   }
 }
 
-Result<double> GlobalWeightTable::Lookup(size_t rule_index,
+Result<double> GlobalWeightTable::Lookup(const RuleSet& rules, size_t rule_index,
                                          const std::vector<Value>& reason,
                                          const std::vector<Value>& result) const {
-  auto it = table_.find(KeyOf(rule_index, reason, result));
+  if (rule_index >= rules.size()) {
+    return Status::Invalid("Lookup: rule index " + std::to_string(rule_index) +
+                           " outside the rule set");
+  }
+  std::vector<ValueId> reason_ids, result_ids;
+  if (!FindIds(rules.rule(rule_index), reason, result, &reason_ids, &result_ids)) {
+    return Status::NotFound("no merged weight for the given γ");
+  }
+  auto it = table_.find(PackKey(rule_index, reason_ids, result_ids));
   if (it == table_.end() || it->second.support <= 0.0) {
     return Status::NotFound("no merged weight for the given γ");
   }
   return it->second.weighted_sum / it->second.support;
+}
+
+void GlobalWeightTable::ForEachEntrySorted(
+    const std::function<void(const EntryView&)>& fn) const {
+  std::vector<const std::pair<const std::string, Entry>*> sorted;
+  sorted.reserve(table_.size());
+  for (const auto& kv : table_) sorted.push_back(&kv);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  EntryView view;
+  for (const auto* kv : sorted) {
+    const std::string& key = kv->first;
+    const size_t num_ids = key.size() / 4 - 2;
+    const size_t n_reason = ReadU32(key, 4);
+    view.rule_index = ReadU32(key, 0);
+    view.reason_ids.clear();
+    view.result_ids.clear();
+    for (size_t i = 0; i < num_ids; ++i) {
+      ValueId id = ReadU32(key, 8 + 4 * i);
+      (i < n_reason ? view.reason_ids : view.result_ids).push_back(id);
+    }
+    view.weighted_sum = kv->second.weighted_sum;
+    view.support = kv->second.support;
+    fn(view);
+  }
+}
+
+void GlobalWeightTable::RestoreDicts(std::vector<ValueDict> dicts) {
+  dicts_ = std::move(dicts);
+}
+
+Status GlobalWeightTable::RestoreEntry(const RuleSet& rules, const EntryView& entry) {
+  if (entry.rule_index >= rules.size()) {
+    return Status::Invalid("weight entry references rule index " +
+                           std::to_string(entry.rule_index) + " but the model has " +
+                           std::to_string(rules.size()) + " rules");
+  }
+  const Constraint& rule = rules.rule(entry.rule_index);
+  auto check = [&](const std::vector<AttrId>& attrs, const std::vector<ValueId>& ids,
+                   const char* side) -> Status {
+    if (attrs.size() != ids.size()) {
+      return Status::Invalid(std::string("weight entry ") + side + " arity " +
+                             std::to_string(ids.size()) + " does not match rule '" +
+                             rule.name() + "' (" + std::to_string(attrs.size()) + ")");
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const size_t a = static_cast<size_t>(attrs[i]);
+      if (a >= dicts_.size() || ids[i] >= dicts_[a].size()) {
+        return Status::Invalid(std::string("weight entry ") + side + " id " +
+                               std::to_string(ids[i]) +
+                               " outside attribute dictionary " + std::to_string(a));
+      }
+    }
+    return Status::OK();
+  };
+  MLN_RETURN_NOT_OK(check(rule.reason_attrs(), entry.reason_ids, "reason"));
+  MLN_RETURN_NOT_OK(check(rule.result_attrs(), entry.result_ids, "result"));
+  Entry& e = table_[PackKey(entry.rule_index, entry.reason_ids, entry.result_ids)];
+  e.weighted_sum = entry.weighted_sum;
+  e.support = entry.support;
+  return Status::OK();
 }
 
 }  // namespace mlnclean

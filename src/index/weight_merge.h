@@ -5,42 +5,105 @@
 // under-supported in another. Backs both the distributed driver's global
 // merge and the CleanModel weight store (it depends only on the index
 // layer, which is why it lives here rather than under distributed/).
+//
+// γ identity is (rule, reason values, result values). Values are interned
+// into table-owned per-attribute ValueDicts — independent of any dataset's
+// dictionaries, so accumulating indexes built over different datasets (or
+// the same data interned in a different order) always agrees on γ ids.
+// Keys are packed id tuples, which is also what makes the store
+// serializable with stable ids: a snapshot persists the dictionaries and
+// the id-keyed entries verbatim (see cleaning/model_io.h).
 
 #ifndef MLNCLEAN_INDEX_WEIGHT_MERGE_H_
 #define MLNCLEAN_INDEX_WEIGHT_MERGE_H_
 
+#include <functional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "dataset/value_dict.h"
 #include "index/mln_index.h"
 
 namespace mlnclean {
 
 /// Accumulates per-part learned weights keyed by γ identity
 /// (rule, reason values, result values) and hands back the Eq. 6 average.
+/// `rules` must be the rule set the indexes were built over; it maps every
+/// value position of a γ to its schema attribute.
 class GlobalWeightTable {
  public:
   /// Folds in one part's post-learning index (call after weight learning,
-  /// before RSC).
-  void Accumulate(const MlnIndex& part_index);
+  /// before RSC). The only member that interns new values: callers that
+  /// share a table across threads may run Apply/Lookup concurrently with
+  /// each other, but never with Accumulate.
+  void Accumulate(const MlnIndex& part_index, const RuleSet& rules);
 
   /// Overwrites every γ weight in `part_index` with its merged global
   /// weight. γs never seen by Accumulate keep their local weight.
-  void Apply(MlnIndex* part_index) const;
+  /// Read-only on the table (values are looked up, never interned).
+  void Apply(MlnIndex* part_index, const RuleSet& rules) const;
 
-  /// Merged weight of a γ, or NotFound.
-  Result<double> Lookup(size_t rule_index, const std::vector<Value>& reason,
+  /// Merged weight of a γ, or NotFound. Read-only.
+  Result<double> Lookup(const RuleSet& rules, size_t rule_index,
+                        const std::vector<Value>& reason,
                         const std::vector<Value>& result) const;
 
   size_t size() const { return table_.size(); }
+
+  // ---- snapshot surface (cleaning/model_io) ------------------------------
+
+  /// One entry, unpacked. reason_ids/result_ids index the per-attribute
+  /// dictionaries below through the rule's reason/result attribute lists.
+  struct EntryView {
+    size_t rule_index;
+    std::vector<ValueId> reason_ids;
+    std::vector<ValueId> result_ids;
+    double weighted_sum;  // Σ n_i w_i
+    double support;       // Σ n_i
+  };
+
+  /// Per-attribute interners backing the γ keys (empty until the first
+  /// Accumulate or RestoreDicts; sized to the rule schema afterwards).
+  size_t num_attr_dicts() const { return dicts_.size(); }
+  const ValueDict& attr_dict(size_t attr) const { return dicts_[attr]; }
+
+  /// Visits every entry in deterministic (byte-sorted key) order, so two
+  /// saves of the same table produce identical bytes.
+  void ForEachEntrySorted(const std::function<void(const EntryView&)>& fn) const;
+
+  /// Snapshot decode: installs the interners rebuilt from a snapshot.
+  /// Replaces any existing dictionaries; call before RestoreEntry.
+  void RestoreDicts(std::vector<ValueDict> dicts);
+
+  /// Snapshot decode: re-inserts one entry. Bounds-checked against `rules`
+  /// and the restored dictionaries (arity must match the rule, every id
+  /// must exist in its attribute's dictionary); Invalid otherwise.
+  Status RestoreEntry(const RuleSet& rules, const EntryView& entry);
 
  private:
   struct Entry {
     double weighted_sum = 0.0;  // Σ n_i w_i
     double support = 0.0;       // Σ n_i
   };
-  static std::string KeyOf(size_t rule_index, const std::vector<Value>& reason,
-                           const std::vector<Value>& result);
+
+  // Packed key: u32 rule_index, u32 reason arity, then the reason ids
+  // followed by the result ids, 4 raw bytes each. The arity prefix keeps
+  // keys self-describing (ForEachEntrySorted unpacks without the rules).
+  static std::string PackKey(size_t rule_index, const std::vector<ValueId>& reason_ids,
+                             const std::vector<ValueId>& result_ids);
+
+  /// Resolves a γ's values to table ids, interning unseen values
+  /// (Accumulate's write path).
+  bool InternIds(const Constraint& rule, const std::vector<Value>& reason,
+                 const std::vector<Value>& result, std::vector<ValueId>* reason_ids,
+                 std::vector<ValueId>* result_ids);
+  /// Read-only resolution; false when any value was never interned.
+  bool FindIds(const Constraint& rule, const std::vector<Value>& reason,
+               const std::vector<Value>& result, std::vector<ValueId>* reason_ids,
+               std::vector<ValueId>* result_ids) const;
+
+  std::vector<ValueDict> dicts_;  // one per schema attribute
   std::unordered_map<std::string, Entry> table_;
 };
 

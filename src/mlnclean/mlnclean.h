@@ -29,6 +29,23 @@
 //   session.RunUntil(Stage::kLearn);   // inspect, then
 //   session.Resume();                  // finish; or cancel via CancelToken
 //
+// Models outlive their process: Save writes a versioned binary snapshot
+// (schema, rules, options, and the warmed weight store with stable γ ids)
+// and Load rebuilds a model that serves bit-identically — compile and
+// warm once on a builder box, fan out to N serving workers:
+//
+//   std::ofstream out("model.bin", std::ios::binary);
+//   MLN_RETURN_NOT_OK(model.Save(out));
+//   // ... in the serving process:
+//   std::ifstream in("model.bin", std::ios::binary);
+//   MLN_ASSIGN_OR_RETURN(CleanModel served, CleaningEngine().Load(in));
+//   CleanResult result = *served.Clean(batch, serve_options);
+//
+// The same flow is scriptable via the tools/mlnclean_model CLI
+// (save / inspect / serve); format and version policy live in
+// cleaning/model_io.h and docs/snapshot_format.md. Corrupt or truncated
+// snapshots are rejected with Status kInvalid, never undefined behaviour.
+//
 // The deprecated MlnCleanPipeline facade (one-shot Clean per call) keeps
 // working for one release. Implementation utilities (thread pool, timers,
 // string/random helpers) moved to "mlnclean/internal.h".
@@ -41,6 +58,7 @@
 #include "cleaning/dedup.h"
 #include "cleaning/engine.h"
 #include "cleaning/fscr.h"
+#include "cleaning/model_io.h"
 #include "cleaning/options.h"
 #include "cleaning/pipeline.h"
 #include "cleaning/report.h"

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "rules/rule_parser.h"
+
 namespace mlnclean {
 
 const char* RuleKindName(RuleKind kind) {
@@ -343,6 +345,56 @@ std::string Constraint::ToString(const Schema& schema) const {
       break;
     }
     case RuleKind::kDc: {
+      out += "!(";
+      for (size_t i = 0; i < predicates_.size(); ++i) {
+        if (i > 0) out += " & ";
+        const auto& p = predicates_[i];
+        out += schema.name(p.left_attr) + "(t1)";
+        out += PredOpSymbol(p.op);
+        out += schema.name(p.right_attr) + "(t2)";
+      }
+      out += ")";
+      break;
+    }
+  }
+  return out;
+}
+
+std::string Constraint::CanonicalText(const Schema& schema) const {
+  std::string out = RuleKindName(kind_);
+  out += ": ";
+  switch (kind_) {
+    case RuleKind::kFd: {
+      for (size_t i = 0; i < reason_attrs_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += QuoteRuleToken(schema.name(reason_attrs_[i]));
+      }
+      out += " -> ";
+      for (size_t i = 0; i < result_attrs_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += QuoteRuleToken(schema.name(result_attrs_[i]));
+      }
+      break;
+    }
+    case RuleKind::kCfd: {
+      auto render = [&](const std::vector<CfdPattern>& ps) {
+        std::string s;
+        for (size_t i = 0; i < ps.size(); ++i) {
+          if (i > 0) s += ", ";
+          s += QuoteRuleToken(schema.name(ps[i].attr));
+          // Wildcards are canonically bare attribute names; the parser
+          // reads a pattern without '=' as a wildcard.
+          if (ps[i].is_constant()) s += "=" + QuoteRuleToken(*ps[i].constant);
+        }
+        return s;
+      };
+      out += render(lhs_patterns_) + " -> " + render(rhs_patterns_);
+      break;
+    }
+    case RuleKind::kDc: {
+      // The DC grammar has no quoting; this matches ToString (and is
+      // round-trippable for any attribute name free of DSL
+      // metacharacters, which MakeDc-hosted schemas are in practice).
       out += "!(";
       for (size_t i = 0; i < predicates_.size(); ++i) {
         if (i > 0) out += " & ";

@@ -145,6 +145,16 @@ class Constraint {
   /// Human-readable rendering, e.g. "FD: CT -> ST".
   std::string ToString(const Schema& schema) const;
 
+  /// Round-trippable DSL rendering: ParseRule(schema, CanonicalText(schema))
+  /// reconstructs this constraint exactly (kind, attributes, patterns,
+  /// predicates — name and rule weight travel beside the text, not in it).
+  /// Unlike ToString, attribute names and CFD constants are quoted via
+  /// QuoteRuleToken whenever they could be misparsed. This is the rule
+  /// encoding the model snapshot persists. DC attribute names cannot be
+  /// quoted by the DSL grammar, so DCs over names containing DSL
+  /// metacharacters ('(', ')', '&', operators) are not representable.
+  std::string CanonicalText(const Schema& schema) const;
+
  private:
   Constraint() = default;
 

@@ -43,11 +43,19 @@ std::vector<std::string> SplitTopLevel(std::string_view s) {
   return out;
 }
 
-// Strips surrounding double quotes if present.
+// Strips surrounding double quotes if present, unescaping doubled quotes
+// ('""' -> '"') inside the quoted body — the inverse of QuoteRuleToken.
 std::string Unquote(std::string_view s) {
   s = TrimView(s);
   if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
-    return std::string(s.substr(1, s.size() - 2));
+    std::string_view body = s.substr(1, s.size() - 2);
+    std::string out;
+    out.reserve(body.size());
+    for (size_t i = 0; i < body.size(); ++i) {
+      out += body[i];
+      if (body[i] == '"' && i + 1 < body.size() && body[i + 1] == '"') ++i;
+    }
+    return out;
   }
   return std::string(s);
 }
@@ -56,7 +64,7 @@ Result<std::vector<AttrId>> ParseAttrList(const Schema& schema, std::string_view
   std::vector<AttrId> out;
   for (const std::string& item : SplitTopLevel(s)) {
     if (item.empty()) return Status::Invalid("empty attribute in rule");
-    MLN_ASSIGN_OR_RETURN(AttrId id, schema.Find(item));
+    MLN_ASSIGN_OR_RETURN(AttrId id, schema.Find(Unquote(item)));
     out.push_back(id);
   }
   return out;
@@ -78,15 +86,17 @@ Result<std::vector<CfdPattern>> ParsePatternList(const Schema& schema,
     }
     CfdPattern p;
     if (eq == std::string_view::npos) {
-      MLN_ASSIGN_OR_RETURN(p.attr, schema.Find(Trim(item)));
+      MLN_ASSIGN_OR_RETURN(p.attr, schema.Find(Unquote(Trim(item))));
       p.constant = std::nullopt;
     } else {
-      MLN_ASSIGN_OR_RETURN(p.attr, schema.Find(Trim(item.substr(0, eq))));
-      std::string constant = Unquote(TrimView(std::string_view(item).substr(eq + 1)));
-      if (constant == "_") {
+      MLN_ASSIGN_OR_RETURN(p.attr, schema.Find(Unquote(Trim(item.substr(0, eq)))));
+      std::string_view raw = TrimView(std::string_view(item).substr(eq + 1));
+      if (raw == "_") {
+        // Only a *bare* underscore is the wildcard; a quoted "_" is the
+        // literal constant (QuoteRuleToken always quotes it).
         p.constant = std::nullopt;
       } else {
-        p.constant = std::move(constant);
+        p.constant = Unquote(raw);
       }
     }
     out.push_back(std::move(p));
@@ -174,6 +184,36 @@ Result<Constraint> ParseDc(const Schema& schema, std::string_view body) {
 }
 
 }  // namespace
+
+std::string QuoteRuleToken(std::string_view token) {
+  // Quote whenever any character could collide with DSL syntax — list and
+  // pattern separators (',', '='), the arrow ('-', '>'), DC syntax
+  // ('&', '(', ')', '<', '!'), comments ('#'), quotes — or when trimming
+  // would change the token (edge whitespace, empty), or when a bare token
+  // would read as the wildcard ("_").
+  bool needs_quotes = token.empty() || token == "_";
+  if (!needs_quotes) {
+    for (char c : token) {
+      if (c == ',' || c == '"' || c == '-' || c == '>' || c == '=' || c == '&' ||
+          c == '(' || c == ')' || c == '<' || c == '!' || c == '#' || c == ':') {
+        needs_quotes = true;
+        break;
+      }
+    }
+    if (std::isspace(static_cast<unsigned char>(token.front())) ||
+        std::isspace(static_cast<unsigned char>(token.back()))) {
+      needs_quotes = true;
+    }
+  }
+  if (!needs_quotes) return std::string(token);
+  std::string out = "\"";
+  for (char c : token) {
+    out += c;
+    if (c == '"') out += '"';
+  }
+  out += '"';
+  return out;
+}
 
 Result<Constraint> ParseRule(const Schema& schema, std::string_view text) {
   std::string_view line = TrimView(text);

@@ -24,6 +24,14 @@ namespace mlnclean {
 /// Parses one rule definition against `schema`.
 Result<Constraint> ParseRule(const Schema& schema, std::string_view text);
 
+/// Renders an attribute name or constant as a DSL token ParseRule reads
+/// back verbatim: tokens that could be misparsed (empty, the wildcard "_",
+/// or containing quotes, separators, operators, '#', or edge whitespace)
+/// are double-quoted, with embedded '"' escaped as '""' (CSV style). This
+/// is the encoder half of Constraint::CanonicalText — the snapshot codec
+/// round-trips rules as canonical DSL text through ParseRule.
+std::string QuoteRuleToken(std::string_view token);
+
 /// Parses a newline-separated list of rules; blank lines and lines starting
 /// with '#' are ignored. Rules are named r1..rn in order.
 Result<RuleSet> ParseRules(const Schema& schema, std::string_view text);

@@ -1,0 +1,422 @@
+// Snapshot round-trip and corrupt-input coverage for CleanModel::Save /
+// CleaningEngine::Load (cleaning/model_io.h). The contract under test:
+// a loaded model serves bit-identically to the in-process original (weight
+// reuse on and off, γ ids stable under dictionary permutation), and every
+// truncated or corrupt snapshot is rejected with kInvalid naming a byte
+// position — never a crash.
+
+#include "cleaning/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cleaning/engine.h"
+#include "common/csv.h"
+#include "datagen/hospital.h"
+#include "datagen/sample.h"
+#include "errorgen/injector.h"
+#include "rules/rule_parser.h"
+
+namespace mlnclean {
+namespace {
+
+std::string SaveToString(const CleanModel& model) {
+  std::ostringstream out;
+  EXPECT_TRUE(model.Save(out).ok());
+  return out.str();
+}
+
+Result<CleanModel> LoadFromString(const std::string& bytes,
+                                  const CleaningEngine& engine = CleaningEngine()) {
+  std::istringstream in(bytes);
+  return engine.Load(in);
+}
+
+CleaningOptions NonDefaultOptions() {
+  CleaningOptions options;
+  options.agp_threshold = 2;
+  options.distance = DistanceMetric::kDamerau;
+  options.learner.max_iterations = 37;
+  options.learner.l2 = 0.125;
+  options.cache_distances = true;
+  options.max_exhaustive_fusion = 5;
+  options.fscr_minimality_discount = 0.5;
+  return options;
+}
+
+// A small deterministic serving workload: dirty hospital table + batches.
+struct ServingFixture {
+  RuleSet rules;
+  Dataset dirty;
+  std::vector<Dataset> batches;
+
+  ServingFixture() : rules(Schema()) {
+    HospitalConfig config;
+    config.num_hospitals = 10;
+    config.num_measures = 4;
+    Workload wl = *MakeHospitalWorkload(config);
+    ErrorSpec spec;
+    spec.error_rate = 0.06;
+    spec.seed = 5;
+    DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+    rules = std::move(wl.rules);
+    dirty = std::move(dd.dirty);
+    batches = SplitIntoBatches(dirty, 4);
+  }
+};
+
+std::string ServeTranscript(const CleanModel& model,
+                            const std::vector<Dataset>& batches, bool reuse) {
+  std::string out;
+  for (const Dataset& batch : batches) {
+    SessionOptions opts;
+    opts.reuse_model_weights = reuse;
+    CleanSession session = model.NewSession(batch, opts);
+    EXPECT_TRUE(session.Resume().ok());
+    const CleaningReport& report = session.report();
+    out += "agp=" + std::to_string(report.agp.size()) +
+           " rsc=" + std::to_string(report.rsc.size()) +
+           " fscr=" + std::to_string(report.fscr.size()) +
+           " dups=" + std::to_string(report.duplicates.size()) + "\n";
+    CleanResult result = *session.TakeResult();
+    out += WriteCsv(result.cleaned.ToCsv());
+    out += WriteCsv(result.deduped.ToCsv());
+  }
+  return out;
+}
+
+TEST(ModelIoTest, RoundTripPreservesSchemaRulesOptionsWeights) {
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  CleaningOptions options = NonDefaultOptions();
+  CleaningEngine engine(options);
+  CleanModel model = *engine.Compile(dirty.schema(), rules);
+  ASSERT_TRUE(model.Warm(dirty).ok());
+  ASSERT_GT(model.num_stored_weights(), 0u);
+
+  auto loaded = LoadFromString(SaveToString(model));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->schema() == model.schema());
+  ASSERT_EQ(loaded->rules().size(), model.rules().size());
+  for (size_t i = 0; i < model.rules().size(); ++i) {
+    const Constraint& a = model.rules().rule(i);
+    const Constraint& b = loaded->rules().rule(i);
+    EXPECT_EQ(a.name(), b.name());
+    EXPECT_EQ(a.rule_weight(), b.rule_weight());
+    EXPECT_EQ(a.ToString(model.schema()), b.ToString(loaded->schema()));
+  }
+  const CleaningOptions& o = loaded->options();
+  EXPECT_EQ(o.agp_threshold, options.agp_threshold);
+  EXPECT_EQ(o.distance, options.distance);
+  EXPECT_EQ(o.learner.max_iterations, options.learner.max_iterations);
+  EXPECT_EQ(o.learner.l2, options.learner.l2);
+  EXPECT_EQ(o.cache_distances, options.cache_distances);
+  EXPECT_EQ(o.max_exhaustive_fusion, options.max_exhaustive_fusion);
+  EXPECT_EQ(o.fscr_minimality_discount, options.fscr_minimality_discount);
+  EXPECT_EQ(loaded->num_stored_weights(), model.num_stored_weights());
+}
+
+TEST(ModelIoTest, SaveIsDeterministicAndStableAcrossReload) {
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  CleaningEngine engine;
+  CleanModel model = *engine.Compile(dirty.schema(), rules);
+  ASSERT_TRUE(model.Warm(dirty).ok());
+
+  const std::string bytes1 = SaveToString(model);
+  const std::string bytes2 = SaveToString(model);
+  EXPECT_EQ(bytes1, bytes2);  // sorted entry order: no hash-map jitter
+
+  auto loaded = LoadFromString(bytes1);
+  ASSERT_TRUE(loaded.ok());
+  // Save(Load(bytes)) == bytes: nothing is lost or reordered in flight.
+  EXPECT_EQ(SaveToString(*loaded), bytes1);
+}
+
+TEST(ModelIoTest, LoadedModelServesBitIdentically) {
+  ServingFixture fx;
+  CleaningOptions options;
+  options.agp_threshold = 2;
+  CleaningEngine engine(options);
+  CleanModel model = *engine.Compile(fx.dirty.schema(), fx.rules);
+  ASSERT_TRUE(model.Warm(fx.batches[0]).ok());
+
+  auto loaded = LoadFromString(SaveToString(model));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (bool reuse : {false, true}) {
+    EXPECT_EQ(ServeTranscript(model, fx.batches, reuse),
+              ServeTranscript(*loaded, fx.batches, reuse))
+        << "reuse_model_weights=" << reuse;
+  }
+}
+
+TEST(ModelIoTest, ResumeSessionOnLoadedModelMatchesOriginal) {
+  // Stage-II hand-off: both models resume over the same stage-I index.
+  ServingFixture fx;
+  CleaningEngine engine;
+  CleanModel model = *engine.Compile(fx.dirty.schema(), fx.rules);
+  auto loaded = LoadFromString(SaveToString(model));
+  ASSERT_TRUE(loaded.ok());
+
+  CleanSession stage1 = model.NewSession(fx.batches[0]);
+  ASSERT_TRUE(stage1.RunUntil(Stage::kRsc).ok());
+  const MlnIndex& index = stage1.index();
+
+  auto finish = [&](const CleanModel& m) {
+    CleanSession session =
+        m.ResumeSession(fx.batches[0], &index, CleaningReport{});
+    EXPECT_TRUE(session.Resume().ok());
+    CleanResult result = *session.TakeResult();
+    return WriteCsv(result.cleaned.ToCsv()) + WriteCsv(result.deduped.ToCsv());
+  };
+  EXPECT_EQ(finish(model), finish(*loaded));
+}
+
+TEST(ModelIoTest, LoadedWeightsAreIdStableUnderDictionaryPermutation) {
+  // The weight store keys γs in its own interners, not the serving
+  // dataset's: a batch whose dictionaries assign *different ids* to the
+  // same values must clean identically under a loaded model.
+  ServingFixture fx;
+  CleaningOptions options;
+  options.agp_threshold = 2;
+  CleaningEngine engine(options);
+  CleanModel model = *engine.Compile(fx.dirty.schema(), fx.rules);
+  ASSERT_TRUE(model.Warm(fx.batches[0]).ok());
+  auto loaded = LoadFromString(SaveToString(model));
+  ASSERT_TRUE(loaded.ok());
+
+  // Same rows as batch 1, but every attribute's values pre-interned in
+  // reverse first-appearance order: same content, permuted ValueIds.
+  const Dataset& batch = fx.batches[1];
+  Dataset permuted(batch.schema());
+  for (size_t a = 0; a < batch.num_attrs(); ++a) {
+    std::vector<Value> domain = batch.Domain(static_cast<AttrId>(a));
+    for (auto it = domain.rbegin(); it != domain.rend(); ++it) {
+      permuted.InternValue(static_cast<AttrId>(a), *it);
+    }
+  }
+  for (size_t t = 0; t < batch.num_rows(); ++t) {
+    ASSERT_TRUE(permuted.Append(batch.row(static_cast<TupleId>(t))).ok());
+  }
+  ASSERT_TRUE(permuted == batch);  // content-equal, ids permuted
+
+  SessionOptions reuse;
+  reuse.reuse_model_weights = true;
+  CleanResult original = *model.Clean(batch, reuse);
+  CleanResult via_snapshot = *loaded->Clean(permuted, reuse);
+  EXPECT_TRUE(original.cleaned == via_snapshot.cleaned);
+  EXPECT_TRUE(original.deduped == via_snapshot.deduped);
+}
+
+// ---------------------------------------------------------- corrupt input
+
+// One snapshot mutation and the substring its kInvalid must mention.
+struct Mutation {
+  const char* name;
+  std::function<std::string(std::string)> apply;
+  const char* expect_substring;
+};
+
+std::string ValidSnapshotBytes() {
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  CleaningEngine engine;
+  CleanModel model = *engine.Compile(dirty.schema(), rules);
+  EXPECT_TRUE(model.Warm(dirty).ok());
+  return SaveToString(model);
+}
+
+void PatchU32(std::string* bytes, size_t pos, uint32_t v) {
+  for (int i = 0; i < 4; ++i) (*bytes)[pos + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+void PatchU64(std::string* bytes, size_t pos, uint64_t v) {
+  for (int i = 0; i < 8; ++i) (*bytes)[pos + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+TEST(ModelIoTest, CorruptSnapshotsAreRejectedWithInvalid) {
+  const std::string valid = ValidSnapshotBytes();
+  ASSERT_TRUE(LoadFromString(valid).ok());
+
+  // Layout: magic[4] version[4] section_count[4] crc[4] tag[4] length[8] ...
+  const std::vector<Mutation> mutations = {
+      {"empty input", [](std::string) { return std::string(); }, "truncated"},
+      {"bad magic",
+       [](std::string s) {
+         s[0] = 'X';
+         return s;
+       },
+       "magic"},
+      {"unsupported version",
+       [](std::string s) {
+         PatchU32(&s, 4, 99);
+         return s;
+       },
+       "version"},
+      {"wrong section count",
+       [](std::string s) {
+         PatchU32(&s, 8, 7);
+         return s;
+       },
+       "sections"},
+      {"corrupted checksum field",
+       [](std::string s) {
+         PatchU32(&s, 12, 0xdeadbeef);
+         return s;
+       },
+       "checksum"},
+      {"unknown section tag",
+       [](std::string s) {
+         PatchU32(&s, 16, 42);
+         return s;
+       },
+       "tag"},
+      {"oversized section length",
+       [](std::string s) {
+         PatchU64(&s, 20, ~uint64_t{0} / 2);
+         return s;
+       },
+       "declares"},
+      {"section shorter than its payload",
+       [](std::string s) {
+         PatchU64(&s, 20, 1);  // schema payload needs >= 4 bytes
+         return s;
+       },
+       "byte"},
+      {"oversized string length inside a section",
+       [](std::string s) {
+         // First string is the first attribute name, after the section's
+         // 4-byte attr count at offset 28+4.
+         PatchU32(&s, 32, 0x7fffffff);
+         return s;
+       },
+       "length"},
+      {"trailing garbage",
+       [](std::string s) {
+         s += "extra";
+         return s;
+       },
+       "trailing"},
+      {"content flip inside a payload (structurally valid)",
+       [](std::string s) {
+         s[s.size() / 2] = static_cast<char>(s[s.size() / 2] ^ 0x01);
+         return s;
+       },
+       "byte"},
+  };
+
+  for (const Mutation& m : mutations) {
+    auto result = LoadFromString(m.apply(valid));
+    ASSERT_FALSE(result.ok()) << m.name;
+    EXPECT_TRUE(result.status().IsInvalid()) << m.name << ": "
+                                             << result.status().ToString();
+    EXPECT_NE(result.status().message().find(m.expect_substring), std::string::npos)
+        << m.name << " message: " << result.status().message();
+  }
+}
+
+TEST(ModelIoTest, EveryTruncationIsRejectedWithBytePosition) {
+  const std::string valid = ValidSnapshotBytes();
+  for (size_t len = 0; len < valid.size(); len += (len < 64 ? 1 : 13)) {
+    auto result = LoadFromString(valid.substr(0, len));
+    ASSERT_FALSE(result.ok()) << "prefix of " << len << " bytes decoded";
+    EXPECT_TRUE(result.status().IsInvalid()) << len;
+    EXPECT_NE(result.status().message().find("byte"), std::string::npos)
+        << "no stream position in: " << result.status().message();
+  }
+  // The full prefix minus one byte, specifically.
+  auto result = LoadFromString(valid.substr(0, valid.size() - 1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalid());
+}
+
+TEST(ModelIoTest, EverySingleByteFlipIsRejected) {
+  // Framing flips fail the structural pass; structurally valid content
+  // flips (a value byte, a weight bit) fail the header checksum. Either
+  // way: kInvalid, never a crash, never a silently altered model.
+  const std::string valid = ValidSnapshotBytes();
+  for (size_t pos = 0; pos < valid.size(); ++pos) {
+    std::string mutated = valid;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5a);
+    auto result = LoadFromString(mutated);
+    ASSERT_FALSE(result.ok()) << "flip at byte " << pos << " decoded";
+    EXPECT_TRUE(result.status().IsInvalid())
+        << "flip at " << pos << ": " << result.status().ToString();
+  }
+}
+
+TEST(ModelIoTest, NullValuesInWeightDictionariesRoundTrip) {
+  // NULL (empty string) cells reach the weight store as id-0 values; the
+  // dictionary's null rank travels as a fixed u64 sentinel on the wire.
+  Schema schema = *Schema::Make({"CT", "ST"});
+  Dataset data = *Dataset::Make(
+      schema, {{"DOTHAN", "AL"}, {"DOTHAN", "AL"}, {"", "AL"}, {"BOAZ", ""}});
+  RuleSet rules(schema);
+  rules.Add(*Constraint::MakeFd(schema, {0}, {1}));
+  CleaningEngine engine;
+  CleanModel model = *engine.Compile(schema, rules);
+  ASSERT_TRUE(model.Warm(data).ok());
+
+  const std::string bytes = SaveToString(model);
+  auto loaded = LoadFromString(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_stored_weights(), model.num_stored_weights());
+  EXPECT_EQ(SaveToString(*loaded), bytes);  // null ranks survived exactly
+
+  SessionOptions reuse;
+  reuse.reuse_model_weights = true;
+  CleanResult a = *model.Clean(data, reuse);
+  CleanResult b = *loaded->Clean(data, reuse);
+  EXPECT_TRUE(a.cleaned == b.cleaned);
+  EXPECT_TRUE(a.deduped == b.deduped);
+}
+
+TEST(ModelIoTest, SaveRejectsRulesWhoseTextCannotRoundTrip) {
+  // The DC grammar has no quoting, so a DC over an attribute name with an
+  // operator character has no parseable canonical text. Save must fail on
+  // the builder box, not ship a snapshot Load can never read.
+  Schema schema = *Schema::Make({"Price>0", "PN"});
+  RuleSet rules(schema);
+  rules.Add(*Constraint::MakeDc(
+      schema, {DcPredicate{0, PredOp::kEq, 0}, DcPredicate{1, PredOp::kNeq, 1}}));
+  CleaningEngine engine;
+  CleanModel model = *engine.Compile(schema, rules);
+  std::ostringstream out;
+  Status saved = model.Save(out);
+  ASSERT_TRUE(saved.IsInvalid()) << saved.ToString();
+  EXPECT_NE(saved.message().find("round-trip"), std::string::npos)
+      << saved.message();
+
+  // The same metacharacter name under an FD is quoted and saves fine.
+  RuleSet fd_rules(schema);
+  fd_rules.Add(*Constraint::MakeFd(schema, {0}, {1}));
+  CleanModel fd_model = *engine.Compile(schema, fd_rules);
+  std::ostringstream fd_out;
+  ASSERT_TRUE(fd_model.Save(fd_out).ok());
+  EXPECT_TRUE(LoadFromString(fd_out.str()).ok());
+}
+
+TEST(ModelIoTest, InspectSummarizesWithoutCompiling) {
+  Dataset dirty = *SampleHospitalDirty();
+  RuleSet rules = *SampleHospitalRules();
+  CleaningEngine engine(NonDefaultOptions());
+  CleanModel model = *engine.Compile(dirty.schema(), rules);
+  ASSERT_TRUE(model.Warm(dirty).ok());
+
+  std::istringstream in(SaveToString(model));
+  auto info = InspectModelSnapshot(in);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->version, kModelSnapshotVersion);
+  EXPECT_EQ(info->attr_names, dirty.schema().names());
+  ASSERT_EQ(info->rule_texts.size(), rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(info->rule_names[i], rules.rule(i).name());
+    EXPECT_EQ(info->rule_texts[i], rules.rule(i).CanonicalText(dirty.schema()));
+  }
+  EXPECT_EQ(info->options.agp_threshold, NonDefaultOptions().agp_threshold);
+  EXPECT_EQ(info->num_stored_weights, model.num_stored_weights());
+  EXPECT_EQ(info->weight_dict_sizes.size(), dirty.schema().num_attrs());
+}
+
+}  // namespace
+}  // namespace mlnclean

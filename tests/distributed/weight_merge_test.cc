@@ -7,13 +7,18 @@
 namespace mlnclean {
 namespace {
 
+RuleSet CtStRules() {
+  Schema s = *Schema::Make({"CT", "ST"});
+  RuleSet rules(s);
+  rules.Add(*Constraint::MakeFd(s, {0}, {1}));
+  return rules;
+}
+
 // Builds a one-block index over the given rows with learned-looking
 // weights assigned manually.
 MlnIndex IndexOver(const std::vector<std::vector<Value>>& rows, double weight) {
-  Schema s = *Schema::Make({"CT", "ST"});
-  Dataset d = *Dataset::Make(s, rows);
-  RuleSet rules(s);
-  rules.Add(*Constraint::MakeFd(s, {0}, {1}));
+  RuleSet rules = CtStRules();
+  Dataset d = *Dataset::Make(rules.schema(), rows);
   MlnIndex index = *MlnIndex::Build(d, rules);
   for (auto& block : index.blocks()) {
     for (auto& group : block.groups) {
@@ -27,24 +32,26 @@ TEST(WeightMergeTest, Eq6SupportWeightedAverage) {
   // Part 1: γ {DOTHAN, AL} with 3 tuples, weight 0.9.
   // Part 2: the same γ with 1 tuple, weight 0.1.
   // Eq. 6: w = (3*0.9 + 1*0.1) / 4 = 0.7.
+  RuleSet rules = CtStRules();
   MlnIndex part1 = IndexOver({{"DOTHAN", "AL"}, {"DOTHAN", "AL"}, {"DOTHAN", "AL"}},
                              0.9);
   MlnIndex part2 = IndexOver({{"DOTHAN", "AL"}}, 0.1);
   GlobalWeightTable table;
-  table.Accumulate(part1);
-  table.Accumulate(part2);
-  auto w = table.Lookup(0, {"DOTHAN"}, {"AL"});
+  table.Accumulate(part1, rules);
+  table.Accumulate(part2, rules);
+  auto w = table.Lookup(rules, 0, {"DOTHAN"}, {"AL"});
   ASSERT_TRUE(w.ok());
   EXPECT_NEAR(*w, 0.7, 1e-12);
 }
 
 TEST(WeightMergeTest, ApplyOverwritesLocalWeights) {
+  RuleSet rules = CtStRules();
   MlnIndex part1 = IndexOver({{"DOTHAN", "AL"}, {"DOTHAN", "AL"}}, 0.8);
   MlnIndex part2 = IndexOver({{"DOTHAN", "AL"}, {"BOAZ", "AL"}}, 0.2);
   GlobalWeightTable table;
-  table.Accumulate(part1);
-  table.Accumulate(part2);
-  table.Apply(&part2);
+  table.Accumulate(part1, rules);
+  table.Accumulate(part2, rules);
+  table.Apply(&part2, rules);
   // {DOTHAN, AL}: (2*0.8 + 1*0.2)/3 = 0.6.
   EXPECT_NEAR(part2.block(0).groups[0].pieces[0].weight, 0.6, 1e-12);
   // {BOAZ, AL} was seen only in part2: stays at its own average (0.2).
@@ -52,19 +59,21 @@ TEST(WeightMergeTest, ApplyOverwritesLocalWeights) {
 }
 
 TEST(WeightMergeTest, DistinctGammasDoNotMix) {
+  RuleSet rules = CtStRules();
   MlnIndex part1 = IndexOver({{"DOTHAN", "AL"}}, 0.9);
   MlnIndex part2 = IndexOver({{"DOTHAN", "AK"}}, 0.1);  // different result
   GlobalWeightTable table;
-  table.Accumulate(part1);
-  table.Accumulate(part2);
+  table.Accumulate(part1, rules);
+  table.Accumulate(part2, rules);
   EXPECT_EQ(table.size(), 2u);
-  EXPECT_NEAR(*table.Lookup(0, {"DOTHAN"}, {"AL"}), 0.9, 1e-12);
-  EXPECT_NEAR(*table.Lookup(0, {"DOTHAN"}, {"AK"}), 0.1, 1e-12);
+  EXPECT_NEAR(*table.Lookup(rules, 0, {"DOTHAN"}, {"AL"}), 0.9, 1e-12);
+  EXPECT_NEAR(*table.Lookup(rules, 0, {"DOTHAN"}, {"AK"}), 0.1, 1e-12);
 }
 
 TEST(WeightMergeTest, LookupMissIsNotFound) {
+  RuleSet rules = CtStRules();
   GlobalWeightTable table;
-  EXPECT_TRUE(table.Lookup(0, {"X"}, {"Y"}).status().IsNotFound());
+  EXPECT_TRUE(table.Lookup(rules, 0, {"X"}, {"Y"}).status().IsNotFound());
 }
 
 TEST(WeightMergeTest, RuleIndexSeparatesBlocks) {
@@ -74,9 +83,58 @@ TEST(WeightMergeTest, RuleIndexSeparatesBlocks) {
   MlnIndex index = *MlnIndex::Build(d, rules);
   index.AssignPriorWeights();
   GlobalWeightTable table;
-  table.Accumulate(index);
+  table.Accumulate(index, rules);
   // B1 has 4 γs, B2 has 4, B3 has 2: all distinct keys.
   EXPECT_EQ(table.size(), 10u);
+}
+
+TEST(WeightMergeTest, AccumulateFromPermutedInternOrderAgrees) {
+  // γ identity lives in the table's own interners, not the datasets': two
+  // indexes over datasets whose dictionaries assign different ids to the
+  // same values still merge into the same γs.
+  RuleSet rules = CtStRules();
+  MlnIndex part1 = IndexOver({{"BOAZ", "AL"}, {"DOTHAN", "AL"}}, 0.9);
+  MlnIndex part2 = IndexOver({{"DOTHAN", "AL"}, {"BOAZ", "AL"}}, 0.1);  // swapped
+  GlobalWeightTable table;
+  table.Accumulate(part1, rules);
+  table.Accumulate(part2, rules);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_NEAR(*table.Lookup(rules, 0, {"DOTHAN"}, {"AL"}), 0.5, 1e-12);
+  EXPECT_NEAR(*table.Lookup(rules, 0, {"BOAZ"}, {"AL"}), 0.5, 1e-12);
+}
+
+TEST(WeightMergeTest, SortedEntryVisitRoundTripsIds) {
+  RuleSet rules = CtStRules();
+  MlnIndex part = IndexOver({{"DOTHAN", "AL"}, {"BOAZ", "AL"}}, 0.4);
+  GlobalWeightTable table;
+  table.Accumulate(part, rules);
+  GlobalWeightTable restored;
+  std::vector<ValueDict> dicts(rules.schema().num_attrs());
+  for (size_t a = 0; a < table.num_attr_dicts(); ++a) {
+    const ValueDict& dict = table.attr_dict(a);
+    for (ValueId id = 1; id < dict.size(); ++id) dicts[a].Intern(dict.value(id));
+    dicts[a].RestoreNullRank(dict.null_rank());
+  }
+  restored.RestoreDicts(std::move(dicts));
+  table.ForEachEntrySorted([&](const GlobalWeightTable::EntryView& entry) {
+    ASSERT_TRUE(restored.RestoreEntry(rules, entry).ok());
+  });
+  EXPECT_EQ(restored.size(), table.size());
+  EXPECT_NEAR(*restored.Lookup(rules, 0, {"DOTHAN"}, {"AL"}), 0.4, 1e-12);
+  EXPECT_NEAR(*restored.Lookup(rules, 0, {"BOAZ"}, {"AL"}), 0.4, 1e-12);
+}
+
+TEST(WeightMergeTest, RestoreEntryRejectsOutOfRange) {
+  RuleSet rules = CtStRules();
+  GlobalWeightTable table;
+  table.RestoreDicts(std::vector<ValueDict>(rules.schema().num_attrs()));
+  GlobalWeightTable::EntryView entry;
+  entry.rule_index = 7;  // no such rule
+  EXPECT_TRUE(table.RestoreEntry(rules, entry).IsInvalid());
+  entry.rule_index = 0;
+  entry.reason_ids = {5};  // id outside the (empty) dictionary
+  entry.result_ids = {0};
+  EXPECT_TRUE(table.RestoreEntry(rules, entry).IsInvalid());
 }
 
 }  // namespace

@@ -2,13 +2,16 @@
 """Diffs a fresh micro_kernels run against the committed baseline.
 
 Usage: bench_compare.py BASELINE.json FRESH.json [--threshold 0.25]
+                        [--fail-on-removed]
 
-Fails (exit 1) when any BM_* benchmark's real_time regressed by more than
-the threshold relative to the committed baseline, or when a baseline
-benchmark disappeared from the fresh run (silently dropping coverage must
-be an explicit baseline update, not an accident). New benchmarks that have
-no baseline entry are reported but never fail the run — committing a
-refreshed BENCH_micro.json is how they join the gate.
+The regression gate runs on the *intersection* of the two runs: a BM_*
+present in both files fails the job when its real_time regressed by more
+than the threshold. Benchmarks present on only one side are reported
+explicitly — ADDED (fresh only; they join the gate once a refreshed
+BENCH_micro.json is committed) and REMOVED (baseline only; pass
+--fail-on-removed to make dropped coverage fail the job instead of just
+being reported). Malformed benchmark entries are a clean diagnostic, not a
+KeyError.
 """
 
 import argparse
@@ -17,13 +20,29 @@ import sys
 
 
 def load(path):
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_compare: cannot read {path}: {e}")
     out = {}
-    for b in data.get("benchmarks", []):
+    for i, b in enumerate(data.get("benchmarks", [])):
         if b.get("run_type") == "aggregate":
             continue
-        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+        name = b.get("name")
+        if name is None:
+            raise SystemExit(
+                f"bench_compare: {path}: benchmark entry {i} has no 'name'")
+        if "real_time" not in b:
+            raise SystemExit(
+                f"bench_compare: {path}: benchmark '{name}' has no 'real_time'")
+        try:
+            real_time = float(b["real_time"])
+        except (TypeError, ValueError):
+            raise SystemExit(
+                f"bench_compare: {path}: benchmark '{name}' has a non-numeric "
+                f"real_time: {b['real_time']!r}")
+        out[name] = (real_time, b.get("time_unit", "ns"))
     return out
 
 
@@ -33,34 +52,50 @@ def main():
     parser.add_argument("fresh")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max allowed relative real_time regression")
+    parser.add_argument("--fail-on-removed", action="store_true",
+                        help="fail when a baseline benchmark is missing from "
+                             "the fresh run (default: report only)")
     args = parser.parse_args()
 
     base = load(args.baseline)
     fresh = load(args.fresh)
 
+    added = sorted(fresh.keys() - base.keys())
+    removed = sorted(base.keys() - fresh.keys())
+    common = sorted(base.keys() & fresh.keys())
+
     failures = []
-    for name in sorted(base.keys() | fresh.keys()):
-        if name not in fresh:
-            failures.append(f"{name}: present in baseline but missing from the fresh run")
-            continue
+    for name in added:
         new_time, unit = fresh[name]
-        if name not in base:
-            print(f"NEW   {name}: {new_time:.0f} {unit} (no baseline; not gated)")
-            continue
+        print(f"ADDED   {name}: {new_time:.0f} {unit} (no baseline; not gated)")
+    for name in removed:
+        old_time, unit = base[name]
+        print(f"REMOVED {name}: was {old_time:.0f} {unit} in the baseline, "
+              f"missing from the fresh run")
+        if args.fail_on_removed:
+            failures.append(f"{name}: present in baseline but missing from the "
+                            f"fresh run")
+    for name in common:
+        new_time, unit = fresh[name]
         old_time, old_unit = base[name]
         if unit != old_unit:
             failures.append(f"{name}: time unit changed {old_unit} -> {unit}")
+            print(f"FAIL    {name}: time unit changed {old_unit} -> {unit}")
             continue
         ratio = new_time / old_time if old_time > 0 else float("inf")
-        status = "OK   "
+        status = "OK     "
         if ratio > 1.0 + args.threshold:
-            status = "FAIL "
+            status = "FAIL   "
             failures.append(
                 f"{name}: {old_time:.0f} -> {new_time:.0f} {unit} "
                 f"({(ratio - 1.0) * 100:+.1f}%, threshold +{args.threshold * 100:.0f}%)")
         print(f"{status}{name}: {old_time:.0f} -> {new_time:.0f} {unit} "
               f"({(ratio - 1.0) * 100:+.1f}%)")
 
+    if not common:
+        print("bench_compare: no benchmarks in common between baseline and "
+              "fresh run", file=sys.stderr)
+        return 1
     if failures:
         print("\nPerf gate failed:", file=sys.stderr)
         for f in failures:

@@ -1,0 +1,377 @@
+// mlnclean_model: save / load / inspect / serve CleanModel snapshots from
+// the command line — the cross-process half of the serving story and the
+// binary CI's snapshot-roundtrip job drives.
+//
+//   # compile (+warm) a model over the deterministic hospital workload and
+//   # snapshot it
+//   mlnclean_model save --out model.bin --warm
+//
+//   # print a snapshot's schema, rules, options, and weight-store summary
+//   mlnclean_model inspect model.bin
+//
+//   # serve the workload's micro-batches through a loaded snapshot ...
+//   mlnclean_model serve --model model.bin --batches 8 --reuse --out serve.txt
+//
+//   # ... or through an in-process compile (the reference arm; pass
+//   # --warm iff the snapshot was saved with --warm)
+//   mlnclean_model serve --compile --warm --batches 8 --reuse --out serve.txt
+//
+// The serve output file is fully deterministic (cleaned + deduped CSV and
+// the decision-trace counts per batch; no timings), so `cmp` between the
+// --model and --compile arms is the round-trip gate: a loaded model must
+// serve bit-identically to the in-process original.
+//
+// The workload is generated, not read from disk: MakeHospitalWorkload +
+// InjectErrors are seeded, so two processes given the same flags see the
+// same bytes. --data/--rules switch to a CSV file and rule DSL file
+// instead.
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mlnclean/mlnclean.h"
+
+using namespace mlnclean;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string model_path;   // serve --model / inspect positional
+  std::string out_path;     // save --out / serve --out
+  std::string data_path;    // optional CSV workload
+  std::string rules_path;   // optional rule DSL file
+  size_t hospitals = 40;
+  size_t measures = 10;
+  double error_rate = 0.05;
+  uint64_t seed = 21;
+  size_t batches = 8;
+  size_t agp_threshold = 3;
+  bool agp_threshold_set = false;
+  bool warm = false;     // save: warm the store on batch 0 before saving
+  bool compile = false;  // serve: in-process reference arm
+  bool reuse = false;    // serve: reuse_model_weights
+};
+
+// Strict numeric flag parsing: the whole token must be a non-negative
+// decimal number (std::stoul would wrap "-1" to huge and accept "8x").
+bool ParseU64Flag(const char* v, uint64_t* out) {
+  if (v == nullptr || *v == '\0' || *v == '-' || *v == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+bool ParseSizeFlag(const char* v, size_t* out) {
+  uint64_t parsed = 0;
+  if (!ParseU64Flag(v, &parsed) || parsed > std::numeric_limits<size_t>::max()) {
+    return false;
+  }
+  *out = static_cast<size_t>(parsed);
+  return true;
+}
+
+bool ParseRateFlag(const char* v, double* out) {
+  if (v == nullptr || *v == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  // strtod happily parses "nan"/"inf"; a rate must be a finite fraction.
+  if (errno != 0 || end == v || *end != '\0' || !std::isfinite(parsed) ||
+      parsed < 0.0 || parsed > 1.0) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  mlnclean_model save --out FILE [--warm] [workload flags]\n"
+               "  mlnclean_model inspect FILE\n"
+               "  mlnclean_model serve (--model FILE | --compile [--warm])\n"
+               "                       --out FILE [--reuse] [--batches K]\n"
+               "                       [workload flags]\n"
+               "workload flags: --hospitals N --measures N --error-rate R --seed S\n"
+               "                --agp-threshold T | --data CSV --rules FILE\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (flag == "--warm") {
+      args->warm = true;
+    } else if (flag == "--compile") {
+      args->compile = true;
+    } else if (flag == "--reuse") {
+      args->reuse = true;
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->out_path = v;
+    } else if (flag == "--model") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->model_path = v;
+    } else if (flag == "--data") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->data_path = v;
+    } else if (flag == "--rules") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->rules_path = v;
+    } else if (flag == "--hospitals" || flag == "--measures" || flag == "--batches" ||
+               flag == "--agp-threshold" || flag == "--seed" ||
+               flag == "--error-rate") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      bool parsed = true;
+      if (flag == "--hospitals") parsed = ParseSizeFlag(v, &args->hospitals);
+      if (flag == "--measures") parsed = ParseSizeFlag(v, &args->measures);
+      if (flag == "--batches") parsed = ParseSizeFlag(v, &args->batches);
+      if (flag == "--agp-threshold") {
+        parsed = ParseSizeFlag(v, &args->agp_threshold);
+        args->agp_threshold_set = true;
+      }
+      if (flag == "--seed") parsed = ParseU64Flag(v, &args->seed);
+      if (flag == "--error-rate") parsed = ParseRateFlag(v, &args->error_rate);
+      if (!parsed) {
+        std::fprintf(stderr, "bad value for %s: %s\n", flag.c_str(), v);
+        return false;
+      }
+    } else if (args->command == "inspect" && args->model_path.empty() &&
+               flag.rfind("--", 0) != 0) {
+      args->model_path = flag;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (args->batches == 0) {
+    std::fprintf(stderr, "--batches must be at least 1\n");
+    return false;
+  }
+  if (args->compile && !args->model_path.empty()) {
+    // Accepting both and ignoring one would let a miswritten round-trip
+    // gate compare two in-process runs and pass without testing the codec.
+    std::fprintf(stderr, "--compile and --model are mutually exclusive\n");
+    return false;
+  }
+  if (args->command == "serve" && !args->model_path.empty() &&
+      (args->warm || args->agp_threshold_set)) {
+    // Compile-time knobs silently ignored against a loaded snapshot (whose
+    // options are authoritative) would make a cmp mismatch look like a
+    // codec bug; reject loudly instead.
+    std::fprintf(stderr,
+                 "--warm/--agp-threshold only apply to --compile or save; a "
+                 "loaded snapshot's own options are authoritative\n");
+    return false;
+  }
+  return true;
+}
+
+struct ServingWorkload {
+  Dataset dirty;
+  RuleSet rules;
+
+  ServingWorkload(Dataset dirty_in, RuleSet rules_in)
+      : dirty(std::move(dirty_in)), rules(std::move(rules_in)) {}
+};
+
+/// The deterministic workload both processes of the round-trip regenerate
+/// from flags (or load from --data/--rules).
+Result<ServingWorkload> MakeWorkload(const Args& args) {
+  if (!args.data_path.empty() || !args.rules_path.empty()) {
+    if (args.data_path.empty() || args.rules_path.empty()) {
+      return Status::Invalid("--data and --rules must be given together");
+    }
+    MLN_ASSIGN_OR_RETURN(Dataset data, Dataset::FromCsvFile(args.data_path));
+    std::ifstream rf(args.rules_path);
+    if (!rf) return Status::IOError("cannot open rules file " + args.rules_path);
+    std::stringstream buf;
+    buf << rf.rdbuf();
+    MLN_ASSIGN_OR_RETURN(RuleSet rules, ParseRules(data.schema(), buf.str()));
+    return ServingWorkload(std::move(data), std::move(rules));
+  }
+  HospitalConfig config;
+  config.num_hospitals = args.hospitals;
+  config.num_measures = args.measures;
+  MLN_ASSIGN_OR_RETURN(Workload wl, MakeHospitalWorkload(config));
+  ErrorSpec spec;
+  spec.error_rate = args.error_rate;
+  spec.seed = args.seed;
+  MLN_ASSIGN_OR_RETURN(DirtyDataset dd, InjectErrors(wl.clean, wl.rules, spec));
+  return ServingWorkload(std::move(dd.dirty), std::move(wl.rules));
+}
+
+Result<CleanModel> CompileAndWarm(const Args& args, const ServingWorkload& wl,
+                                  const std::vector<Dataset>& batches) {
+  CleaningOptions options;
+  options.agp_threshold = args.agp_threshold;
+  CleaningEngine engine(options);
+  MLN_ASSIGN_OR_RETURN(CleanModel model, engine.Compile(wl.dirty.schema(), wl.rules));
+  if (args.warm && !batches.empty()) {
+    MLN_RETURN_NOT_OK(model.Warm(batches[0]));
+  }
+  return model;
+}
+
+/// Serves every batch and writes the deterministic transcript: cleaned and
+/// deduped CSV plus decision-trace counts per batch. No wall-clock times —
+/// two runs of the same model over the same batches must be `cmp`-equal.
+Status ServeBatches(const CleanModel& model, const std::vector<Dataset>& batches,
+                    bool reuse, std::ostream& out) {
+  for (size_t i = 0; i < batches.size(); ++i) {
+    SessionOptions opts;
+    opts.reuse_model_weights = reuse;
+    CleanSession session = model.NewSession(batches[i], opts);
+    MLN_RETURN_NOT_OK(session.Resume());
+    const CleaningReport& report = session.report();
+    out << "== batch " << i << " rows=" << batches[i].num_rows()
+        << " agp=" << report.agp.size() << " rsc=" << report.rsc.size()
+        << " fscr=" << report.fscr.size() << " dups=" << report.duplicates.size()
+        << "\n";
+    MLN_ASSIGN_OR_RETURN(CleanResult result, session.TakeResult());
+    out << "-- cleaned\n" << WriteCsv(result.cleaned.ToCsv());
+    out << "-- deduped\n" << WriteCsv(result.deduped.ToCsv());
+  }
+  return Status::OK();
+}
+
+int RunSave(const Args& args) {
+  if (args.out_path.empty()) return Usage();
+  auto wl = MakeWorkload(args);
+  if (!wl.ok()) {
+    std::fprintf(stderr, "workload: %s\n", wl.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Dataset> batches = SplitIntoBatches(wl->dirty, args.batches);
+  auto model = CompileAndWarm(args, *wl, batches);
+  if (!model.ok()) {
+    std::fprintf(stderr, "compile: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::ofstream out(args.out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", args.out_path.c_str());
+    return 1;
+  }
+  Status saved = model->Save(out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  out.close();  // flush now so a full disk fails the command, not the reader
+  if (out.fail()) {
+    std::fprintf(stderr, "save: write to %s failed\n", args.out_path.c_str());
+    return 1;
+  }
+  std::printf("saved %s: %zu rules, %zu stored weights\n", args.out_path.c_str(),
+              model->rules().size(), model->num_stored_weights());
+  return 0;
+}
+
+int RunInspect(const Args& args) {
+  if (args.model_path.empty()) return Usage();
+  std::ifstream in(args.model_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", args.model_path.c_str());
+    return 1;
+  }
+  auto info = InspectModelSnapshot(in);
+  if (!info.ok()) {
+    std::fprintf(stderr, "inspect: %s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot version %u\n", info->version);
+  std::printf("schema (%zu attrs):", info->attr_names.size());
+  for (const std::string& name : info->attr_names) std::printf(" %s", name.c_str());
+  std::printf("\nrules (%zu):\n", info->rule_texts.size());
+  for (size_t i = 0; i < info->rule_texts.size(); ++i) {
+    std::printf("  %s (w=%g): %s\n", info->rule_names[i].c_str(),
+                info->rule_weights[i], info->rule_texts[i].c_str());
+  }
+  std::printf("options: agp_threshold=%zu learn_weights=%d num_threads=%zu\n",
+              info->options.agp_threshold, info->options.learn_weights ? 1 : 0,
+              info->options.num_threads);
+  size_t dict_values = 0;
+  for (size_t n : info->weight_dict_sizes) dict_values += n;
+  std::printf("weight store: %zu γ entries, %zu dicts (%zu interned values)\n",
+              info->num_stored_weights, info->weight_dict_sizes.size(), dict_values);
+  return 0;
+}
+
+int RunServe(const Args& args) {
+  if (args.out_path.empty() || (args.model_path.empty() && !args.compile)) {
+    return Usage();
+  }
+  auto wl = MakeWorkload(args);
+  if (!wl.ok()) {
+    std::fprintf(stderr, "workload: %s\n", wl.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Dataset> batches = SplitIntoBatches(wl->dirty, args.batches);
+  Result<CleanModel> model = [&]() -> Result<CleanModel> {
+    if (args.compile) {
+      // The reference arm warms only when asked: pass --warm iff the
+      // snapshot under test was saved with --warm, or the two arms serve
+      // from different weight stores and the cmp mismatch would falsely
+      // implicate the codec.
+      return CompileAndWarm(args, *wl, batches);
+    }
+    std::ifstream in(args.model_path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open " + args.model_path);
+    return CleaningEngine().Load(in);
+  }();
+  if (!model.ok()) {
+    std::fprintf(stderr, "model: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::ofstream out(args.out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", args.out_path.c_str());
+    return 1;
+  }
+  Status served = ServeBatches(*model, batches, args.reuse, out);
+  if (!served.ok()) {
+    std::fprintf(stderr, "serve: %s\n", served.ToString().c_str());
+    return 1;
+  }
+  out.close();  // a truncated transcript must fail here, not at the cmp
+  if (out.fail()) {
+    std::fprintf(stderr, "serve: write to %s failed\n", args.out_path.c_str());
+    return 1;
+  }
+  std::printf("served %zu batches (%s, reuse=%d) -> %s\n", batches.size(),
+              args.compile ? "in-process model" : "loaded snapshot",
+              args.reuse ? 1 : 0, args.out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  if (args.command == "save") return RunSave(args);
+  if (args.command == "inspect") return RunInspect(args);
+  if (args.command == "serve") return RunServe(args);
+  return Usage();
+}
