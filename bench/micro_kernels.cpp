@@ -162,15 +162,21 @@ void BM_WeightLearning(benchmark::State& state) {
 BENCHMARK(BM_WeightLearning);
 
 // Arg = worker threads (default cache setting): the end-to-end stage-I
-// trajectory tracked against the sequential seed.
+// trajectory tracked against the sequential seed. Compile rides inside
+// the loop (the cost profile of the old one-shot facade this benchmark
+// has always measured).
 void BM_StageOne(benchmark::State& state) {
   const DirtyDataset& dd = SharedDirty();
   const Workload& wl = SharedHai();
   CleaningOptions options = Options(wl);
   options.num_threads = static_cast<size_t>(state.range(0));
-  MlnCleanPipeline cleaner(options);
+  CleaningEngine engine(options);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cleaner.RunStageOne(dd.dirty, wl.rules, nullptr));
+    CleanModel model = *engine.Compile(wl.clean.schema(), wl.rules);
+    SessionOptions sopts;
+    sopts.collect_report = false;
+    CleanSession session = model.NewSession(dd.dirty, std::move(sopts));
+    benchmark::DoNotOptimize(session.RunUntil(Stage::kRsc));
   }
 }
 BENCHMARK(BM_StageOne)->Arg(1)->Arg(8);
@@ -180,9 +186,9 @@ void BM_FullPipeline(benchmark::State& state) {
   const Workload& wl = SharedHai();
   CleaningOptions options = Options(wl);
   options.num_threads = static_cast<size_t>(state.range(0));
-  MlnCleanPipeline cleaner(options);
+  CleaningEngine engine(options);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cleaner.Clean(dd.dirty, wl.rules));
+    benchmark::DoNotOptimize(engine.Clean(dd.dirty, wl.rules));
   }
 }
 BENCHMARK(BM_FullPipeline)->Arg(1)->Arg(8);
@@ -191,7 +197,7 @@ BENCHMARK(BM_FullPipeline)->Arg(1)->Arg(8);
 // cleaned against one prepared model — compiled once, Eq. 6 weight store
 // warmed on the first batch, per-batch sessions reusing the stored
 // weights instead of running Newton — vs K cold one-shot
-// MlnCleanPipeline::Clean runs. Everything else (trace collection, thread
+// CleaningEngine::Clean runs. Everything else (trace collection, thread
 // count) is identical, so the delta is the amortized compile+learn cost.
 // Arg 0 = cold, Arg 1 = prepared model.
 const std::vector<Dataset>& ServeBatches() {
@@ -227,7 +233,7 @@ void BM_ServeBatch(benchmark::State& state) {
       }
     }
   } else {
-    MlnCleanPipeline cleaner(options);
+    CleaningEngine cleaner(options);
     for (auto _ : state) {
       for (const Dataset& batch : batches) {
         benchmark::DoNotOptimize(cleaner.Clean(batch, wl.rules));
@@ -236,6 +242,33 @@ void BM_ServeBatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServeBatch)->Arg(0)->Arg(1);
+
+// Concurrent serving: the 8 micro-batches submitted asynchronously to a
+// CleanServer scheduling sessions on the shared process executor, then
+// harvested in submit order — the multi-session throughput the serving
+// layer exists for (vs BM_ServeBatch's one-session-at-a-time loop).
+void BM_ServerThroughput(benchmark::State& state) {
+  const Workload& wl = SharedHai();
+  const std::vector<Dataset>& batches = ServeBatches();
+  CleaningOptions options = Options(wl);
+  CleanModel model = *CleaningEngine(options).Compile(wl.clean.schema(), wl.rules);
+  ServerOptions sopts;
+  sopts.executor = ProcessExecutor();
+  sopts.max_concurrent_sessions = 4;
+  sopts.queue_capacity = 2 * batches.size();
+  CleanServer server = *CleanServer::Create(model, sopts);
+  for (auto _ : state) {
+    std::vector<CleanTicket> tickets;
+    tickets.reserve(batches.size());
+    for (const Dataset& batch : batches) {
+      tickets.push_back(*server.Submit(batch));
+    }
+    for (CleanTicket& ticket : tickets) {
+      benchmark::DoNotOptimize(ticket.Take());
+    }
+  }
+}
+BENCHMARK(BM_ServerThroughput);
 
 void BM_Partition(benchmark::State& state) {
   const DirtyDataset& dd = SharedDirty();

@@ -4,8 +4,6 @@
 #include <limits>
 #include <optional>
 
-#include "common/thread_pool.h"
-
 namespace mlnclean {
 
 size_t RunAgp(Block* block, const CleaningOptions& options, const DistanceFn& dist,
@@ -93,28 +91,26 @@ size_t RunAgp(Block* block, const CleaningOptions& options, const DistanceFn& di
 }
 
 void RunAgpAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn& dist,
-               CleaningReport* report, const std::atomic<bool>* cancel) {
+               CleaningReport* report, const ExecContext& ctx) {
   const size_t num_blocks = index->num_blocks();
-  const size_t threads = options.ResolvedNumThreads();
-  auto cancelled = [cancel] {
-    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
-  };
-  if (threads <= 1 || num_blocks <= 1) {
+  if (ctx.parallelism() <= 1 || num_blocks <= 1) {
     for (size_t bi = 0; bi < num_blocks; ++bi) {
-      if (cancelled()) return;
+      if (ctx.Stopped()) return;
       size_t merged = RunAgp(&index->block(bi), options, dist, report);
       if (merged > 0) index->ReindexBlock(bi);
+      ctx.Tick(1);
     }
     return;
   }
   // Blocks are independent; collect per-block records and splice them back
   // in block order so the report is identical to the sequential run.
   std::vector<CleaningReport> local(report ? num_blocks : 0);
-  ParallelFor(num_blocks, threads, [&](size_t bi) {
-    if (cancelled()) return;
+  ParallelFor(num_blocks, ctx, [&](size_t bi) {
+    if (ctx.Stopped()) return;
     size_t merged = RunAgp(&index->block(bi), options, dist,
                            report ? &local[bi] : nullptr);
     if (merged > 0) index->ReindexBlock(bi);
+    ctx.Tick(1);
   });
   if (report) {
     for (auto& block_report : local) {

@@ -8,10 +8,9 @@
 #ifndef MLNCLEAN_CLEANING_AGP_H_
 #define MLNCLEAN_CLEANING_AGP_H_
 
-#include <atomic>
-
 #include "cleaning/options.h"
 #include "cleaning/report.h"
+#include "common/executor.h"
 #include "index/mln_index.h"
 
 namespace mlnclean {
@@ -23,10 +22,12 @@ size_t RunAgp(Block* block, const CleaningOptions& options, const DistanceFn& di
               CleaningReport* report);
 
 /// Runs AGP over every block of the index and reindexes the group maps.
-/// When `cancel` is set, blocks not yet started are skipped once the flag
-/// goes true (cooperative cancellation; the caller reports kCancelled).
+/// Blocks run in parallel on `ctx`'s executor (one progress unit per
+/// block); when `ctx` is stopped (cancelled or past its deadline), blocks
+/// not yet started are skipped (cooperative; the caller reports the
+/// terminal Status).
 void RunAgpAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn& dist,
-               CleaningReport* report, const std::atomic<bool>* cancel = nullptr);
+               CleaningReport* report, const ExecContext& ctx = {});
 
 }  // namespace mlnclean
 

@@ -7,7 +7,8 @@
 namespace mlnclean {
 
 Dataset RemoveDuplicates(const Dataset& data,
-                         std::vector<std::pair<TupleId, TupleId>>* removed) {
+                         std::vector<std::pair<TupleId, TupleId>>* removed,
+                         const ExecContext& ctx) {
   // Within one dataset, rows are equal iff their id rows are equal, so
   // duplicate detection never touches value bytes; the output shares the
   // input's dictionaries and copies survivors by id.
@@ -15,6 +16,10 @@ Dataset RemoveDuplicates(const Dataset& data,
   std::unordered_map<uint64_t, std::vector<TupleId>> seen;
   seen.reserve(data.num_rows() * 2);
   for (TupleId tid = 0; tid < static_cast<TupleId>(data.num_rows()); ++tid) {
+    // Stop checks are batched: a clock read per row would dominate the
+    // hash probe the row actually pays for.
+    if ((tid & 0x3ff) == 0 && ctx.Stopped()) return out;
+    ctx.Tick(1);
     auto& bucket = seen[HashRowIds(data, tid)];
     TupleId first = -1;
     for (TupleId prev : bucket) {

@@ -1,5 +1,7 @@
 #include "cleaning/engine.h"
 
+#include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -13,6 +15,59 @@
 #include "common/timer.h"
 
 namespace mlnclean {
+
+/// Bridges worker-side progress ticks to the session's ProgressFn. The
+/// multi-producer half is one relaxed atomic counter (workers Tick units
+/// as blocks/shards complete — no mutex, no queue); the single-consumer
+/// half runs only on the session's driving thread, which Polls the
+/// counter between its own work items and turns increases into
+/// StageProgress events. The callback therefore always fires on the
+/// driving thread, and units_done is monotone per stage by construction.
+class StageProgressRelay : public ProgressSink {
+ public:
+  /// Driving thread, before the stage's drivers start.
+  void BeginStage(Stage stage, size_t total, const ProgressFn* fn,
+                  const Timer* timer) {
+    stage_ = stage;
+    total_ = total;
+    fn_ = fn;
+    timer_ = timer;
+    done_.store(0, std::memory_order_relaxed);
+    last_emitted_ = 0;
+  }
+
+  /// Driving thread, after the stage's drivers returned (the session
+  /// emits the final end event itself).
+  void EndStage() {
+    fn_ = nullptr;
+    timer_ = nullptr;
+  }
+
+  void Tick(size_t units) override {
+    done_.fetch_add(units, std::memory_order_relaxed);
+  }
+
+  void Poll() override {
+    if (fn_ == nullptr) return;
+    const size_t done = std::min(done_.load(std::memory_order_relaxed), total_);
+    if (done == last_emitted_ || done == 0) return;
+    last_emitted_ = done;
+    StageProgress event;
+    event.stage = stage_;
+    event.units_done = done;
+    event.units_total = total_;
+    event.seconds = timer_ != nullptr ? timer_->ElapsedSeconds() : 0.0;
+    (*fn_)(event);
+  }
+
+ private:
+  Stage stage_ = Stage::kIndex;
+  size_t total_ = 0;
+  size_t last_emitted_ = 0;           // driving thread only
+  const ProgressFn* fn_ = nullptr;    // null outside a stage
+  const Timer* timer_ = nullptr;
+  std::atomic<size_t> done_{0};
+};
 
 const char* StageName(Stage stage) {
   switch (stage) {
@@ -57,6 +112,12 @@ Result<CleanModel> CleaningEngine::Compile(const Schema& schema, const RuleSet& 
 Result<CleanModel> CleaningEngine::Compile(const Schema& schema,
                                            const RuleSet& rules) const {
   return Compile(schema, rules, defaults_);
+}
+
+Result<CleanResult> CleaningEngine::Clean(const Dataset& dirty, const RuleSet& rules,
+                                          SessionOptions opts) const {
+  MLN_ASSIGN_OR_RETURN(CleanModel model, Compile(rules.schema(), rules));
+  return model.Clean(dirty, std::move(opts));
 }
 
 // -------------------------------------------------------------- CleanModel
@@ -125,15 +186,41 @@ Result<size_t> CleanModel::AdjustWeightsAcross(
 
 // ------------------------------------------------------------ CleanSession
 
+CleanSession::CleanSession(CleanSession&&) noexcept = default;
+CleanSession& CleanSession::operator=(CleanSession&&) noexcept = default;
+CleanSession::~CleanSession() = default;
+
 CleanSession::CleanSession(std::shared_ptr<CleanModel::State> model,
                            const Dataset* dirty, SessionOptions opts)
     : model_(std::move(model)),
       dirty_(dirty),
       opts_(std::move(opts)),
       dist_(MakeNormalizedDistanceFn(model_->options.distance)) {
+  if (opts_.progress) relay_ = std::make_unique<StageProgressRelay>();
   if (!(dirty_->schema() == model_->rules.schema())) {
     terminal_ = Status::Invalid("dataset schema does not match the compiled model");
   }
+}
+
+ExecContext CleanSession::MakeContext() const {
+  ExecContext ctx;
+  ctx.executor = model_->options.ResolvedExecutor();
+  ctx.max_workers = model_->options.ResolvedNumThreads();
+  ctx.cancel = opts_.cancel.flag();
+  if (opts_.deadline.has_value()) {
+    ctx.has_deadline = true;
+    ctx.deadline = *opts_.deadline;
+  }
+  ctx.progress = relay_.get();
+  return ctx;
+}
+
+Status CleanSession::StopStatus(const char* when, Stage stage) const {
+  const std::string what = std::string(when) + " stage " + StageName(stage);
+  // An explicit cancel keeps its Status even when the deadline has also
+  // passed by now — the user asked first.
+  if (opts_.cancel.cancelled()) return Status::Cancelled("cancelled " + what);
+  return Status::DeadlineExceeded("deadline expired " + what);
 }
 
 void CleanSession::EmitProgress(Stage stage, size_t done, size_t total,
@@ -162,19 +249,17 @@ size_t CleanSession::StageUnits(Stage stage) const {
   return 0;
 }
 
-Status CleanSession::RunStage(Stage stage) {
+Status CleanSession::RunStage(Stage stage, const ExecContext& ctx) {
   const CleaningOptions& options = model_->options;
-  const std::atomic<bool>* cancel = opts_.cancel.flag();
   CleaningReport* report = opts_.collect_report ? &report_ : nullptr;
   switch (stage) {
     case Stage::kIndex: {
-      MLN_ASSIGN_OR_RETURN(
-          owned_index_, MlnIndex::Build(*dirty_, model_->rules,
-                                        options.ResolvedNumThreads(), cancel));
+      MLN_ASSIGN_OR_RETURN(owned_index_,
+                           MlnIndex::Build(*dirty_, model_->rules, ctx));
       return Status::OK();
     }
     case Stage::kAgp:
-      RunAgpAll(&owned_index_, options, dist_, report, cancel);
+      RunAgpAll(&owned_index_, options, dist_, report, ctx);
       return Status::OK();
     case Stage::kLearn: {
       bool reused = false;
@@ -194,31 +279,31 @@ Status CleanSession::RunStage(Stage stage) {
         }
       }
       if (options.learn_weights && !reused) {
-        owned_index_.LearnWeights(options.learner, options.ResolvedNumThreads(),
-                                  cancel);
+        owned_index_.LearnWeights(options.learner, ctx);
       }
       // Only freshly learned weights enter the store: contributing reused
       // weights would re-average the store with its own output, and
-      // contributing Eq. 4 priors would record never-learned values.
+      // contributing Eq. 4 priors would record never-learned values. A
+      // stopped (cancelled / past-deadline) run never contributes a
+      // half-learned index either.
       if (opts_.contribute_weights && options.learn_weights && !reused &&
-          !opts_.cancel.cancelled()) {
+          !ctx.Stopped()) {
         std::unique_lock<std::shared_mutex> lock(model_->weights_mu);
         model_->weights.Accumulate(owned_index_, model_->rules);
       }
       return Status::OK();
     }
     case Stage::kRsc:
-      RunRscAll(&owned_index_, options, dist_, report, cancel);
+      RunRscAll(&owned_index_, options, dist_, report, ctx);
       return Status::OK();
     case Stage::kFscr:
       cleaned_ = dirty_->Clone();
-      RunFscr(*dirty_, model_->rules, index(), options, &cleaned_, report,
-              cancel);
+      RunFscr(*dirty_, model_->rules, index(), options, &cleaned_, report, ctx);
       return Status::OK();
     case Stage::kDedup:
       if (options.remove_duplicates) {
-        deduped_ =
-            RemoveDuplicates(cleaned_, report ? &report->duplicates : nullptr);
+        deduped_ = RemoveDuplicates(cleaned_,
+                                    report ? &report->duplicates : nullptr, ctx);
       } else {
         deduped_ = cleaned_;
       }
@@ -229,24 +314,29 @@ Status CleanSession::RunStage(Stage stage) {
 
 Status CleanSession::RunUntil(Stage last) {
   if (!terminal_.ok()) return terminal_;
+  const ExecContext ctx = MakeContext();
   const int target = static_cast<int>(last);
   while (next_ <= target && next_ < kNumStages) {
     const Stage stage = static_cast<Stage>(next_);
-    if (opts_.cancel.cancelled()) {
-      terminal_ = Status::Cancelled(std::string("cancelled before stage ") +
-                                    StageName(stage));
+    if (ctx.Stopped()) {
+      terminal_ = StopStatus("before", stage);
       return terminal_;
     }
     const size_t units = StageUnits(stage);
     EmitProgress(stage, 0, units, 0.0);
     Timer timer;
-    Status status = RunStage(stage);
+    if (relay_ != nullptr) {
+      relay_->BeginStage(stage, units, &opts_.progress, &timer);
+    }
+    Status status = RunStage(stage, ctx);
+    if (relay_ != nullptr) relay_->EndStage();
     const double seconds = timer.ElapsedSeconds();
-    if (status.ok() && opts_.cancel.cancelled()) {
+    if (status.ok() && ctx.Stopped()) {
       // The stage driver stopped at a block/shard boundary; its partial
       // output stays inside the session (the input dataset is untouched).
-      status = Status::Cancelled(std::string("cancelled during stage ") +
-                                 StageName(stage));
+      // Drivers that report their own stop (MlnIndex::Build) already
+      // derive the right code from ExecContext::StopStatus.
+      status = StopStatus("during", stage);
     }
     if (!status.ok()) {
       terminal_ = status;

@@ -14,24 +14,31 @@
 //   MLN_RETURN_NOT_OK(session.Resume());                 // finish the plan
 //   MLN_ASSIGN_OR_RETURN(CleanResult result, session.TakeResult());
 //
-// Sessions support per-stage progress callbacks and a cooperative
-// CancelToken that aborts between blocks/shards with Status::Cancelled.
-// Learned γ-weights persist on the model (`Warm`, `contribute_weights`),
-// so serving K micro-batches against one prepared model amortizes the
-// learn cost; with weight reuse off, a session is bit-identical to a cold
-// `MlnCleanPipeline::Clean` run on the same batch.
+// Sessions support per-stage (and, on parallel executors, intra-stage)
+// progress callbacks, a cooperative CancelToken that aborts between
+// blocks/shards with Status::Cancelled, and an optional deadline enforced
+// at the same boundaries (Status kDeadlineExceeded). Learned γ-weights
+// persist on the model (`Warm`, `contribute_weights`), so serving K
+// micro-batches against one prepared model amortizes the learn cost; with
+// weight reuse off, a session is bit-identical to a cold
+// `CleaningEngine::Clean` run on the same batch. For concurrent
+// multi-batch serving, put a CleanServer (cleaning/server.h) in front of
+// the model.
 
 #ifndef MLNCLEAN_CLEANING_ENGINE_H_
 #define MLNCLEAN_CLEANING_ENGINE_H_
 
+#include <chrono>
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cleaning/options.h"
 #include "cleaning/report.h"
 #include "common/cancellation.h"
+#include "common/executor.h"
 #include "common/result.h"
 #include "index/mln_index.h"
 #include "index/weight_merge.h"
@@ -39,7 +46,7 @@
 
 namespace mlnclean {
 
-/// Output of a cleaning run (shared with the MlnCleanPipeline facade).
+/// Output of a cleaning run.
 struct CleanResult {
   /// Repaired dataset, row-aligned with the dirty input (before duplicate
   /// removal) — the dataset accuracy metrics are computed on.
@@ -68,7 +75,13 @@ const char* StageName(Stage stage);
 
 /// One progress event. Sessions emit a pair per stage — units_done == 0
 /// when the stage starts and units_done == units_total when it completes —
-/// always from the thread driving the session.
+/// plus, when the stage runs on a parallel executor, intra-stage events
+/// as blocks/shards complete. All events fire on the thread driving the
+/// session (workers only tick an atomic counter; the driving thread
+/// drains it between its own work items — a mutex-free MPSC path), so
+/// the callback needs no synchronization of its own, and per stage the
+/// units_done it sees are monotonically non-decreasing. Sequential
+/// sections keep the plain begin/end pairs.
 struct StageProgress {
   Stage stage = Stage::kIndex;
   /// Work units of the stage: rules for kIndex, blocks for kAgp/kLearn/
@@ -88,6 +101,12 @@ struct SessionOptions {
   /// Cancels the run between blocks/shards; the session then reports
   /// Status::Cancelled and stays terminally cancelled.
   CancelToken cancel;
+  /// Optional deadline, enforced at the same block/shard boundaries the
+  /// cancel flag is polled at: once it passes, the session aborts with
+  /// Status kDeadlineExceeded, stays terminal, and the input dataset is
+  /// untouched (exactly the cancellation contract). A deadline already in
+  /// the past fails the run before any stage work.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
   /// kLearn draws γ weights from the model's Eq. 6 store (Eq. 4 priors
   /// overridden by any stored weight) instead of running the Newton
   /// learner — the amortization lever for serving micro-batches. Falls
@@ -107,6 +126,7 @@ struct SessionOptions {
 };
 
 class CleanSession;
+class StageProgressRelay;  // internal: the intra-stage progress sink
 
 /// A compiled, reusable cleaning model: validated rules, resolved
 /// options, and a store of learned γ weights shared by every session.
@@ -169,8 +189,10 @@ class CleanModel {
 /// leaves the input untouched.
 class CleanSession {
  public:
-  CleanSession(CleanSession&&) = default;
-  CleanSession& operator=(CleanSession&&) = default;
+  // Out-of-line: the progress relay member is an incomplete type here.
+  CleanSession(CleanSession&&) noexcept;
+  CleanSession& operator=(CleanSession&&) noexcept;
+  ~CleanSession();
   CleanSession(const CleanSession&) = delete;
   CleanSession& operator=(const CleanSession&) = delete;
 
@@ -218,7 +240,13 @@ class CleanSession {
   CleanSession(std::shared_ptr<CleanModel::State> model, const Dataset* dirty,
                SessionOptions opts);
 
-  Status RunStage(Stage stage);
+  Status RunStage(Stage stage, const ExecContext& ctx);
+  /// The execution context stage drivers run under: the model's resolved
+  /// executor and thread cap, this session's cancel flag and deadline.
+  ExecContext MakeContext() const;
+  /// Maps a stop observed at a boundary to the terminal Status: an
+  /// expired deadline wins unless the user also cancelled explicitly.
+  Status StopStatus(const char* when, Stage stage) const;
   void EmitProgress(Stage stage, size_t done, size_t total, double seconds);
   size_t StageUnits(Stage stage) const;
 
@@ -231,6 +259,7 @@ class CleanSession {
   CleaningReport report_;
   Dataset cleaned_;
   Dataset deduped_;
+  std::unique_ptr<StageProgressRelay> relay_;  // set iff opts_.progress
   int next_ = 0;
   Status terminal_;  // sticky failure/cancellation; OK while runnable
 };
@@ -251,6 +280,13 @@ class CleaningEngine {
                              const CleaningOptions& options) const;
   /// Compile with the engine's default options.
   Result<CleanModel> Compile(const Schema& schema, const RuleSet& rules) const;
+
+  /// One-shot convenience for single batches: Compile + model.Clean. This
+  /// is the cold path — it validates and compiles per call, which is
+  /// exactly the cost a kept CleanModel (or a CleanServer) amortizes away
+  /// when more than one batch arrives.
+  Result<CleanResult> Clean(const Dataset& dirty, const RuleSet& rules,
+                            SessionOptions opts = {}) const;
 
   /// Reads a snapshot written by CleanModel::Save and returns a model
   /// equivalent to the saved one: same schema, rules, options (the

@@ -5,7 +5,6 @@
 #include <iterator>
 
 #include "common/distance.h"
-#include "common/thread_pool.h"
 
 namespace mlnclean {
 
@@ -268,11 +267,8 @@ double GreedyFusion(const std::vector<Version>& versions,
 
 void RunFscr(const Dataset& dirty, const RuleSet& rules, const MlnIndex& index,
              const CleaningOptions& options, Dataset* cleaned,
-             CleaningReport* report, const std::atomic<bool>* cancel) {
+             CleaningReport* report, const ExecContext& ctx) {
   const size_t num_rows = dirty.num_rows();
-  auto cancelled = [cancel] {
-    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
-  };
   // Per block: every γ's flattened assignment, computed exactly once (a γ
   // covering k tuples used to be flattened k times). Value-to-id
   // resolution (and any interning of never-seen values) happens here, in
@@ -378,25 +374,26 @@ void RunFscr(const Dataset& dirty, const RuleSet& rules, const MlnIndex& index,
     // (Algorithm 2 initializes tfmax to t itself).
   };
 
-  // The requested thread count is passed through unclamped so the shared
-  // ParallelFor pool stays one-per-configured-concurrency; trailing shards
-  // simply get empty ranges when there are fewer rows than threads.
-  const size_t threads = options.ResolvedNumThreads();
-  if (threads <= 1 || num_rows <= 1) {
+  const size_t parallelism = ctx.parallelism();
+  if (parallelism <= 1 || num_rows <= 1) {
     for (size_t tid = 0; tid < num_rows; ++tid) {
-      if (cancelled()) return;
+      if (ctx.Stopped()) return;
       fuse_tuple(tid);
+      ctx.Tick(1);
     }
   } else {
     // Contiguous shards, one per worker: each tuple's fusion is computed
-    // identically regardless of which shard runs it.
-    const size_t chunk = (num_rows + threads - 1) / threads;
-    ParallelFor(threads, threads, [&](size_t s) {
+    // identically regardless of which shard runs it, so the shard count
+    // (and hence the executor's worker count) never changes the result.
+    const size_t shards = parallelism;
+    const size_t chunk = (num_rows + shards - 1) / shards;
+    ParallelFor(shards, ctx, [&](size_t s) {
       const size_t begin = s * chunk;
       const size_t end = std::min(num_rows, begin + chunk);
       for (size_t tid = begin; tid < end; ++tid) {
-        if (cancelled()) return;
+        if (ctx.Stopped()) return;
         fuse_tuple(tid);
+        ctx.Tick(1);
       }
     });
   }

@@ -15,10 +15,9 @@
 #ifndef MLNCLEAN_CLEANING_FSCR_H_
 #define MLNCLEAN_CLEANING_FSCR_H_
 
-#include <atomic>
-
 #include "cleaning/options.h"
 #include "cleaning/report.h"
+#include "common/executor.h"
 #include "index/mln_index.h"
 #include "rules/constraint.h"
 
@@ -28,12 +27,13 @@ namespace mlnclean {
 /// values into `cleaned` (which must start as a copy of the dirty data)
 /// and appends one FscrRecord per tuple to `report` (may be null).
 /// `index` must have been through AGP + weight learning + RSC, i.e. every
-/// group holds exactly one γ. When `cancel` is set, tuples not yet fused
-/// are skipped once the flag goes true (cooperative cancellation; the
-/// caller reports kCancelled and discards the partially fused copy).
+/// group holds exactly one γ. Tuples run sharded on `ctx`'s executor (one
+/// progress unit per fused tuple); when `ctx` is stopped, tuples not yet
+/// fused are skipped (cooperative; the caller reports the terminal Status
+/// and discards the partially fused copy).
 void RunFscr(const Dataset& dirty, const RuleSet& rules, const MlnIndex& index,
              const CleaningOptions& options, Dataset* cleaned,
-             CleaningReport* report, const std::atomic<bool>* cancel = nullptr);
+             CleaningReport* report, const ExecContext& ctx = {});
 
 }  // namespace mlnclean
 

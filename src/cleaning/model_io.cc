@@ -182,6 +182,7 @@ struct DecodedSnapshot {
   std::vector<std::string> rule_texts;
   CleaningOptions options;
   std::vector<ValueDict> dicts;  // weight-store interners, ids preserved
+  uint64_t weight_batches = 0;   // decay clock of the store
   std::vector<GlobalWeightTable::EntryView> entries;
 };
 
@@ -200,6 +201,7 @@ void EncodeOptions(const CleaningOptions& o, Encoder* e) {
   e->U64(o.num_threads);
   e->U8(o.cache_distances ? 1 : 0);
   e->F64(o.fscr_minimality_discount);
+  e->U64(o.weight_half_life_batches);
 }
 
 Status DecodeOptions(Decoder* d, CleaningOptions* o) {
@@ -229,6 +231,8 @@ Status DecodeOptions(Decoder* d, CleaningOptions* o) {
   MLN_ASSIGN_OR_RETURN(uint8_t cache, d->U8("cache_distances"));
   o->cache_distances = cache != 0;
   MLN_ASSIGN_OR_RETURN(o->fscr_minimality_discount, d->F64("fscr_minimality_discount"));
+  MLN_ASSIGN_OR_RETURN(uint64_t half_life, d->U64("weight_half_life_batches"));
+  o->weight_half_life_batches = static_cast<size_t>(half_life);
   return Status::OK();
 }
 
@@ -281,6 +285,7 @@ Status DecodeWeightsSection(Decoder* d, DecodedSnapshot* snap) {
                              : static_cast<size_t>(null_rank));
     snap->dicts.push_back(std::move(dict));
   }
+  MLN_ASSIGN_OR_RETURN(snap->weight_batches, d->U64("weight batch counter"));
   MLN_ASSIGN_OR_RETURN(uint64_t num_entries, d->U64("weight entry count"));
   for (uint64_t i = 0; i < num_entries; ++i) {
     GlobalWeightTable::EntryView entry;
@@ -298,6 +303,12 @@ Status DecodeWeightsSection(Decoder* d, DecodedSnapshot* snap) {
     }
     MLN_ASSIGN_OR_RETURN(entry.weighted_sum, d->F64("weight entry sum"));
     MLN_ASSIGN_OR_RETURN(entry.support, d->F64("weight entry support"));
+    MLN_ASSIGN_OR_RETURN(entry.last_batch, d->U64("weight entry last batch"));
+    if (entry.last_batch > snap->weight_batches) {
+      return d->Fail("weight entry last batch " +
+                     std::to_string(entry.last_batch) +
+                     " is ahead of the store's batch counter");
+    }
     snap->entries.push_back(std::move(entry));
   }
   return Status::OK();
@@ -422,6 +433,7 @@ Status CleanModel::Save(std::ostream& out) const {
       for (ValueId id = 1; id < dict.size(); ++id) weights_section.Str(dict.value(id));
       weights_section.U64(dict.null_used() ? dict.null_rank() : kNoNullRankWire);
     }
+    weights_section.U64(table.batches());
     weights_section.U64(table.size());
     table.ForEachEntrySorted([&weights_section](
                                  const GlobalWeightTable::EntryView& entry) {
@@ -432,6 +444,7 @@ Status CleanModel::Save(std::ostream& out) const {
       for (ValueId id : entry.result_ids) weights_section.U32(id);
       weights_section.F64(entry.weighted_sum);
       weights_section.F64(entry.support);
+      weights_section.U64(entry.last_batch);
     });
   }
 
@@ -494,6 +507,7 @@ Result<CleanModel> CleaningEngine::Load(std::istream& in) const {
   // Freshly compiled and unpublished: no lock needed yet.
   GlobalWeightTable& weights = model.state_->weights;
   weights.RestoreDicts(std::move(snap.dicts));
+  weights.RestoreBatches(snap.weight_batches);
   for (const GlobalWeightTable::EntryView& entry : snap.entries) {
     Status st = weights.RestoreEntry(model.state_->rules, entry);
     if (!st.ok()) {

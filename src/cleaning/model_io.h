@@ -20,15 +20,20 @@
 //   tag 3 options:  the resolved CleaningOptions field by field (see
 //                   model_io.cc; validated by CleaningOptions::Validate on
 //                   load). num_threads is stored raw: 0 = "auto" resolves
-//                   against the *serving* host, as it should.
+//                   against the *serving* host, as it should. The
+//                   executor pointer is never stored — the serving
+//                   process wires its own. v2 appended
+//                   weight_half_life_batches (u64).
 //   tag 4 weights:  the Eq. 6 GlobalWeightTable — u32 #dicts (0 or
 //                   #attrs), per dict the interned values in id order plus
 //                   the NULL rank (so restored ids equal saved ids), then
-//                   u64 #entries, per entry the γ key (u32 rule index, u32
-//                   reason arity, u32 result arity, the ids) and f64
-//                   weighted_sum / support. Entries are written in sorted
-//                   key order: saving the same model twice produces
-//                   identical bytes.
+//                   (v2) the u64 contributed-batch counter, u64 #entries,
+//                   per entry the γ key (u32 rule index, u32 reason
+//                   arity, u32 result arity, the ids), f64 weighted_sum /
+//                   support, and (v2) the u64 last-contribution batch —
+//                   the decay state weight_half_life_batches ages entries
+//                   by. Entries are written in sorted key order: saving
+//                   the same model twice produces identical bytes.
 //
 // Sections appear exactly once, in tag order. Decoding is strict and
 // bounds-checked: truncated input, bad magic, an unsupported version, an
@@ -58,8 +63,11 @@ namespace mlnclean {
 /// First bytes of every snapshot.
 inline constexpr char kModelSnapshotMagic[4] = {'M', 'L', 'N', 'M'};
 
-/// Current snapshot format version.
-inline constexpr uint32_t kModelSnapshotVersion = 1;
+/// Current snapshot format version. v2 added the weight-store decay
+/// state (weight_half_life_batches option, batch counter, per-entry batch
+/// stamps); per the version policy, v1 snapshots are rejected —
+/// regenerate from the builder.
+inline constexpr uint32_t kModelSnapshotVersion = 2;
 
 /// Summary of a snapshot, decoded without compiling a model — what
 /// `mlnclean_model inspect` prints.

@@ -12,6 +12,11 @@ size_t CleaningOptions::ResolvedNumThreads() const {
   return std::max<size_t>(1, std::thread::hardware_concurrency());
 }
 
+Executor* CleaningOptions::ResolvedExecutor() const {
+  if (executor != nullptr) return executor;
+  return ResolvedNumThreads() <= 1 ? SequentialExecutor() : ProcessExecutor();
+}
+
 Status CleaningOptions::Validate() const {
   if (learner.max_iterations < 0) {
     return Status::Invalid("learner.max_iterations must be >= 0");

@@ -6,6 +6,7 @@
 #include <cstddef>
 
 #include "common/distance.h"
+#include "common/executor.h"
 #include "mln/weight_learner.h"
 
 namespace mlnclean {
@@ -38,13 +39,38 @@ struct CleaningOptions {
   /// Algorithm 2 is bounded in practice; this bounds it in theory too).
   size_t max_fusion_nodes = 20000;
 
-  /// Worker threads for the parallelizable stages: AGP, weight learning,
-  /// and RSC run per block; FSCR runs sharded over tuples. Blocks (and
-  /// tuples in stage II) are independent, and per-shard report entries are
-  /// merged back in deterministic order, so any thread count produces a
-  /// CleanResult bit-identical to the sequential run. 1 (default) keeps
-  /// every stage sequential; 0 means "auto" (hardware concurrency).
+  /// Worker-parallelism cap for the parallelizable stages: AGP, weight
+  /// learning, and RSC run per block; FSCR runs sharded over tuples.
+  /// Blocks (and tuples in stage II) are independent, and per-shard report
+  /// entries are merged back in deterministic order, so any thread count
+  /// (and any executor) produces a CleanResult bit-identical to the
+  /// sequential run. 1 (default) keeps every stage sequential; 0 means
+  /// "auto" (hardware concurrency). Workers come from `executor` (or the
+  /// shared process pool), not from per-count pools — this knob only caps
+  /// how many of its workers one stage loop may occupy.
   size_t num_threads = 1;
+
+  /// Execution backend for the parallel stages. Null resolves from
+  /// `num_threads`: the shared process-wide pool when it allows
+  /// parallelism, inline execution otherwise. Set it to run cleaning work
+  /// on a caller-owned PoolExecutor — the CleanServer does exactly that
+  /// to schedule many concurrent sessions onto one worker set. Borrowed;
+  /// must outlive every model compiled from these options. Not part of a
+  /// model snapshot (model_io stores `num_threads` only; the serving
+  /// process wires its own executor).
+  Executor* executor = nullptr;
+
+  /// Half-life, in contributed batches, of the Eq. 6 weight store's
+  /// memory (0 = off, the default: plain all-history averaging). With a
+  /// half-life H, every γ's previously stored support decays by 2^(-1/H)
+  /// per batch folded into the store, so on a drifting stream the stored
+  /// average tracks recent batches instead of pinning to stale history: a
+  /// γ contributed H batches ago weighs half as much as one contributed
+  /// now. Decay applies to the model's store (Warm / contribute_weights);
+  /// the per-run distributed Eq. 6 merge is a one-shot average and
+  /// ignores it. The snapshot format carries the decay state (batch
+  /// counter and per-entry batch stamps), see docs/snapshot_format.md.
+  size_t weight_half_life_batches = 0;
 
   /// Memoize pairwise value distances during AGP's abnormal-vs-normal γ*
   /// scan and RSC's per-group loops (one PieceDistanceMemo per block task,
@@ -76,6 +102,11 @@ struct CleaningOptions {
 
   /// num_threads with 0 resolved to the hardware concurrency (min 1).
   size_t ResolvedNumThreads() const;
+
+  /// The executor the stage drivers run on: `executor` when set,
+  /// otherwise the shared process pool (num_threads != 1) or the inline
+  /// executor (num_threads == 1). Never null.
+  Executor* ResolvedExecutor() const;
 };
 
 }  // namespace mlnclean

@@ -5,8 +5,6 @@
 #include <limits>
 #include <optional>
 
-#include "common/thread_pool.h"
-
 namespace mlnclean {
 
 namespace {
@@ -135,25 +133,23 @@ void RunRscBlock(MlnIndex* index, size_t block_index, const CleaningOptions& opt
 }  // namespace
 
 void RunRscAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn& dist,
-               CleaningReport* report, const std::atomic<bool>* cancel) {
+               CleaningReport* report, const ExecContext& ctx) {
   const size_t num_blocks = index->num_blocks();
-  const size_t threads = options.ResolvedNumThreads();
-  auto cancelled = [cancel] {
-    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
-  };
-  if (threads <= 1 || num_blocks <= 1) {
+  if (ctx.parallelism() <= 1 || num_blocks <= 1) {
     for (size_t bi = 0; bi < num_blocks; ++bi) {
-      if (cancelled()) return;
+      if (ctx.Stopped()) return;
       RunRscBlock(index, bi, options, dist, report);
+      ctx.Tick(1);
     }
     return;
   }
   // Per-block record buffers spliced back in block order keep the report
   // identical to the sequential run.
   std::vector<CleaningReport> local(report ? num_blocks : 0);
-  ParallelFor(num_blocks, threads, [&](size_t bi) {
-    if (cancelled()) return;
+  ParallelFor(num_blocks, ctx, [&](size_t bi) {
+    if (ctx.Stopped()) return;
     RunRscBlock(index, bi, options, dist, report ? &local[bi] : nullptr);
+    ctx.Tick(1);
   });
   if (report) {
     for (auto& block_report : local) {

@@ -9,11 +9,11 @@
 #ifndef MLNCLEAN_CLEANING_RSC_H_
 #define MLNCLEAN_CLEANING_RSC_H_
 
-#include <atomic>
 #include <vector>
 
 #include "cleaning/options.h"
 #include "cleaning/report.h"
+#include "common/executor.h"
 #include "index/mln_index.h"
 
 namespace mlnclean {
@@ -31,10 +31,11 @@ void RunRscGroup(Group* group, size_t block_rule_index, const DistanceFn& dist,
                  CleaningReport* report, PieceDistanceMemo* memo = nullptr);
 
 /// Runs RSC over every group of every block and refreshes the group maps.
-/// When `cancel` is set, blocks not yet started are skipped once the flag
-/// goes true (cooperative cancellation; the caller reports kCancelled).
+/// Blocks run in parallel on `ctx`'s executor (one progress unit per
+/// block); when `ctx` is stopped, blocks not yet started are skipped
+/// (cooperative; the caller reports the terminal Status).
 void RunRscAll(MlnIndex* index, const CleaningOptions& options, const DistanceFn& dist,
-               CleaningReport* report, const std::atomic<bool>* cancel = nullptr);
+               CleaningReport* report, const ExecContext& ctx = {});
 
 }  // namespace mlnclean
 

@@ -1,0 +1,208 @@
+#include "cleaning/server.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace mlnclean {
+
+/// One submission. The ticket and the worker share it; its own mutex
+/// covers only the terminal hand-off (status/result/done), so a ticket
+/// waiting on one job never contends with the server's admission lock.
+struct ServerJob {
+  const Dataset* dirty = nullptr;
+  SessionOptions opts;
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  bool done = false;
+  bool taken = false;
+  Status status;
+  std::optional<CleanResult> result;
+};
+
+/// State shared by the server handle, its tickets, and the worker tasks
+/// scheduled on the executor. Worker tasks hold a shared_ptr, so work
+/// drains even after the last CleanServer handle is gone.
+struct ServerState {
+  ServerState(CleanModel model_in, ServerOptions options_in)
+      : model(std::move(model_in)), options(options_in) {}
+
+  const CleanModel model;
+  const ServerOptions options;
+
+  std::mutex mu;  // guards everything below
+  std::deque<std::shared_ptr<ServerJob>> queue;
+  size_t workers = 0;  // worker loops scheduled or running
+  size_t running = 0;  // jobs currently executing
+  ServerStats totals;  // queued/running are derived on snapshot
+};
+
+namespace {
+
+void AddTimings(StageTimings* into, const StageTimings& t) {
+  into->index += t.index;
+  into->agp += t.agp;
+  into->learn += t.learn;
+  into->rsc += t.rsc;
+  into->fscr += t.fscr;
+  into->dedup += t.dedup;
+  into->total += t.total;
+}
+
+void RunJob(const std::shared_ptr<ServerState>& state,
+            const std::shared_ptr<ServerJob>& job) {
+  Status status;
+  std::optional<CleanResult> result;
+  StageTimings timings;
+  {
+    CleanSession session = state->model.NewSession(*job->dirty, job->opts);
+    status = session.Resume();
+    timings = session.report().timings;
+    if (status.ok()) {
+      Result<CleanResult> taken = session.TakeResult();
+      if (taken.ok()) {
+        result = std::move(taken).ValueUnsafe();
+      } else {
+        status = taken.status();
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    AddTimings(&state->totals.stage_seconds, timings);
+    if (status.ok()) {
+      ++state->totals.completed;
+    } else if (status.IsCancelled()) {
+      ++state->totals.cancelled;
+    } else if (status.IsDeadlineExceeded()) {
+      ++state->totals.deadline_expired;
+    } else {
+      ++state->totals.failed;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->status = std::move(status);
+    job->result = std::move(result);
+    job->done = true;
+  }
+  job->cv.notify_all();
+}
+
+// One worker task: runs queued jobs until the queue is empty, then
+// retires. Submit schedules a new worker whenever fewer than
+// max_concurrent_sessions are alive, so the worker count breathes with
+// the load instead of parking executor threads on an idle server.
+void RunWorker(const std::shared_ptr<ServerState>& state) {
+  for (;;) {
+    std::shared_ptr<ServerJob> job;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->queue.empty()) {
+        --state->workers;
+        return;
+      }
+      job = std::move(state->queue.front());
+      state->queue.pop_front();
+      ++state->running;
+    }
+    RunJob(state, job);
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      --state->running;
+    }
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- CleanTicket
+
+bool CleanTicket::done() const {
+  std::lock_guard<std::mutex> lock(job_->mu);
+  return job_->done;
+}
+
+Status CleanTicket::Wait() const {
+  std::unique_lock<std::mutex> lock(job_->mu);
+  job_->cv.wait(lock, [this] { return job_->done; });
+  return job_->status;
+}
+
+std::optional<Result<CleanResult>> CleanTicket::TryGet() {
+  std::lock_guard<std::mutex> lock(job_->mu);
+  if (!job_->done) return std::nullopt;
+  if (!job_->status.ok()) return Result<CleanResult>(job_->status);
+  if (job_->taken || !job_->result.has_value()) {
+    return Result<CleanResult>(
+        Status::Invalid("result already taken from this ticket"));
+  }
+  job_->taken = true;
+  Result<CleanResult> out(std::move(*job_->result));
+  job_->result.reset();
+  return out;
+}
+
+Result<CleanResult> CleanTicket::Take() {
+  Wait();
+  return *TryGet();  // non-empty: the job is done
+}
+
+void CleanTicket::Cancel() { job_->opts.cancel.RequestCancel(); }
+
+// ------------------------------------------------------------- CleanServer
+
+Result<CleanServer> CleanServer::Create(CleanModel model, ServerOptions options) {
+  if (options.executor == nullptr) options.executor = ProcessExecutor();
+  if (options.max_concurrent_sessions == 0) {
+    options.max_concurrent_sessions = options.executor->concurrency();
+  }
+  if (options.queue_capacity == 0) {
+    return Status::Invalid("queue_capacity must be at least 1");
+  }
+  return CleanServer(std::make_shared<ServerState>(std::move(model), options));
+}
+
+Result<CleanTicket> CleanServer::Submit(const Dataset& dirty, SessionOptions opts) {
+  auto job = std::make_shared<ServerJob>();
+  job->dirty = &dirty;
+  job->opts = std::move(opts);
+
+  bool spawn = false;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->queue.size() >= state_->options.queue_capacity) {
+      return Status::Unavailable(
+          "server queue is full (" +
+          std::to_string(state_->options.queue_capacity) +
+          " pending submissions); retry later");
+    }
+    state_->queue.push_back(job);
+    ++state_->totals.submitted;
+    if (state_->workers < state_->options.max_concurrent_sessions) {
+      ++state_->workers;
+      spawn = true;
+    }
+  }
+  // Submitted outside the admission lock: an InlineExecutor runs the
+  // whole worker loop right here, and it must be free to take that lock.
+  if (spawn) {
+    std::shared_ptr<ServerState> state = state_;
+    state_->options.executor->Submit([state] { RunWorker(state); });
+  }
+  return CleanTicket(std::move(job));
+}
+
+ServerStats CleanServer::Stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  ServerStats stats = state_->totals;
+  stats.queued = state_->queue.size();
+  stats.running = state_->running;
+  return stats;
+}
+
+const CleanModel& CleanServer::model() const { return state_->model; }
+
+}  // namespace mlnclean

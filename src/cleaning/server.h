@@ -1,0 +1,141 @@
+// CleanServer: concurrent multi-session serving of one prepared
+// CleanModel on a shared executor — the long-lived service front door the
+// paper's deployable-cleaner pitch implies (its Section 6 maps the same
+// pipeline onto a Spark worker set; HoloClean-style systems win in
+// practice by serving, not batch-scripting).
+//
+//   CleanServer server = *CleanServer::Create(model, {&executor});
+//   CleanTicket t1 = *server.Submit(batch1);       // non-blocking
+//   CleanTicket t2 = *server.Submit(batch2, opts); // runs concurrently
+//   CleanResult r1 = *t1.Take();                   // future-style harvest
+//
+// Submission is asynchronous with fair FIFO admission: jobs run in submit
+// order, at most `max_concurrent_sessions` at a time, each as one task on
+// the shared executor. When the pending queue is full, Submit returns
+// StatusCode::kUnavailable immediately (backpressure — the caller sheds
+// or retries; nothing blocks). Every ticket carries its session's
+// CancelToken and optional deadline, both enforced cooperatively at
+// block/shard boundaries, and `Stats()` reports queue depth, terminal
+// counts, and cumulative per-stage seconds.
+//
+// Determinism: with weight reuse off (or a warmed, no-longer-written
+// store), K sessions served concurrently produce results bit-identical to
+// K sequential cold runs of the same batches — sessions share nothing
+// mutable but the lock-protected weight store, and every stage driver is
+// executor-agnostic by construction. tests/cleaning/server_test.cc pins
+// this under ThreadSanitizer in CI.
+
+#ifndef MLNCLEAN_CLEANING_SERVER_H_
+#define MLNCLEAN_CLEANING_SERVER_H_
+
+#include <memory>
+#include <optional>
+
+#include "cleaning/engine.h"
+#include "common/executor.h"
+#include "common/result.h"
+
+namespace mlnclean {
+
+struct ServerJob;    // internal per-submission state (server.cc)
+struct ServerState;  // internal shared server state (server.cc)
+
+/// Server tuning knobs.
+struct ServerOptions {
+  /// Worker set sessions run on. Null = the shared process executor.
+  /// Borrowed; must outlive the server and every outstanding ticket.
+  /// With an InlineExecutor, Submit degrades gracefully to synchronous
+  /// execution (it returns a completed ticket). Note the split: this
+  /// executor schedules *sessions*; the parallelism *inside* a session
+  /// follows the model's own CleaningOptions (executor / num_threads) —
+  /// point both at the same pool to share one worker set end to end.
+  Executor* executor = nullptr;
+  /// Sessions allowed to execute simultaneously. 0 = the executor's
+  /// concurrency. More concurrent sessions than executor workers simply
+  /// queue inside the executor.
+  size_t max_concurrent_sessions = 0;
+  /// Submissions allowed to wait for a session slot. A Submit that would
+  /// push the pending queue past this returns kUnavailable.
+  size_t queue_capacity = 64;
+};
+
+/// A snapshot of server counters (all since Create).
+struct ServerStats {
+  size_t queued = 0;     // submitted, not yet running
+  size_t running = 0;    // sessions currently executing
+  size_t submitted = 0;  // admitted submissions (excludes kUnavailable)
+  size_t completed = 0;  // finished OK
+  size_t failed = 0;     // finished with an error status
+  size_t cancelled = 0;  // finished kCancelled
+  size_t deadline_expired = 0;  // finished kDeadlineExceeded
+  /// Cumulative wall seconds spent per stage across every finished
+  /// session (partial stages of cancelled/expired sessions included).
+  StageTimings stage_seconds;
+};
+
+/// Future-style handle to one submitted cleaning job. Cheap to copy (a
+/// shared handle); the last copy going away never blocks — the job keeps
+/// itself alive until it finishes.
+class CleanTicket {
+ public:
+  /// True once the job reached a terminal state.
+  bool done() const;
+
+  /// Blocks until terminal; returns the final status (OK, kCancelled,
+  /// kDeadlineExceeded, or the failure).
+  Status Wait() const;
+
+  /// Non-blocking harvest: empty while the job is pending or running;
+  /// otherwise the moved-out CleanResult (or the terminal error). Like
+  /// CleanSession::TakeResult, the result can be taken exactly once —
+  /// later calls return kInvalid.
+  std::optional<Result<CleanResult>> TryGet();
+
+  /// Wait() + move the result out.
+  Result<CleanResult> Take();
+
+  /// Requests cooperative cancellation of this job (same semantics as
+  /// the session CancelToken: the run stops at the next block/shard
+  /// boundary; a still-queued job cancels when it reaches a worker).
+  void Cancel();
+
+ private:
+  friend class CleanServer;
+  explicit CleanTicket(std::shared_ptr<ServerJob> job) : job_(std::move(job)) {}
+  std::shared_ptr<ServerJob> job_;
+};
+
+/// The serving front door. Cheap to copy (a shared handle). Destroying
+/// the last handle does not abort outstanding work: queued and running
+/// jobs finish (they pin the shared state), only new submissions become
+/// impossible. The datasets behind outstanding tickets are borrowed and
+/// must stay alive until their tickets are terminal.
+class CleanServer {
+ public:
+  /// Validates `options` and returns a server over `model`.
+  static Result<CleanServer> Create(CleanModel model, ServerOptions options = {});
+
+  /// Enqueues one batch for cleaning and returns its ticket without
+  /// waiting for execution. `dirty` is borrowed (the session contract)
+  /// and must outlive the ticket's terminal state. Fails with
+  /// kUnavailable when the pending queue is at capacity. `opts` is the
+  /// per-session configuration (progress callback — which fires on the
+  /// executor thread serving this job — cancel token, deadline, weight
+  /// reuse); the ticket's Cancel() shares `opts.cancel`.
+  Result<CleanTicket> Submit(const Dataset& dirty, SessionOptions opts = {});
+
+  /// Counter snapshot (queue depth, terminal counts, stage seconds).
+  ServerStats Stats() const;
+
+  /// The served model.
+  const CleanModel& model() const;
+
+ private:
+  explicit CleanServer(std::shared_ptr<ServerState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<ServerState> state_;
+};
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_CLEANING_SERVER_H_

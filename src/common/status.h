@@ -22,6 +22,8 @@ enum class StatusCode : int {
   kNotImplemented = 5, // requested behaviour is out of scope
   kInternal = 6,       // invariant breached inside the library
   kCancelled = 7,      // run aborted by a cooperative CancelToken
+  kUnavailable = 8,    // resource saturated; retry later (server backpressure)
+  kDeadlineExceeded = 9,  // run aborted because its deadline passed
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -65,6 +67,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
 
@@ -83,6 +91,10 @@ class Status {
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

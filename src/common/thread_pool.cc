@@ -1,9 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
-#include <unordered_map>
+#include <utility>
 
 namespace mlnclean {
 
@@ -25,14 +24,18 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
-  std::packaged_task<void()> task(std::move(fn));
-  std::future<void> fut = task.get_future();
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> fut = task->get_future();
+  Post([task] { (*task)(); });
+  return fut;
+}
+
+void ThreadPool::Post(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(fn));
   }
   cv_.notify_one();
-  return fut;
 }
 
 void ThreadPool::WaitIdle() {
@@ -42,7 +45,7 @@ void ThreadPool::WaitIdle() {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::packaged_task<void()> task;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -58,65 +61,6 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }
   }
-}
-
-namespace {
-
-// Long-lived pools shared by every ParallelFor call, one per distinct
-// worker count: spawning (and joining) threads per call costs more than
-// many of the loops it runs. Intentionally leaked at process exit.
-ThreadPool& SharedPoolFor(size_t num_threads) {
-  static std::mutex mu;
-  static auto* pools = new std::unordered_map<size_t, std::unique_ptr<ThreadPool>>();
-  std::lock_guard<std::mutex> lock(mu);
-  std::unique_ptr<ThreadPool>& pool = (*pools)[num_threads];
-  if (pool == nullptr) pool = std::make_unique<ThreadPool>(num_threads);
-  return *pool;
-}
-
-}  // namespace
-
-void ParallelFor(size_t n, size_t num_threads, const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
-  num_threads = std::max<size_t>(1, num_threads);
-  if (num_threads == 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  // One worker task per thread, pulling indices from a shared counter:
-  // dynamic load balancing without a queue entry per index, and completion
-  // is tracked per call so concurrent ParallelFors on the same pool do not
-  // observe each other. The pool is keyed by the *requested* thread count
-  // (not the n-clamped worker count) so a process only ever holds one pool
-  // per configured concurrency, not one per loop size.
-  ThreadPool& pool = SharedPoolFor(num_threads);
-  const size_t workers = std::min(num_threads, n);
-  std::atomic<size_t> next{0};
-  std::atomic<size_t> done{0};
-  std::mutex error_mu;
-  std::exception_ptr first_error;
-  std::promise<void> all_done;
-  std::future<void> all_done_future = all_done.get_future();
-  for (size_t w = 0; w < workers; ++w) {
-    pool.Submit([&] {
-      try {
-        while (true) {
-          const size_t i = next.fetch_add(1);
-          if (i >= n) break;
-          fn(i);
-        }
-      } catch (...) {
-        // Record the first failure and stop handing out indices; the
-        // promise must still be fulfilled or the caller hangs forever.
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-        next.store(n);
-      }
-      if (done.fetch_add(1) + 1 == workers) all_done.set_value();
-    });
-  }
-  all_done_future.wait();
-  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace mlnclean

@@ -1,6 +1,8 @@
 // Fixed-size thread pool. Stands in for the Spark worker set of the
 // paper's distributed deployment (Section 6): each "worker" executes
-// cleaning jobs for the data parts assigned to it.
+// cleaning jobs for the data parts assigned to it. Parallel loops do not
+// use this class directly any more — they go through the Executor
+// abstraction (common/executor.h), whose PoolExecutor wraps one of these.
 
 #ifndef MLNCLEAN_COMMON_THREAD_POOL_H_
 #define MLNCLEAN_COMMON_THREAD_POOL_H_
@@ -30,6 +32,11 @@ class ThreadPool {
   /// Enqueues `fn`; the future resolves when it has run.
   std::future<void> Submit(std::function<void()> fn);
 
+  /// Fire-and-forget Submit: no future, no packaged_task allocation. An
+  /// exception escaping `fn` terminates the process (like an unhandled
+  /// exception on any thread), so callers wrap fallible work themselves.
+  void Post(std::function<void()> fn);
+
   /// Blocks until every task submitted so far has completed.
   void WaitIdle();
 
@@ -41,18 +48,11 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;        // signals workers: work available / stop
   std::condition_variable idle_cv_;   // signals WaitIdle: pool drained
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
   size_t in_flight_ = 0;
   bool stop_ = false;
 };
-
-/// Runs `fn(i)` for i in [0, n) across `num_threads` workers and waits.
-/// Workers come from a long-lived shared pool (one per distinct thread
-/// count), so calling this in a loop does not re-spawn threads; indices
-/// are handed out dynamically for load balance. `fn` must be safe to call
-/// concurrently. num_threads == 1 runs inline with zero overhead.
-void ParallelFor(size_t n, size_t num_threads, const std::function<void(size_t)>& fn);
 
 }  // namespace mlnclean
 

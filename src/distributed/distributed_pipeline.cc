@@ -1,10 +1,11 @@
 #include "distributed/distributed_pipeline.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "cleaning/dedup.h"
-#include "common/thread_pool.h"
+#include "common/executor.h"
 #include "common/timer.h"
 
 namespace mlnclean {
@@ -34,11 +35,27 @@ Result<DistributedResult> DistributedMlnClean::Clean(const Dataset& dirty,
       CleanModel model,
       CleaningEngine(options_.cleaning).Compile(rules.schema(), rules));
 
+  // The worker set part jobs are scheduled on: the configured executor,
+  // or one transient pool per run (which also parallelizes the
+  // partitioner's centroid distances below) — one pool for the whole run
+  // where the old driver spun up a fresh ThreadPool per phase.
+  std::unique_ptr<PoolExecutor> owned_pool;
+  Executor* workers = options_.executor;
+  if (workers == nullptr) {
+    if (options_.num_workers > 1) {
+      owned_pool = std::make_unique<PoolExecutor>(options_.num_workers);
+      workers = owned_pool.get();
+    } else {
+      workers = SequentialExecutor();
+    }
+  }
+
   Timer wall;
   PartitionOptions popts;
   popts.num_parts = std::min(options_.num_parts, dirty.num_rows());
   popts.distance = options_.cleaning.distance;
   popts.seed = options_.partition_seed;
+  popts.executor = workers;
   MLN_ASSIGN_OR_RETURN(Partition partition, PartitionDataset(dirty, popts));
   const size_t k = partition.parts.size();
 
@@ -75,18 +92,12 @@ Result<DistributedResult> DistributedMlnClean::Clean(const Dataset& dirty,
   // weights — which is exactly the RunUntil(kLearn) cut of the stage plan.
   std::vector<double> phase_a(k, 0.0);
   std::vector<Status> statuses(k);
-  {
-    ThreadPool pool(options_.num_workers);
-    for (size_t p = 0; p < k; ++p) {
-      pool.Submit([&, p] {
-        Timer t;
-        statuses[p] = sessions[p].RunUntil(Stage::kLearn);
-        phase_a[p] = t.ElapsedSeconds();
-      });
-    }
-    pool.WaitIdle();
-    for (size_t p = 0; p < k; ++p) MLN_RETURN_NOT_OK(statuses[p]);
-  }
+  ParallelFor(k, workers, [&](size_t p) {
+    Timer t;
+    statuses[p] = sessions[p].RunUntil(Stage::kLearn);
+    phase_a[p] = t.ElapsedSeconds();
+  });
+  for (size_t p = 0; p < k; ++p) MLN_RETURN_NOT_OK(statuses[p]);
 
   // ---- Global weight adjustment (Eq. 6): a model-level operation over
   // the concurrent sessions.
@@ -105,18 +116,12 @@ Result<DistributedResult> DistributedMlnClean::Clean(const Dataset& dirty,
   result.cleaned = dirty.Clone();
   result.global_weights = global_weights;
   std::vector<double> phase_b(k, 0.0);
-  {
-    ThreadPool pool(options_.num_workers);
-    for (size_t p = 0; p < k; ++p) {
-      pool.Submit([&, p] {
-        Timer t;
-        statuses[p] = sessions[p].RunUntil(Stage::kFscr);
-        phase_b[p] = t.ElapsedSeconds();
-      });
-    }
-    pool.WaitIdle();
-    for (size_t p = 0; p < k; ++p) MLN_RETURN_NOT_OK(statuses[p]);
-  }
+  ParallelFor(k, workers, [&](size_t p) {
+    Timer t;
+    statuses[p] = sessions[p].RunUntil(Stage::kFscr);
+    phase_b[p] = t.ElapsedSeconds();
+  });
+  for (size_t p = 0; p < k; ++p) MLN_RETURN_NOT_OK(statuses[p]);
 
   // ---- Merge: copy each shard's cleaned rows back into the global rows
   // it owns, remapping dictionary ids. Every shard's dictionaries extend

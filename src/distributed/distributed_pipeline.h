@@ -28,8 +28,16 @@ struct DistributedOptions {
   CleaningOptions cleaning;
   /// Number of data parts (Spark partitions).
   size_t num_parts = 8;
-  /// Number of concurrent workers executing part jobs.
+  /// Number of concurrent workers executing part jobs (ignored when
+  /// `executor` is set — its concurrency rules then).
   size_t num_workers = 4;
+  /// Worker set the per-part sessions run on. Null spawns one transient
+  /// PoolExecutor(num_workers) per Clean call — the simulated Spark
+  /// worker set whose size the Table 6 sweeps vary. Set it to schedule
+  /// part jobs onto a shared pool instead (e.g. the process executor);
+  /// the caller-participation ParallelFor makes that safe even when the
+  /// per-part cleaning options target the same executor.
+  Executor* executor = nullptr;
   uint64_t partition_seed = 99;
   /// Cooperative cancellation: shared with every per-part session, so a
   /// cancelled run aborts at the next per-part block/shard boundary with

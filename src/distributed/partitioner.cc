@@ -78,12 +78,43 @@ Result<Partition> PartitionDataset(const Dataset& data,
   }
 
   std::vector<PairDistanceMemo> memos(data.num_attrs());
+
+  // With a parallel executor, precompute the full n x k tuple-to-centroid
+  // distance matrix up front, sharded over tuples (each shard with its
+  // own memo). The sequential sweep below then reads the matrix instead
+  // of calling kernels; distances are pure, so the resulting partition is
+  // bit-identical to the lazy sequential computation.
+  ExecContext ctx;
+  ctx.executor = options.executor;
+  std::vector<double> matrix;
+  const bool precomputed = ctx.parallelism() > 1 && n > 1;
+  if (precomputed) {
+    matrix.resize(n * k);
+    const size_t shards = ctx.parallelism();
+    const size_t chunk = (n + shards - 1) / shards;
+    ParallelFor(shards, ctx, [&](size_t s) {
+      std::vector<PairDistanceMemo> shard_memos(data.num_attrs());
+      const size_t begin = s * chunk;
+      const size_t end = std::min(n, begin + chunk);
+      for (size_t tid = begin; tid < end; ++tid) {
+        for (size_t p = 0; p < k; ++p) {
+          matrix[tid * k + p] =
+              MemoTupleDistance(data, static_cast<TupleId>(tid),
+                                partition.centroids[p], dist, &shard_memos);
+        }
+      }
+    });
+  }
+
   auto nearest_part = [&](TupleId tid, bool require_space) {
     double best = std::numeric_limits<double>::infinity();
     size_t best_p = k;  // sentinel: no eligible part
     for (size_t p = 0; p < k; ++p) {
       if (require_space && heaps[p].size() >= partition.capacity) continue;
-      double d = MemoTupleDistance(data, tid, partition.centroids[p], dist, &memos);
+      double d = precomputed
+                     ? matrix[static_cast<size_t>(tid) * k + p]
+                     : MemoTupleDistance(data, tid, partition.centroids[p], dist,
+                                         &memos);
       if (d < best) {
         best = d;
         best_p = p;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/distance.h"
+#include "common/executor.h"
 #include "common/result.h"
 #include "dataset/dataset.h"
 
@@ -20,6 +21,12 @@ struct PartitionOptions {
   size_t num_parts = 4;
   DistanceMetric distance = DistanceMetric::kLevenshtein;
   uint64_t seed = 99;
+  /// Executor for the tuple-to-centroid distance precompute (the O(n·k)
+  /// kernel-call bulk of Algorithm 3). The assignment/eviction sweep
+  /// itself stays sequential — evictions depend on every earlier
+  /// placement — and distances are pure functions of (tuple, centroid),
+  /// so the partition is bit-identical for any executor. Null = inline.
+  Executor* executor = nullptr;
 };
 
 /// A k-way partition of tuple ids.

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/string_util.h"
-#include "common/thread_pool.h"
 #include "mln/ground_rule.h"
 
 namespace mlnclean {
@@ -43,19 +42,15 @@ std::string MlnIndex::KeyOf(const std::vector<Value>& values) {
 }
 
 Result<MlnIndex> MlnIndex::Build(const Dataset& data, const RuleSet& rules,
-                                 size_t num_threads,
-                                 const std::atomic<bool>* cancel) {
+                                 const ExecContext& ctx) {
   MlnIndex index;
   index.blocks_.resize(rules.size());
   index.group_maps_.resize(rules.size());
-  auto cancelled = [cancel] {
-    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
-  };
   // Each rule grounds and groups independently into its own slot; errors
   // are surfaced in rule order so the result is thread-count-agnostic.
   std::vector<Status> statuses(rules.size());
-  ParallelFor(rules.size(), num_threads, [&](size_t ri) {
-    if (cancelled()) return;
+  ParallelFor(rules.size(), ctx, [&](size_t ri) {
+    if (ctx.Stopped()) return;
     const Constraint& rule = rules.rule(ri);
     // Grounding yields the distinct γs with their supporting tuples.
     Result<std::vector<GroundRule>> grounds = GroundConstraint(data, rule);
@@ -94,8 +89,9 @@ Result<MlnIndex> MlnIndex::Build(const Dataset& data, const RuleSet& rules,
       piece.result_ids = std::move(g.result_ids);
       block.groups[group_idx].pieces.push_back(std::move(piece));
     }
+    ctx.Tick(1);
   });
-  if (cancelled()) return Status::Cancelled("index build cancelled");
+  if (ctx.Stopped()) return ctx.StopStatus("index build");
   for (const Status& status : statuses) {
     if (!status.ok()) return status;
   }
@@ -133,13 +129,14 @@ void MlnIndex::LearnBlockWeights(Block* block, const WeightLearnerOptions& optio
   for (size_t i = 0; i < pieces.size(); ++i) pieces[i]->weight = weights[i];
 }
 
-void MlnIndex::LearnWeights(const WeightLearnerOptions& options, size_t num_threads,
-                            const std::atomic<bool>* cancel) {
+void MlnIndex::LearnWeights(const WeightLearnerOptions& options,
+                            const ExecContext& ctx) {
   // Blocks are independent weight-learning problems; each task writes only
   // its own block's γ weights.
-  ParallelFor(blocks_.size(), num_threads, [&](size_t bi) {
-    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return;
+  ParallelFor(blocks_.size(), ctx, [&](size_t bi) {
+    if (ctx.Stopped()) return;
     LearnBlockWeights(&blocks_[bi], options);
+    ctx.Tick(1);
   });
 }
 

@@ -7,11 +7,11 @@
 #ifndef MLNCLEAN_INDEX_MLN_INDEX_H_
 #define MLNCLEAN_INDEX_MLN_INDEX_H_
 
-#include <atomic>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/result.h"
 #include "index/piece.h"
 #include "mln/weight_learner.h"
@@ -51,13 +51,13 @@ class MlnIndex {
  public:
   /// Builds the index: one block per rule, groups keyed by reason values
   /// (lines 1-13 of Algorithm 1). Fails on rules the index cannot host
-  /// (general DCs). Rules ground in parallel across `num_threads` workers;
-  /// the result is identical for any thread count. When `cancel` goes
-  /// true, rules not yet grounded are skipped and Build returns
-  /// Status::Cancelled instead of a half-built index.
+  /// (general DCs). Rules ground in parallel on `ctx`'s executor; the
+  /// result is identical for any executor or worker cap. One progress
+  /// unit is ticked per grounded rule. When `ctx` is stopped (cancelled
+  /// or past its deadline), rules not yet grounded are skipped and Build
+  /// returns Status::Cancelled instead of a half-built index.
   static Result<MlnIndex> Build(const Dataset& data, const RuleSet& rules,
-                                size_t num_threads = 1,
-                                const std::atomic<bool>* cancel = nullptr);
+                                const ExecContext& ctx = {});
 
   size_t num_blocks() const { return blocks_.size(); }
   const Block& block(size_t i) const { return blocks_[i]; }
@@ -71,12 +71,12 @@ class MlnIndex {
 
   /// Learns MLN weights for every γ of every block: Eq. 4 priors refined
   /// by diagonal Newton over the current (post-AGP) grouping. Blocks are
-  /// learned in parallel across `num_threads` workers (deterministic: each
-  /// block's problem is independent and computed identically). When
-  /// `cancel` goes true, blocks not yet learned are skipped (cooperative
-  /// cancellation; the caller reports kCancelled).
-  void LearnWeights(const WeightLearnerOptions& options = {}, size_t num_threads = 1,
-                    const std::atomic<bool>* cancel = nullptr);
+  /// learned in parallel on `ctx`'s executor (deterministic: each block's
+  /// problem is independent and computed identically); one progress unit
+  /// per block. When `ctx` is stopped, blocks not yet learned are skipped
+  /// (cooperative cancellation; the caller reports the terminal Status).
+  void LearnWeights(const WeightLearnerOptions& options = {},
+                    const ExecContext& ctx = {});
 
   /// Learns weights for a single block.
   static void LearnBlockWeights(Block* block, const WeightLearnerOptions& options = {});

@@ -7,6 +7,7 @@
 #ifndef MLNCLEAN_MLNCLEAN_INTERNAL_H_
 #define MLNCLEAN_MLNCLEAN_INTERNAL_H_
 
+#include "common/executor.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"

@@ -6,24 +6,44 @@
 // in a two-layer structure, and cleaned in two stages (per-rule data
 // versions via AGP + RSC, then cross-rule fusion via FSCR).
 //
-// Quick start — compile a model once, serve datasets through sessions:
+// Quick start — for multi-batch workloads, compile a model once and put a
+// CleanServer in front of it; batches are submitted asynchronously, run
+// concurrently on one shared executor, and are harvested through
+// future-style tickets:
 //
 //   #include "mlnclean/mlnclean.h"
 //   using namespace mlnclean;
 //
-//   Dataset dirty = *Dataset::FromCsvFile("hospital.csv");
-//   RuleSet rules = *ParseRules(dirty.schema(),
+//   RuleSet rules = *ParseRules(schema,
 //                               "FD: City -> State\n"
 //                               "CFD: HN=ELIZA, CT=BOAZ -> PN=2567688400\n");
-//   CleaningEngine engine;
-//   CleanModel model = *engine.Compile(dirty.schema(), rules);
-//   CleanResult result = *model.Clean(dirty);
-//   // result.deduped is the clean dataset.
+//   CleanModel model = *CleaningEngine().Compile(schema, rules);
+//   CleanServer server = *CleanServer::Create(model);
 //
-// Serving micro-batches against one prepared model amortizes rule
-// compilation and weight learning (model.Warm(sample) fills the Eq. 6
-// weight store; sessions with reuse_model_weights skip the learner), and
-// staged sessions add progress callbacks and cooperative cancellation:
+//   std::vector<CleanTicket> tickets;
+//   for (const Dataset& batch : batches) {
+//     auto ticket = server.Submit(batch);       // non-blocking, FIFO
+//     if (!ticket.ok()) { /* kUnavailable: queue full, shed or retry */ }
+//     tickets.push_back(*ticket);
+//   }
+//   for (CleanTicket& t : tickets) {
+//     CleanResult result = *t.Take();           // result.deduped is clean
+//   }
+//
+// Tickets support TryGet() polling, cooperative Cancel(), and per-job
+// deadlines (SessionOptions::deadline, enforced between blocks/shards —
+// an expired job reports kDeadlineExceeded and its input is untouched);
+// server.Stats() exposes queue depth and cumulative per-stage seconds.
+// Serving K sessions concurrently is bit-identical to K sequential runs
+// (see cleaning/server.h). For a single one-off batch, skip the server:
+//
+//   CleanResult result = *CleaningEngine(options).Clean(dirty, rules);
+//
+// Sessions remain the streaming/staged core under both paths: Warm /
+// reuse_model_weights amortize weight learning across micro-batches
+// (CleaningOptions::weight_half_life_batches ages the store for drifting
+// streams), staged sessions add per-stage and intra-stage progress
+// callbacks plus cancellation:
 //
 //   CleanSession session = model.NewSession(batch, options);
 //   session.RunUntil(Stage::kLearn);   // inspect, then
@@ -39,16 +59,20 @@
 //   // ... in the serving process:
 //   std::ifstream in("model.bin", std::ios::binary);
 //   MLN_ASSIGN_OR_RETURN(CleanModel served, CleaningEngine().Load(in));
-//   CleanResult result = *served.Clean(batch, serve_options);
+//   CleanServer server = *CleanServer::Create(served, {&my_executor});
 //
 // The same flow is scriptable via the tools/mlnclean_model CLI
-// (save / inspect / serve); format and version policy live in
-// cleaning/model_io.h and docs/snapshot_format.md. Corrupt or truncated
-// snapshots are rejected with Status kInvalid, never undefined behaviour.
+// (save / inspect / serve, with `serve --jobs N` driving batches through
+// a CleanServer); format and version policy live in cleaning/model_io.h
+// and docs/snapshot_format.md. Corrupt or truncated snapshots are
+// rejected with Status kInvalid, never undefined behaviour. The serving
+// architecture — executor model, admission, deadlines — is documented in
+// docs/serving.md.
 //
-// The deprecated MlnCleanPipeline facade (one-shot Clean per call) keeps
-// working for one release. Implementation utilities (thread pool, timers,
-// string/random helpers) moved to "mlnclean/internal.h".
+// The MlnCleanPipeline facade deprecated in the engine release has been
+// removed; CleaningEngine::Clean is the one-shot equivalent.
+// Implementation utilities (executors, thread pool, timers, string/random
+// helpers) live in "mlnclean/internal.h".
 
 #ifndef MLNCLEAN_MLNCLEAN_H_
 #define MLNCLEAN_MLNCLEAN_H_
@@ -60,9 +84,9 @@
 #include "cleaning/fscr.h"
 #include "cleaning/model_io.h"
 #include "cleaning/options.h"
-#include "cleaning/pipeline.h"
 #include "cleaning/report.h"
 #include "cleaning/rsc.h"
+#include "cleaning/server.h"
 #include "common/cancellation.h"
 #include "common/csv.h"
 #include "common/distance.h"

@@ -5,7 +5,6 @@
 #include <vector>
 
 #include "baseline/holoclean.h"
-#include "cleaning/pipeline.h"
 #include "datagen/hospital.h"
 #include "datagen/sample.h"
 #include "distributed/distributed_pipeline.h"
@@ -100,11 +99,11 @@ TEST(CleaningEngineTest, SessionRejectsMismatchedDataset) {
   EXPECT_TRUE(status.IsInvalid());
 }
 
-TEST(CleaningEngineTest, ModelCleanMatchesPipelineBitIdentically) {
+TEST(CleaningEngineTest, ModelCleanMatchesOneShotCleanBitIdentically) {
   GeneratedCase c = MakeGenerated(5);
   CleaningOptions options;
   options.agp_threshold = 3;
-  auto old_api = MlnCleanPipeline(options).Clean(c.dd.dirty, c.wl.rules);
+  auto old_api = CleaningEngine(options).Clean(c.dd.dirty, c.wl.rules);
   ASSERT_TRUE(old_api.ok()) << old_api.status().ToString();
   CleanModel model =
       *CleaningEngine(options).Compile(c.dd.dirty.schema(), c.wl.rules);
@@ -227,8 +226,12 @@ TEST(CleaningEngineTest, ParallelSessionsBitIdenticalToSequential) {
   CleaningOptions sequential;
   sequential.agp_threshold = 3;
   sequential.num_threads = 1;
+  // Real 8-way parallelism even on a small host: the shared process pool
+  // would clamp to the core count.
+  PoolExecutor pool(8);
   CleaningOptions parallel = sequential;
   parallel.num_threads = 8;
+  parallel.executor = &pool;
   auto seq = CleaningEngine(sequential)
                  .Compile(c.dd.dirty.schema(), c.wl.rules)
                  ->Clean(c.dd.dirty);
@@ -251,7 +254,7 @@ TEST(CleaningEngineTest, FreshWeightSessionsMatchColdRunsPerBatch) {
   options.agp_threshold = 3;
   CleanModel model =
       *CleaningEngine(options).Compile(c.dd.dirty.schema(), c.wl.rules);
-  MlnCleanPipeline cold(options);
+  CleaningEngine cold(options);
   const size_t rows = c.dd.dirty.num_rows();
   const size_t chunk = (rows + 3) / 4;
   for (size_t begin = 0; begin < rows; begin += chunk) {

@@ -209,6 +209,40 @@ TEST(ModelIoTest, LoadedWeightsAreIdStableUnderDictionaryPermutation) {
   EXPECT_TRUE(original.deduped == via_snapshot.deduped);
 }
 
+TEST(ModelIoTest, DecayStateRoundTripsAndAgingResumes) {
+  // A store with an active half-life must carry its decay clock through a
+  // snapshot: the batch counter and per-entry batch stamps ride along, so
+  // a loaded model ages exactly like the original when serving resumes.
+  ServingFixture fx;
+  CleaningOptions options;
+  options.agp_threshold = 2;
+  options.weight_half_life_batches = 1;
+  CleaningEngine engine(options);
+  CleanModel model = *engine.Compile(fx.dirty.schema(), fx.rules);
+  ASSERT_TRUE(model.Warm(fx.batches[0]).ok());  // batch 1
+  ASSERT_TRUE(model.Warm(fx.batches[1]).ok());  // batch 2 decays batch 1
+  ASSERT_GT(model.num_stored_weights(), 0u);
+
+  const std::string bytes = SaveToString(model);
+  auto loaded = LoadFromString(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->options().weight_half_life_batches, 1u);
+  EXPECT_EQ(loaded->num_stored_weights(), model.num_stored_weights());
+  // Bit-exact including the decay state: saving the loaded model writes
+  // the same bytes (batch counter and stamps included).
+  EXPECT_EQ(SaveToString(*loaded), bytes);
+
+  // Aging resumes identically: one more contributed batch on each side
+  // must leave both stores byte-identical (wrong/missing batch stamps
+  // would produce different decay factors here).
+  ASSERT_TRUE(model.Warm(fx.batches[2]).ok());
+  ASSERT_TRUE(loaded->Warm(fx.batches[2]).ok());
+  EXPECT_EQ(SaveToString(*loaded), SaveToString(model));
+  // And the aged stores serve identically.
+  EXPECT_EQ(ServeTranscript(model, fx.batches, /*reuse=*/true),
+            ServeTranscript(*loaded, fx.batches, /*reuse=*/true));
+}
+
 // ---------------------------------------------------------- corrupt input
 
 // One snapshot mutation and the substring its kInvalid must mention.

@@ -1,7 +1,10 @@
-#include "cleaning/pipeline.h"
+// End-to-end pipeline behaviour through the engine API (these predate the
+// CleaningEngine and rode on the removed MlnCleanPipeline facade; the
+// invariants are facade-independent).
 
 #include <gtest/gtest.h>
 
+#include "cleaning/engine.h"
 #include "datagen/hospital.h"
 #include "datagen/sample.h"
 #include "errorgen/injector.h"
@@ -17,8 +20,7 @@ TEST(PipelineTest, CleansTable1ToGroundTruth) {
   RuleSet rules = *SampleHospitalRules();
   CleaningOptions options;
   options.agp_threshold = 1;
-  MlnCleanPipeline cleaner(options);
-  auto result = cleaner.Clean(dirty, rules);
+  auto result = CleaningEngine(options).Clean(dirty, rules);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->cleaned, *SampleHospitalClean());
   // t1/t2 collapse to one tuple, t3-t6 to another.
@@ -33,8 +35,7 @@ TEST(PipelineTest, CleanInputIsFixpoint) {
   CleaningOptions options;
   options.agp_threshold = 1;
   options.remove_duplicates = false;
-  MlnCleanPipeline cleaner(options);
-  auto result = cleaner.Clean(clean, rules);
+  auto result = CleaningEngine(options).Clean(clean, rules);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->cleaned, clean);
 }
@@ -42,8 +43,7 @@ TEST(PipelineTest, CleanInputIsFixpoint) {
 TEST(PipelineTest, TimingsPopulated) {
   Dataset dirty = *SampleHospitalDirty();
   RuleSet rules = *SampleHospitalRules();
-  MlnCleanPipeline cleaner;
-  auto result = cleaner.Clean(dirty, rules);
+  auto result = CleaningEngine().Clean(dirty, rules);
   ASSERT_TRUE(result.ok());
   const StageTimings& t = result->report.timings;
   EXPECT_GE(t.index, 0.0);
@@ -54,8 +54,8 @@ TEST(PipelineTest, TimingsPopulated) {
 TEST(PipelineTest, OptionValidationRejectsBadConfig) {
   CleaningOptions options;
   options.max_fusion_nodes = 0;
-  MlnCleanPipeline cleaner(options);
-  auto result = cleaner.Clean(*SampleHospitalDirty(), *SampleHospitalRules());
+  auto result =
+      CleaningEngine(options).Clean(*SampleHospitalDirty(), *SampleHospitalRules());
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsInvalid());
 }
@@ -65,8 +65,7 @@ TEST(PipelineTest, DuplicateRemovalCanBeDisabled) {
   RuleSet rules = *SampleHospitalRules();
   CleaningOptions options;
   options.remove_duplicates = false;
-  MlnCleanPipeline cleaner(options);
-  auto result = cleaner.Clean(dirty, rules);
+  auto result = CleaningEngine(options).Clean(dirty, rules);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->deduped.num_rows(), dirty.num_rows());
   EXPECT_TRUE(result->report.duplicates.empty());
@@ -78,8 +77,7 @@ TEST(PipelineTest, PriorOnlyAblationStillCleansSample) {
   CleaningOptions options;
   options.agp_threshold = 1;
   options.learn_weights = false;  // Eq. 4 priors only
-  MlnCleanPipeline cleaner(options);
-  auto result = cleaner.Clean(dirty, rules);
+  auto result = CleaningEngine(options).Clean(dirty, rules);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->cleaned, *SampleHospitalClean());
 }
@@ -95,8 +93,7 @@ TEST(PipelineTest, RepairsInjectedErrorsOnGeneratedData) {
   DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
   CleaningOptions options;
   options.agp_threshold = 3;
-  MlnCleanPipeline cleaner(options);
-  auto result = cleaner.Clean(dd.dirty, wl.rules);
+  auto result = CleaningEngine(options).Clean(dd.dirty, wl.rules);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   RepairMetrics m = EvaluateRepair(dd.dirty, result->cleaned, dd.truth);
   EXPECT_GT(m.F1(), 0.6) << "precision=" << m.Precision()
@@ -106,8 +103,7 @@ TEST(PipelineTest, RepairsInjectedErrorsOnGeneratedData) {
 TEST(PipelineTest, EmptyRuleSetLeavesDataUntouched) {
   Dataset dirty = *SampleHospitalDirty();
   RuleSet rules(dirty.schema());
-  MlnCleanPipeline cleaner;
-  auto result = cleaner.Clean(dirty, rules);
+  auto result = CleaningEngine().Clean(dirty, rules);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->cleaned, dirty);
 }
@@ -157,11 +153,15 @@ TEST(PipelineTest, ParallelRunMatchesSequentialBitIdentically) {
   CleaningOptions sequential;
   sequential.agp_threshold = 3;
   sequential.num_threads = 1;
+  // An explicit 8-thread pool: the shared process executor would clamp to
+  // the host's core count, which may be 1 on a small CI box.
+  PoolExecutor pool(8);
   CleaningOptions parallel = sequential;
   parallel.num_threads = 8;
+  parallel.executor = &pool;
 
-  auto seq = MlnCleanPipeline(sequential).Clean(dd.dirty, wl.rules);
-  auto par = MlnCleanPipeline(parallel).Clean(dd.dirty, wl.rules);
+  auto seq = CleaningEngine(sequential).Clean(dd.dirty, wl.rules);
+  auto par = CleaningEngine(parallel).Clean(dd.dirty, wl.rules);
   ASSERT_TRUE(seq.ok()) << seq.status().ToString();
   ASSERT_TRUE(par.ok()) << par.status().ToString();
   EXPECT_EQ(seq->cleaned, par->cleaned);
@@ -175,6 +175,7 @@ TEST(PipelineTest, CacheAndThreadKnobsDoNotChangeResults) {
   RuleSet rules = *SampleHospitalRules();
   CleaningOptions base;
   base.agp_threshold = 1;
+  PoolExecutor pool(4);
   Dataset reference;
   bool first = true;
   for (bool cached : {true, false}) {
@@ -182,7 +183,8 @@ TEST(PipelineTest, CacheAndThreadKnobsDoNotChangeResults) {
       CleaningOptions options = base;
       options.cache_distances = cached;
       options.num_threads = threads;
-      auto result = MlnCleanPipeline(options).Clean(dirty, rules);
+      if (threads > 1) options.executor = &pool;
+      auto result = CleaningEngine(options).Clean(dirty, rules);
       ASSERT_TRUE(result.ok()) << result.status().ToString();
       if (first) {
         reference = result->cleaned;
@@ -200,43 +202,40 @@ TEST(PipelineTest, AutoThreadCountResolves) {
   CleaningOptions options;
   options.num_threads = 0;  // auto
   EXPECT_GE(options.ResolvedNumThreads(), 1u);
+  EXPECT_NE(options.ResolvedExecutor(), nullptr);
   options.num_threads = 3;
   EXPECT_EQ(options.ResolvedNumThreads(), 3u);
+  // num_threads == 1 resolves to the inline executor; > 1 to a pool.
+  options.num_threads = 1;
+  EXPECT_EQ(options.ResolvedExecutor()->concurrency(), 1u);
+  PoolExecutor pool(2);
+  options.executor = &pool;
+  EXPECT_EQ(options.ResolvedExecutor(), &pool);
 }
 
 TEST(PipelineTest, StageDecompositionMatchesClean) {
+  // The old RunStageOne / RunStageTwo split, as staged sessions: run one
+  // session to kRsc, hand its index + trace to a ResumeSession, finish.
   Dataset dirty = *SampleHospitalDirty();
   RuleSet rules = *SampleHospitalRules();
   CleaningOptions options;
   options.agp_threshold = 1;
-  MlnCleanPipeline cleaner(options);
-  CleaningReport report;
-  auto index = cleaner.RunStageOne(dirty, rules, &report);
-  ASSERT_TRUE(index.ok());
-  // The report is passed by pointer and consumed — no copy of the trace.
-  auto two = cleaner.RunStageTwo(dirty, rules, *index, &report);
-  ASSERT_TRUE(two.ok()) << two.status().ToString();
-  auto direct = cleaner.Clean(dirty, rules);
-  ASSERT_TRUE(direct.ok());
-  EXPECT_EQ(two->cleaned, direct->cleaned);
-  // Stage-one records flowed through into the final trace.
-  EXPECT_EQ(two->report.agp.size(), direct->report.agp.size());
-  EXPECT_EQ(two->report.fscr.size(), direct->report.fscr.size());
-}
+  CleanModel model = *CleaningEngine(options).Compile(rules.schema(), rules);
 
-TEST(PipelineTest, DeprecatedByValueStageTwoStillWorks) {
-  Dataset dirty = *SampleHospitalDirty();
-  RuleSet rules = *SampleHospitalRules();
-  CleaningOptions options;
-  options.agp_threshold = 1;
-  MlnCleanPipeline cleaner(options);
-  CleaningReport report;
-  auto index = cleaner.RunStageOne(dirty, rules, &report);
-  ASSERT_TRUE(index.ok());
-  CleanResult two = cleaner.RunStageTwo(dirty, rules, *index, std::move(report));
-  auto direct = cleaner.Clean(dirty, rules);
+  CleanSession one = model.NewSession(dirty);
+  ASSERT_TRUE(one.RunUntil(Stage::kRsc).ok());
+  CleanSession two = model.ResumeSession(dirty, &one.index(),
+                                         std::move(*one.mutable_report()));
+  ASSERT_TRUE(two.Resume().ok());
+  auto decomposed = two.TakeResult();
+  ASSERT_TRUE(decomposed.ok()) << decomposed.status().ToString();
+
+  auto direct = model.Clean(dirty);
   ASSERT_TRUE(direct.ok());
-  EXPECT_EQ(two.cleaned, direct->cleaned);
+  EXPECT_EQ(decomposed->cleaned, direct->cleaned);
+  // Stage-one records flowed through into the final trace.
+  EXPECT_EQ(decomposed->report.agp.size(), direct->report.agp.size());
+  EXPECT_EQ(decomposed->report.fscr.size(), direct->report.fscr.size());
 }
 
 }  // namespace

@@ -1,0 +1,406 @@
+#include "cleaning/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "datagen/hospital.h"
+#include "datagen/sample.h"
+#include "errorgen/injector.h"
+
+namespace mlnclean {
+namespace {
+
+struct ServingCase {
+  Workload wl;
+  DirtyDataset dd;
+  std::vector<Dataset> batches;
+};
+
+ServingCase MakeServingCase(uint64_t seed, size_t num_batches) {
+  HospitalConfig config;
+  config.num_hospitals = 30;
+  config.num_measures = 10;
+  Workload wl = *MakeHospitalWorkload(config);
+  ErrorSpec spec;
+  spec.error_rate = 0.05;
+  spec.seed = seed;
+  DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
+  std::vector<Dataset> batches = SplitIntoBatches(dd.dirty, num_batches);
+  return ServingCase{std::move(wl), std::move(dd), std::move(batches)};
+}
+
+CleaningOptions ServingOptions() {
+  CleaningOptions options;
+  options.agp_threshold = 3;
+  return options;
+}
+
+// Field-wise equality of the decision trace, timings excluded.
+void ExpectSameReport(const CleaningReport& a, const CleaningReport& b) {
+  ASSERT_EQ(a.agp.size(), b.agp.size());
+  for (size_t i = 0; i < a.agp.size(); ++i) {
+    EXPECT_EQ(a.agp[i].abnormal_key, b.agp[i].abnormal_key);
+    EXPECT_EQ(a.agp[i].abnormal_tuples, b.agp[i].abnormal_tuples);
+    EXPECT_EQ(a.agp[i].target_key, b.agp[i].target_key);
+    EXPECT_EQ(a.agp[i].merged, b.agp[i].merged);
+  }
+  ASSERT_EQ(a.rsc.size(), b.rsc.size());
+  for (size_t i = 0; i < a.rsc.size(); ++i) {
+    EXPECT_EQ(a.rsc[i].winner_values, b.rsc[i].winner_values);
+    EXPECT_EQ(a.rsc[i].loser_values, b.rsc[i].loser_values);
+    EXPECT_EQ(a.rsc[i].affected_tuples, b.rsc[i].affected_tuples);
+  }
+  ASSERT_EQ(a.fscr.size(), b.fscr.size());
+  for (size_t i = 0; i < a.fscr.size(); ++i) {
+    EXPECT_EQ(a.fscr[i].tuple, b.fscr[i].tuple);
+    EXPECT_EQ(a.fscr[i].conflict_attrs, b.fscr[i].conflict_attrs);
+    EXPECT_EQ(a.fscr[i].fused, b.fscr[i].fused);
+    EXPECT_EQ(a.fscr[i].f_score, b.fscr[i].f_score);
+  }
+  EXPECT_EQ(a.duplicates, b.duplicates);
+}
+
+// The serving invariant (reuse off): K sessions running concurrently on
+// the shared executor are bit-identical to K sequential cold runs.
+TEST(CleanServerTest, ConcurrentSessionsMatchSequentialColdRuns) {
+  ServingCase c = MakeServingCase(31, 8);
+  CleaningOptions options = ServingOptions();
+  CleanModel model = *CleaningEngine(options).Compile(c.dd.dirty.schema(), c.wl.rules);
+
+  PoolExecutor pool(4);
+  ServerOptions sopts;
+  sopts.executor = &pool;
+  sopts.max_concurrent_sessions = 4;
+  sopts.queue_capacity = c.batches.size();
+  CleanServer server = *CleanServer::Create(model, sopts);
+
+  std::vector<CleanTicket> tickets;
+  for (const Dataset& batch : c.batches) {
+    auto ticket = server.Submit(batch);
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    tickets.push_back(*ticket);
+  }
+  CleaningEngine cold(options);
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    auto served = tickets[i].Take();
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    auto reference = cold.Clean(c.batches[i], c.wl.rules);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(served->cleaned, reference->cleaned) << "batch " << i;
+    EXPECT_EQ(served->deduped, reference->deduped) << "batch " << i;
+    ExpectSameReport(served->report, reference->report);
+  }
+
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted, c.batches.size());
+  EXPECT_EQ(stats.completed, c.batches.size());
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  EXPECT_GT(stats.stage_seconds.total, 0.0);
+  EXPECT_GT(stats.stage_seconds.fscr, 0.0);
+}
+
+// Same invariant with weight reuse on against a warmed (and from then on
+// read-only) store — and with the sessions themselves parallel on the
+// same pool the server schedules on (nested ParallelFor).
+TEST(CleanServerTest, ConcurrentReuseSessionsMatchSequentialWarmRuns) {
+  ServingCase c = MakeServingCase(33, 8);
+  PoolExecutor pool(4);
+  CleaningOptions options = ServingOptions();
+  options.executor = &pool;
+  options.num_threads = 2;
+  CleanModel model = *CleaningEngine(options).Compile(c.dd.dirty.schema(), c.wl.rules);
+  ASSERT_TRUE(model.Warm(c.batches[0]).ok());
+
+  SessionOptions reuse;
+  reuse.reuse_model_weights = true;
+
+  // Sequential reference first; the store is warmed and never written
+  // again (reuse sessions do not contribute), so order cannot matter.
+  std::vector<CleanResult> reference;
+  for (const Dataset& batch : c.batches) {
+    auto result = model.Clean(batch, reuse);
+    ASSERT_TRUE(result.ok());
+    reference.push_back(std::move(*result));
+  }
+
+  ServerOptions sopts;
+  sopts.executor = &pool;
+  sopts.max_concurrent_sessions = 4;
+  sopts.queue_capacity = c.batches.size();
+  CleanServer server = *CleanServer::Create(model, sopts);
+  std::vector<CleanTicket> tickets;
+  for (const Dataset& batch : c.batches) {
+    tickets.push_back(*server.Submit(batch, reuse));
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    auto served = tickets[i].Take();
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_EQ(served->cleaned, reference[i].cleaned) << "batch " << i;
+    EXPECT_EQ(served->deduped, reference[i].deduped) << "batch " << i;
+    ExpectSameReport(served->report, reference[i].report);
+  }
+}
+
+// A latch the tests use to park a job inside its first progress event.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool released = false;
+
+  void Enter() {
+    std::unique_lock<std::mutex> lock(mu);
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [this] { return released; });
+  }
+  void AwaitEntered() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return entered; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu);
+    released = true;
+    cv.notify_all();
+  }
+};
+
+TEST(CleanServerTest, FullQueueReturnsUnavailable) {
+  Dataset dirty = *SampleHospitalDirty();
+  CleaningOptions options;
+  options.agp_threshold = 1;
+  CleanModel model = *CleaningEngine(options).Compile(dirty.schema(),
+                                                      *SampleHospitalRules());
+  PoolExecutor pool(1);
+  ServerOptions sopts;
+  sopts.executor = &pool;
+  sopts.max_concurrent_sessions = 1;
+  sopts.queue_capacity = 1;
+  CleanServer server = *CleanServer::Create(model, sopts);
+
+  Gate gate;
+  SessionOptions blocking;
+  blocking.progress = [&gate](const StageProgress& p) {
+    if (p.stage == Stage::kIndex && p.units_done == 0) gate.Enter();
+  };
+  auto running = server.Submit(dirty, blocking);
+  ASSERT_TRUE(running.ok());
+  gate.AwaitEntered();  // the one worker is now parked inside the job
+
+  auto queued = server.Submit(dirty);  // fills the pending queue
+  ASSERT_TRUE(queued.ok());
+  auto rejected = server.Submit(dirty);  // overflows it
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsUnavailable()) << rejected.status().ToString();
+  {
+    ServerStats stats = server.Stats();
+    EXPECT_EQ(stats.queued, 1u);
+    EXPECT_EQ(stats.running, 1u);
+    EXPECT_EQ(stats.submitted, 2u);
+  }
+
+  gate.Release();
+  EXPECT_TRUE(running->Wait().ok());
+  EXPECT_TRUE(queued->Wait().ok());
+  // With the queue drained, admission opens again.
+  auto retried = server.Submit(dirty);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_TRUE(retried->Wait().ok());
+}
+
+TEST(CleanServerTest, CancelledQueuedTicketReportsCancelled) {
+  Dataset dirty = *SampleHospitalDirty();
+  CleaningOptions options;
+  options.agp_threshold = 1;
+  CleanModel model = *CleaningEngine(options).Compile(dirty.schema(),
+                                                      *SampleHospitalRules());
+  PoolExecutor pool(1);
+  ServerOptions sopts;
+  sopts.executor = &pool;
+  sopts.max_concurrent_sessions = 1;
+  sopts.queue_capacity = 4;
+  CleanServer server = *CleanServer::Create(model, sopts);
+
+  Gate gate;
+  SessionOptions blocking;
+  blocking.progress = [&gate](const StageProgress& p) {
+    if (p.stage == Stage::kIndex && p.units_done == 0) gate.Enter();
+  };
+  auto running = server.Submit(dirty, blocking);
+  ASSERT_TRUE(running.ok());
+  gate.AwaitEntered();
+
+  auto doomed = server.Submit(dirty);
+  ASSERT_TRUE(doomed.ok());
+  EXPECT_FALSE(doomed->done());
+  doomed->Cancel();
+  gate.Release();
+
+  Status status = doomed->Wait();
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+  auto harvested = doomed->TryGet();
+  ASSERT_TRUE(harvested.has_value());
+  EXPECT_TRUE(harvested->status().IsCancelled());
+  EXPECT_TRUE(running->Wait().ok());
+}
+
+TEST(CleanServerTest, ExpiredDeadlineLeavesInputUntouchedAndTicketTerminal) {
+  ServingCase c = MakeServingCase(37, 1);
+  CleanModel model =
+      *CleaningEngine(ServingOptions()).Compile(c.dd.dirty.schema(), c.wl.rules);
+  PoolExecutor pool(2);
+  ServerOptions sopts;
+  sopts.executor = &pool;
+  CleanServer server = *CleanServer::Create(model, sopts);
+
+  Dataset snapshot = c.dd.dirty.Clone();
+  SessionOptions expired;
+  expired.deadline = std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  auto ticket = server.Submit(c.dd.dirty, expired);
+  ASSERT_TRUE(ticket.ok());
+  Status status = ticket->Wait();
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  EXPECT_EQ(c.dd.dirty, snapshot);
+  // Terminal: the ticket keeps reporting the deadline status.
+  EXPECT_TRUE(ticket->done());
+  auto harvested = ticket->TryGet();
+  ASSERT_TRUE(harvested.has_value());
+  EXPECT_TRUE(harvested->status().IsDeadlineExceeded());
+  EXPECT_EQ(server.Stats().deadline_expired, 1u);
+}
+
+TEST(CleanServerTest, MidRunDeadlineAbortsBetweenBlocks) {
+  // Arm the deadline from inside the first progress event: some stage
+  // boundary after it must observe the expiry, whatever the timing.
+  ServingCase c = MakeServingCase(41, 1);
+  CleanModel model =
+      *CleaningEngine(ServingOptions()).Compile(c.dd.dirty.schema(), c.wl.rules);
+  Dataset snapshot = c.dd.dirty.Clone();
+  SessionOptions opts;
+  opts.deadline = std::chrono::steady_clock::now();  // expires immediately
+  CleanSession session = model.NewSession(c.dd.dirty, opts);
+  Status status = session.Resume();
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  EXPECT_FALSE(session.finished());
+  EXPECT_EQ(c.dd.dirty, snapshot);
+  // Sticky, like cancellation.
+  EXPECT_TRUE(session.Resume().IsDeadlineExceeded());
+  EXPECT_TRUE(session.TakeResult().status().IsDeadlineExceeded());
+}
+
+TEST(CleanServerTest, ExplicitCancelWinsOverExpiredDeadline) {
+  Dataset dirty = *SampleHospitalDirty();
+  CleanModel model = *CleaningEngine().Compile(dirty.schema(), *SampleHospitalRules());
+  SessionOptions opts;
+  opts.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  opts.cancel.RequestCancel();
+  Status status = model.NewSession(dirty, opts).Resume();
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+}
+
+TEST(CleanServerTest, InlineExecutorDegradesToSynchronousServing) {
+  Dataset dirty = *SampleHospitalDirty();
+  CleaningOptions options;
+  options.agp_threshold = 1;
+  CleanModel model = *CleaningEngine(options).Compile(dirty.schema(),
+                                                      *SampleHospitalRules());
+  InlineExecutor inline_executor;
+  ServerOptions sopts;
+  sopts.executor = &inline_executor;
+  CleanServer server = *CleanServer::Create(model, sopts);
+  auto ticket = server.Submit(dirty);
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_TRUE(ticket->done());  // ran inside Submit
+  auto result = ticket->Take();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cleaned, *SampleHospitalClean());
+}
+
+TEST(CleanServerTest, ResultCanOnlyBeTakenOnce) {
+  Dataset dirty = *SampleHospitalDirty();
+  CleanModel model = *CleaningEngine().Compile(dirty.schema(), *SampleHospitalRules());
+  CleanServer server = *CleanServer::Create(model, {});
+  auto ticket = server.Submit(dirty);
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE(ticket->Take().ok());
+  auto again = ticket->TryGet();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->status().IsInvalid());
+}
+
+TEST(CleanServerTest, CreateRejectsZeroQueueCapacity) {
+  Dataset dirty = *SampleHospitalDirty();
+  CleanModel model = *CleaningEngine().Compile(dirty.schema(), *SampleHospitalRules());
+  ServerOptions sopts;
+  sopts.queue_capacity = 0;
+  auto server = CleanServer::Create(model, sopts);
+  ASSERT_FALSE(server.ok());
+  EXPECT_TRUE(server.status().IsInvalid());
+}
+
+// Intra-stage progress: events are monotone per stage, parallel stages
+// emit mid-stage events through the MPSC tick path, and every stage's
+// last event totals its unit count.
+TEST(CleanServerTest, IntraStageProgressIsMonotoneAndTotals) {
+  ServingCase c = MakeServingCase(43, 1);
+  PoolExecutor pool(4);
+  CleaningOptions options = ServingOptions();
+  options.executor = &pool;
+  options.num_threads = 4;
+  CleanModel model =
+      *CleaningEngine(options).Compile(c.dd.dirty.schema(), c.wl.rules);
+
+  std::vector<StageProgress> events;
+  SessionOptions opts;
+  opts.progress = [&events](const StageProgress& p) { events.push_back(p); };
+  CleanSession session = model.NewSession(c.dd.dirty, opts);
+  ASSERT_TRUE(session.Resume().ok());
+
+  ASSERT_FALSE(events.empty());
+  int last_stage = -1;
+  size_t last_done = 0;
+  size_t stage_total = 0;
+  for (const StageProgress& event : events) {
+    const int stage = static_cast<int>(event.stage);
+    if (stage != last_stage) {
+      // New stage: the previous one must have closed at its total, and
+      // stages appear in plan order starting with a units_done == 0 event.
+      if (last_stage >= 0) EXPECT_EQ(last_done, stage_total);
+      EXPECT_EQ(stage, last_stage + 1);
+      EXPECT_EQ(event.units_done, 0u);
+      last_stage = stage;
+      stage_total = event.units_total;
+      last_done = 0;
+      continue;
+    }
+    EXPECT_EQ(event.units_total, stage_total);
+    EXPECT_GE(event.units_done, last_done) << "stage " << StageName(event.stage);
+    EXPECT_LE(event.units_done, stage_total);
+    last_done = event.units_done;
+  }
+  EXPECT_EQ(last_stage, kNumStages - 1);
+  EXPECT_EQ(last_done, stage_total);
+
+  // The parallel stages delivered at least one event beyond the begin/end
+  // pair (the relay's final flush at minimum).
+  size_t fscr_events = 0;
+  for (const StageProgress& event : events) {
+    if (event.stage == Stage::kFscr) ++fscr_events;
+  }
+  EXPECT_GE(fscr_events, 3u);
+  // kFscr counts tuples: its total is the batch's row count.
+  for (const StageProgress& event : events) {
+    if (event.stage == Stage::kFscr) {
+      EXPECT_EQ(event.units_total, c.dd.dirty.num_rows());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlnclean

@@ -52,21 +52,14 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 50);
 }
 
-TEST(ParallelForTest, CoversAllIndices) {
-  std::vector<int> hits(1000, 0);
-  ParallelFor(hits.size(), 4, [&hits](size_t i) { hits[i] += 1; });
-  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
-  for (int h : hits) EXPECT_EQ(h, 1);
-}
-
-TEST(ParallelForTest, ZeroItemsNoop) {
-  ParallelFor(0, 4, [](size_t) { FAIL() << "must not be called"; });
-}
-
-TEST(ParallelForTest, SingleThreadPath) {
-  std::vector<int> order;
-  ParallelFor(5, 1, [&order](size_t i) { order.push_back(static_cast<int>(i)); });
-  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+TEST(ThreadPoolTest, PostRunsFireAndForget) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Post([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 64);
 }
 
 }  // namespace

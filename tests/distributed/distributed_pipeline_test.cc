@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "cleaning/pipeline.h"
+#include "cleaning/engine.h"
 #include "datagen/hospital.h"
 #include "datagen/tpch.h"
 #include "errorgen/injector.h"
@@ -139,7 +139,7 @@ TEST(DistributedTest, SinglePartMatchesSingleNodeOnHospital) {
   HospitalFixture f;
   CleaningOptions copts;
   copts.agp_threshold = 3;
-  auto single = MlnCleanPipeline(copts).Clean(f.dd.dirty, f.wl.rules);
+  auto single = CleaningEngine(copts).Clean(f.dd.dirty, f.wl.rules);
   ASSERT_TRUE(single.ok()) << single.status().ToString();
 
   DistributedOptions opts;

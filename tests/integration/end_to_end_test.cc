@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "baseline/holoclean.h"
-#include "cleaning/pipeline.h"
+#include "cleaning/engine.h"
 #include "datagen/car.h"
 #include "datagen/hospital.h"
 #include "errorgen/injector.h"
@@ -29,8 +29,7 @@ RunOutcome RunBoth(const Workload& wl, double error_rate, double rret,
 
   CleaningOptions options;
   options.agp_threshold = tau;
-  MlnCleanPipeline cleaner(options);
-  auto mln = cleaner.Clean(dd.dirty, wl.rules);
+  auto mln = CleaningEngine(options).Clean(dd.dirty, wl.rules);
   EXPECT_TRUE(mln.ok()) << mln.status().ToString();
 
   HoloCleanBaseline baseline;
@@ -90,8 +89,7 @@ TEST(EndToEndTest, DuplicateTuplesRemovedAfterCleaning) {
   Rng rng(25);
   std::vector<std::pair<TupleId, TupleId>> pairs;
   AppendDuplicates(&with_dups, 0.25, &rng, &pairs);
-  MlnCleanPipeline cleaner;
-  auto result = cleaner.Clean(with_dups, wl.rules);
+  auto result = CleaningEngine().Clean(with_dups, wl.rules);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->deduped.num_rows(), wl.clean.num_rows());
   EXPECT_EQ(result->report.duplicates.size(), pairs.size());

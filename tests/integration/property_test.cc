@@ -5,7 +5,7 @@
 
 #include <tuple>
 
-#include "cleaning/pipeline.h"
+#include "cleaning/engine.h"
 #include "datagen/car.h"
 #include "datagen/hospital.h"
 #include "errorgen/injector.h"
@@ -16,6 +16,19 @@ namespace mlnclean {
 namespace {
 
 using SweepParam = std::tuple<int /*seed*/, int /*error_pct*/>;
+
+// Stage I only (index + AGP + learning + RSC), the old RunStageOne cut of
+// the plan, expressed as a staged engine session.
+Result<MlnIndex> RunStageOne(const CleaningOptions& options, const Dataset& dirty,
+                             const RuleSet& rules) {
+  MLN_ASSIGN_OR_RETURN(CleanModel model,
+                       CleaningEngine(options).Compile(rules.schema(), rules));
+  SessionOptions sopts;
+  sopts.collect_report = false;
+  CleanSession session = model.NewSession(dirty, std::move(sopts));
+  MLN_RETURN_NOT_OK(session.RunUntil(Stage::kRsc));
+  return std::move(*session.mutable_index());
+}
 
 class PipelineSweepTest : public ::testing::TestWithParam<SweepParam> {};
 
@@ -29,8 +42,7 @@ TEST_P(PipelineSweepTest, InvariantsHoldOnHai) {
 
   CleaningOptions options;
   options.agp_threshold = 2;
-  MlnCleanPipeline cleaner(options);
-  auto result = cleaner.Clean(dd.dirty, wl.rules);
+  auto result = CleaningEngine(options).Clean(dd.dirty, wl.rules);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
 
   // Invariant 1: row alignment — cleaned has exactly the input rows.
@@ -78,8 +90,7 @@ TEST_P(StageOneInvariantTest, RscLeavesOneGammaPerGroup) {
   DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
   CleaningOptions options;
   options.agp_threshold = 1;
-  MlnCleanPipeline cleaner(options);
-  auto index = cleaner.RunStageOne(dd.dirty, wl.rules, nullptr);
+  auto index = RunStageOne(options, dd.dirty, wl.rules);
   ASSERT_TRUE(index.ok());
   size_t covered = 0;
   for (const Block& block : index->blocks()) {
@@ -101,8 +112,7 @@ TEST_P(StageOneInvariantTest, TuplePartitionPreservedThroughStageOne) {
   DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
   CleaningOptions options;
   options.agp_threshold = 2;
-  MlnCleanPipeline cleaner(options);
-  auto index = cleaner.RunStageOne(dd.dirty, wl.rules, nullptr);
+  auto index = RunStageOne(options, dd.dirty, wl.rules);
   ASSERT_TRUE(index.ok());
   for (const Block& block : index->blocks()) {
     std::vector<int> seen(dd.dirty.num_rows(), 0);

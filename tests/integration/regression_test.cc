@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "cleaning/pipeline.h"
+#include "cleaning/engine.h"
 #include "common/csv.h"
 #include "datagen/hospital.h"
 #include "errorgen/injector.h"
@@ -36,8 +36,7 @@ TEST(RegressionTest, FscrPrefersMinimalRepairOverIdentityDrift) {
   CleaningOptions options;
   options.agp_threshold = 0;  // isolate the FSCR behaviour
   options.remove_duplicates = false;
-  MlnCleanPipeline cleaner(options);
-  auto result = cleaner.Clean(dirty, rules);
+  auto result = CleaningEngine(options).Clean(dirty, rules);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   // Minimal repair: phone restored to 1111, everything else untouched.
   EXPECT_EQ(result->cleaned.row(12),
@@ -65,8 +64,8 @@ TEST(RegressionTest, MinimalityDiscountIsTheTieBreaker) {
   CleaningOptions without_bias = with_bias;
   without_bias.fscr_minimality_discount = 1.0;
 
-  auto biased = *MlnCleanPipeline(with_bias).Clean(dirty, rules);
-  auto unbiased = *MlnCleanPipeline(without_bias).Clean(dirty, rules);
+  auto biased = *CleaningEngine(with_bias).Clean(dirty, rules);
+  auto unbiased = *CleaningEngine(without_bias).Clean(dirty, rules);
   // The biased run repairs minimally; the unbiased run changes at least
   // as many cells of the corrupted tuple.
   auto changed = [&](const Dataset& cleaned) {
@@ -119,8 +118,7 @@ TEST(RegressionTest, CsvRoundTripWorkflow) {
 
   CleaningOptions options;
   options.agp_threshold = 2;
-  MlnCleanPipeline cleaner(options);
-  auto result = cleaner.Clean(loaded, wl.rules);
+  auto result = CleaningEngine(options).Clean(loaded, wl.rules);
   ASSERT_TRUE(result.ok());
   ASSERT_TRUE(WriteCsvFile(result->deduped.ToCsv(), clean_path).ok());
 
@@ -138,15 +136,15 @@ TEST(RegressionTest, OptionValidationCoverage) {
 
   CleaningOptions bad1;
   bad1.fscr_minimality_discount = 0.0;
-  EXPECT_TRUE(MlnCleanPipeline(bad1).Clean(d, rules).status().IsInvalid());
+  EXPECT_TRUE(CleaningEngine(bad1).Clean(d, rules).status().IsInvalid());
 
   CleaningOptions bad2;
   bad2.fscr_minimality_discount = 1.5;
-  EXPECT_TRUE(MlnCleanPipeline(bad2).Clean(d, rules).status().IsInvalid());
+  EXPECT_TRUE(CleaningEngine(bad2).Clean(d, rules).status().IsInvalid());
 
   CleaningOptions bad3;
   bad3.learner.l2 = -1.0;
-  EXPECT_TRUE(MlnCleanPipeline(bad3).Clean(d, rules).status().IsInvalid());
+  EXPECT_TRUE(CleaningEngine(bad3).Clean(d, rules).status().IsInvalid());
 }
 
 // The report summary renders without crashing and mentions every stage.
@@ -156,7 +154,7 @@ TEST(RegressionTest, ReportSummaryMentionsStages) {
   spec.error_rate = 0.1;
   spec.seed = 3;
   DirtyDataset dd = *InjectErrors(wl.clean, wl.rules, spec);
-  auto result = *MlnCleanPipeline().Clean(dd.dirty, wl.rules);
+  auto result = *CleaningEngine().Clean(dd.dirty, wl.rules);
   std::string summary = result.report.Summary();
   EXPECT_NE(summary.find("agp"), std::string::npos);
   EXPECT_NE(summary.find("rsc"), std::string::npos);

@@ -12,6 +12,11 @@
 //   # serve the workload's micro-batches through a loaded snapshot ...
 //   mlnclean_model serve --model model.bin --batches 8 --reuse --out serve.txt
 //
+//   # ... concurrently, through a CleanServer on a 4-worker pool; the
+//   # transcript stays ordered by batch index and byte-identical to the
+//   # sequential run (the concurrent-serving CI gate)
+//   mlnclean_model serve --model model.bin --batches 8 --jobs 4 --reuse --out serve.txt
+//
 //   # ... or through an in-process compile (the reference arm; pass
 //   # --warm iff the snapshot was saved with --warm)
 //   mlnclean_model serve --compile --warm --batches 8 --reuse --out serve.txt
@@ -54,6 +59,7 @@ struct Args {
   double error_rate = 0.05;
   uint64_t seed = 21;
   size_t batches = 8;
+  size_t jobs = 1;  // serve: concurrent sessions via CleanServer when > 1
   size_t agp_threshold = 3;
   bool agp_threshold_set = false;
   bool warm = false;     // save: warm the store on batch 0 before saving
@@ -103,7 +109,7 @@ int Usage() {
                "  mlnclean_model inspect FILE\n"
                "  mlnclean_model serve (--model FILE | --compile [--warm])\n"
                "                       --out FILE [--reuse] [--batches K]\n"
-               "                       [workload flags]\n"
+               "                       [--jobs N] [workload flags]\n"
                "workload flags: --hospitals N --measures N --error-rate R --seed S\n"
                "                --agp-threshold T | --data CSV --rules FILE\n");
   return 2;
@@ -138,7 +144,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (v == nullptr) return false;
       args->rules_path = v;
     } else if (flag == "--hospitals" || flag == "--measures" || flag == "--batches" ||
-               flag == "--agp-threshold" || flag == "--seed" ||
+               flag == "--jobs" || flag == "--agp-threshold" || flag == "--seed" ||
                flag == "--error-rate") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -146,6 +152,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (flag == "--hospitals") parsed = ParseSizeFlag(v, &args->hospitals);
       if (flag == "--measures") parsed = ParseSizeFlag(v, &args->measures);
       if (flag == "--batches") parsed = ParseSizeFlag(v, &args->batches);
+      if (flag == "--jobs") parsed = ParseSizeFlag(v, &args->jobs);
       if (flag == "--agp-threshold") {
         parsed = ParseSizeFlag(v, &args->agp_threshold);
         args->agp_threshold_set = true;
@@ -166,6 +173,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   if (args->batches == 0) {
     std::fprintf(stderr, "--batches must be at least 1\n");
+    return false;
+  }
+  if (args->jobs == 0) {
+    std::fprintf(stderr, "--jobs must be at least 1\n");
     return false;
   }
   if (args->compile && !args->model_path.empty()) {
@@ -233,24 +244,57 @@ Result<CleanModel> CompileAndWarm(const Args& args, const ServingWorkload& wl,
   return model;
 }
 
+void WriteBatchTranscript(size_t index, const Dataset& batch,
+                          const CleanResult& result, std::ostream& out) {
+  const CleaningReport& report = result.report;
+  out << "== batch " << index << " rows=" << batch.num_rows()
+      << " agp=" << report.agp.size() << " rsc=" << report.rsc.size()
+      << " fscr=" << report.fscr.size() << " dups=" << report.duplicates.size()
+      << "\n";
+  out << "-- cleaned\n" << WriteCsv(result.cleaned.ToCsv());
+  out << "-- deduped\n" << WriteCsv(result.deduped.ToCsv());
+}
+
 /// Serves every batch and writes the deterministic transcript: cleaned and
-/// deduped CSV plus decision-trace counts per batch. No wall-clock times —
-/// two runs of the same model over the same batches must be `cmp`-equal.
+/// deduped CSV plus decision-trace counts per batch, ordered by batch
+/// index. No wall-clock times — two runs of the same model over the same
+/// batches must be `cmp`-equal. With jobs > 1 the batches run through a
+/// CleanServer on a jobs-wide pool; sessions execute concurrently but the
+/// tickets are harvested (and the transcript written) in submit order, so
+/// the bytes match the sequential run exactly — that equality IS the
+/// concurrent-serving gate CI's --jobs leg checks.
 Status ServeBatches(const CleanModel& model, const std::vector<Dataset>& batches,
-                    bool reuse, std::ostream& out) {
-  for (size_t i = 0; i < batches.size(); ++i) {
-    SessionOptions opts;
-    opts.reuse_model_weights = reuse;
-    CleanSession session = model.NewSession(batches[i], opts);
-    MLN_RETURN_NOT_OK(session.Resume());
-    const CleaningReport& report = session.report();
-    out << "== batch " << i << " rows=" << batches[i].num_rows()
-        << " agp=" << report.agp.size() << " rsc=" << report.rsc.size()
-        << " fscr=" << report.fscr.size() << " dups=" << report.duplicates.size()
-        << "\n";
-    MLN_ASSIGN_OR_RETURN(CleanResult result, session.TakeResult());
-    out << "-- cleaned\n" << WriteCsv(result.cleaned.ToCsv());
-    out << "-- deduped\n" << WriteCsv(result.deduped.ToCsv());
+                    bool reuse, size_t jobs, std::ostream& out) {
+  SessionOptions opts;
+  opts.reuse_model_weights = reuse;
+  if (jobs <= 1) {
+    for (size_t i = 0; i < batches.size(); ++i) {
+      CleanSession session = model.NewSession(batches[i], opts);
+      MLN_RETURN_NOT_OK(session.Resume());
+      MLN_ASSIGN_OR_RETURN(CleanResult result, session.TakeResult());
+      WriteBatchTranscript(i, batches[i], result, out);
+    }
+    return Status::OK();
+  }
+  PoolExecutor pool(jobs);
+  ServerOptions sopts;
+  sopts.executor = &pool;
+  sopts.max_concurrent_sessions = jobs;
+  sopts.queue_capacity = batches.size();
+  MLN_ASSIGN_OR_RETURN(CleanServer server, CleanServer::Create(model, sopts));
+  std::vector<CleanTicket> tickets;
+  tickets.reserve(batches.size());
+  for (const Dataset& batch : batches) {
+    // Fresh SessionOptions per job: reusing one instance would share its
+    // CancelToken, and Cancel() on one ticket would kill every sibling.
+    SessionOptions job_opts;
+    job_opts.reuse_model_weights = reuse;
+    MLN_ASSIGN_OR_RETURN(CleanTicket ticket, server.Submit(batch, job_opts));
+    tickets.push_back(std::move(ticket));
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    MLN_ASSIGN_OR_RETURN(CleanResult result, tickets[i].Take());
+    WriteBatchTranscript(i, batches[i], result, out);
   }
   return Status::OK();
 }
@@ -349,7 +393,7 @@ int RunServe(const Args& args) {
     std::fprintf(stderr, "cannot open %s for writing\n", args.out_path.c_str());
     return 1;
   }
-  Status served = ServeBatches(*model, batches, args.reuse, out);
+  Status served = ServeBatches(*model, batches, args.reuse, args.jobs, out);
   if (!served.ok()) {
     std::fprintf(stderr, "serve: %s\n", served.ToString().c_str());
     return 1;
@@ -359,9 +403,9 @@ int RunServe(const Args& args) {
     std::fprintf(stderr, "serve: write to %s failed\n", args.out_path.c_str());
     return 1;
   }
-  std::printf("served %zu batches (%s, reuse=%d) -> %s\n", batches.size(),
-              args.compile ? "in-process model" : "loaded snapshot",
-              args.reuse ? 1 : 0, args.out_path.c_str());
+  std::printf("served %zu batches (%s, reuse=%d, jobs=%zu) -> %s\n",
+              batches.size(), args.compile ? "in-process model" : "loaded snapshot",
+              args.reuse ? 1 : 0, args.jobs, args.out_path.c_str());
   return 0;
 }
 
