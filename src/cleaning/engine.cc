@@ -12,6 +12,7 @@
 #include "cleaning/fscr.h"
 #include "cleaning/model_state.h"
 #include "cleaning/rsc.h"
+#include "common/failpoint.h"
 #include "common/timer.h"
 
 namespace mlnclean {
@@ -288,6 +289,7 @@ Status CleanSession::RunStage(Stage stage, const ExecContext& ctx) {
       // half-learned index either.
       if (opts_.contribute_weights && options.learn_weights && !reused &&
           !ctx.Stopped()) {
+        MLN_FAILPOINT("engine/weight-contribute");
         std::unique_lock<std::shared_mutex> lock(model_->weights_mu);
         model_->weights.Accumulate(owned_index_, model_->rules);
       }
@@ -323,12 +325,26 @@ Status CleanSession::RunUntil(Stage last) {
       return terminal_;
     }
     const size_t units = StageUnits(stage);
-    EmitProgress(stage, 0, units, 0.0);
     Timer timer;
-    if (relay_ != nullptr) {
-      relay_->BeginStage(stage, units, &opts_.progress, &timer);
+    Status status;
+    // Panic-free boundary: nothing a stage driver, a ParallelFor body, a
+    // progress callback, or an injected failpoint throws may escape a
+    // session — the exception becomes this session's terminal Status
+    // (kResourceExhausted for bad_alloc, kInternal otherwise) and the
+    // caller (a server worker loop, a CLI) stays alive. The input dataset
+    // is untouched either way: repairs only ever land in the session-owned
+    // clone.
+    try {
+      EmitProgress(stage, 0, units, 0.0);
+      if (relay_ != nullptr) {
+        relay_->BeginStage(stage, units, &opts_.progress, &timer);
+      }
+      MLN_FAILPOINT(std::string("engine/stage-") + StageName(stage));
+      status = RunStage(stage, ctx);
+    } catch (...) {
+      status = StatusFromCurrentException(std::string("stage ") +
+                                          StageName(stage) + " failed");
     }
-    Status status = RunStage(stage, ctx);
     if (relay_ != nullptr) relay_->EndStage();
     const double seconds = timer.ElapsedSeconds();
     if (status.ok() && ctx.Stopped()) {
@@ -363,7 +379,17 @@ Status CleanSession::RunUntil(Stage last) {
         break;
     }
     report_.timings.total += seconds;
-    EmitProgress(stage, units, units, seconds);
+    // The end event runs user code too: a throwing callback poisons this
+    // session (the stage's work is done, but the user clearly cannot
+    // consume it), never the process.
+    try {
+      EmitProgress(stage, units, units, seconds);
+    } catch (...) {
+      terminal_ = StatusFromCurrentException(
+          std::string("progress callback failed after stage ") +
+          StageName(stage));
+      return terminal_;
+    }
     ++next_;
   }
   return Status::OK();

@@ -167,6 +167,13 @@ class CleanModel {
   /// and version policy: cleaning/model_io.h and docs/snapshot_format.md.
   Status Save(std::ostream& out) const;
 
+  /// Crash-safe Save: encodes the snapshot, writes it to a temp file next
+  /// to `path`, fsyncs, then atomically renames over `path` (and fsyncs
+  /// the parent directory). A crash or failure at any point leaves either
+  /// the old file intact or the new one complete — never a torn snapshot
+  /// at `path`; the temp file is unlinked on every failure path.
+  Status SaveToFile(const std::string& path) const;
+
   /// Model-level Eq. 6 weight adjustment across concurrent sessions (the
   /// distributed driver's global merge): every γ learned in several
   /// sessions gets the support-weighted average of its per-session
@@ -180,6 +187,8 @@ class CleanModel {
   friend class CleanSession;
   struct State;
   explicit CleanModel(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  /// Serializes the snapshot to its wire bytes (model_io.cc).
+  Result<std::string> EncodeSnapshotBytes() const;
   std::shared_ptr<State> state_;
 };
 
@@ -291,10 +300,16 @@ class CleaningEngine {
   /// Reads a snapshot written by CleanModel::Save and returns a model
   /// equivalent to the saved one: same schema, rules, options (the
   /// snapshot's options override this engine's defaults), and the same
-  /// stored γ weights bit-for-bit. Truncated or corrupt input is rejected
-  /// with StatusCode::kInvalid naming the offending byte position — the
-  /// decoder never reads past a section's declared length.
+  /// stored γ weights bit-for-bit. Malformed input (bad magic, framing,
+  /// structure) is rejected with StatusCode::kInvalid naming the
+  /// offending byte position — the decoder never reads past a section's
+  /// declared length; torn or bit-rotted content whose framing still
+  /// parses is rejected with StatusCode::kCorruption naming the section
+  /// and its byte range (the per-section checksum).
   Result<CleanModel> Load(std::istream& in) const;
+
+  /// Load from a file path (the counterpart of CleanModel::SaveToFile).
+  Result<CleanModel> LoadFromFile(const std::string& path) const;
 
  private:
   CleaningOptions defaults_;

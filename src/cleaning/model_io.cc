@@ -6,7 +6,13 @@
 
 #include "cleaning/model_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <istream>
 #include <iterator>
 #include <mutex>
@@ -15,6 +21,7 @@
 #include <utility>
 
 #include "cleaning/model_state.h"
+#include "common/failpoint.h"
 #include "rules/rule_parser.h"
 
 namespace mlnclean {
@@ -26,16 +33,19 @@ namespace {
 // which is a different value on a 32-bit host).
 constexpr uint64_t kNoNullRankWire = ~uint64_t{0};
 
-// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over the framed section
-// bytes. Structural decoding catches framing corruption with a precise
-// byte position; the checksum catches content corruption that stays
-// structurally valid (a flipped value byte, a bit-rotted weight).
-uint32_t Crc32(const char* data, size_t size) {
+// CRC-32C (Castagnoli, reflected 0x82F63B78) over one section's payload.
+// Structural decoding catches framing corruption with a precise byte
+// position; the per-section checksum catches content corruption that
+// stays structurally valid (a flipped value byte, a bit-rotted weight) —
+// and is verified *before* the payload is parsed, so a torn section
+// reports kCorruption instead of whatever framing error the garbage
+// happens to produce.
+uint32_t Crc32c(const char* data, size_t size) {
   uint32_t crc = 0xffffffffu;
   for (size_t i = 0; i < size; ++i) {
     crc ^= static_cast<unsigned char>(data[i]);
     for (int bit = 0; bit < 8; ++bit) {
-      crc = (crc >> 1) ^ (0xedb88320u & (~(crc & 1u) + 1u));
+      crc = (crc >> 1) ^ (0x82f63b78u & (~(crc & 1u) + 1u));
     }
   }
   return ~crc;
@@ -71,10 +81,11 @@ class Encoder {
     U32(static_cast<uint32_t>(s.size()));
     out_.append(s);
   }
-  /// Appends a finished sub-encoder as one framed section.
+  /// Appends a finished sub-encoder as one framed, checksummed section.
   void Section(uint32_t tag, const Encoder& payload) {
     U32(tag);
     U64(payload.out_.size());
+    U32(Crc32c(payload.out_.data(), payload.out_.size()));
     out_.append(payload.out_);
   }
   const std::string& bytes() const { return out_; }
@@ -317,12 +328,7 @@ Status DecodeWeightsSection(Decoder* d, DecodedSnapshot* snap) {
 /// Buffers the stream and decodes the whole snapshot structure. Semantic
 /// validation (schema build, rule parse, option consistency, id bounds)
 /// happens in the callers, which have the context to do it.
-Result<DecodedSnapshot> DecodeSnapshot(std::istream& in) {
-  std::string data((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  if (in.bad()) {
-    return Status::IOError("failed to read model snapshot stream");
-  }
+Result<DecodedSnapshot> DecodeSnapshotBytes(std::string data) {
   Decoder d(std::move(data));
   char magic[4];
   MLN_RETURN_NOT_OK(d.Bytes(magic, 4, "magic"));
@@ -344,8 +350,6 @@ Result<DecodedSnapshot> DecodeSnapshot(std::istream& in) {
     return d.Fail("expected " + std::to_string(kNumSections) + " sections, got " +
                   std::to_string(num_sections));
   }
-  MLN_ASSIGN_OR_RETURN(uint32_t stored_crc, d.U32("checksum"));
-  const size_t sections_begin = d.pos();
   for (uint32_t expected_tag = kSchemaTag; expected_tag <= kWeightsTag;
        ++expected_tag) {
     MLN_ASSIGN_OR_RETURN(uint32_t tag, d.U32("section tag"));
@@ -354,7 +358,22 @@ Result<DecodedSnapshot> DecodeSnapshot(std::istream& in) {
                     " (expected " + std::to_string(expected_tag) + ")");
     }
     MLN_ASSIGN_OR_RETURN(uint64_t length, d.U64("section length"));
+    MLN_ASSIGN_OR_RETURN(uint32_t stored_crc, d.U32("section checksum"));
     MLN_RETURN_NOT_OK(d.EnterSection(length, tag));
+    // Verified before the payload parse: torn/bit-rotted content is
+    // kCorruption with the section named, not a downstream framing error.
+    const size_t payload_begin = d.pos();
+    const uint32_t computed_crc =
+        Crc32c(d.data() + payload_begin, static_cast<size_t>(length));
+    if (computed_crc != stored_crc) {
+      return Status::Corruption(
+          "model snapshot section " + std::to_string(tag) +
+          " checksum mismatch (stored " + std::to_string(stored_crc) +
+          ", computed " + std::to_string(computed_crc) + ") over bytes [" +
+          std::to_string(payload_begin) + ", " +
+          std::to_string(payload_begin + static_cast<size_t>(length)) +
+          "): the snapshot is torn or bit-rotted — re-copy or regenerate it");
+    }
     switch (tag) {
       case kSchemaTag:
         MLN_RETURN_NOT_OK(DecodeSchemaSection(&d, &snap));
@@ -375,24 +394,30 @@ Result<DecodedSnapshot> DecodeSnapshot(std::istream& in) {
     return d.Fail(std::to_string(d.size() - d.pos()) +
                   " trailing bytes after the last section");
   }
-  // Checked after the structural pass so framing errors keep their precise
-  // positions; this catches structurally valid content corruption.
-  const uint32_t computed_crc =
-      Crc32(d.data() + sections_begin, d.size() - sections_begin);
-  if (computed_crc != stored_crc) {
-    return Status::Invalid(
-        "invalid model snapshot: checksum mismatch over the section bytes "
-        "(stored " + std::to_string(stored_crc) + ", computed " +
-        std::to_string(computed_crc) + ") at byte 12");
-  }
   return snap;
+}
+
+Result<DecodedSnapshot> DecodeSnapshot(std::istream& in) {
+  try {
+    MLN_FAILPOINT("snapshot/decode");
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (in.bad()) {
+      return Status::IOError("failed to read model snapshot stream");
+    }
+    return DecodeSnapshotBytes(std::move(data));
+  } catch (...) {
+    return StatusFromCurrentException("snapshot decode failed");
+  }
 }
 
 }  // namespace
 
 // ---------------------------------------------------------------- Save
 
-Status CleanModel::Save(std::ostream& out) const {
+Result<std::string> CleanModel::EncodeSnapshotBytes() const {
+ try {
+  MLN_FAILPOINT("snapshot/encode");
   const Schema& schema = state_->rules.schema();
 
   Encoder schema_section;
@@ -448,7 +473,7 @@ Status CleanModel::Save(std::ostream& out) const {
     });
   }
 
-  // Assemble: magic, version, section count, checksum, framed sections.
+  // Assemble: magic, version, section count, checksummed framed sections.
   Encoder sections;
   sections.Section(kSchemaTag, schema_section);
   sections.Section(kRulesTag, rules_section);
@@ -459,13 +484,98 @@ Status CleanModel::Save(std::ostream& out) const {
   Encoder header;
   header.U32(kModelSnapshotVersion);
   header.U32(kNumSections);
-  header.U32(Crc32(sections.bytes().data(), sections.bytes().size()));
   bytes.append(header.bytes());
   bytes.append(sections.bytes());
+  return bytes;
+ } catch (...) {
+  return StatusFromCurrentException("snapshot encode failed");
+ }
+}
 
+Status CleanModel::Save(std::ostream& out) const {
+  MLN_ASSIGN_OR_RETURN(std::string bytes, EncodeSnapshotBytes());
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   if (!out.good()) {
     return Status::IOError("failed to write model snapshot stream");
+  }
+  return Status::OK();
+}
+
+Status CleanModel::SaveToFile(const std::string& path) const {
+  MLN_ASSIGN_OR_RETURN(std::string bytes, EncodeSnapshotBytes());
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+
+  int fd = -1;
+  try {
+    MLN_FAILPOINT("snapshot/open-temp");
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  } catch (...) {
+    return StatusFromCurrentException("snapshot temp open failed");
+  }
+  if (fd < 0) {
+    return Status::IOError("cannot create temp snapshot " + tmp + ": " +
+                           std::strerror(errno));
+  }
+
+  // Write + fsync the temp file. Any failure (including an injected one)
+  // must close the descriptor and unlink the temp so a failed Save leaves
+  // no debris and never touches `path`.
+  Status status = Status::OK();
+  try {
+    MLN_FAILPOINT("snapshot/write-temp");
+    size_t off = 0;
+    while (off < bytes.size() && status.ok()) {
+      const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        status = Status::IOError("cannot write temp snapshot " + tmp + ": " +
+                                 std::strerror(errno));
+        break;
+      }
+      off += static_cast<size_t>(n);
+    }
+    if (status.ok()) {
+      MLN_FAILPOINT("snapshot/fsync-temp");
+      if (::fsync(fd) != 0) {
+        status = Status::IOError("cannot fsync temp snapshot " + tmp + ": " +
+                                 std::strerror(errno));
+      }
+    }
+  } catch (...) {
+    status = StatusFromCurrentException("snapshot write failed");
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::IOError("cannot close temp snapshot " + tmp + ": " +
+                             std::strerror(errno));
+  }
+
+  if (status.ok()) {
+    try {
+      // The crash-safety pivot: a durable, fully written temp replaces
+      // `path` in one atomic step. Dying before this line leaves the old
+      // snapshot untouched; after it, the new one is complete.
+      MLN_FAILPOINT("snapshot/before-rename");
+      if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        status = Status::IOError("cannot rename " + tmp + " over " + path +
+                                 ": " + std::strerror(errno));
+      }
+    } catch (...) {
+      status = StatusFromCurrentException("snapshot rename failed");
+    }
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+
+  // Make the rename itself durable. Best-effort: some filesystems refuse
+  // directory fsync, and the data is already safe in the file.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
   return Status::OK();
 }
@@ -515,6 +625,12 @@ Result<CleanModel> CleaningEngine::Load(std::istream& in) const {
     }
   }
   return model;
+}
+
+Result<CleanModel> CleaningEngine::LoadFromFile(const std::string& path) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open model snapshot: " + path);
+  return Load(in);
 }
 
 // ---------------------------------------------------------------- Inspect

@@ -9,9 +9,9 @@
 //
 //   magic   "MLNM" (4 bytes)
 //   u32     format version (kModelSnapshotVersion)
-//   u32     section count (4 in version 1)
-//   u32     CRC-32 (IEEE, reflected) of every byte after this field
-//   4 x section, each: u32 tag, u64 payload length, payload
+//   u32     section count (4)
+//   4 x section, each: u32 tag, u64 payload length,
+//           u32 CRC-32C (Castagnoli, reflected) of the payload, payload
 //
 //   tag 1 schema:   u32 #attrs, then each name as str (u32 len + bytes)
 //   tag 2 rules:    u32 #rules, then per rule: str name, f64 rule weight,
@@ -40,12 +40,15 @@
 // unknown tag, a length prefix pointing past the buffer, a section with
 // trailing bytes, or trailing bytes after the last section all return
 // StatusCode::kInvalid naming the offending byte position — never
-// undefined behaviour. Content corruption that stays structurally valid
-// (a flipped value byte, a bit-rotted weight) is caught by the header
-// checksum, verified after the structural pass so framing errors keep
-// their precise positions. Version policy (docs/snapshot_format.md): any
-// layout change bumps kModelSnapshotVersion; readers reject versions they
-// do not know; writers always write the current version.
+// undefined behaviour. Each section's CRC-32C is verified *before* its
+// payload is parsed: torn or bit-rotted content (a flipped value byte, a
+// truncating write that the framing survives) returns
+// StatusCode::kCorruption naming the section and its byte range, distinct
+// from the kInvalid of structurally malformed input — the caller can tell
+// "re-copy the file" from "this is not a snapshot". Version policy
+// (docs/snapshot_format.md): any layout change bumps
+// kModelSnapshotVersion; readers reject versions they do not know;
+// writers always write the current version.
 
 #ifndef MLNCLEAN_CLEANING_MODEL_IO_H_
 #define MLNCLEAN_CLEANING_MODEL_IO_H_
@@ -65,9 +68,11 @@ inline constexpr char kModelSnapshotMagic[4] = {'M', 'L', 'N', 'M'};
 
 /// Current snapshot format version. v2 added the weight-store decay
 /// state (weight_half_life_batches option, batch counter, per-entry batch
-/// stamps); per the version policy, v1 snapshots are rejected —
-/// regenerate from the builder.
-inline constexpr uint32_t kModelSnapshotVersion = 2;
+/// stamps); v3 moved integrity from one global header CRC-32 to a
+/// per-section CRC-32C verified before the payload is parsed (checksum
+/// mismatch = kCorruption with the section named). Per the version
+/// policy, older snapshots are rejected — regenerate from the builder.
+inline constexpr uint32_t kModelSnapshotVersion = 3;
 
 /// Summary of a snapshot, decoded without compiling a model — what
 /// `mlnclean_model inspect` prints.

@@ -3,7 +3,10 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <thread>
 #include <utility>
+
+#include "common/failpoint.h"
 
 namespace mlnclean {
 
@@ -12,6 +15,8 @@ namespace mlnclean {
 /// waiting on one job never contends with the server's admission lock.
 struct ServerJob {
   const Dataset* dirty = nullptr;
+  /// Set by the owning Submit overloads; `dirty` then points here.
+  std::optional<Dataset> owned;
   SessionOptions opts;
 
   mutable std::mutex mu;
@@ -56,7 +61,13 @@ void RunJob(const std::shared_ptr<ServerState>& state,
   Status status;
   std::optional<CleanResult> result;
   StageTimings timings;
-  {
+  // Backstop exception boundary: the session already converts stage and
+  // progress-callback exceptions to Status, but anything that still
+  // escapes (session construction, result hand-off, injected faults)
+  // must become a failed ticket — an exception leaving this frame would
+  // take down the executor thread and strand every waiter.
+  try {
+    MLN_FAILPOINT("server/worker-loop");
     CleanSession session = state->model.NewSession(*job->dirty, job->opts);
     status = session.Resume();
     timings = session.report().timings;
@@ -68,6 +79,9 @@ void RunJob(const std::shared_ptr<ServerState>& state,
         status = taken.status();
       }
     }
+  } catch (...) {
+    status = StatusFromCurrentException("serving job failed");
+    result.reset();
   }
   {
     std::lock_guard<std::mutex> lock(state->mu);
@@ -169,13 +183,52 @@ Result<CleanTicket> CleanServer::Submit(const Dataset& dirty, SessionOptions opt
   auto job = std::make_shared<ServerJob>();
   job->dirty = &dirty;
   job->opts = std::move(opts);
+  return Enqueue(std::move(job));
+}
 
+Result<CleanTicket> CleanServer::Submit(Dataset&& dirty, SessionOptions opts) {
+  auto job = std::make_shared<ServerJob>();
+  job->owned.emplace(std::move(dirty));
+  job->dirty = &*job->owned;
+  job->opts = std::move(opts);
+  return Enqueue(std::move(job));
+}
+
+Result<CleanTicket> CleanServer::SubmitCsv(std::string_view csv_text,
+                                           SessionOptions opts,
+                                           QuarantineReport* quarantine) {
+  MLN_ASSIGN_OR_RETURN(Dataset batch, Dataset::FromCsv(csv_text, quarantine));
+  return Submit(std::move(batch), std::move(opts));
+}
+
+Result<CleanTicket> CleanServer::SubmitWithRetry(const Dataset& dirty,
+                                                 SessionOptions opts,
+                                                 const RetryPolicy& policy,
+                                                 size_t* retries_out) {
+  MLN_RETURN_NOT_OK(policy.Validate());
+  RetrySchedule schedule(policy);
+  for (;;) {
+    Result<CleanTicket> ticket = Submit(dirty, opts);
+    const bool out_of_attempts = schedule.retries() + 1 >= policy.max_attempts;
+    if (ticket.ok() || !RetryPolicy::IsRetryable(ticket.status()) ||
+        out_of_attempts) {
+      if (retries_out != nullptr) *retries_out = schedule.retries();
+      return ticket;
+    }
+    std::this_thread::sleep_for(schedule.NextDelay());
+  }
+}
+
+Result<CleanTicket> CleanServer::Enqueue(std::shared_ptr<ServerJob> job) {
   bool spawn = false;
-  {
+  try {
+    MLN_FAILPOINT("server/admission");
     std::lock_guard<std::mutex> lock(state_->mu);
-    if (state_->queue.size() >= state_->options.queue_capacity) {
+    const size_t depth = state_->queue.size();
+    if (depth >= state_->options.queue_capacity) {
+      ++state_->totals.rejected;
       return Status::Unavailable(
-          "server queue is full (" +
+          "server queue is full (" + std::to_string(depth) + " of " +
           std::to_string(state_->options.queue_capacity) +
           " pending submissions); retry later");
     }
@@ -185,6 +238,12 @@ Result<CleanTicket> CleanServer::Submit(const Dataset& dirty, SessionOptions opt
       ++state_->workers;
       spawn = true;
     }
+  } catch (...) {
+    // The job was not enqueued (push_back is the only throwing statement
+    // past the capacity check, and a failed push leaves the deque
+    // unchanged), so rejecting here keeps the queue and counters
+    // consistent for the next Submit.
+    return StatusFromCurrentException("submit failed");
   }
   // Submitted outside the admission lock: an InlineExecutor runs the
   // whole worker loop right here, and it must be free to take that lock.

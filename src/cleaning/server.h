@@ -34,6 +34,7 @@
 #include "cleaning/engine.h"
 #include "common/executor.h"
 #include "common/result.h"
+#include "common/retry.h"
 
 namespace mlnclean {
 
@@ -68,6 +69,7 @@ struct ServerStats {
   size_t failed = 0;     // finished with an error status
   size_t cancelled = 0;  // finished kCancelled
   size_t deadline_expired = 0;  // finished kDeadlineExceeded
+  size_t rejected = 0;   // Submits refused with kUnavailable (queue full)
   /// Cumulative wall seconds spent per stage across every finished
   /// session (partial stages of cancelled/expired sessions included).
   StageTimings stage_seconds;
@@ -109,7 +111,9 @@ class CleanTicket {
 /// the last handle does not abort outstanding work: queued and running
 /// jobs finish (they pin the shared state), only new submissions become
 /// impossible. The datasets behind outstanding tickets are borrowed and
-/// must stay alive until their tickets are terminal.
+/// must stay alive until their tickets are terminal — unless submitted
+/// through the owning overloads (Submit(Dataset&&), SubmitCsv), where the
+/// job keeps the batch alive itself.
 class CleanServer {
  public:
   /// Validates `options` and returns a server over `model`.
@@ -124,6 +128,28 @@ class CleanServer {
   /// reuse); the ticket's Cancel() shares `opts.cancel`.
   Result<CleanTicket> Submit(const Dataset& dirty, SessionOptions opts = {});
 
+  /// Owning Submit: the batch moves into the job, so the caller needs no
+  /// dataset outliving the ticket. SubmitCsv builds on this.
+  Result<CleanTicket> Submit(Dataset&& dirty, SessionOptions opts = {});
+
+  /// Parses `csv_text` and submits the resulting batch (owned by the
+  /// job). With a non-null `quarantine`, malformed data rows are set
+  /// aside per Dataset::FromCsv — one bad row degrades the batch instead
+  /// of failing the submission; a broken header still fails.
+  Result<CleanTicket> SubmitCsv(std::string_view csv_text, SessionOptions opts = {},
+                                QuarantineReport* quarantine = nullptr);
+
+  /// Submit with capped-exponential-backoff retries on retryable
+  /// rejections (kUnavailable backpressure, kResourceExhausted). Sleeps
+  /// between attempts on the calling thread; the delay sequence is
+  /// RetrySchedule(policy) — deterministic, so retried runs reproduce.
+  /// On an uncontended server the first attempt is admitted and no delay
+  /// is ever drawn, making this byte-identical to plain Submit.
+  /// `retries_out` (optional) receives the number of retries performed.
+  Result<CleanTicket> SubmitWithRetry(const Dataset& dirty, SessionOptions opts = {},
+                                      const RetryPolicy& policy = {},
+                                      size_t* retries_out = nullptr);
+
   /// Counter snapshot (queue depth, terminal counts, stage seconds).
   ServerStats Stats() const;
 
@@ -133,6 +159,7 @@ class CleanServer {
  private:
   explicit CleanServer(std::shared_ptr<ServerState> state)
       : state_(std::move(state)) {}
+  Result<CleanTicket> Enqueue(std::shared_ptr<ServerJob> job);
   std::shared_ptr<ServerState> state_;
 };
 

@@ -8,10 +8,15 @@ namespace mlnclean {
 namespace {
 
 // Parses one record starting at *pos; advances *pos past the record and its
-// trailing newline. Returns false at end of input.
+// trailing newline. Returns false at end of input. A malformed record
+// (stray or unterminated quote) sets *reason, advances *pos past the rest
+// of the physical line — the recovery point a quarantining caller resumes
+// from; any quoted newlines the broken row meant to contain are discarded
+// with it — and still returns true.
 bool ParseRecord(std::string_view text, size_t* pos, std::vector<std::string>* fields,
-                 Status* error) {
+                 std::string* reason) {
   fields->clear();
+  reason->clear();
   size_t i = *pos;
   if (i >= text.size()) return false;
   std::string field;
@@ -36,8 +41,11 @@ bool ParseRecord(std::string_view text, size_t* pos, std::vector<std::string>* f
       switch (c) {
         case '"':
           if (!field.empty()) {
-            *error = Status::IOError("stray quote inside unquoted CSV field");
-            return false;
+            *reason = "stray quote inside unquoted CSV field";
+            while (i < text.size() && text[i] != '\n') ++i;
+            if (i < text.size()) ++i;  // consume the newline
+            *pos = i;
+            return true;
           }
           in_quotes = true;
           ++i;
@@ -63,8 +71,9 @@ bool ParseRecord(std::string_view text, size_t* pos, std::vector<std::string>* f
     }
   }
   if (in_quotes) {
-    *error = Status::IOError("unterminated quoted CSV field");
-    return false;
+    *reason = "unterminated quoted CSV field";
+    *pos = i;  // end of input: nothing left to resume from
+    return true;
   }
   fields->push_back(std::move(field));
   *pos = i;
@@ -90,38 +99,69 @@ void AppendField(std::string* out, std::string_view field) {
 
 }  // namespace
 
-Result<CsvTable> ParseCsv(std::string_view text) {
+std::string QuarantineReport::Summary() const {
+  std::ostringstream out;
+  out << "quarantined " << rows.size() << " of " << rows.size() + rows_kept
+      << " rows";
+  if (!rows.empty()) {
+    out << " (first: row " << rows.front().row_number << ": "
+        << rows.front().reason << ")";
+  }
+  return out.str();
+}
+
+Result<CsvTable> ParseCsv(std::string_view text) { return ParseCsv(text, nullptr); }
+
+Result<CsvTable> ParseCsv(std::string_view text, QuarantineReport* quarantine) {
   CsvTable table;
   size_t pos = 0;
-  Status error;
+  std::string reason;
   std::vector<std::string> fields;
-  if (!ParseRecord(text, &pos, &fields, &error)) {
-    if (!error.ok()) return error;
+  if (!ParseRecord(text, &pos, &fields, &reason)) {
     return Status::IOError("empty CSV input");
   }
+  // A broken header fails even a quarantining parse: without a schema
+  // there is nothing to keep the surviving rows under.
+  if (!reason.empty()) return Status::IOError(reason);
   table.header = std::move(fields);
   size_t arity = table.header.size();
-  while (ParseRecord(text, &pos, &fields, &error)) {
+  size_t row_number = 0;  // 1-based data rows; the header is row 0
+  while (ParseRecord(text, &pos, &fields, &reason)) {
+    ++row_number;
+    if (!reason.empty()) {
+      if (quarantine == nullptr) return Status::IOError(reason);
+      quarantine->rows.push_back({row_number, reason});
+      continue;
+    }
     // Tolerate a trailing blank line.
     if (fields.size() == 1 && fields[0].empty() && pos >= text.size()) break;
     if (fields.size() != arity) {
       std::ostringstream msg;
-      msg << "CSV row " << table.rows.size() + 1 << " has " << fields.size()
-          << " fields, expected " << arity;
-      return Status::IOError(msg.str());
+      msg << fields.size() << " fields, expected " << arity;
+      if (quarantine == nullptr) {
+        std::ostringstream full;
+        full << "CSV row " << row_number << " has " << msg.str();
+        return Status::IOError(full.str());
+      }
+      quarantine->rows.push_back({row_number, msg.str()});
+      continue;
     }
     table.rows.push_back(std::move(fields));
   }
-  if (!error.ok()) return error;
+  if (quarantine != nullptr) quarantine->rows_kept = table.rows.size();
   return table;
 }
 
 Result<CsvTable> ReadCsvFile(const std::string& path) {
+  return ReadCsvFile(path, nullptr);
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path, QuarantineReport* quarantine) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open file: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ParseCsv(buf.str());
+  return ParseCsv(buf.str(), quarantine);
 }
 
 std::string WriteCsv(const CsvTable& table) {

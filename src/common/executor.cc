@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 
 namespace mlnclean {
@@ -63,6 +64,7 @@ struct LoopState {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return nullptr;
       try {
+        MLN_FAILPOINT("parallel-for/block");
         (*fn)(i);
       } catch (...) {
         next.store(n, std::memory_order_relaxed);  // stop handing out work
@@ -86,7 +88,10 @@ void ParallelFor(size_t n, const ExecContext& ctx,
   if (n == 0) return;
   const size_t parallelism = ctx.parallelism();
   if (parallelism <= 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) {
+      MLN_FAILPOINT("parallel-for/block");
+      fn(i);
+    }
     return;
   }
 
@@ -100,7 +105,17 @@ void ParallelFor(size_t n, const ExecContext& ctx,
         std::lock_guard<std::mutex> lock(state->mu);
         ++state->started;
       }
-      std::exception_ptr error = state->Drain(nullptr);
+      // Nothing may escape this task into the executor's run loop (an
+      // uncaught exception on a pool thread is std::terminate): the
+      // dispatch failpoint and Drain both resolve to an exception_ptr
+      // handed back to the driving thread.
+      std::exception_ptr error;
+      try {
+        MLN_FAILPOINT("executor/worker-task");
+        error = state->Drain(nullptr);
+      } catch (...) {
+        error = std::current_exception();
+      }
       state->RecordError(std::move(error));
       {
         std::lock_guard<std::mutex> lock(state->mu);

@@ -1,0 +1,201 @@
+// Failpoint registry (see failpoint.h). The catalog below is the single
+// source of truth for site names: every MLN_FAILPOINT invocation in the
+// library must use a name listed here, and ConfigureFailpoint rejects
+// anything else so a typo in a test arms nothing silently.
+
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <new>
+#include <random>
+
+namespace mlnclean {
+
+namespace {
+
+// Every site in the library. Keep docs/robustness.md's catalog table in
+// sync when adding a row.
+const std::vector<FailpointInfo>& Catalog() {
+  static const std::vector<FailpointInfo>* catalog = new std::vector<FailpointInfo>{
+      // Serving path: fire while a session executes (the fault sweep
+      // arms each of these and submits one batch against a live server).
+      {"executor/worker-task", FailpointDomain::kServe},
+      {"parallel-for/block", FailpointDomain::kServe},
+      {"engine/stage-index", FailpointDomain::kServe},
+      {"engine/stage-agp", FailpointDomain::kServe},
+      {"engine/stage-learn", FailpointDomain::kServe},
+      {"engine/stage-rsc", FailpointDomain::kServe},
+      {"engine/stage-fscr", FailpointDomain::kServe},
+      {"engine/stage-dedup", FailpointDomain::kServe},
+      {"engine/weight-contribute", FailpointDomain::kServe},
+      {"server/worker-loop", FailpointDomain::kServe},
+      // Admission path: fires on the submitting caller's thread.
+      {"server/admission", FailpointDomain::kSubmit},
+      // Snapshot write path (CleanModel::SaveToFile).
+      {"snapshot/encode", FailpointDomain::kSnapshotWrite},
+      {"snapshot/open-temp", FailpointDomain::kSnapshotWrite},
+      {"snapshot/write-temp", FailpointDomain::kSnapshotWrite},
+      {"snapshot/fsync-temp", FailpointDomain::kSnapshotWrite},
+      {"snapshot/before-rename", FailpointDomain::kSnapshotWrite},
+      // Snapshot read path (CleaningEngine::Load / LoadFromFile).
+      {"snapshot/decode", FailpointDomain::kSnapshotRead},
+  };
+  return *catalog;
+}
+
+#ifdef MLNCLEAN_FAILPOINTS
+
+// Per-site state. Guarded by g_mu: failpoint evaluation is a fault-build
+// diagnostic path, not a production hot path, so one mutex is fine — and
+// it keeps kOnce ("exactly one throw even when many workers race through
+// the site") trivially correct.
+struct Site {
+  FailpointSpec spec;
+  uint64_t hits = 0;   // evaluations since the last arm/reset
+  uint64_t fires = 0;  // throws since the last arm/reset
+  std::mt19937_64 rng{0};
+};
+
+std::mutex g_mu;
+std::map<std::string, Site>* g_sites = nullptr;  // leaked, like the catalog
+// Fast bail for the common "nothing armed" state: sites still count hits,
+// but only after this flips do evaluations consult specs.
+std::atomic<bool> g_any_armed{false};
+
+std::map<std::string, Site>& Sites() {
+  if (g_sites == nullptr) {
+    g_sites = new std::map<std::string, Site>();
+    for (const FailpointInfo& info : Catalog()) (*g_sites)[info.name];
+  }
+  return *g_sites;
+}
+
+#endif  // MLNCLEAN_FAILPOINTS
+
+}  // namespace
+
+bool FailpointsCompiledIn() {
+#ifdef MLNCLEAN_FAILPOINTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+const std::vector<FailpointInfo>& FailpointCatalog() { return Catalog(); }
+
+#ifdef MLNCLEAN_FAILPOINTS
+
+Status ConfigureFailpoint(const std::string& name, const FailpointSpec& spec) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = Sites().find(name);
+  if (it == Sites().end()) {
+    return Status::NotFound("unknown failpoint '" + name +
+                            "' (not in the catalog; see docs/robustness.md)");
+  }
+  if (spec.mode == FailpointSpec::Mode::kEveryN && spec.every_n == 0) {
+    return Status::Invalid("failpoint every_n must be at least 1");
+  }
+  if (spec.mode == FailpointSpec::Mode::kProbability &&
+      !(spec.probability >= 0.0 && spec.probability <= 1.0)) {
+    return Status::Invalid("failpoint probability must be in [0, 1]");
+  }
+  it->second.spec = spec;
+  it->second.hits = 0;
+  it->second.fires = 0;
+  it->second.rng.seed(spec.seed);
+  bool any = false;
+  for (const auto& entry : Sites()) {
+    if (entry.second.spec.mode != FailpointSpec::Mode::kOff) any = true;
+  }
+  g_any_armed.store(any, std::memory_order_release);
+  return Status::OK();
+}
+
+void ResetFailpoints() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  for (auto& entry : Sites()) {
+    entry.second.spec = FailpointSpec{};
+    entry.second.hits = 0;
+    entry.second.fires = 0;
+  }
+  g_any_armed.store(false, std::memory_order_release);
+}
+
+uint64_t FailpointHits(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = Sites().find(name);
+  return it != Sites().end() ? it->second.hits : 0;
+}
+
+uint64_t FailpointFires(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = Sites().find(name);
+  return it != Sites().end() ? it->second.fires : 0;
+}
+
+namespace failpoint_internal {
+
+void Evaluate(const std::string& name) {
+  FailpointSpec::Action action;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    auto it = Sites().find(name);
+    if (it == Sites().end()) return;  // site not catalogued: never fires
+    Site& site = it->second;
+    ++site.hits;
+    if (!g_any_armed.load(std::memory_order_acquire)) return;
+    bool fire = false;
+    switch (site.spec.mode) {
+      case FailpointSpec::Mode::kOff:
+        break;
+      case FailpointSpec::Mode::kOnce:
+        fire = site.fires == 0;
+        break;
+      case FailpointSpec::Mode::kEveryN:
+        fire = site.hits % site.spec.every_n == 0;
+        break;
+      case FailpointSpec::Mode::kProbability: {
+        std::uniform_real_distribution<double> uniform(0.0, 1.0);
+        fire = uniform(site.rng) < site.spec.probability;
+        break;
+      }
+    }
+    if (!fire) return;
+    ++site.fires;
+    action = site.spec.action;
+  }
+  // Throw outside the lock: the catch boundary under test may itself call
+  // back into the registry (hit counters, reconfiguration).
+  switch (action) {
+    case FailpointSpec::Action::kThrowFault:
+      throw InjectedFault(name);
+    case FailpointSpec::Action::kThrowBadAlloc:
+      throw std::bad_alloc();
+  }
+}
+
+}  // namespace failpoint_internal
+
+#else  // !MLNCLEAN_FAILPOINTS
+
+Status ConfigureFailpoint(const std::string& name, const FailpointSpec&) {
+  return Status::NotImplemented(
+      "failpoint '" + name +
+      "' cannot be armed: build with -DMLNCLEAN_FAILPOINTS=ON");
+}
+
+void ResetFailpoints() {}
+
+uint64_t FailpointHits(const std::string&) { return 0; }
+uint64_t FailpointFires(const std::string&) { return 0; }
+
+namespace failpoint_internal {
+void Evaluate(const std::string&) {}
+}  // namespace failpoint_internal
+
+#endif  // MLNCLEAN_FAILPOINTS
+
+}  // namespace mlnclean

@@ -1,0 +1,160 @@
+// Failpoints: named fault-injection sites wired through the serving
+// layers (RocksDB-sync-point style). A site is one macro invocation:
+//
+//   MLN_FAILPOINT("server/worker-loop");
+//
+// In a normal build the macro compiles to `((void)0)` — the name
+// expression is never even evaluated, so hot paths (ParallelFor block
+// claims, executor task dispatch) pay exactly nothing. A fault build
+// (`cmake -DMLNCLEAN_FAILPOINTS=ON`, which defines MLNCLEAN_FAILPOINTS)
+// turns every site into a registry lookup that can *fire* according to a
+// per-site trigger policy armed by the test harness:
+//
+//   ConfigureFailpoint("engine/stage-agp", FailpointSpec::Once());
+//   ... Submit(batch) ...        // the AGP stage throws InjectedFault
+//   ResetFailpoints();
+//
+// Firing throws — either InjectedFault (a std::runtime_error carrying the
+// site name) or std::bad_alloc, chosen by the spec — because the point of
+// the subsystem is to prove the exception *hardening*: every catch
+// boundary (session stage loop, server worker loop, snapshot save path)
+// must convert the throw into a Status and leave its layer consistent.
+// The fault-sweep test (tests/cleaning/fault_injection_test.cc) fires
+// every catalogued site one at a time against a live CleanServer and
+// asserts no crash, a non-OK ticket, consistent Stats(), and a healthy
+// next Submit.
+//
+// Site naming convention: `layer/where`, lowercase, '-' inside a word
+// group ("engine/stage-agp", "snapshot/before-rename"). Every site must
+// be listed in the catalog (failpoint.cc); ConfigureFailpoint rejects
+// unknown names so a typo in a test arms nothing silently. The catalog —
+// with each site's domain and when it fires — is documented in
+// docs/robustness.md.
+
+#ifndef MLNCLEAN_COMMON_FAILPOINT_H_
+#define MLNCLEAN_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mlnclean {
+
+/// What a fired failpoint throws by default. Derives from
+/// std::runtime_error so generic exception hardening (catch
+/// std::exception) handles it without knowing about fault injection.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& site)
+      : std::runtime_error("injected fault at failpoint '" + site + "'"),
+        site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// Trigger policy of one armed site.
+struct FailpointSpec {
+  enum class Mode {
+    kOff,          // never fires (the disarmed state)
+    kOnce,         // fires on the first evaluation after arming, then disarms
+    kEveryN,       // fires on every n-th evaluation (n, 2n, ...)
+    kProbability,  // fires with probability p per evaluation (seeded RNG)
+  };
+  enum class Action {
+    kThrowFault,     // throw InjectedFault(site)
+    kThrowBadAlloc,  // throw std::bad_alloc (exercises kResourceExhausted)
+  };
+
+  Mode mode = Mode::kOff;
+  Action action = Action::kThrowFault;
+  uint64_t every_n = 1;      // kEveryN period
+  double probability = 0.0;  // kProbability chance per hit
+  uint64_t seed = 0;         // seeds the site's RNG (kProbability)
+
+  static FailpointSpec Once(Action action = Action::kThrowFault) {
+    FailpointSpec spec;
+    spec.mode = Mode::kOnce;
+    spec.action = action;
+    return spec;
+  }
+  static FailpointSpec EveryN(uint64_t n, Action action = Action::kThrowFault) {
+    FailpointSpec spec;
+    spec.mode = Mode::kEveryN;
+    spec.every_n = n;
+    spec.action = action;
+    return spec;
+  }
+  static FailpointSpec Probability(double p, uint64_t seed,
+                                   Action action = Action::kThrowFault) {
+    FailpointSpec spec;
+    spec.mode = Mode::kProbability;
+    spec.probability = p;
+    spec.seed = seed;
+    spec.action = action;
+    return spec;
+  }
+};
+
+/// Where a site sits, so test harnesses can sweep the right subset: kServe
+/// sites fire while a server session executes a submitted batch, kSubmit
+/// on the submitting caller's thread inside CleanServer::Submit, and the
+/// snapshot domains inside SaveToFile / Load respectively.
+enum class FailpointDomain {
+  kServe,
+  kSubmit,
+  kSnapshotWrite,
+  kSnapshotRead,
+};
+
+/// One catalogued site.
+struct FailpointInfo {
+  const char* name;
+  FailpointDomain domain;
+};
+
+/// True when the library was built with -DMLNCLEAN_FAILPOINTS=ON. All the
+/// functions below exist in every build so tests always link; in a normal
+/// build ConfigureFailpoint returns kNotImplemented and the counters stay
+/// zero (no site ever evaluates).
+bool FailpointsCompiledIn();
+
+/// Every site in the library, with its domain. Available in all builds
+/// (it is a static catalog, not a runtime registry).
+const std::vector<FailpointInfo>& FailpointCatalog();
+
+/// Arms `name` with `spec` (kNotFound for names outside the catalog,
+/// kNotImplemented in a normal build). Arming replaces any previous spec
+/// and resets the site's hit/fire counters.
+Status ConfigureFailpoint(const std::string& name, const FailpointSpec& spec);
+
+/// Disarms every site and zeroes all counters.
+void ResetFailpoints();
+
+/// Evaluations of `name` so far (0 for unknown names or normal builds).
+/// Counts every pass through the site, fired or not — the sweep uses it
+/// to assert a site was actually reached by the scenario under test.
+uint64_t FailpointHits(const std::string& name);
+
+/// Times `name` actually fired (threw) so far.
+uint64_t FailpointFires(const std::string& name);
+
+namespace failpoint_internal {
+/// The site hook behind MLN_FAILPOINT. May throw per the armed spec.
+void Evaluate(const std::string& name);
+}  // namespace failpoint_internal
+
+}  // namespace mlnclean
+
+#ifdef MLNCLEAN_FAILPOINTS
+#define MLN_FAILPOINT(name) ::mlnclean::failpoint_internal::Evaluate(name)
+#else
+/// Compiled out: the argument expression is not evaluated.
+#define MLN_FAILPOINT(name) ((void)0)
+#endif
+
+#endif  // MLNCLEAN_COMMON_FAILPOINT_H_

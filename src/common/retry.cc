@@ -1,0 +1,45 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlnclean {
+
+Status RetryPolicy::Validate() const {
+  if (max_attempts == 0) {
+    return Status::Invalid("retry max_attempts must be at least 1");
+  }
+  if (initial_backoff.count() < 0 || max_backoff.count() < 0) {
+    return Status::Invalid("retry backoff delays must be non-negative");
+  }
+  if (!(multiplier >= 1.0)) {
+    return Status::Invalid("retry multiplier must be at least 1");
+  }
+  if (!(jitter >= 0.0 && jitter < 1.0)) {
+    return Status::Invalid("retry jitter must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+bool RetryPolicy::IsRetryable(const Status& status) {
+  return status.IsUnavailable() || status.IsResourceExhausted();
+}
+
+RetrySchedule::RetrySchedule(const RetryPolicy& policy)
+    : policy_(policy), rng_(policy.seed) {}
+
+std::chrono::milliseconds RetrySchedule::NextDelay() {
+  double base = static_cast<double>(policy_.initial_backoff.count()) *
+                std::pow(policy_.multiplier, static_cast<double>(retries_));
+  base = std::min(base, static_cast<double>(policy_.max_backoff.count()));
+  ++retries_;
+  if (policy_.jitter > 0.0) {
+    // One draw per delay even when the base is already capped, so the
+    // jitter stream position depends only on the retry count.
+    base *= 1.0 - policy_.jitter + 2.0 * policy_.jitter * rng_.NextDouble();
+  }
+  return std::chrono::milliseconds(
+      static_cast<std::chrono::milliseconds::rep>(std::llround(base)));
+}
+
+}  // namespace mlnclean

@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <exception>
+#include <new>
+
 namespace mlnclean {
 
 const char* StatusCodeToString(StatusCode code) {
@@ -24,8 +27,24 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
+}
+
+Status StatusFromCurrentException(const std::string& context) {
+  try {
+    throw;  // rethrow the in-flight exception to dispatch on its type
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(context + ": out of memory (bad_alloc)");
+  } catch (const std::exception& e) {
+    return Status::Internal(context + ": " + e.what());
+  } catch (...) {
+    return Status::Internal(context + ": non-standard exception");
+  }
 }
 
 std::string Status::ToString() const {

@@ -24,6 +24,8 @@ enum class StatusCode : int {
   kCancelled = 7,      // run aborted by a cooperative CancelToken
   kUnavailable = 8,    // resource saturated; retry later (server backpressure)
   kDeadlineExceeded = 9,  // run aborted because its deadline passed
+  kResourceExhausted = 10,  // allocation or quota failure (std::bad_alloc)
+  kCorruption = 11,    // stored bytes torn/bit-rotted (checksum mismatch)
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -73,6 +75,12 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
 
@@ -95,6 +103,10 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;
@@ -107,6 +119,13 @@ class Status {
   // Shared so that copying a failed Status stays cheap; never mutated.
   std::shared_ptr<const State> state_;
 };
+
+/// Maps the in-flight exception to a Status — the panic-free boundary
+/// helper. Call only from inside a catch block: std::bad_alloc becomes
+/// kResourceExhausted (the allocator said no; retrying a smaller batch
+/// may succeed), everything else kInternal carrying `context` and, for
+/// std::exception, its what(). Never throws.
+Status StatusFromCurrentException(const std::string& context);
 
 }  // namespace mlnclean
 

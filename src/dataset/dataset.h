@@ -50,6 +50,13 @@ class Dataset {
   static Result<Dataset> FromCsv(std::string_view text);
   static Result<Dataset> FromCsvFile(const std::string& path);
 
+  /// Quarantining loads: malformed data rows are recorded in `quarantine`
+  /// (1-based row numbers + reasons) and skipped instead of failing the
+  /// whole batch; a broken header still fails. nullptr = strict.
+  static Result<Dataset> FromCsv(std::string_view text, QuarantineReport* quarantine);
+  static Result<Dataset> FromCsvFile(const std::string& path,
+                                     QuarantineReport* quarantine);
+
   /// An empty dataset sharing `other`'s schema and dictionaries: ids of
   /// `other` remain valid here, so rows can be copied by id. This is how
   /// the distributed partitioner ships dictionaries with shards.

@@ -64,10 +64,13 @@
 // The same flow is scriptable via the tools/mlnclean_model CLI
 // (save / inspect / serve, with `serve --jobs N` driving batches through
 // a CleanServer); format and version policy live in cleaning/model_io.h
-// and docs/snapshot_format.md. Corrupt or truncated snapshots are
-// rejected with Status kInvalid, never undefined behaviour. The serving
+// and docs/snapshot_format.md. Malformed snapshots are rejected with
+// Status kInvalid, torn/bit-rotted ones with kCorruption (per-section
+// checksums) — never undefined behaviour; CleanModel::SaveToFile writes
+// them crash-safely (temp file + fsync + atomic rename). The serving
 // architecture — executor model, admission, deadlines — is documented in
-// docs/serving.md.
+// docs/serving.md, the robustness contract (error taxonomy, retries,
+// quarantine, failpoints) in docs/robustness.md.
 //
 // The MlnCleanPipeline facade deprecated in the engine release has been
 // removed; CleaningEngine::Clean is the one-shot equivalent.
@@ -90,7 +93,9 @@
 #include "common/cancellation.h"
 #include "common/csv.h"
 #include "common/distance.h"
+#include "common/failpoint.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "datagen/car.h"
 #include "datagen/hospital.h"

@@ -5,7 +5,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
+
+#include "common/csv.h"
 
 #include "datagen/hospital.h"
 #include "datagen/sample.h"
@@ -197,11 +201,17 @@ TEST(CleanServerTest, FullQueueReturnsUnavailable) {
   auto rejected = server.Submit(dirty);  // overflows it
   ASSERT_FALSE(rejected.ok());
   EXPECT_TRUE(rejected.status().IsUnavailable()) << rejected.status().ToString();
+  // The rejection is actionable: it carries the live depth and capacity,
+  // and IsRetryable tells clients it is worth backing off and retrying.
+  EXPECT_EQ(rejected.status().message(),
+            "server queue is full (1 of 1 pending submissions); retry later");
+  EXPECT_TRUE(RetryPolicy::IsRetryable(rejected.status()));
   {
     ServerStats stats = server.Stats();
     EXPECT_EQ(stats.queued, 1u);
     EXPECT_EQ(stats.running, 1u);
     EXPECT_EQ(stats.submitted, 2u);
+    EXPECT_EQ(stats.rejected, 1u);
   }
 
   gate.Release();
@@ -211,6 +221,161 @@ TEST(CleanServerTest, FullQueueReturnsUnavailable) {
   auto retried = server.Submit(dirty);
   ASSERT_TRUE(retried.ok());
   EXPECT_TRUE(retried->Wait().ok());
+  EXPECT_EQ(server.Stats().rejected, 1u);  // cumulative, not reset
+}
+
+TEST(CleanServerTest, SubmitWithRetryIsPlainSubmitWhenUncontended) {
+  ServingCase c = MakeServingCase(35, 2);
+  CleaningOptions options = ServingOptions();
+  CleanModel model =
+      *CleaningEngine(options).Compile(c.dd.dirty.schema(), c.wl.rules);
+  PoolExecutor pool(2);
+  ServerOptions sopts;
+  sopts.executor = &pool;
+  CleanServer server = *CleanServer::Create(model, sopts);
+
+  size_t retries = 99;
+  auto ticket = server.SubmitWithRetry(c.batches[0], SessionOptions{},
+                                       RetryPolicy{}, &retries);
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  EXPECT_EQ(retries, 0u);  // admitted first try: no delay was ever drawn
+  auto served = ticket->Take();
+  ASSERT_TRUE(served.ok());
+  auto reference = CleaningEngine(options).Clean(c.batches[0], c.wl.rules);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(served->deduped, reference->deduped);
+  EXPECT_EQ(server.Stats().rejected, 0u);
+}
+
+TEST(CleanServerTest, SubmitWithRetryRidesOutBackpressure) {
+  Dataset dirty = *SampleHospitalDirty();
+  CleaningOptions options;
+  options.agp_threshold = 1;
+  CleanModel model = *CleaningEngine(options).Compile(dirty.schema(),
+                                                      *SampleHospitalRules());
+  PoolExecutor pool(1);
+  ServerOptions sopts;
+  sopts.executor = &pool;
+  sopts.max_concurrent_sessions = 1;
+  sopts.queue_capacity = 1;
+  CleanServer server = *CleanServer::Create(model, sopts);
+
+  Gate gate;
+  SessionOptions blocking;
+  blocking.progress = [&gate](const StageProgress& p) {
+    if (p.stage == Stage::kIndex && p.units_done == 0) gate.Enter();
+  };
+  auto running = server.Submit(dirty, blocking);
+  ASSERT_TRUE(running.ok());
+  gate.AwaitEntered();
+  auto queued = server.Submit(dirty);  // queue now full
+  ASSERT_TRUE(queued.ok());
+
+  RetryPolicy fast;
+  fast.initial_backoff = std::chrono::milliseconds(1);
+  fast.max_backoff = std::chrono::milliseconds(5);
+
+  // While the worker stays parked every attempt is rejected; the loop
+  // must give up with the *last* kUnavailable after max_attempts tries.
+  fast.max_attempts = 3;
+  size_t retries = 0;
+  auto exhausted =
+      server.SubmitWithRetry(dirty, SessionOptions{}, fast, &retries);
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_TRUE(exhausted.status().IsUnavailable())
+      << exhausted.status().ToString();
+  EXPECT_EQ(retries, 2u);  // 3 attempts = 2 retries
+  EXPECT_EQ(server.Stats().rejected, 3u);
+
+  // Unblock the worker on a helper thread mid-retry-loop: a later attempt
+  // then finds room and the submit goes through.
+  fast.max_attempts = 200;
+  std::thread releaser([&gate] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    gate.Release();
+  });
+  auto admitted =
+      server.SubmitWithRetry(dirty, SessionOptions{}, fast, &retries);
+  releaser.join();
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  EXPECT_GE(retries, 1u);
+  EXPECT_TRUE(running->Wait().ok());
+  EXPECT_TRUE(queued->Wait().ok());
+  EXPECT_TRUE(admitted->Wait().ok());
+}
+
+TEST(CleanServerTest, SubmitWithRetryRejectsABrokenPolicy) {
+  ServingCase c = MakeServingCase(36, 1);
+  CleanModel model = *CleaningEngine(ServingOptions())
+                          .Compile(c.dd.dirty.schema(), c.wl.rules);
+  PoolExecutor pool(1);
+  ServerOptions sopts;
+  sopts.executor = &pool;
+  CleanServer server = *CleanServer::Create(model, sopts);
+  RetryPolicy broken;
+  broken.max_attempts = 0;
+  auto r = server.SubmitWithRetry(c.batches[0], SessionOptions{}, broken);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalid());
+}
+
+TEST(CleanServerTest, OwningSubmitOutlivesTheCallersDataset) {
+  ServingCase c = MakeServingCase(37, 2);
+  CleaningOptions options = ServingOptions();
+  CleanModel model =
+      *CleaningEngine(options).Compile(c.dd.dirty.schema(), c.wl.rules);
+  PoolExecutor pool(2);
+  ServerOptions sopts;
+  sopts.executor = &pool;
+  CleanServer server = *CleanServer::Create(model, sopts);
+
+  auto reference = CleaningEngine(options).Clean(c.batches[0], c.wl.rules);
+  ASSERT_TRUE(reference.ok());
+  CleanTicket ticket = [&] {
+    Dataset local = c.batches[0];  // dies when this lambda returns
+    return *server.Submit(std::move(local));
+  }();
+  auto served = ticket.Take();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(served->deduped, reference->deduped);
+}
+
+TEST(CleanServerTest, SubmitCsvParsesQuarantinesAndServes) {
+  Dataset dirty = *SampleHospitalDirty();
+  CleaningOptions options;
+  options.agp_threshold = 1;
+  CleanModel model = *CleaningEngine(options).Compile(dirty.schema(),
+                                                      *SampleHospitalRules());
+  PoolExecutor pool(1);
+  ServerOptions sopts;
+  sopts.executor = &pool;
+  CleanServer server = *CleanServer::Create(model, sopts);
+
+  std::string csv = WriteCsv(dirty.ToCsv());
+  // Wedge one malformed row into the middle of the payload.
+  size_t second_newline = csv.find('\n', csv.find('\n') + 1);
+  ASSERT_NE(second_newline, std::string::npos);
+  std::string broken =
+      csv.substr(0, second_newline + 1) + "just,two\n" + csv.substr(second_newline + 1);
+
+  // Strict: the submission fails before anything is enqueued.
+  auto strict = server.SubmitCsv(broken);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.status().IsIOError()) << strict.status().ToString();
+  EXPECT_EQ(server.Stats().submitted, 0u);
+
+  // Quarantining: the bad row is set aside and the batch still serves.
+  QuarantineReport q;
+  auto ticket = server.SubmitCsv(broken, SessionOptions{}, &q);
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  ASSERT_EQ(q.rows.size(), 1u);
+  EXPECT_EQ(q.rows[0].row_number, 2u);
+  EXPECT_EQ(q.rows_kept, dirty.num_rows());
+  auto served = ticket->Take();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  auto reference = CleaningEngine(options).Clean(dirty, *SampleHospitalRules());
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(served->deduped, reference->deduped);
 }
 
 TEST(CleanServerTest, CancelledQueuedTicketReportsCancelled) {

@@ -91,5 +91,84 @@ TEST(CsvTest, MissingFileIsError) {
   EXPECT_TRUE(ReadCsvFile("/nonexistent/path.csv").status().IsIOError());
 }
 
+// ------------------------------------------------------ quarantine mode
+
+TEST(CsvQuarantineTest, ArityMismatchIsQuarantinedNotFatal) {
+  QuarantineReport q;
+  auto r = ParseCsv("a,b\n1,2\n1,2,3\n4,5\n", &q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows, (std::vector<std::vector<std::string>>{{"1", "2"},
+                                                            {"4", "5"}}));
+  ASSERT_EQ(q.rows.size(), 1u);
+  EXPECT_EQ(q.rows[0].row_number, 2u);  // 1-based data row numbers
+  EXPECT_EQ(q.rows[0].reason, "3 fields, expected 2");
+  EXPECT_EQ(q.rows_kept, 2u);
+}
+
+TEST(CsvQuarantineTest, StrayQuoteSkipsToTheNextRow) {
+  QuarantineReport q;
+  auto r = ParseCsv("a,b\nx\"y,2\n3,4\n", &q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows, (std::vector<std::vector<std::string>>{{"3", "4"}}));
+  ASSERT_EQ(q.rows.size(), 1u);
+  EXPECT_EQ(q.rows[0].row_number, 1u);
+  EXPECT_NE(q.rows[0].reason.find("stray quote"), std::string::npos);
+}
+
+TEST(CsvQuarantineTest, UnterminatedQuoteQuarantinesTheTail) {
+  QuarantineReport q;
+  auto r = ParseCsv("a,b\n1,2\n\"oops,3\n", &q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows, (std::vector<std::vector<std::string>>{{"1", "2"}}));
+  ASSERT_EQ(q.rows.size(), 1u);
+  EXPECT_EQ(q.rows[0].row_number, 2u);
+  EXPECT_NE(q.rows[0].reason.find("unterminated"), std::string::npos);
+}
+
+TEST(CsvQuarantineTest, RowNumbersCountQuarantinedRowsToo) {
+  QuarantineReport q;
+  auto r = ParseCsv("a,b\n1\n2,2\n3\n4,4\n", &q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 2u);
+  ASSERT_EQ(q.rows.size(), 2u);
+  EXPECT_EQ(q.rows[0].row_number, 1u);
+  EXPECT_EQ(q.rows[1].row_number, 3u);
+  EXPECT_EQ(q.rows_kept, 2u);
+}
+
+TEST(CsvQuarantineTest, BrokenHeaderStillFails) {
+  QuarantineReport q;
+  EXPECT_FALSE(ParseCsv("\"oops\n", &q).ok());
+  EXPECT_FALSE(ParseCsv("", &q).ok());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CsvQuarantineTest, NullQuarantineIsExactlyStrictMode) {
+  // Same inputs the strict tests reject must still be rejected, with the
+  // same code, when the pointer is null.
+  auto strict = ParseCsv("a,b\n1,2,3\n");
+  auto via_null = ParseCsv("a,b\n1,2,3\n", nullptr);
+  ASSERT_FALSE(strict.ok());
+  ASSERT_FALSE(via_null.ok());
+  EXPECT_EQ(strict.status().code(), via_null.status().code());
+  EXPECT_EQ(strict.status().message(), via_null.status().message());
+}
+
+TEST(CsvQuarantineTest, CleanInputLeavesTheReportEmpty) {
+  QuarantineReport q;
+  auto r = ParseCsv("a,b\n1,2\n3,4\n", &q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.rows_kept, 2u);
+}
+
+TEST(CsvQuarantineTest, SummaryNamesCountsAndFirstReason) {
+  QuarantineReport q;
+  ASSERT_TRUE(ParseCsv("a,b\n1\n2,2\n3\n", &q).ok());
+  std::string summary = q.Summary();
+  EXPECT_NE(summary.find("2 of 3"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("row 1"), std::string::npos) << summary;
+}
+
 }  // namespace
 }  // namespace mlnclean

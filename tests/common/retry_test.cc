@@ -1,0 +1,101 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mlnclean {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(RetryPolicyTest, DefaultsValidate) {
+  EXPECT_TRUE(RetryPolicy{}.Validate().ok());
+}
+
+TEST(RetryPolicyTest, ValidateRejectsBadKnobs) {
+  RetryPolicy p;
+  p.max_attempts = 0;
+  EXPECT_TRUE(p.Validate().IsInvalid());
+
+  p = RetryPolicy{};
+  p.initial_backoff = milliseconds(-1);
+  EXPECT_TRUE(p.Validate().IsInvalid());
+
+  p = RetryPolicy{};
+  p.multiplier = 0.5;
+  EXPECT_TRUE(p.Validate().IsInvalid());
+
+  p = RetryPolicy{};
+  p.jitter = 1.0;  // would allow a zero-length delay window
+  EXPECT_TRUE(p.Validate().IsInvalid());
+  p.jitter = -0.1;
+  EXPECT_TRUE(p.Validate().IsInvalid());
+}
+
+TEST(RetryPolicyTest, OnlyBackpressureCodesAreRetryable) {
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::Unavailable("queue full")));
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::ResourceExhausted("oom")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::OK()));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::Invalid("bad")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::Internal("bug")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::Cancelled("stop")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::Corruption("torn")));
+}
+
+TEST(RetryScheduleTest, NoJitterGrowsExponentiallyToTheCap) {
+  RetryPolicy p;
+  p.initial_backoff = milliseconds(10);
+  p.max_backoff = milliseconds(100);
+  p.multiplier = 2.0;
+  p.jitter = 0.0;
+  RetrySchedule s(p);
+  EXPECT_EQ(s.NextDelay(), milliseconds(10));
+  EXPECT_EQ(s.NextDelay(), milliseconds(20));
+  EXPECT_EQ(s.NextDelay(), milliseconds(40));
+  EXPECT_EQ(s.NextDelay(), milliseconds(80));
+  EXPECT_EQ(s.NextDelay(), milliseconds(100));  // capped
+  EXPECT_EQ(s.NextDelay(), milliseconds(100));  // stays capped
+  EXPECT_EQ(s.retries(), 6u);
+}
+
+TEST(RetryScheduleTest, SameSeedSameDelays) {
+  RetryPolicy p;
+  p.seed = 1234;
+  auto draw = [&p]() {
+    RetrySchedule s(p);
+    std::vector<milliseconds> delays;
+    for (int i = 0; i < 8; ++i) delays.push_back(s.NextDelay());
+    return delays;
+  };
+  EXPECT_EQ(draw(), draw());
+
+  RetryPolicy other = p;
+  other.seed = 1235;
+  RetrySchedule changed(other);
+  std::vector<milliseconds> reference = draw();
+  bool any_different = false;
+  for (int i = 0; i < 8; ++i) {
+    if (changed.NextDelay() != reference[i]) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RetryScheduleTest, JitterStaysInsideItsWindow) {
+  RetryPolicy p;
+  p.initial_backoff = milliseconds(1000);
+  p.max_backoff = milliseconds(1000);
+  p.multiplier = 1.0;
+  p.jitter = 0.2;
+  p.seed = 7;
+  RetrySchedule s(p);
+  for (int i = 0; i < 64; ++i) {
+    milliseconds d = s.NextDelay();
+    EXPECT_GE(d, milliseconds(800)) << "draw " << i;
+    EXPECT_LE(d, milliseconds(1200)) << "draw " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mlnclean

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <new>
+#include <stdexcept>
+
 #include "common/result.h"
 
 namespace mlnclean {
@@ -41,6 +44,50 @@ TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalid), "Invalid");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+}
+
+TEST(StatusTest, RobustnessCodes) {
+  Status oom = Status::ResourceExhausted("allocator said no");
+  EXPECT_TRUE(oom.IsResourceExhausted());
+  EXPECT_FALSE(oom.IsInternal());
+  Status torn = Status::Corruption("section 2 checksum mismatch");
+  EXPECT_TRUE(torn.IsCorruption());
+  EXPECT_FALSE(torn.IsInvalid());
+  EXPECT_STRNE(StatusCodeToString(StatusCode::kResourceExhausted),
+               StatusCodeToString(StatusCode::kCorruption));
+}
+
+TEST(StatusTest, FromCurrentExceptionMapsTheExceptionType) {
+  Status from_runtime = [] {
+    try {
+      throw std::runtime_error("widget jammed");
+    } catch (...) {
+      return StatusFromCurrentException("spinning widget");
+    }
+  }();
+  EXPECT_TRUE(from_runtime.IsInternal()) << from_runtime.ToString();
+  EXPECT_NE(from_runtime.message().find("spinning widget"), std::string::npos);
+  EXPECT_NE(from_runtime.message().find("widget jammed"), std::string::npos);
+
+  Status from_bad_alloc = [] {
+    try {
+      throw std::bad_alloc();
+    } catch (...) {
+      return StatusFromCurrentException("allocating");
+    }
+  }();
+  EXPECT_TRUE(from_bad_alloc.IsResourceExhausted())
+      << from_bad_alloc.ToString();
+
+  Status from_unknown = [] {
+    try {
+      throw 42;  // not a std::exception
+    } catch (...) {
+      return StatusFromCurrentException("computing");
+    }
+  }();
+  EXPECT_TRUE(from_unknown.IsInternal()) << from_unknown.ToString();
+  EXPECT_NE(from_unknown.message().find("computing"), std::string::npos);
 }
 
 TEST(ResultTest, HoldsValue) {

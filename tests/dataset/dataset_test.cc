@@ -73,6 +73,19 @@ TEST(DatasetTest, FromCsvRejectsDuplicateHeader) {
   EXPECT_FALSE(Dataset::FromCsv("A,A\n1,2\n").ok());
 }
 
+TEST(DatasetTest, FromCsvQuarantinesMalformedRows) {
+  QuarantineReport q;
+  auto d = Dataset::FromCsv("A,B\nx,1\nonly-one\ny,2\n", &q);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->num_rows(), 2u);
+  EXPECT_EQ(d->at(1, 0), "y");
+  ASSERT_EQ(q.rows.size(), 1u);
+  EXPECT_EQ(q.rows[0].row_number, 2u);
+  EXPECT_EQ(q.rows_kept, 2u);
+  // Strict mode still fails the same input outright.
+  EXPECT_FALSE(Dataset::FromCsv("A,B\nx,1\nonly-one\ny,2\n").ok());
+}
+
 TEST(DatasetTest, EmptyValueIsNull) {
   Schema s = *Schema::Make({"A"});
   Dataset d = *Dataset::Make(s, {{""}});

@@ -65,6 +65,8 @@ struct Args {
   bool warm = false;     // save: warm the store on batch 0 before saving
   bool compile = false;  // serve: in-process reference arm
   bool reuse = false;    // serve: reuse_model_weights
+  bool retry = false;    // serve: SubmitWithRetry through a CleanServer
+  std::string failpoint;  // arm this failpoint (Once) before the command
 };
 
 // Strict numeric flag parsing: the whole token must be a non-negative
@@ -109,9 +111,11 @@ int Usage() {
                "  mlnclean_model inspect FILE\n"
                "  mlnclean_model serve (--model FILE | --compile [--warm])\n"
                "                       --out FILE [--reuse] [--batches K]\n"
-               "                       [--jobs N] [workload flags]\n"
+               "                       [--jobs N] [--retry] [workload flags]\n"
                "workload flags: --hospitals N --measures N --error-rate R --seed S\n"
-               "                --agp-threshold T | --data CSV --rules FILE\n");
+               "                --agp-threshold T | --data CSV --rules FILE\n"
+               "fault injection (fault builds only): --failpoint SITE arms SITE\n"
+               "                to fire once before the command runs\n");
   return 2;
 }
 
@@ -127,6 +131,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->compile = true;
     } else if (flag == "--reuse") {
       args->reuse = true;
+    } else if (flag == "--retry") {
+      args->retry = true;
+    } else if (flag == "--failpoint") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->failpoint = v;
     } else if (flag == "--out") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -264,10 +274,14 @@ void WriteBatchTranscript(size_t index, const Dataset& batch,
 /// the bytes match the sequential run exactly — that equality IS the
 /// concurrent-serving gate CI's --jobs leg checks.
 Status ServeBatches(const CleanModel& model, const std::vector<Dataset>& batches,
-                    bool reuse, size_t jobs, std::ostream& out) {
+                    bool reuse, size_t jobs, bool retry, std::ostream& out) {
   SessionOptions opts;
   opts.reuse_model_weights = reuse;
-  if (jobs <= 1) {
+  // --retry forces the server path even at --jobs 1: SubmitWithRetry is a
+  // server API, and the queue is sized for every batch, so the server is
+  // uncontended, no retry ever fires, and the transcript is byte-identical
+  // to the non-retry run — the determinism gate CI checks.
+  if (jobs <= 1 && !retry) {
     for (size_t i = 0; i < batches.size(); ++i) {
       CleanSession session = model.NewSession(batches[i], opts);
       MLN_RETURN_NOT_OK(session.Resume());
@@ -289,8 +303,14 @@ Status ServeBatches(const CleanModel& model, const std::vector<Dataset>& batches
     // CancelToken, and Cancel() on one ticket would kill every sibling.
     SessionOptions job_opts;
     job_opts.reuse_model_weights = reuse;
-    MLN_ASSIGN_OR_RETURN(CleanTicket ticket, server.Submit(batch, job_opts));
-    tickets.push_back(std::move(ticket));
+    if (retry) {
+      MLN_ASSIGN_OR_RETURN(CleanTicket ticket,
+                           server.SubmitWithRetry(batch, job_opts));
+      tickets.push_back(std::move(ticket));
+    } else {
+      MLN_ASSIGN_OR_RETURN(CleanTicket ticket, server.Submit(batch, job_opts));
+      tickets.push_back(std::move(ticket));
+    }
   }
   for (size_t i = 0; i < tickets.size(); ++i) {
     MLN_ASSIGN_OR_RETURN(CleanResult result, tickets[i].Take());
@@ -312,19 +332,12 @@ int RunSave(const Args& args) {
     std::fprintf(stderr, "compile: %s\n", model.status().ToString().c_str());
     return 1;
   }
-  std::ofstream out(args.out_path, std::ios::binary);
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n", args.out_path.c_str());
-    return 1;
-  }
-  Status saved = model->Save(out);
+  // Crash-safe write: temp file + fsync + atomic rename, so a failure (or
+  // an injected --failpoint crash-sim) never leaves a torn snapshot — or
+  // clobbers a previous good one — at --out.
+  Status saved = model->SaveToFile(args.out_path);
   if (!saved.ok()) {
     std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
-    return 1;
-  }
-  out.close();  // flush now so a full disk fails the command, not the reader
-  if (out.fail()) {
-    std::fprintf(stderr, "save: write to %s failed\n", args.out_path.c_str());
     return 1;
   }
   std::printf("saved %s: %zu rules, %zu stored weights\n", args.out_path.c_str(),
@@ -393,7 +406,8 @@ int RunServe(const Args& args) {
     std::fprintf(stderr, "cannot open %s for writing\n", args.out_path.c_str());
     return 1;
   }
-  Status served = ServeBatches(*model, batches, args.reuse, args.jobs, out);
+  Status served =
+      ServeBatches(*model, batches, args.reuse, args.jobs, args.retry, out);
   if (!served.ok()) {
     std::fprintf(stderr, "serve: %s\n", served.ToString().c_str());
     return 1;
@@ -414,6 +428,18 @@ int RunServe(const Args& args) {
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage();
+  if (!args.failpoint.empty()) {
+    // Cross-process crash-sim hook: arm the named site to fire once, then
+    // run the command normally. CI's fault job uses this to prove e.g.
+    // that `save --failpoint snapshot/before-rename` fails without
+    // touching a pre-existing snapshot at --out.
+    Status armed = ConfigureFailpoint(args.failpoint, FailpointSpec::Once());
+    if (!armed.ok()) {
+      std::fprintf(stderr, "--failpoint %s: %s\n", args.failpoint.c_str(),
+                   armed.ToString().c_str());
+      return 1;
+    }
+  }
   if (args.command == "save") return RunSave(args);
   if (args.command == "inspect") return RunInspect(args);
   if (args.command == "serve") return RunServe(args);
