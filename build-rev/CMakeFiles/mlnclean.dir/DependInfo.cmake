@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/holoclean.cc" "CMakeFiles/mlnclean.dir/src/baseline/holoclean.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/baseline/holoclean.cc.o.d"
+  "/root/repo/src/cleaning/agp.cc" "CMakeFiles/mlnclean.dir/src/cleaning/agp.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/cleaning/agp.cc.o.d"
+  "/root/repo/src/cleaning/dedup.cc" "CMakeFiles/mlnclean.dir/src/cleaning/dedup.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/cleaning/dedup.cc.o.d"
+  "/root/repo/src/cleaning/engine.cc" "CMakeFiles/mlnclean.dir/src/cleaning/engine.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/cleaning/engine.cc.o.d"
+  "/root/repo/src/cleaning/fscr.cc" "CMakeFiles/mlnclean.dir/src/cleaning/fscr.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/cleaning/fscr.cc.o.d"
+  "/root/repo/src/cleaning/model_io.cc" "CMakeFiles/mlnclean.dir/src/cleaning/model_io.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/cleaning/model_io.cc.o.d"
+  "/root/repo/src/cleaning/options.cc" "CMakeFiles/mlnclean.dir/src/cleaning/options.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/cleaning/options.cc.o.d"
+  "/root/repo/src/cleaning/report.cc" "CMakeFiles/mlnclean.dir/src/cleaning/report.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/cleaning/report.cc.o.d"
+  "/root/repo/src/cleaning/rsc.cc" "CMakeFiles/mlnclean.dir/src/cleaning/rsc.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/cleaning/rsc.cc.o.d"
+  "/root/repo/src/cleaning/server.cc" "CMakeFiles/mlnclean.dir/src/cleaning/server.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/cleaning/server.cc.o.d"
+  "/root/repo/src/common/csv.cc" "CMakeFiles/mlnclean.dir/src/common/csv.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/common/csv.cc.o.d"
+  "/root/repo/src/common/distance.cc" "CMakeFiles/mlnclean.dir/src/common/distance.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/common/distance.cc.o.d"
+  "/root/repo/src/common/distance_memo.cc" "CMakeFiles/mlnclean.dir/src/common/distance_memo.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/common/distance_memo.cc.o.d"
+  "/root/repo/src/common/executor.cc" "CMakeFiles/mlnclean.dir/src/common/executor.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/common/executor.cc.o.d"
+  "/root/repo/src/common/failpoint.cc" "CMakeFiles/mlnclean.dir/src/common/failpoint.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/common/failpoint.cc.o.d"
+  "/root/repo/src/common/random.cc" "CMakeFiles/mlnclean.dir/src/common/random.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/common/random.cc.o.d"
+  "/root/repo/src/common/retry.cc" "CMakeFiles/mlnclean.dir/src/common/retry.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/common/retry.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/mlnclean.dir/src/common/status.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "CMakeFiles/mlnclean.dir/src/common/string_util.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/mlnclean.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/datagen/car.cc" "CMakeFiles/mlnclean.dir/src/datagen/car.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/datagen/car.cc.o.d"
+  "/root/repo/src/datagen/hospital.cc" "CMakeFiles/mlnclean.dir/src/datagen/hospital.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/datagen/hospital.cc.o.d"
+  "/root/repo/src/datagen/sample.cc" "CMakeFiles/mlnclean.dir/src/datagen/sample.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/datagen/sample.cc.o.d"
+  "/root/repo/src/datagen/tpch.cc" "CMakeFiles/mlnclean.dir/src/datagen/tpch.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/datagen/tpch.cc.o.d"
+  "/root/repo/src/dataset/dataset.cc" "CMakeFiles/mlnclean.dir/src/dataset/dataset.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/dataset/dataset.cc.o.d"
+  "/root/repo/src/dataset/schema.cc" "CMakeFiles/mlnclean.dir/src/dataset/schema.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/dataset/schema.cc.o.d"
+  "/root/repo/src/dataset/value_dict.cc" "CMakeFiles/mlnclean.dir/src/dataset/value_dict.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/dataset/value_dict.cc.o.d"
+  "/root/repo/src/distributed/distributed_pipeline.cc" "CMakeFiles/mlnclean.dir/src/distributed/distributed_pipeline.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/distributed/distributed_pipeline.cc.o.d"
+  "/root/repo/src/distributed/partitioner.cc" "CMakeFiles/mlnclean.dir/src/distributed/partitioner.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/distributed/partitioner.cc.o.d"
+  "/root/repo/src/errorgen/injector.cc" "CMakeFiles/mlnclean.dir/src/errorgen/injector.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/errorgen/injector.cc.o.d"
+  "/root/repo/src/eval/component_metrics.cc" "CMakeFiles/mlnclean.dir/src/eval/component_metrics.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/eval/component_metrics.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "CMakeFiles/mlnclean.dir/src/eval/metrics.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/eval/metrics.cc.o.d"
+  "/root/repo/src/index/mln_index.cc" "CMakeFiles/mlnclean.dir/src/index/mln_index.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/index/mln_index.cc.o.d"
+  "/root/repo/src/index/piece.cc" "CMakeFiles/mlnclean.dir/src/index/piece.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/index/piece.cc.o.d"
+  "/root/repo/src/index/weight_merge.cc" "CMakeFiles/mlnclean.dir/src/index/weight_merge.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/index/weight_merge.cc.o.d"
+  "/root/repo/src/mln/gibbs.cc" "CMakeFiles/mlnclean.dir/src/mln/gibbs.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/mln/gibbs.cc.o.d"
+  "/root/repo/src/mln/ground_rule.cc" "CMakeFiles/mlnclean.dir/src/mln/ground_rule.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/mln/ground_rule.cc.o.d"
+  "/root/repo/src/mln/network.cc" "CMakeFiles/mlnclean.dir/src/mln/network.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/mln/network.cc.o.d"
+  "/root/repo/src/mln/walksat.cc" "CMakeFiles/mlnclean.dir/src/mln/walksat.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/mln/walksat.cc.o.d"
+  "/root/repo/src/mln/weight_learner.cc" "CMakeFiles/mlnclean.dir/src/mln/weight_learner.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/mln/weight_learner.cc.o.d"
+  "/root/repo/src/rules/constraint.cc" "CMakeFiles/mlnclean.dir/src/rules/constraint.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/rules/constraint.cc.o.d"
+  "/root/repo/src/rules/rule_parser.cc" "CMakeFiles/mlnclean.dir/src/rules/rule_parser.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/rules/rule_parser.cc.o.d"
+  "/root/repo/src/rules/violation.cc" "CMakeFiles/mlnclean.dir/src/rules/violation.cc.o" "gcc" "CMakeFiles/mlnclean.dir/src/rules/violation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

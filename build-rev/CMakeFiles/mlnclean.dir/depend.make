@@ -1,0 +1,2 @@
+# Empty dependencies file for mlnclean.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlnclean_model.dir/tools/mlnclean_model.cc.o"
+  "CMakeFiles/mlnclean_model.dir/tools/mlnclean_model.cc.o.d"
+  "mlnclean_model"
+  "mlnclean_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlnclean_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/holoclean_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/baseline/holoclean_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/baseline/holoclean_test.cc.o.d"
+  "/root/repo/tests/cleaning/agp_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/agp_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/agp_test.cc.o.d"
+  "/root/repo/tests/cleaning/dedup_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/dedup_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/dedup_test.cc.o.d"
+  "/root/repo/tests/cleaning/engine_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/engine_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/engine_test.cc.o.d"
+  "/root/repo/tests/cleaning/fault_injection_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/fault_injection_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/fault_injection_test.cc.o.d"
+  "/root/repo/tests/cleaning/fscr_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/fscr_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/fscr_test.cc.o.d"
+  "/root/repo/tests/cleaning/model_io_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/model_io_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/model_io_test.cc.o.d"
+  "/root/repo/tests/cleaning/options_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/options_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/options_test.cc.o.d"
+  "/root/repo/tests/cleaning/pipeline_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/pipeline_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/pipeline_test.cc.o.d"
+  "/root/repo/tests/cleaning/rsc_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/rsc_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/rsc_test.cc.o.d"
+  "/root/repo/tests/cleaning/server_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/server_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/cleaning/server_test.cc.o.d"
+  "/root/repo/tests/common/csv_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/common/csv_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/common/csv_test.cc.o.d"
+  "/root/repo/tests/common/distance_memo_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/common/distance_memo_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/common/distance_memo_test.cc.o.d"
+  "/root/repo/tests/common/distance_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/common/distance_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/common/distance_test.cc.o.d"
+  "/root/repo/tests/common/executor_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/common/executor_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/common/executor_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/common/random_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/common/random_test.cc.o.d"
+  "/root/repo/tests/common/retry_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/common/retry_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/common/retry_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/common/status_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/common/status_test.cc.o.d"
+  "/root/repo/tests/common/string_util_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/common/string_util_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/common/string_util_test.cc.o.d"
+  "/root/repo/tests/common/thread_pool_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/common/thread_pool_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/common/thread_pool_test.cc.o.d"
+  "/root/repo/tests/datagen/datagen_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/datagen/datagen_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/datagen/datagen_test.cc.o.d"
+  "/root/repo/tests/dataset/dataset_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/dataset/dataset_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/dataset/dataset_test.cc.o.d"
+  "/root/repo/tests/dataset/schema_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/dataset/schema_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/dataset/schema_test.cc.o.d"
+  "/root/repo/tests/dataset/value_dict_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/dataset/value_dict_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/dataset/value_dict_test.cc.o.d"
+  "/root/repo/tests/distributed/distributed_pipeline_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/distributed/distributed_pipeline_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/distributed/distributed_pipeline_test.cc.o.d"
+  "/root/repo/tests/distributed/partitioner_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/distributed/partitioner_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/distributed/partitioner_test.cc.o.d"
+  "/root/repo/tests/distributed/weight_merge_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/distributed/weight_merge_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/distributed/weight_merge_test.cc.o.d"
+  "/root/repo/tests/errorgen/injector_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/errorgen/injector_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/errorgen/injector_test.cc.o.d"
+  "/root/repo/tests/eval/component_metrics_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/eval/component_metrics_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/eval/component_metrics_test.cc.o.d"
+  "/root/repo/tests/eval/metrics_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/eval/metrics_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/eval/metrics_test.cc.o.d"
+  "/root/repo/tests/index/mln_index_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/index/mln_index_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/index/mln_index_test.cc.o.d"
+  "/root/repo/tests/index/piece_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/index/piece_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/index/piece_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/integration/end_to_end_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/property_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/integration/property_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/integration/property_test.cc.o.d"
+  "/root/repo/tests/integration/regression_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/integration/regression_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/integration/regression_test.cc.o.d"
+  "/root/repo/tests/mln/ground_rule_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/mln/ground_rule_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/mln/ground_rule_test.cc.o.d"
+  "/root/repo/tests/mln/inference_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/mln/inference_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/mln/inference_test.cc.o.d"
+  "/root/repo/tests/mln/network_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/mln/network_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/mln/network_test.cc.o.d"
+  "/root/repo/tests/mln/weight_learner_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/mln/weight_learner_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/mln/weight_learner_test.cc.o.d"
+  "/root/repo/tests/rules/constraint_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/rules/constraint_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/rules/constraint_test.cc.o.d"
+  "/root/repo/tests/rules/rule_parser_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/rules/rule_parser_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/rules/rule_parser_test.cc.o.d"
+  "/root/repo/tests/rules/violation_test.cc" "CMakeFiles/mlnclean_tests.dir/tests/rules/violation_test.cc.o" "gcc" "CMakeFiles/mlnclean_tests.dir/tests/rules/violation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rev/CMakeFiles/mlnclean.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
