@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <sstream>
 #include <vector>
 
 #include "bench_util.h"
@@ -56,6 +57,22 @@ void BM_DamerauScratch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DamerauScratch);
+
+// Long-value distance: 128-char strings with scattered edits. This is
+// where the bit-parallel kernel earns its keep — the classic DP is
+// O(n*m) cell updates while Myers does 64 columns per word op.
+void BM_LevenshteinLong(benchmark::State& state) {
+  std::string a, b;
+  for (int i = 0; i < 128; ++i) {
+    a.push_back(static_cast<char>('a' + (i * 7) % 26));
+    b.push_back(static_cast<char>('a' + (i * 7 + (i % 17 == 0 ? 3 : 0)) % 26));
+  }
+  EditDistanceScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Levenshtein(a, b, &scratch));
+  }
+}
+BENCHMARK(BM_LevenshteinLong);
 
 void BM_CosineBigram(benchmark::State& state) {
   std::string a = "MRSA BACTEREMIA", b = "MRSA BACTEREMA";
@@ -295,6 +312,77 @@ void BM_GibbsSmallNetwork(benchmark::State& state) {
 }
 BENCHMARK(BM_GibbsSmallNetwork);
 
+// A connected network (implication ring + biases) where the sweeps run
+// through the flat CSR adjacency and the chromatic partition — the shape
+// the incremental satisfied-count bookkeeping is built for, unlike the
+// all-unit-clause network above.
+void BM_GibbsSweep(benchmark::State& state) {
+  GroundNetwork net;
+  constexpr int kAtoms = 64;
+  std::vector<AtomId> atoms;
+  for (int i = 0; i < kAtoms; ++i) {
+    atoms.push_back(net.AddAtom("x" + std::to_string(i)));
+  }
+  for (int i = 0; i < kAtoms; ++i) {
+    (void)net.AddClause(
+        {{{atoms[i], false}, {atoms[(i + 1) % kAtoms], true}}, 0.8, false});
+    (void)net.AddClause({{{atoms[i], true}}, 0.1 * (i % 5), false});
+  }
+  GibbsOptions opts;
+  opts.burn_in_sweeps = 20;
+  opts.sample_sweeps = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GibbsMarginals(net, opts));
+  }
+}
+BENCHMARK(BM_GibbsSweep);
+
+// Snapshot save + load of the warmed 40-hospital model: the v4 columnar
+// varint codec on its motivating payload (the Eq. 6 weight store).
+void BM_SnapshotCodec(benchmark::State& state) {
+  const DirtyDataset& dd = SharedDirty();
+  const Workload& wl = SharedHai();
+  CleaningOptions options = Options(wl);
+  CleaningEngine engine(options);
+  CleanModel model = *engine.Compile(wl.clean.schema(), wl.rules);
+  if (!model.Warm(dd.dirty).ok()) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream out;
+    if (!model.Save(out).ok()) {
+      state.SkipWithError("save failed");
+      return;
+    }
+    std::string blob = out.str();
+    bytes = blob.size();
+    std::istringstream in(blob);
+    benchmark::DoNotOptimize(engine.Load(in));
+  }
+  state.counters["snapshot_bytes"] =
+      benchmark::Counter(static_cast<double>(bytes));
+}
+BENCHMARK(BM_SnapshotCodec);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Debian's libbenchmark package is compiled without NDEBUG, so the
+  // library self-reports `library_build_type: "debug"` regardless of how
+  // THIS binary was built. Record the binary's own build type under a
+  // separate key so tools/bench_compare.py --require-release can reject
+  // accidentally debug-measured baselines without false-failing on the
+  // packaged library.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("mlnclean_build_type", "release");
+#else
+  benchmark::AddCustomContext("mlnclean_build_type", "debug");
+#endif
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -22,6 +22,7 @@
 
 #include "cleaning/model_state.h"
 #include "common/failpoint.h"
+#include "common/varint.h"
 #include "rules/rule_parser.h"
 
 namespace mlnclean {
@@ -80,6 +81,12 @@ class Encoder {
   void Str(const std::string& s) {
     U32(static_cast<uint32_t>(s.size()));
     out_.append(s);
+  }
+  /// A u64 length followed by raw bytes — the framing of the v4
+  /// group-varint blocks inside the weights section.
+  void Blob(const uint8_t* data, size_t size) {
+    U64(size);
+    out_.append(reinterpret_cast<const char*>(data), size);
   }
   /// Appends a finished sub-encoder as one framed, checksummed section.
   void Section(uint32_t tag, const Encoder& payload) {
@@ -156,6 +163,21 @@ class Decoder {
     std::string s(data_.data() + pos_, len);
     pos_ += len;
     return s;
+  }
+
+  /// A u64-length-prefixed raw byte run (the v4 varint blocks). The
+  /// returned pointer aliases the snapshot buffer; valid while the
+  /// decoder lives.
+  Result<std::pair<const uint8_t*, size_t>> Blob(const char* what) {
+    MLN_ASSIGN_OR_RETURN(uint64_t len, U64(what));
+    if (len > limit_ - pos_) {
+      return Fail(std::string(what) + " blob length " + std::to_string(len) +
+                  " overruns its section (" + std::to_string(limit_ - pos_) +
+                  " bytes left)");
+    }
+    const uint8_t* ptr = reinterpret_cast<const uint8_t*>(data_.data() + pos_);
+    pos_ += static_cast<size_t>(len);
+    return std::make_pair(ptr, static_cast<size_t>(len));
   }
 
   /// Enters a section of `length` bytes starting at the cursor.
@@ -298,29 +320,78 @@ Status DecodeWeightsSection(Decoder* d, DecodedSnapshot* snap) {
   }
   MLN_ASSIGN_OR_RETURN(snap->weight_batches, d->U64("weight batch counter"));
   MLN_ASSIGN_OR_RETURN(uint64_t num_entries, d->U64("weight entry count"));
+
+  // v4 columnar entries: four group-varint blocks (rule indexes, the two
+  // arities, the flat id stream) followed by the raw float and batch-stamp
+  // columns. Every block's value count is bounds-checked against its byte
+  // length before anything is allocated — a forged entry count cannot
+  // force a huge allocation, it just fails the plausibility check.
+  auto read_block = [&](uint64_t count, bool delta,
+                        const char* what) -> Result<std::vector<uint32_t>> {
+    MLN_ASSIGN_OR_RETURN(auto blob, d->Blob(what));
+    // Four values cost at least one control byte.
+    if (count > 0 && blob.second < (count + 3) / 4) {
+      return d->Fail(std::string(what) + " block of " +
+                     std::to_string(blob.second) + " bytes cannot hold " +
+                     std::to_string(count) + " values");
+    }
+    std::vector<uint32_t> values(static_cast<size_t>(count));
+    size_t consumed = 0;
+    const bool ok =
+        delta ? GroupVarintDecodeDelta(blob.first, blob.second,
+                                       values.size(), values.data(), &consumed)
+              : GroupVarintDecode(blob.first, blob.second, values.size(),
+                                  values.data(), &consumed);
+    if (!ok || consumed != blob.second) {
+      return d->Fail(std::string(what) + " varint block is malformed");
+    }
+    return values;
+  };
+  MLN_ASSIGN_OR_RETURN(std::vector<uint32_t> rule_indexes,
+                       read_block(num_entries, true, "weight entry rule index"));
+  MLN_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> reason_arities,
+      read_block(num_entries, false, "weight entry reason arity"));
+  MLN_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> result_arities,
+      read_block(num_entries, false, "weight entry result arity"));
+  uint64_t total_ids = 0;
   for (uint64_t i = 0; i < num_entries; ++i) {
-    GlobalWeightTable::EntryView entry;
-    MLN_ASSIGN_OR_RETURN(uint32_t rule_index, d->U32("weight entry rule index"));
-    entry.rule_index = rule_index;
-    MLN_ASSIGN_OR_RETURN(uint32_t n_reason, d->U32("weight entry reason arity"));
-    MLN_ASSIGN_OR_RETURN(uint32_t n_result, d->U32("weight entry result arity"));
-    for (uint32_t k = 0; k < n_reason; ++k) {
-      MLN_ASSIGN_OR_RETURN(uint32_t id, d->U32("weight entry reason id"));
-      entry.reason_ids.push_back(id);
-    }
-    for (uint32_t k = 0; k < n_result; ++k) {
-      MLN_ASSIGN_OR_RETURN(uint32_t id, d->U32("weight entry result id"));
-      entry.result_ids.push_back(id);
-    }
-    MLN_ASSIGN_OR_RETURN(entry.weighted_sum, d->F64("weight entry sum"));
-    MLN_ASSIGN_OR_RETURN(entry.support, d->F64("weight entry support"));
+    total_ids += static_cast<uint64_t>(reason_arities[i]) + result_arities[i];
+  }
+  MLN_ASSIGN_OR_RETURN(std::vector<uint32_t> flat_ids,
+                       read_block(total_ids, true, "weight entry value id"));
+
+  snap->entries.resize(static_cast<size_t>(num_entries));
+  size_t id_cursor = 0;
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    GlobalWeightTable::EntryView& entry = snap->entries[static_cast<size_t>(i)];
+    entry.rule_index = rule_indexes[static_cast<size_t>(i)];
+    const uint32_t n_reason = reason_arities[static_cast<size_t>(i)];
+    const uint32_t n_result = result_arities[static_cast<size_t>(i)];
+    entry.reason_ids.assign(flat_ids.begin() + id_cursor,
+                            flat_ids.begin() + id_cursor + n_reason);
+    id_cursor += n_reason;
+    entry.result_ids.assign(flat_ids.begin() + id_cursor,
+                            flat_ids.begin() + id_cursor + n_result);
+    id_cursor += n_result;
+  }
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    MLN_ASSIGN_OR_RETURN(snap->entries[static_cast<size_t>(i)].weighted_sum,
+                         d->F64("weight entry sum"));
+  }
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    MLN_ASSIGN_OR_RETURN(snap->entries[static_cast<size_t>(i)].support,
+                         d->F64("weight entry support"));
+  }
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    GlobalWeightTable::EntryView& entry = snap->entries[static_cast<size_t>(i)];
     MLN_ASSIGN_OR_RETURN(entry.last_batch, d->U64("weight entry last batch"));
     if (entry.last_batch > snap->weight_batches) {
       return d->Fail("weight entry last batch " +
                      std::to_string(entry.last_batch) +
                      " is ahead of the store's batch counter");
     }
-    snap->entries.push_back(std::move(entry));
   }
   return Status::OK();
 }
@@ -460,17 +531,43 @@ Result<std::string> CleanModel::EncodeSnapshotBytes() const {
     }
     weights_section.U64(table.batches());
     weights_section.U64(table.size());
-    table.ForEachEntrySorted([&weights_section](
-                                 const GlobalWeightTable::EntryView& entry) {
-      weights_section.U32(static_cast<uint32_t>(entry.rule_index));
-      weights_section.U32(static_cast<uint32_t>(entry.reason_ids.size()));
-      weights_section.U32(static_cast<uint32_t>(entry.result_ids.size()));
-      for (ValueId id : entry.reason_ids) weights_section.U32(id);
-      for (ValueId id : entry.result_ids) weights_section.U32(id);
-      weights_section.F64(entry.weighted_sum);
-      weights_section.F64(entry.support);
-      weights_section.U64(entry.last_batch);
+    // v4: columnar entries. The integer columns (rule index, arities, the
+    // flat reason+result id stream) are group-varint coded — entries come
+    // out of ForEachEntrySorted ordered by rule and ids, so the
+    // zigzag+delta streams are mostly one byte per value. The float
+    // columns and batch stamps stay raw fixed-width.
+    std::vector<uint32_t> rule_indexes, reason_arities, result_arities;
+    std::vector<uint32_t> flat_ids;
+    std::vector<double> sums, supports;
+    std::vector<uint64_t> last_batches;
+    table.ForEachEntrySorted([&](const GlobalWeightTable::EntryView& entry) {
+      rule_indexes.push_back(static_cast<uint32_t>(entry.rule_index));
+      reason_arities.push_back(static_cast<uint32_t>(entry.reason_ids.size()));
+      result_arities.push_back(static_cast<uint32_t>(entry.result_ids.size()));
+      flat_ids.insert(flat_ids.end(), entry.reason_ids.begin(),
+                      entry.reason_ids.end());
+      flat_ids.insert(flat_ids.end(), entry.result_ids.begin(),
+                      entry.result_ids.end());
+      sums.push_back(entry.weighted_sum);
+      supports.push_back(entry.support);
+      last_batches.push_back(entry.last_batch);
     });
+    std::vector<uint8_t> packed;
+    auto put_block = [&](const std::vector<uint32_t>& values, bool delta) {
+      packed.resize(GroupVarintMaxSize(values.size()));
+      const size_t written =
+          delta ? GroupVarintEncodeDelta(values.data(), values.size(),
+                                         packed.data())
+                : GroupVarintEncode(values.data(), values.size(), packed.data());
+      weights_section.Blob(packed.data(), written);
+    };
+    put_block(rule_indexes, /*delta=*/true);   // non-decreasing in sort order
+    put_block(reason_arities, /*delta=*/false);
+    put_block(result_arities, /*delta=*/false);
+    put_block(flat_ids, /*delta=*/true);
+    for (double v : sums) weights_section.F64(v);
+    for (double v : supports) weights_section.F64(v);
+    for (uint64_t v : last_batches) weights_section.U64(v);
   }
 
   // Assemble: magic, version, section count, checksummed framed sections.

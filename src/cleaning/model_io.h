@@ -70,9 +70,11 @@ inline constexpr char kModelSnapshotMagic[4] = {'M', 'L', 'N', 'M'};
 /// state (weight_half_life_batches option, batch counter, per-entry batch
 /// stamps); v3 moved integrity from one global header CRC-32 to a
 /// per-section CRC-32C verified before the payload is parsed (checksum
-/// mismatch = kCorruption with the section named). Per the version
+/// mismatch = kCorruption with the section named); v4 made the weight
+/// entries columnar with the rule indexes, arities, and γ value ids
+/// group-varint compressed (docs/snapshot_format.md). Per the version
 /// policy, older snapshots are rejected — regenerate from the builder.
-inline constexpr uint32_t kModelSnapshotVersion = 3;
+inline constexpr uint32_t kModelSnapshotVersion = 4;
 
 /// Summary of a snapshot, decoded without compiling a model — what
 /// `mlnclean_model inspect` prints.

@@ -32,6 +32,108 @@ void TrimCommonAffixes(std::string_view* a, std::string_view* b) {
   b->remove_suffix(suffix);
 }
 
+// Myers 1999 bit-parallel edit distance, pattern `a` (n <= 64) vs text
+// `b`. The pattern's character bitmaps live in scratch->pattern_bits
+// (entry c = positions of character c in the pattern); the array is
+// all-zero between calls, so only the pattern's own characters are set up
+// front and cleared at the end — characters absent from the pattern read
+// a correct 0 without a full 256-entry wipe. Each text character then
+// advances every DP row at once: Pv/Mv hold the vertical +1/-1 deltas of
+// the current column, Xh/Ph/Mh derive the horizontal deltas, and the
+// score tracks the bottom row through the high bit.
+size_t MyersLevenshtein64(std::string_view a, std::string_view b,
+                          EditDistanceScratch* scratch) {
+  const size_t n = a.size();
+  std::vector<uint64_t>& peq = scratch->pattern_bits;
+  if (peq.size() < 256) peq.resize(256, 0);
+  for (size_t i = 0; i < n; ++i) {
+    peq[static_cast<unsigned char>(a[i])] |= uint64_t{1} << i;
+  }
+  uint64_t pv = ~uint64_t{0};
+  uint64_t mv = 0;
+  size_t score = n;
+  for (const char c : b) {
+    const uint64_t eq = peq[static_cast<unsigned char>(c)];
+    const uint64_t xv = eq | mv;
+    const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    uint64_t ph = mv | ~(xh | pv);
+    uint64_t mh = pv & xh;
+    score += (ph >> (n - 1)) & 1;
+    score -= (mh >> (n - 1)) & 1;
+    ph = (ph << 1) | 1;
+    mh <<= 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+  }
+  for (const char c : a) peq[static_cast<unsigned char>(c)] = 0;
+  return score;
+}
+
+// Blocked Myers for patterns longer than 64 characters (Hyyrö 2003): the
+// pattern is cut into ceil(n/64)-word columns, each text character walks
+// the blocks bottom-up carrying the horizontal delta (+1/0/-1) between
+// them, and the score is read at the pattern's true last row inside the
+// top block (padding bits above it are never consulted). pattern_bits is
+// char-major with `words` entries per character, same all-zero-between-
+// calls contract as the single-block kernel.
+size_t MyersLevenshteinBlocked(std::string_view a, std::string_view b,
+                               EditDistanceScratch* scratch) {
+  const size_t n = a.size();
+  const size_t words = (n + 63) / 64;
+  std::vector<uint64_t>& peq = scratch->pattern_bits;
+  if (peq.size() < 256 * words) peq.resize(256 * words, 0);
+  for (size_t i = 0; i < n; ++i) {
+    peq[static_cast<unsigned char>(a[i]) * words + i / 64] |= uint64_t{1}
+                                                             << (i % 64);
+  }
+  // Per-block vertical delta state, Pv in [0, words), Mv in [words, 2*words).
+  std::vector<size_t>& state = scratch->rows;
+  static_assert(sizeof(size_t) == sizeof(uint64_t),
+                "blocked Myers packs uint64_t state into the size_t scratch");
+  if (state.size() < 2 * words) state.resize(2 * words);
+  uint64_t* pv = reinterpret_cast<uint64_t*>(state.data());
+  uint64_t* mv = pv + words;
+  for (size_t w = 0; w < words; ++w) {
+    pv[w] = ~uint64_t{0};
+    mv[w] = 0;
+  }
+  size_t score = n;
+  const size_t last_bit = (n - 1) % 64;
+  for (const char c : b) {
+    const uint64_t* eq_row = peq.data() + static_cast<unsigned char>(c) * words;
+    int carry = 1;  // row 0 of the DP always steps +1 per text character
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t eq = eq_row[w];
+      const uint64_t xv = eq | mv[w];
+      if (carry < 0) eq |= 1;
+      const uint64_t xh = (((eq & pv[w]) + pv[w]) ^ pv[w]) | eq;
+      uint64_t ph = mv[w] | ~(xh | pv[w]);
+      uint64_t mh = pv[w] & xh;
+      if (w == words - 1) {
+        score += (ph >> last_bit) & 1;
+        score -= (mh >> last_bit) & 1;
+      }
+      const int carry_out =
+          static_cast<int>((ph >> 63) & 1) - static_cast<int>((mh >> 63) & 1);
+      ph <<= 1;
+      mh <<= 1;
+      if (carry > 0) {
+        ph |= 1;
+      } else if (carry < 0) {
+        mh |= 1;
+      }
+      pv[w] = mh | ~(xv | ph);
+      mv[w] = ph & xv;
+      carry = carry_out;
+    }
+  }
+  for (const char c : a) {
+    uint64_t* row = peq.data() + static_cast<unsigned char>(c) * words;
+    for (size_t w = 0; w < words; ++w) row[w] = 0;
+  }
+  return score;
+}
+
 }  // namespace
 
 size_t Levenshtein(std::string_view a, std::string_view b) {
@@ -40,6 +142,22 @@ size_t Levenshtein(std::string_view a, std::string_view b) {
 
 size_t Levenshtein(std::string_view a, std::string_view b,
                    EditDistanceScratch* scratch) {
+  if (a == b) return 0;
+  TrimCommonAffixes(&a, &b);
+  if (a.size() > b.size()) std::swap(a, b);  // the shorter string is the pattern
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  if (n == 1) {
+    // One pattern character: distance is m minus one free match, if any.
+    return m - (b.find(a[0]) != std::string_view::npos ? 1 : 0);
+  }
+  if (n <= 64) return MyersLevenshtein64(a, b, scratch);
+  return MyersLevenshteinBlocked(a, b, scratch);
+}
+
+size_t LevenshteinReferenceDp(std::string_view a, std::string_view b,
+                              EditDistanceScratch* scratch) {
   if (a == b) return 0;
   TrimCommonAffixes(&a, &b);
   if (a.size() > b.size()) std::swap(a, b);  // keep the row for the shorter string
@@ -69,6 +187,12 @@ size_t DamerauLevenshtein(std::string_view a, std::string_view b) {
 size_t DamerauLevenshtein(std::string_view a, std::string_view b,
                           EditDistanceScratch* scratch) {
   if (a == b) return 0;
+  // Affix trimming is safe for the optimal-string-alignment recurrence:
+  // transpositions never straddle a position where both strings agree, so
+  // the trimmed remainder carries the whole distance (property-tested
+  // against the untrimmed full matrix).
+  TrimCommonAffixes(&a, &b);
+  if (a.size() > b.size()) std::swap(a, b);  // smaller row stride
   const size_t n = a.size();
   const size_t m = b.size();
   if (n == 0) return m;

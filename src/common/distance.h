@@ -31,18 +31,33 @@ enum class DistanceMetric {
   kDamerau,  // Damerau-Levenshtein (adjacent transpositions count as 1)
 };
 
-/// Reusable DP rows for the edit-distance kernels. Pass one instance into
-/// a tight comparison loop to keep the kernels allocation-free; the buffer
-/// grows to the longest string seen and is never shrunk.
+/// Reusable scratch for the edit-distance kernels. Pass one instance into
+/// a tight comparison loop to keep the kernels allocation-free; the
+/// buffers grow to the longest string seen and are never shrunk.
+///
+/// `rows` holds the DP rows of the reference kernel and Damerau.
+/// `pattern_bits` is the Myers pattern bitmap (one bit row per pattern
+/// character, char-major); the kernels maintain the invariant that it is
+/// all zeros between calls, so each call only touches the entries of the
+/// characters actually present in its pattern instead of wiping 2 KiB.
 struct EditDistanceScratch {
   std::vector<size_t> rows;
+  std::vector<uint64_t> pattern_bits;
 };
 
-/// Classic dynamic-programming edit distance (insert/delete/substitute).
-/// Equal strings and shared prefixes/suffixes are resolved without touching
-/// the DP table. The two-argument form uses a thread-local scratch.
+/// Edit distance (insert/delete/substitute) via the Myers 1999 bit-vector
+/// kernel: one uint64_t block when the (shorter, affix-trimmed) string
+/// fits in 64 characters, the blocked variant above that. Equal strings
+/// and shared prefixes/suffixes are resolved without touching the kernel.
+/// The two-argument form uses a thread-local scratch.
 size_t Levenshtein(std::string_view a, std::string_view b);
 size_t Levenshtein(std::string_view a, std::string_view b, EditDistanceScratch* scratch);
+
+/// The classic rolling-row dynamic program, kept as the reference the
+/// bit-parallel kernel is property-tested against (and as the readable
+/// statement of the recurrence). Same trimming fast paths as Levenshtein.
+size_t LevenshteinReferenceDp(std::string_view a, std::string_view b,
+                              EditDistanceScratch* scratch);
 
 /// Damerau-Levenshtein distance with adjacent transpositions.
 size_t DamerauLevenshtein(std::string_view a, std::string_view b);

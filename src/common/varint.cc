@@ -1,0 +1,242 @@
+#include "common/varint.h"
+
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace mlnclean {
+namespace {
+
+// 2-bit length code for one value: encoded length minus one.
+inline uint32_t LengthCode(uint32_t v) {
+  if (v < (uint32_t{1} << 8)) return 0;
+  if (v < (uint32_t{1} << 16)) return 1;
+  if (v < (uint32_t{1} << 24)) return 2;
+  return 3;
+}
+
+inline uint32_t ZigzagEncode(uint32_t delta) {
+  const int32_t d = static_cast<int32_t>(delta);
+  return (static_cast<uint32_t>(d) << 1) ^ static_cast<uint32_t>(d >> 31);
+}
+
+inline uint32_t ZigzagDecode(uint32_t z) {
+  return (z >> 1) ^ (~(z & 1) + 1);
+}
+
+// Appends one little-endian value of `len` bytes (1..4).
+inline uint8_t* PutValue(uint8_t* out, uint32_t v, uint32_t len) {
+  // Always store 4 bytes but only advance `len`: the scratch headroom the
+  // encoder's MaxSize contract guarantees makes the unconditional store
+  // safe and branch-free.
+  std::memcpy(out, &v, sizeof(v));
+  return out + len;
+}
+
+inline uint32_t GetValue(const uint8_t* in, uint32_t len) {
+  uint32_t v = 0;
+  std::memcpy(&v, in, len);
+  return v;
+}
+
+// Scalar decode of one full group of four values.
+inline const uint8_t* DecodeGroupScalar(uint8_t control, const uint8_t* data,
+                                        uint32_t* out) {
+  const uint32_t l0 = (control & 3u) + 1;
+  const uint32_t l1 = ((control >> 2) & 3u) + 1;
+  const uint32_t l2 = ((control >> 4) & 3u) + 1;
+  const uint32_t l3 = ((control >> 6) & 3u) + 1;
+  out[0] = GetValue(data, l0);
+  data += l0;
+  out[1] = GetValue(data, l1);
+  data += l1;
+  out[2] = GetValue(data, l2);
+  data += l2;
+  out[3] = GetValue(data, l3);
+  return data + l3;
+}
+
+// Total data bytes of a full group, straight from the control byte.
+inline uint32_t GroupDataBytes(uint8_t control) {
+  return 4 + (control & 3u) + ((control >> 2) & 3u) + ((control >> 4) & 3u) +
+         ((control >> 6) & 3u);
+}
+
+#if defined(__x86_64__)
+
+// Shuffle masks for _mm_shuffle_epi8: entry c expands the packed bytes of
+// the group with control byte c into four little-endian u32 lanes (0x80
+// lanes produce zeros).
+struct ShuffleTable {
+  alignas(16) uint8_t masks[256][16];
+  ShuffleTable() {
+    for (int c = 0; c < 256; ++c) {
+      uint8_t src = 0;
+      for (int v = 0; v < 4; ++v) {
+        const int len = ((c >> (2 * v)) & 3) + 1;
+        for (int byte = 0; byte < 4; ++byte) {
+          masks[c][4 * v + byte] =
+              byte < len ? src++ : uint8_t{0x80};
+        }
+      }
+    }
+  }
+};
+
+const ShuffleTable& Shuffles() {
+  static const ShuffleTable table;
+  return table;
+}
+
+__attribute__((target("ssse3"))) const uint8_t* DecodeGroupSsse3(
+    uint8_t control, const uint8_t* data, uint32_t* out) {
+  const __m128i raw =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(data));
+  const __m128i mask = _mm_load_si128(
+      reinterpret_cast<const __m128i*>(Shuffles().masks[control]));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out),
+                   _mm_shuffle_epi8(raw, mask));
+  return data + GroupDataBytes(control);
+}
+
+bool CpuHasSsse3() {
+  static const bool has = __builtin_cpu_supports("ssse3");
+  return has;
+}
+
+#endif  // __x86_64__
+
+// Core decode loop shared by the raw and delta entry points. `Post` maps
+// each decoded group in place (identity for raw, prefix-sum for delta).
+template <typename Post>
+bool DecodeImpl(const uint8_t* in, size_t in_size, size_t n, uint32_t* out,
+                size_t* consumed, Post post) {
+  const uint8_t* p = in;
+  const uint8_t* const end = in + in_size;
+  size_t i = 0;
+#if defined(__x86_64__)
+  if (CpuHasSsse3()) {
+    // The SIMD group decode loads 16 bytes unconditionally, so it runs
+    // only while a full 1 + 16 byte window is available; the scalar tail
+    // below finishes the stream exactly.
+    while (i + 4 <= n && end - p >= 17) {
+      const uint8_t control = *p++;
+      p = DecodeGroupSsse3(control, p, out + i);
+      post(out, i, 4);
+      i += 4;
+    }
+  }
+#endif
+  while (i + 4 <= n) {
+    if (p >= end) return false;
+    const uint8_t control = *p++;
+    if (static_cast<size_t>(end - p) < GroupDataBytes(control)) return false;
+    p = DecodeGroupScalar(control, p, out + i);
+    post(out, i, 4);
+    i += 4;
+  }
+  if (i < n) {
+    // Trailing partial group: the unused high codes of the control byte
+    // are required to be zero (the encoder writes them as zero), so a
+    // truncated tail can't silently alias a longer one.
+    if (p >= end) return false;
+    const uint8_t control = *p++;
+    const size_t rest = n - i;
+    if ((control >> (2 * rest)) != 0) return false;
+    for (size_t v = 0; v < rest; ++v) {
+      const uint32_t len = ((control >> (2 * v)) & 3u) + 1;
+      if (static_cast<size_t>(end - p) < len) return false;
+      out[i + v] = GetValue(p, len);
+      p += len;
+    }
+    post(out, i, rest);
+    i += rest;
+  }
+  if (consumed != nullptr) *consumed = static_cast<size_t>(p - in);
+  return true;
+}
+
+}  // namespace
+
+size_t GroupVarintEncode(const uint32_t* values, size_t n, uint8_t* out) {
+  uint8_t* p = out;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint32_t c0 = LengthCode(values[i]);
+    const uint32_t c1 = LengthCode(values[i + 1]);
+    const uint32_t c2 = LengthCode(values[i + 2]);
+    const uint32_t c3 = LengthCode(values[i + 3]);
+    *p++ = static_cast<uint8_t>(c0 | (c1 << 2) | (c2 << 4) | (c3 << 6));
+    p = PutValue(p, values[i], c0 + 1);
+    p = PutValue(p, values[i + 1], c1 + 1);
+    p = PutValue(p, values[i + 2], c2 + 1);
+    p = PutValue(p, values[i + 3], c3 + 1);
+  }
+  if (i < n) {
+    uint8_t control = 0;
+    for (size_t v = 0; i + v < n; ++v) {
+      control |= static_cast<uint8_t>(LengthCode(values[i + v]) << (2 * v));
+    }
+    *p++ = control;
+    for (size_t v = 0; i + v < n; ++v) {
+      p = PutValue(p, values[i + v], LengthCode(values[i + v]) + 1);
+    }
+  }
+  return static_cast<size_t>(p - out);
+}
+
+bool GroupVarintDecode(const uint8_t* in, size_t in_size, size_t n,
+                       uint32_t* out, size_t* consumed) {
+  return DecodeImpl(in, in_size, n, out, consumed,
+                    [](uint32_t*, size_t, size_t) {});
+}
+
+size_t GroupVarintEncodeDelta(const uint32_t* values, size_t n, uint8_t* out) {
+  uint8_t* p = out;
+  uint32_t prev = 0;
+  size_t i = 0;
+  uint32_t group[4];
+  while (i < n) {
+    const size_t rest = n - i < 4 ? n - i : 4;
+    for (size_t v = 0; v < rest; ++v) {
+      group[v] = ZigzagEncode(values[i + v] - prev);
+      prev = values[i + v];
+    }
+    p += GroupVarintEncode(group, rest, p);
+    i += rest;
+  }
+  return static_cast<size_t>(p - out);
+}
+
+bool GroupVarintDecodeDelta(const uint8_t* in, size_t in_size, size_t n,
+                            uint32_t* out, size_t* consumed) {
+  uint32_t prev = 0;
+  return DecodeImpl(in, in_size, n, out, consumed,
+                    [&prev](uint32_t* data, size_t start, size_t count) {
+                      for (size_t v = 0; v < count; ++v) {
+                        prev += ZigzagDecode(data[start + v]);
+                        data[start + v] = prev;
+                      }
+                    });
+}
+
+void GroupVarintEncodeDelta(const std::vector<uint32_t>& values,
+                            std::vector<uint8_t>* out) {
+  const size_t base = out->size();
+  out->resize(base + GroupVarintMaxSize(values.size()));
+  const size_t written =
+      GroupVarintEncodeDelta(values.data(), values.size(), out->data() + base);
+  out->resize(base + written);
+}
+
+bool GroupVarintUsesSimd() {
+#if defined(__x86_64__)
+  return CpuHasSsse3();
+#else
+  return false;
+#endif
+}
+
+}  // namespace mlnclean

@@ -1,0 +1,62 @@
+// Group-varint (streamvbyte-style) codec for uint32_t sequences.
+//
+// Values are encoded four at a time: one control byte holds four 2-bit
+// length codes (encoded length minus one, 1..4 bytes per value), followed
+// by the values' little-endian payload bytes. The control stream and data
+// stream are interleaved per group, so the codec is a single forward pass
+// in both directions. A zigzag+delta variant turns sorted or
+// slowly-varying sequences (dictionary-coded ValueId columns, snapshot
+// γ-id arrays) into streams of mostly 1-byte deltas.
+//
+// Decoding is strict: every entry point takes the available byte count and
+// refuses to read past it, returning false instead of over-reading, so
+// corrupted or truncated input can never crash the decoder. On x86-64 a
+// SSSE3 shuffle-table fast path is selected at runtime (per-process CPUID
+// check); scalar code is always compiled and is the only path elsewhere.
+// Both paths produce identical bytes in and out.
+
+#ifndef MLNCLEAN_COMMON_VARINT_H_
+#define MLNCLEAN_COMMON_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mlnclean {
+
+/// Upper bound on the encoded size of `n` values: one control byte plus up
+/// to 16 data bytes per group of four.
+inline size_t GroupVarintMaxSize(size_t n) {
+  const size_t groups = (n + 3) / 4;
+  return groups + n * 4;
+}
+
+/// Encodes `n` raw values into `out`, which must hold at least
+/// GroupVarintMaxSize(n) bytes. Returns the number of bytes written.
+size_t GroupVarintEncode(const uint32_t* values, size_t n, uint8_t* out);
+
+/// Decodes exactly `n` values from `in` (holding `in_size` readable bytes)
+/// into `out`. Returns false if the stream is truncated; on success
+/// `*consumed` (if non-null) receives the number of input bytes read.
+bool GroupVarintDecode(const uint8_t* in, size_t in_size, size_t n,
+                       uint32_t* out, size_t* consumed = nullptr);
+
+/// Delta+zigzag variants: value i is encoded as
+/// zigzag(values[i] - values[i-1]) with values[-1] = 0, all arithmetic
+/// mod 2^32. Ideal for sorted id arrays; never worse than ~5 bytes per
+/// value on adversarial input.
+size_t GroupVarintEncodeDelta(const uint32_t* values, size_t n, uint8_t* out);
+bool GroupVarintDecodeDelta(const uint8_t* in, size_t in_size, size_t n,
+                            uint32_t* out, size_t* consumed = nullptr);
+
+/// Convenience wrappers appending to / reading from byte vectors.
+void GroupVarintEncodeDelta(const std::vector<uint32_t>& values,
+                            std::vector<uint8_t>* out);
+
+/// True when the runtime-dispatched SSSE3 decode path is active (x86-64
+/// with SSSE3 support); exposed so tests can report which path they pinned.
+bool GroupVarintUsesSimd();
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_COMMON_VARINT_H_

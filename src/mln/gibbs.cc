@@ -6,66 +6,139 @@
 
 namespace mlnclean {
 
+namespace {
+
+// Effective weight of a hard clause inside the sampler's conditionals:
+// large enough to pin the conditional at ~0/1 through the sigmoid clamp.
+constexpr double kHardWeight = 1e6;
+
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Counter-based uniform in [0, 1): every (seed, sweep, atom) triple has
+// its own fixed draw, so the sampling schedule is independent of how the
+// atoms of a color are distributed over threads.
+inline double HashUniform(uint64_t seed, uint64_t sweep, uint64_t atom) {
+  uint64_t x = SplitMix64(seed ^ (sweep * 0x9e3779b97f4a7c15ull));
+  x = SplitMix64(x ^ (atom * 0xd1b54a32d192ed03ull));
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
 std::vector<double> GibbsMarginals(
     const GroundNetwork& network, const GibbsOptions& options,
-    const std::vector<std::pair<AtomId, bool>>& evidence) {
+    const std::vector<std::pair<AtomId, bool>>& evidence,
+    const ExecContext& ctx) {
   const size_t n = network.num_atoms();
   std::vector<double> marginals(n, 0.0);
   if (n == 0) return marginals;
 
-  Rng rng(options.seed);
-  std::vector<bool> world(n, false);
-  std::vector<bool> clamped(n, false);
+  const FlatNetwork flat = BuildFlatNetwork(network);
+
+  // uint8_t (not vector<bool>) so same-color atoms can write concurrently.
+  std::vector<uint8_t> world(n, 0);
+  std::vector<uint8_t> clamped(n, 0);
   for (const auto& [atom, value] : evidence) {
-    world[static_cast<size_t>(atom)] = value;
-    clamped[static_cast<size_t>(atom)] = true;
+    world[static_cast<size_t>(atom)] = value ? 1 : 0;
+    clamped[static_cast<size_t>(atom)] = 1;
   }
+  Rng rng(options.seed);
   for (size_t a = 0; a < n; ++a) {
-    if (!clamped[a]) world[a] = rng.NextBool(0.5);
+    if (clamped[a] == 0) world[a] = rng.NextBool(0.5) ? 1 : 0;
   }
 
-  // Score delta of flipping atom `a` to true vs. false, touching only the
-  // clauses that mention it.
-  auto conditional_true_prob = [&](size_t a) {
+  // Number of currently-true literals per clause, maintained incrementally
+  // so each resample sees "satisfied by someone else" in O(1) per clause.
+  std::vector<uint32_t> true_lits(flat.num_clauses(), 0);
+  for (size_t ci = 0; ci < flat.num_clauses(); ++ci) {
+    uint32_t count = 0;
+    for (size_t j = flat.clause_offsets[ci]; j < flat.clause_offsets[ci + 1]; ++j) {
+      const uint8_t value = world[static_cast<size_t>(flat.literal_atoms[j])];
+      if (value == flat.literal_positive[j]) ++count;
+    }
+    true_lits[ci] = count;
+  }
+
+  // Resamples atom `a` from its full conditional. Only touches `world[a]`
+  // and the clauses adjacent to `a`, none of which another atom of the
+  // same color can reach — the coloring makes the within-color loop
+  // race-free by construction.
+  auto resample = [&](size_t a, int sweep) {
     double score_true = 0.0, score_false = 0.0;
-    for (size_t ci : network.clauses_of(static_cast<AtomId>(a))) {
-      const MlnClauseG& clause = network.clause(ci);
-      double w = clause.hard ? 1e6 : clause.weight;
-      bool sat_other = false;  // satisfied by some literal not on atom a
-      bool sat_if_true = false, sat_if_false = false;
-      for (const auto& lit : clause.literals) {
-        if (static_cast<size_t>(lit.atom) == a) {
-          (lit.positive ? sat_if_true : sat_if_false) = true;
-        } else if (world[static_cast<size_t>(lit.atom)] == lit.positive) {
-          sat_other = true;
-        }
-      }
-      if (sat_other || sat_if_true) score_true += w;
-      if (sat_other || sat_if_false) score_false += w;
+    const size_t begin = flat.atom_offsets[a];
+    const size_t end = flat.atom_offsets[a + 1];
+    for (size_t e = begin; e < end; ++e) {
+      const uint32_t ci = flat.adj_clause[e];
+      const double w =
+          flat.clause_hard[ci] != 0 ? kHardWeight : flat.clause_weights[ci];
+      const uint32_t own = world[a] != 0 ? flat.adj_pos[e] : flat.adj_neg[e];
+      const bool sat_other = true_lits[ci] > own;
+      if (sat_other || flat.adj_pos[e] > 0) score_true += w;
+      if (sat_other || flat.adj_neg[e] > 0) score_false += w;
     }
     // Numerically stable sigmoid of (score_true - score_false).
-    double d = score_true - score_false;
-    if (d > 35.0) return 1.0;
-    if (d < -35.0) return 0.0;
-    return 1.0 / (1.0 + std::exp(-d));
+    const double d = score_true - score_false;
+    double p;
+    if (d > 35.0) {
+      p = 1.0;
+    } else if (d < -35.0) {
+      p = 0.0;
+    } else {
+      p = 1.0 / (1.0 + std::exp(-d));
+    }
+    const uint8_t next =
+        HashUniform(options.seed, static_cast<uint64_t>(sweep), a) < p ? 1 : 0;
+    if (next != world[a]) {
+      for (size_t e = begin; e < end; ++e) {
+        const uint32_t ci = flat.adj_clause[e];
+        const int delta =
+            static_cast<int>(next != 0 ? flat.adj_pos[e] : flat.adj_neg[e]) -
+            static_cast<int>(world[a] != 0 ? flat.adj_pos[e] : flat.adj_neg[e]);
+        true_lits[ci] = static_cast<uint32_t>(static_cast<int>(true_lits[ci]) + delta);
+      }
+      world[a] = next;
+    }
   };
 
+  std::vector<uint32_t> true_counts(n, 0);
   const int total_sweeps = options.burn_in_sweeps + options.sample_sweeps;
+  // With no worker parallelism, dispatch the resamples directly — the
+  // per-index std::function call inside ParallelFor costs as much as a
+  // small-network resample itself. The iteration order (colors ascending,
+  // color_atoms order within a color) is exactly what ParallelFor's
+  // sequential drain produces, so both paths stay bit-identical.
+  const bool sequential = ctx.parallelism() <= 1;
   int kept = 0;
   for (int sweep = 0; sweep < total_sweeps; ++sweep) {
-    for (size_t a = 0; a < n; ++a) {
-      if (clamped[a]) continue;
-      world[a] = rng.NextBool(conditional_true_prob(a));
+    if (sequential) {
+      for (size_t k = 0; k < flat.color_atoms.size(); ++k) {
+        const size_t a = flat.color_atoms[k];
+        if (clamped[a] == 0) resample(a, sweep);
+      }
+    } else {
+      for (size_t c = 0; c < flat.num_colors(); ++c) {
+        const size_t begin = flat.color_offsets[c];
+        const size_t count = flat.color_offsets[c + 1] - begin;
+        ParallelFor(count, ctx, [&](size_t k) {
+          const size_t a = flat.color_atoms[begin + k];
+          if (clamped[a] == 0) resample(a, sweep);
+        });
+      }
     }
     if (sweep >= options.burn_in_sweeps) {
       ++kept;
-      for (size_t a = 0; a < n; ++a) {
-        if (world[a]) marginals[a] += 1.0;
-      }
+      for (size_t a = 0; a < n; ++a) true_counts[a] += world[a];
     }
   }
   if (kept > 0) {
-    for (double& m : marginals) m /= kept;
+    for (size_t a = 0; a < n; ++a) {
+      marginals[a] = static_cast<double>(true_counts[a]) / kept;
+    }
   }
   for (const auto& [atom, value] : evidence) {
     marginals[static_cast<size_t>(atom)] = value ? 1.0 : 0.0;

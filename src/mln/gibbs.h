@@ -1,13 +1,22 @@
 // Gibbs sampling for marginal inference over a GroundNetwork: repeatedly
 // resamples each atom from its full conditional under the Eq. 2
 // distribution and averages post-burn-in samples.
+//
+// The sampler runs chromatic sweeps over the FlatNetwork's conflict-free
+// coloring: within a color no two atoms share a clause, so the whole color
+// is resampled in parallel on the caller's ExecContext. Every atom draw
+// comes from a counter-based hash of (seed, sweep, atom), so the marginals
+// are bit-identical for any thread count — the same determinism contract
+// the stage drivers keep.
 
 #ifndef MLNCLEAN_MLN_GIBBS_H_
 #define MLNCLEAN_MLN_GIBBS_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "common/executor.h"
 #include "mln/network.h"
 
 namespace mlnclean {
@@ -21,10 +30,12 @@ struct GibbsOptions {
 
 /// Estimates Pr(atom = true) for every atom. Atoms listed in `evidence`
 /// (pairs of atom id and value) are clamped and reported at their clamped
-/// value.
+/// value. `ctx` supplies the executor for within-color parallelism; the
+/// default context runs sequentially and produces the exact same marginals.
 std::vector<double> GibbsMarginals(
     const GroundNetwork& network, const GibbsOptions& options,
-    const std::vector<std::pair<AtomId, bool>>& evidence = {});
+    const std::vector<std::pair<AtomId, bool>>& evidence = {},
+    const ExecContext& ctx = {});
 
 }  // namespace mlnclean
 

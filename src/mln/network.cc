@@ -1,5 +1,7 @@
 #include "mln/network.h"
 
+#include <algorithm>
+
 namespace mlnclean {
 
 namespace {
@@ -88,6 +90,112 @@ double GroundNetwork::ViolationCost(const std::vector<bool>& world) const {
     }
   }
   return cost;
+}
+
+FlatNetwork BuildFlatNetwork(const GroundNetwork& network) {
+  FlatNetwork flat;
+  const size_t n = network.num_atoms();
+  const size_t m = network.num_clauses();
+
+  // Clause-major literal CSR.
+  flat.clause_offsets.reserve(m + 1);
+  flat.clause_offsets.push_back(0);
+  flat.clause_weights.reserve(m);
+  flat.clause_hard.reserve(m);
+  for (size_t ci = 0; ci < m; ++ci) {
+    const MlnClauseG& clause = network.clause(ci);
+    for (const MlnLiteral& lit : clause.literals) {
+      flat.literal_atoms.push_back(lit.atom);
+      flat.literal_positive.push_back(lit.positive ? 1 : 0);
+    }
+    flat.clause_offsets.push_back(flat.literal_atoms.size());
+    flat.clause_weights.push_back(clause.weight);
+    flat.clause_hard.push_back(clause.hard ? 1 : 0);
+  }
+
+  // Atom-major adjacency. An atom that appears k times in one clause gets
+  // a single adjacency entry whose pos/neg counts sum to k; the first
+  // occurrence inside the clause owns the entry.
+  auto first_occurrence = [&](size_t ci, size_t li) {
+    const AtomId atom = flat.literal_atoms[li];
+    for (size_t j = flat.clause_offsets[ci]; j < li; ++j) {
+      if (flat.literal_atoms[j] == atom) return false;
+    }
+    return true;
+  };
+  std::vector<size_t> degree(n, 0);
+  for (size_t ci = 0; ci < m; ++ci) {
+    for (size_t li = flat.clause_offsets[ci]; li < flat.clause_offsets[ci + 1]; ++li) {
+      if (first_occurrence(ci, li)) {
+        ++degree[static_cast<size_t>(flat.literal_atoms[li])];
+      }
+    }
+  }
+  flat.atom_offsets.assign(n + 1, 0);
+  for (size_t a = 0; a < n; ++a) {
+    flat.atom_offsets[a + 1] = flat.atom_offsets[a] + degree[a];
+  }
+  const size_t num_entries = flat.atom_offsets[n];
+  flat.adj_clause.resize(num_entries);
+  flat.adj_pos.resize(num_entries);
+  flat.adj_neg.resize(num_entries);
+  std::vector<size_t> cursor(flat.atom_offsets.begin(), flat.atom_offsets.end() - 1);
+  for (size_t ci = 0; ci < m; ++ci) {
+    for (size_t li = flat.clause_offsets[ci]; li < flat.clause_offsets[ci + 1]; ++li) {
+      if (!first_occurrence(ci, li)) continue;
+      const size_t atom = static_cast<size_t>(flat.literal_atoms[li]);
+      uint32_t pos = 0, neg = 0;
+      for (size_t j = li; j < flat.clause_offsets[ci + 1]; ++j) {
+        if (static_cast<size_t>(flat.literal_atoms[j]) != atom) continue;
+        if (flat.literal_positive[j] != 0) {
+          ++pos;
+        } else {
+          ++neg;
+        }
+      }
+      const size_t slot = cursor[atom]++;
+      flat.adj_clause[slot] = static_cast<uint32_t>(ci);
+      flat.adj_pos[slot] = pos;
+      flat.adj_neg[slot] = neg;
+    }
+  }
+
+  // Greedy coloring in atom order: each atom takes the smallest color not
+  // used by an already-colored clause neighbor. `stamp` makes "color in
+  // use" checks O(1) without clearing a set per atom.
+  std::vector<uint32_t> color(n, 0);
+  std::vector<size_t> stamp;  // stamp[c] == a+1 -> color c used by a neighbor of a
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t e = flat.atom_offsets[a]; e < flat.atom_offsets[a + 1]; ++e) {
+      const size_t ci = flat.adj_clause[e];
+      for (size_t j = flat.clause_offsets[ci]; j < flat.clause_offsets[ci + 1]; ++j) {
+        const size_t b = static_cast<size_t>(flat.literal_atoms[j]);
+        if (b >= a) continue;  // not colored yet (or the atom itself)
+        const uint32_t c = color[b];
+        if (c >= stamp.size()) stamp.resize(c + 1, 0);
+        stamp[c] = a + 1;
+      }
+    }
+    uint32_t c = 0;
+    while (c < stamp.size() && stamp[c] == a + 1) ++c;
+    color[a] = c;
+  }
+  uint32_t num_colors = 0;
+  for (size_t a = 0; a < n; ++a) {
+    num_colors = std::max(num_colors, color[a] + 1);
+  }
+  flat.color_offsets.assign(num_colors + 1, 0);
+  for (size_t a = 0; a < n; ++a) ++flat.color_offsets[color[a] + 1];
+  for (size_t c = 0; c < num_colors; ++c) {
+    flat.color_offsets[c + 1] += flat.color_offsets[c];
+  }
+  flat.color_atoms.resize(n);
+  std::vector<size_t> color_cursor(flat.color_offsets.begin(),
+                                   flat.color_offsets.end() - 1);
+  for (size_t a = 0; a < n; ++a) {
+    flat.color_atoms[color_cursor[color[a]]++] = static_cast<uint32_t>(a);
+  }
+  return flat;
 }
 
 }  // namespace mlnclean

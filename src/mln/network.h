@@ -6,6 +6,7 @@
 #ifndef MLNCLEAN_MLN_NETWORK_H_
 #define MLNCLEAN_MLN_NETWORK_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -113,6 +114,49 @@ class GroundNetwork {
   std::vector<MlnClauseG> clauses_;
   std::vector<std::vector<size_t>> atom_clauses_;
 };
+
+/// CSR ("flat") image of a finished GroundNetwork, built once before
+/// inference so the sampling hot loops touch only contiguous arrays
+/// instead of per-clause vectors of structs.
+///
+/// Three views of the same network:
+///  - clause-major literal lists (`clause_offsets` into `literal_*`),
+///  - atom-major adjacency with per-(atom, clause) literal counts
+///    (`atom_offsets` into `adj_*`; `adj_pos`/`adj_neg` count how many
+///    positive/negative literals the clause has on that atom, so duplicate
+///    literals are preserved exactly),
+///  - a greedy conflict-free coloring of the atom graph (`color_offsets`
+///    into `color_atoms`): two atoms of the same color never share a
+///    clause, so all atoms of one color can be Gibbs-resampled in
+///    parallel without synchronization.
+struct FlatNetwork {
+  std::vector<size_t> clause_offsets;  // num_clauses + 1
+  std::vector<AtomId> literal_atoms;
+  std::vector<uint8_t> literal_positive;
+  std::vector<double> clause_weights;
+  std::vector<uint8_t> clause_hard;
+
+  std::vector<size_t> atom_offsets;  // num_atoms + 1
+  std::vector<uint32_t> adj_clause;
+  std::vector<uint32_t> adj_pos;
+  std::vector<uint32_t> adj_neg;
+
+  std::vector<size_t> color_offsets;  // num_colors + 1
+  std::vector<uint32_t> color_atoms;  // atoms grouped by color, ascending
+
+  size_t num_atoms() const {
+    return atom_offsets.empty() ? 0 : atom_offsets.size() - 1;
+  }
+  size_t num_clauses() const {
+    return clause_offsets.empty() ? 0 : clause_offsets.size() - 1;
+  }
+  size_t num_colors() const {
+    return color_offsets.empty() ? 0 : color_offsets.size() - 1;
+  }
+};
+
+/// Flattens `network` into CSR arrays and colors its atom graph.
+FlatNetwork BuildFlatNetwork(const GroundNetwork& network);
 
 }  // namespace mlnclean
 

@@ -21,28 +21,57 @@ std::vector<double> LearnWeights(const std::vector<double>& counts,
   std::vector<double> w = prior;
   const double lambda = std::max(options.l2, 1e-9);
 
-  std::vector<double> probs;
+  // Flatten the multi-member groups into CSR arrays once, hoisting
+  // everything the Newton iterations never change: the member lists, the
+  // gathered member counts, and the per-group support totals. Singleton
+  // groups are excluded up front — their gradient is exactly zero, so
+  // they keep the prior. The iterate-order arithmetic below matches the
+  // nested-vector formulation operation for operation, so learned weights
+  // are bit-identical to it.
+  std::vector<size_t> group_offsets;
+  group_offsets.push_back(0);
+  std::vector<size_t> members;
+  std::vector<double> member_counts;
+  std::vector<double> n_group;
+  size_t max_group = 0;
+  for (const auto& group : groups) {
+    if (group.size() < 2) continue;
+    double total = 0.0;
+    for (size_t idx : group) {
+      members.push_back(idx);
+      member_counts.push_back(counts[idx]);
+      total += counts[idx];
+    }
+    group_offsets.push_back(members.size());
+    n_group.push_back(total);
+    max_group = std::max(max_group, group.size());
+  }
+  if (members.empty()) return w;
+
+  std::vector<double> probs(max_group);
+  const size_t num_groups = n_group.size();
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     double max_delta = 0.0;
-    for (const auto& group : groups) {
-      if (group.size() < 2) continue;  // singleton: gradient is exactly zero
-      // Softmax over the group's weights (subtract max for stability).
+    for (size_t g = 0; g < num_groups; ++g) {
+      const size_t begin = group_offsets[g];
+      const size_t end = group_offsets[g + 1];
+      // Fused sweep: softmax, gradient, and diagonal-Hessian step all come
+      // from two passes over the group's contiguous CSR slice.
       double wmax = -1e300;
-      for (size_t idx : group) wmax = std::max(wmax, w[idx]);
+      for (size_t k = begin; k < end; ++k) wmax = std::max(wmax, w[members[k]]);
       double z = 0.0;
-      probs.resize(group.size());
-      for (size_t k = 0; k < group.size(); ++k) {
-        probs[k] = std::exp(w[group[k]] - wmax);
-        z += probs[k];
+      for (size_t k = begin; k < end; ++k) {
+        const double e = std::exp(w[members[k]] - wmax);
+        probs[k - begin] = e;
+        z += e;
       }
-      double n_group = 0.0;
-      for (size_t idx : group) n_group += counts[idx];
-      for (size_t k = 0; k < group.size(); ++k) {
-        size_t idx = group[k];
-        double p = probs[k] / z;
-        double expected = n_group * p;
-        double grad = counts[idx] - expected - lambda * (w[idx] - prior[idx]);
-        double hess = n_group * p * (1.0 - p) + lambda;
+      for (size_t k = begin; k < end; ++k) {
+        const size_t idx = members[k];
+        const double p = probs[k - begin] / z;
+        const double expected = n_group[g] * p;
+        const double grad =
+            member_counts[k] - expected - lambda * (w[idx] - prior[idx]);
+        const double hess = n_group[g] * p * (1.0 - p) + lambda;
         double step = options.damping * grad / hess;
         step = std::clamp(step, -options.max_step, options.max_step);
         w[idx] += step;

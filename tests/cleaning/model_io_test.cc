@@ -478,6 +478,58 @@ TEST(ModelIoTest, SeededCorruptionFuzzerNeverCrashesAndAlwaysRejects) {
   }
 }
 
+// CRC-32C (Castagnoli), mirroring the codec's checksum so the fuzzer
+// below can re-seal a deliberately corrupted payload.
+uint32_t TestCrc32c(const char* data, size_t size) {
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc ^= static_cast<unsigned char>(data[i]);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0x82f63b78u & (~(crc & 1u) + 1u));
+    }
+  }
+  return ~crc;
+}
+
+TEST(ModelIoTest, ResealedWeightsCorruptionReachesTheVarintDecoderSafely) {
+  // The per-section CRC normally rejects payload damage before the parse,
+  // so the v4 varint-block decoder never sees corrupt bytes through the
+  // normal path. This fuzzer corrupts the weights payload and then
+  // *re-seals the section CRC*, forcing the structural decoder (varint
+  // blocks, arities, id streams) to face arbitrary bytes directly. Every
+  // outcome must be decode-or-reject — kInvalid/kCorruption, never a
+  // crash or over-read (this runs under the sanitize CI job too).
+  const std::string valid = ValidSnapshotBytes();
+  const auto ranges = SectionRanges(valid);
+  const auto [frame_begin, frame_end] = ranges[3];  // weights section
+  const size_t payload_begin = frame_begin + 16;    // tag[4] len[8] crc[4]
+  ASSERT_LT(payload_begin, frame_end);
+  std::mt19937_64 rng(0x76340d34u);
+  std::uniform_int_distribution<size_t> pos_dist(payload_begin, frame_end - 1);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  std::uniform_int_distribution<int> flip_dist(1, 6);
+  int rejected = 0;
+  constexpr int kTrials = 400;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::string mutated = valid;
+    for (int f = flip_dist(rng); f > 0; --f) {
+      mutated[pos_dist(rng)] = static_cast<char>(byte_dist(rng));
+    }
+    PatchU32(&mutated, frame_begin + 12,
+             TestCrc32c(mutated.data() + payload_begin,
+                        frame_end - payload_begin));
+    auto result = LoadFromString(mutated);
+    if (!result.ok()) {
+      ++rejected;
+      EXPECT_TRUE(result.status().IsInvalid() || result.status().IsCorruption())
+          << "trial " << trial << ": " << result.status().ToString();
+    }
+  }
+  // Random damage to varint blocks should overwhelmingly fail structural
+  // or semantic validation; a decode that happens to stay valid is fine.
+  EXPECT_GT(rejected, kTrials / 2);
+}
+
 TEST(ModelIoTest, NullValuesInWeightDictionariesRoundTrip) {
   // NULL (empty string) cells reach the weight store as id-0 values; the
   // dictionary's null rank travels as a fixed u64 sentinel on the wire.

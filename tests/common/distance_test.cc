@@ -262,6 +262,121 @@ TEST(KernelPropertyTest, ScratchDamerauMatchesReference) {
   }
 }
 
+// ---- Myers bit-parallel kernel vs the reference DP ----------------------
+
+TEST(MyersPropertyTest, MatchesReferenceDpOnShortStrings) {
+  Rng rng(7001);
+  EditDistanceScratch scratch, ref_scratch;
+  const std::string alphabet = "abcd";
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::string a = RandomString(&rng, alphabet, 20);
+    std::string b = RandomString(&rng, alphabet, 20);
+    EXPECT_EQ(Levenshtein(a, b, &scratch),
+              LevenshteinReferenceDp(a, b, &ref_scratch))
+        << '"' << a << "\" vs \"" << b << '"';
+  }
+}
+
+TEST(MyersPropertyTest, MatchesReferenceAcrossTheBlockBoundary) {
+  Rng rng(7002);
+  EditDistanceScratch scratch, ref_scratch;
+  const std::string alphabet = "abcdefgh";
+  // Lengths straddling 64 force both the single-block kernel near its top
+  // bit and the blocked kernel's carry propagation between words. The
+  // random prefix keeps affix trimming from shortening everything back
+  // under one block.
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t len_a = 40 + rng.NextIndex(120);  // up to 159
+    const size_t len_b = 40 + rng.NextIndex(120);
+    std::string a, b;
+    while (a.size() < len_a) a += alphabet[rng.NextIndex(alphabet.size())];
+    while (b.size() < len_b) b += alphabet[rng.NextIndex(alphabet.size())];
+    EXPECT_EQ(Levenshtein(a, b, &scratch),
+              LevenshteinReferenceDp(a, b, &ref_scratch))
+        << "lengths " << len_a << " vs " << len_b << " (trial " << trial << ")";
+  }
+}
+
+TEST(MyersPropertyTest, ExactlySixtyFourAndSixtyFivePatternChars) {
+  EditDistanceScratch scratch, ref_scratch;
+  // Pin the block boundary itself: a 64-char pattern uses the top bit of
+  // the single block, a 65-char pattern is the smallest blocked case.
+  std::string base(64, 'x');
+  for (size_t i = 0; i < base.size(); i += 7) base[i] = 'y';
+  for (size_t extra = 0; extra <= 3; ++extra) {
+    std::string a = base + std::string(extra, 'z');
+    std::string b = base;
+    std::reverse(b.begin(), b.end());
+    b += "qq";
+    EXPECT_EQ(Levenshtein(a, b, &scratch),
+              LevenshteinReferenceDp(a, b, &ref_scratch))
+        << "pattern length " << a.size();
+  }
+}
+
+TEST(MyersPropertyTest, EmptyAndSingleCharStrings) {
+  EditDistanceScratch scratch;
+  EXPECT_EQ(Levenshtein("", "", &scratch), 0u);
+  EXPECT_EQ(Levenshtein("", "abc", &scratch), 3u);
+  EXPECT_EQ(Levenshtein("abc", "", &scratch), 3u);
+  EXPECT_EQ(Levenshtein("a", "abc", &scratch), 2u);
+  EXPECT_EQ(Levenshtein("b", "abc", &scratch), 2u);
+  EXPECT_EQ(Levenshtein("z", "abc", &scratch), 3u);
+}
+
+TEST(MyersPropertyTest, HighBytesAndUtf8) {
+  Rng rng(7003);
+  EditDistanceScratch scratch, ref_scratch;
+  // The kernel works on raw bytes; multi-byte UTF-8 and bytes >= 0x80 must
+  // index the pattern bitmap correctly (unsigned char, not char).
+  const std::vector<std::string> pieces = {"é", "ß", "日", "本", "\xff",
+                                           "\x80", "a",  "z"};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a, b;
+    for (size_t i = rng.NextIndex(40); i > 0; --i) {
+      a += pieces[rng.NextIndex(pieces.size())];
+    }
+    for (size_t i = rng.NextIndex(40); i > 0; --i) {
+      b += pieces[rng.NextIndex(pieces.size())];
+    }
+    EXPECT_EQ(Levenshtein(a, b, &scratch),
+              LevenshteinReferenceDp(a, b, &ref_scratch));
+  }
+}
+
+TEST(MyersPropertyTest, ScratchReuseAcrossMixedLengths) {
+  // The pattern-bitmap invariant (all zeros between calls) must survive
+  // arbitrary interleavings of short, long, and high-byte patterns in one
+  // scratch — a stale bit from a previous call would corrupt a later one.
+  Rng rng(7004);
+  EditDistanceScratch scratch, ref_scratch;
+  const std::string alphabet = "ab\x80\xff";
+  for (int trial = 0; trial < 400; ++trial) {
+    const size_t max_len = trial % 3 == 0 ? 150 : 12;
+    std::string a = RandomString(&rng, alphabet, max_len);
+    std::string b = RandomString(&rng, alphabet, max_len);
+    EXPECT_EQ(Levenshtein(a, b, &scratch),
+              LevenshteinReferenceDp(a, b, &ref_scratch));
+  }
+}
+
+TEST(MyersPropertyTest, DamerauAffixTrimMatchesUntrimmedReference) {
+  Rng rng(7005);
+  EditDistanceScratch scratch;
+  // Shared prefixes/suffixes around a transposition-heavy core: trims the
+  // OSA recurrence must not change (transpositions never straddle an
+  // agreeing position).
+  const std::string alphabet = "ab";
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::string prefix = RandomString(&rng, "xy", 6);
+    const std::string suffix = RandomString(&rng, "uv", 6);
+    std::string a = prefix + RandomString(&rng, alphabet, 10) + suffix;
+    std::string b = prefix + RandomString(&rng, alphabet, 10) + suffix;
+    EXPECT_EQ(DamerauLevenshtein(a, b, &scratch), ReferenceDamerau(a, b))
+        << '"' << a << "\" vs \"" << b << '"';
+  }
+}
+
 TEST(KernelPropertyTest, ProfileCosineMatchesReference) {
   Rng rng(2026);
   const std::string alphabet = "abcdef";

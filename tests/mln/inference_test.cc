@@ -53,6 +53,89 @@ TEST(GibbsTest, EmptyNetwork) {
   EXPECT_TRUE(marginals.empty());
 }
 
+// Builds a ring of implication clauses plus per-atom biases — enough
+// shared clauses that the chromatic partition needs several colors.
+GroundNetwork RingNetwork(int n) {
+  GroundNetwork net;
+  std::vector<AtomId> atoms;
+  for (int i = 0; i < n; ++i) atoms.push_back(net.AddAtom("a" + std::to_string(i)));
+  for (int i = 0; i < n; ++i) {
+    AtomId a = atoms[static_cast<size_t>(i)];
+    AtomId b = atoms[static_cast<size_t>((i + 1) % n)];
+    EXPECT_TRUE(net.AddClause({{{a, false}, {b, true}}, 0.8, false}).ok());
+    EXPECT_TRUE(net.AddClause({{{a, true}}, 0.1 * (i % 5), false}).ok());
+  }
+  return net;
+}
+
+TEST(GibbsTest, ChromaticSweepsAreBitIdenticalAcrossThreadCounts) {
+  // The determinism contract: the hash-per-(seed, sweep, atom) draws make
+  // the marginals a pure function of the options, independent of the
+  // executor — sequential, 2-thread, and 8-thread runs must agree to the
+  // last bit.
+  GroundNetwork net = RingNetwork(31);
+  GibbsOptions opts;
+  opts.burn_in_sweeps = 30;
+  opts.sample_sweeps = 120;
+  opts.seed = 977;
+  const auto sequential = GibbsMarginals(net, opts, {{0, true}});
+  for (size_t threads : {2u, 8u}) {
+    PoolExecutor pool(threads);
+    ExecContext ctx;
+    ctx.executor = &pool;
+    const auto parallel = GibbsMarginals(net, opts, {{0, true}}, ctx);
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (size_t a = 0; a < sequential.size(); ++a) {
+      EXPECT_EQ(parallel[a], sequential[a]) << "atom " << a << " with "
+                                            << threads << " threads";
+    }
+  }
+}
+
+TEST(FlatNetworkTest, ColoringIsAConflictFreePartition) {
+  GroundNetwork net = RingNetwork(17);
+  const FlatNetwork flat = BuildFlatNetwork(net);
+  ASSERT_EQ(flat.num_atoms(), net.num_atoms());
+  ASSERT_EQ(flat.num_clauses(), net.num_clauses());
+  // Every atom appears in exactly one color bucket.
+  std::vector<int> seen(flat.num_atoms(), 0);
+  for (uint32_t a : flat.color_atoms) ++seen[a];
+  for (size_t a = 0; a < flat.num_atoms(); ++a) EXPECT_EQ(seen[a], 1);
+  // No clause has two distinct atoms of the same color.
+  std::vector<uint32_t> color(flat.num_atoms(), 0);
+  for (size_t c = 0; c < flat.num_colors(); ++c) {
+    for (size_t k = flat.color_offsets[c]; k < flat.color_offsets[c + 1]; ++k) {
+      color[flat.color_atoms[k]] = static_cast<uint32_t>(c);
+    }
+  }
+  for (size_t ci = 0; ci < flat.num_clauses(); ++ci) {
+    for (size_t i = flat.clause_offsets[ci]; i < flat.clause_offsets[ci + 1]; ++i) {
+      for (size_t j = i + 1; j < flat.clause_offsets[ci + 1]; ++j) {
+        const AtomId a = flat.literal_atoms[i];
+        const AtomId b = flat.literal_atoms[j];
+        if (a != b) {
+          EXPECT_NE(color[static_cast<size_t>(a)], color[static_cast<size_t>(b)])
+              << "clause " << ci << " atoms " << a << ", " << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(FlatNetworkTest, AdjacencyCountsPreserveDuplicateLiterals) {
+  GroundNetwork net;
+  AtomId a = net.AddAtom("a");
+  AtomId b = net.AddAtom("b");
+  // Clause mentioning `a` twice with both polarities, plus `b`.
+  ASSERT_TRUE(net.AddClause({{{a, true}, {a, false}, {b, true}}, 1.0, false}).ok());
+  const FlatNetwork flat = BuildFlatNetwork(net);
+  const size_t begin = flat.atom_offsets[static_cast<size_t>(a)];
+  const size_t end = flat.atom_offsets[static_cast<size_t>(a) + 1];
+  ASSERT_EQ(end - begin, 1u);  // one entry for the one clause
+  EXPECT_EQ(flat.adj_pos[begin], 1u);
+  EXPECT_EQ(flat.adj_neg[begin], 1u);
+}
+
 TEST(WalkSatTest, SatisfiableInstanceSolved) {
   // (a | b) & (!a | b) & (a | !b): satisfied by a=b=true.
   GroundNetwork net;

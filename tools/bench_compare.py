@@ -2,7 +2,7 @@
 """Diffs a fresh micro_kernels run against the committed baseline.
 
 Usage: bench_compare.py BASELINE.json FRESH.json [--threshold 0.25]
-                        [--fail-on-removed]
+                        [--fail-on-removed] [--require-release]
 
 The regression gate runs on the *intersection* of the two runs: a BM_*
 present in both files fails the job when its real_time regressed by more
@@ -19,12 +19,39 @@ import json
 import sys
 
 
-def load(path):
+def check_release(path, data):
+    """Rejects timings measured from a debug build.
+
+    The binary stamps its own build type into the context as
+    `mlnclean_build_type` (Debian's libbenchmark is compiled without
+    NDEBUG, so the library's own `library_build_type` says "debug" even
+    for a -O2/NDEBUG binary). Prefer the binary's stamp; fall back to the
+    library field only for JSONs predating the custom key.
+    """
+    context = data.get("context", {})
+    build_type = context.get("mlnclean_build_type")
+    if build_type is not None:
+        if build_type != "release":
+            raise SystemExit(
+                f"bench_compare: {path}: measured from a debug build "
+                f"(mlnclean_build_type={build_type!r}); re-run from a "
+                f"Release configure")
+        return
+    if context.get("library_build_type") == "debug":
+        raise SystemExit(
+            f"bench_compare: {path}: no mlnclean_build_type in context and "
+            f"library_build_type is 'debug'; re-record from a Release build "
+            f"of micro_kernels")
+
+
+def load(path, require_release=False):
     try:
         with open(path) as f:
             data = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         raise SystemExit(f"bench_compare: cannot read {path}: {e}")
+    if require_release:
+        check_release(path, data)
     out = {}
     for i, b in enumerate(data.get("benchmarks", [])):
         if b.get("run_type") == "aggregate":
@@ -55,10 +82,14 @@ def main():
     parser.add_argument("--fail-on-removed", action="store_true",
                         help="fail when a baseline benchmark is missing from "
                              "the fresh run (default: report only)")
+    parser.add_argument("--require-release", action="store_true",
+                        help="fail when either JSON was measured from a debug "
+                             "build (mlnclean_build_type context key, with "
+                             "library_build_type as a fallback)")
     args = parser.parse_args()
 
-    base = load(args.baseline)
-    fresh = load(args.fresh)
+    base = load(args.baseline, require_release=args.require_release)
+    fresh = load(args.fresh, require_release=args.require_release)
 
     added = sorted(fresh.keys() - base.keys())
     removed = sorted(base.keys() - fresh.keys())
