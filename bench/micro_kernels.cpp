@@ -178,6 +178,30 @@ void BM_WeightLearning(benchmark::State& state) {
 }
 BENCHMARK(BM_WeightLearning);
 
+// The opt-in vectorized-exp softmax (WeightLearnerOptions::fast_exp);
+// compare against BM_WeightLearning for the delta.
+void BM_WeightLearningFastExp(benchmark::State& state) {
+  const DirtyDataset& dd = SharedDirty();
+  const Workload& wl = SharedHai();
+  MlnIndex index = *MlnIndex::Build(dd.dirty, wl.rules);
+  WeightLearnerOptions options;
+  options.fast_exp = true;
+  for (auto _ : state) {
+    index.LearnWeights(options);
+  }
+}
+BENCHMARK(BM_WeightLearningFastExp);
+
+// Full rule discovery (lattice + MD mining + MLN scoring) on the shared
+// 40-hospital dirty table — the `mlnclean_model discover` hot path.
+void BM_DiscoverRules(benchmark::State& state) {
+  const DirtyDataset& dd = SharedDirty();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiscoverRules(dd.dirty));
+  }
+}
+BENCHMARK(BM_DiscoverRules);
+
 // Arg = worker threads (default cache setting): the end-to-end stage-I
 // trajectory tracked against the sequential seed. Compile rides inside
 // the loop (the cost profile of the old one-shot facade this benchmark

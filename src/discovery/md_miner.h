@@ -1,0 +1,34 @@
+// Matching-dependency miner (Bertossi et al. semantics): for attribute
+// pairs (L, R), find the largest similarity radius t such that tuple
+// pairs whose L-values are within normalized distance t — but not equal —
+// still agree on R with high probability. Equal L-values are excluded on
+// both sides of the estimate: they are the FD signal, already mined by
+// the lattice; an MD is evidence that *near*-equality predicts agreement,
+// which is what justifies the AGP/RSC similarity thresholds.
+//
+// Pairs are sampled once, sequentially, from a seeded Rng (all pairs when
+// the table is small enough), then measured in fixed-size chunks under
+// ParallelFor; per-chunk counts are integers, so the merged totals are
+// identical for any thread count.
+
+#ifndef MLNCLEAN_DISCOVERY_MD_MINER_H_
+#define MLNCLEAN_DISCOVERY_MD_MINER_H_
+
+#include <vector>
+
+#include "common/executor.h"
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "discovery/discovery.h"
+
+namespace mlnclean {
+
+/// Mines matching dependencies over `data`. Reads the md_* knobs of
+/// `options`; parallelism and cancellation come from `ctx`. Results are
+/// ordered lhs attr ascending, then rhs attr ascending.
+Result<std::vector<MatchingDependency>> MineMatchingDependencies(
+    const Dataset& data, const DiscoveryOptions& options, const ExecContext& ctx);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_DISCOVERY_MD_MINER_H_

@@ -1,0 +1,108 @@
+#include "discovery/partition.h"
+
+namespace mlnclean {
+
+StrippedPartition StrippedPartition::FromColumn(const std::vector<ValueId>& col,
+                                                size_t dict_size) {
+  // Counting sort by ValueId: one pass to size the groups, one to place
+  // the rows. Groups with fewer than two rows are stripped.
+  std::vector<uint32_t> counts(dict_size, 0);
+  for (ValueId id : col) ++counts[id];
+
+  StrippedPartition out;
+  out.offsets_.push_back(0);
+  // start[id] = write cursor of id's group inside rows_, or kSkip.
+  constexpr uint32_t kSkip = ~uint32_t{0};
+  std::vector<uint32_t> start(dict_size, kSkip);
+  size_t total = 0;
+  for (size_t id = 0; id < dict_size; ++id) {
+    if (counts[id] < 2) continue;
+    start[id] = static_cast<uint32_t>(total);
+    total += counts[id];
+    out.offsets_.push_back(static_cast<uint32_t>(total));
+  }
+  out.rows_.resize(total);
+  for (size_t row = 0; row < col.size(); ++row) {
+    uint32_t& cursor = start[col[row]];
+    if (cursor == kSkip) continue;
+    out.rows_[cursor++] = static_cast<uint32_t>(row);
+  }
+  return out;
+}
+
+StrippedPartition StrippedPartition::Refine(const std::vector<ValueId>& col,
+                                            size_t dict_size) const {
+  StrippedPartition out;
+  out.offsets_.push_back(0);
+  out.rows_.reserve(rows_.size());
+  // Per parent group: bucket its rows by the refining column's id. The
+  // scratch maps an id to its bucket slot and is reset via the touched
+  // list, so the cost per group is proportional to the group, not to the
+  // dictionary.
+  constexpr uint32_t kUnseen = ~uint32_t{0};
+  std::vector<uint32_t> bucket_of(dict_size, kUnseen);
+  std::vector<ValueId> touched;
+  std::vector<std::vector<uint32_t>> buckets;  // reused across groups
+  for (size_t g = 0; g < num_groups(); ++g) {
+    const uint32_t* rows = group_rows(g);
+    const size_t n = group_size(g);
+    size_t used = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t row = rows[i];
+      const ValueId id = col[row];
+      uint32_t b = bucket_of[id];
+      if (b == kUnseen) {
+        b = static_cast<uint32_t>(used++);
+        bucket_of[id] = b;
+        touched.push_back(id);
+        if (buckets.size() < used) buckets.emplace_back();
+        buckets[b].clear();
+      }
+      buckets[b].push_back(row);
+    }
+    // Sub-groups in first-row order (bucket creation order); rows within
+    // a bucket inherit the parent's ascending order.
+    for (size_t b = 0; b < used; ++b) {
+      if (buckets[b].size() < 2) continue;
+      out.rows_.insert(out.rows_.end(), buckets[b].begin(), buckets[b].end());
+      out.offsets_.push_back(static_cast<uint32_t>(out.rows_.size()));
+    }
+    for (ValueId id : touched) bucket_of[id] = kUnseen;
+    touched.clear();
+  }
+  return out;
+}
+
+FdEval EvaluateFd(const StrippedPartition& lhs, const std::vector<ValueId>& rhs_col,
+                  size_t rhs_dict_size) {
+  FdEval eval;
+  eval.majority_id.reserve(lhs.num_groups());
+  eval.majority_count.reserve(lhs.num_groups());
+  std::vector<uint32_t> counts(rhs_dict_size, 0);
+  std::vector<ValueId> touched;
+  for (size_t g = 0; g < lhs.num_groups(); ++g) {
+    const uint32_t* rows = lhs.group_rows(g);
+    const size_t n = lhs.group_size(g);
+    ValueId best_id = rhs_col[rows[0]];
+    uint32_t best = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const ValueId id = rhs_col[rows[i]];
+      if (counts[id] == 0) touched.push_back(id);
+      const uint32_t c = ++counts[id];
+      // Strictly greater: ties go to the id that reaches the majority
+      // count first in row order (deterministic).
+      if (c > best) {
+        best = c;
+        best_id = id;
+      }
+    }
+    for (ValueId id : touched) counts[id] = 0;
+    touched.clear();
+    eval.agree += best;
+    eval.majority_id.push_back(best_id);
+    eval.majority_count.push_back(best);
+  }
+  return eval;
+}
+
+}  // namespace mlnclean

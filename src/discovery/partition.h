@@ -1,0 +1,80 @@
+// Stripped partitions over dictionary-encoded columns: the workhorse of
+// the TANE-style lattice search in fd_miner. The partition of an
+// attribute set X groups tuples by their X-values; *stripped* drops the
+// singleton groups, which carry no dependency evidence (a tuple with no
+// X-partner can neither confirm nor violate X -> A). On the columnar
+// Dataset this is cheap: groups key on dense ValueIds, so building a
+// partition is a counting pass and refining one is a bucket split — no
+// string bytes are touched anywhere in the lattice.
+//
+// The measures mined from a partition follow the approximate-dependency
+// literature (g3-style): for X -> A,
+//   support    = |tuples in multi-tuple X-groups| / |R|
+//   confidence = Σ_g max_a |{t in g : t[A] = a}| / Σ_g |g|
+// i.e. confidence counts, among tuples that do have an X-partner, the
+// fraction that agree with their group's majority A-value — the tuples a
+// repair of A towards the majority would keep. Singleton groups are
+// excluded from both sides, so a near-key LHS cannot ride trivially
+// satisfied groups to a high confidence.
+
+#ifndef MLNCLEAN_DISCOVERY_PARTITION_H_
+#define MLNCLEAN_DISCOVERY_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/value_dict.h"
+
+namespace mlnclean {
+
+/// A stripped partition: the multi-tuple groups of one attribute set, in
+/// CSR layout. Group order and within-group row order are deterministic
+/// (construction order; rows ascending within a group), so every
+/// downstream consumer — including the parallel lattice — sees identical
+/// partitions regardless of thread count.
+class StrippedPartition {
+ public:
+  /// Partition of a single attribute from its column. Groups appear in
+  /// ValueId order; rows within a group keep column order (ascending).
+  static StrippedPartition FromColumn(const std::vector<ValueId>& col,
+                                      size_t dict_size);
+
+  /// Partition of X ∪ {B} from this partition of X and B's column: every
+  /// group splits by the B-value of its rows; sub-groups of size one are
+  /// stripped. Child groups keep parent-group order, sub-groups within a
+  /// parent appear in first-row order.
+  StrippedPartition Refine(const std::vector<ValueId>& col, size_t dict_size) const;
+
+  size_t num_groups() const { return offsets_.size() - 1; }
+  /// Number of tuples in the partition (all groups have size >= 2).
+  size_t covered() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const uint32_t* group_rows(size_t g) const { return rows_.data() + offsets_[g]; }
+  size_t group_size(size_t g) const { return offsets_[g + 1] - offsets_[g]; }
+
+ private:
+  std::vector<uint32_t> rows_;      // tuple ids, grouped
+  std::vector<uint32_t> offsets_;   // num_groups + 1 entries
+};
+
+/// Agreement of a partition of X with a result column: per group, the
+/// size of the largest single-A-value subset ("keepers" under a
+/// majority repair), plus each group's majority value.
+struct FdEval {
+  /// Σ_g max-count; confidence = agree / partition.covered().
+  size_t agree = 0;
+  /// Per group: the majority ValueId of the result column (ties: the id
+  /// that reaches the majority count first in group row order) and its
+  /// count.
+  std::vector<ValueId> majority_id;
+  std::vector<uint32_t> majority_count;
+};
+
+/// Evaluates X -> A on π(X) and A's column in one pass over the rows.
+FdEval EvaluateFd(const StrippedPartition& lhs, const std::vector<ValueId>& rhs_col,
+                  size_t rhs_dict_size);
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_DISCOVERY_PARTITION_H_

@@ -73,6 +73,25 @@ Result<DistributedResult> DistributedMlnClean::Clean(const Dataset& dirty,
     }
   }
 
+  // Optionally ship each shard over the packed wire format, as a remote
+  // worker would receive it. Decoded shards are value- and id-identical
+  // to the source (dictionaries re-interned in id order), so the
+  // shipped-size remap in the merge below is unaffected and the whole
+  // run stays bit-identical to in-process shipping.
+  if (options_.ship_packed) {
+    std::vector<Status> shipped(k);
+    ParallelFor(k, workers, [&](size_t p) {
+      const std::vector<uint8_t> wire = part_data[p].EncodePacked();
+      auto decoded = Dataset::DecodePacked(wire);
+      if (!decoded.ok()) {
+        shipped[p] = decoded.status();
+        return;
+      }
+      part_data[p] = std::move(*decoded);
+    });
+    for (size_t p = 0; p < k; ++p) MLN_RETURN_NOT_OK(shipped[p]);
+  }
+
   // One staged engine session per part; parts run concurrently on the
   // worker pool, each part runs with the model's own thread setting. The
   // per-decision trace is skipped (this driver never reads it) and the

@@ -39,6 +39,12 @@ struct DistributedOptions {
   /// per-part cleaning options target the same executor.
   Executor* executor = nullptr;
   uint64_t partition_seed = 99;
+  /// Round every materialized shard through the packed wire codec
+  /// (Dataset::EncodePacked -> DecodePacked) before its part session
+  /// starts — exactly what a remote worker process would receive. Packed
+  /// images preserve the id universe, so a ship_packed run is
+  /// bit-identical to in-process shipping (a distributed-test gate).
+  bool ship_packed = false;
   /// Cooperative cancellation: shared with every per-part session, so a
   /// cancelled run aborts at the next per-part block/shard boundary with
   /// Status::Cancelled and leaves the input untouched.

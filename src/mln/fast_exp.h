@@ -1,0 +1,113 @@
+// Branch-free polynomial exp for the weight-learning softmax.
+//
+// The Newton iterations of LearnWeights spend most of their time in
+// exp(w_i - wmax) over each group's CSR slice (see docs/perf.md). libm's
+// exp is accurate to 0.5 ulp but is a scalar call the compiler cannot
+// vectorize through. FastExp trades the last few ulp for a straight-line
+// formulation — magic-number rounding, Cody-Waite range reduction
+// against ln 2, a degree-12 Taylor polynomial on [-ln2/2, ln2/2], and a
+// 2^n scale assembled directly in the exponent bits — that the
+// auto-vectorizer turns into SIMD across a batch.
+//
+// Accuracy: relative error stays below ~1e-13 over [-700, 700]; inputs
+// below -708 are clamped (exp(-708) ~ 3e-308, zero for every consumer
+// here). The softmax inputs are always <= 0 (wmax is subtracted), so the
+// overflow side never fires but is clamped anyway for safety.
+//
+// This path is opt-in: WeightLearnerOptions::fast_exp gates it, and the
+// default (off) keeps learned weights bit-identical to libm.
+
+#ifndef MLNCLEAN_MLN_FAST_EXP_H_
+#define MLNCLEAN_MLN_FAST_EXP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace mlnclean {
+
+/// exp(x) to ~1e-13 relative error, branch-free (clamps outside
+/// [-708, 708] instead of overflowing/underflowing).
+inline double FastExp(double x) {
+  // 1.5 * 2^52: adding it rounds x*log2(e) to the nearest integer in the
+  // low mantissa bits (round-to-nearest-even, exact for |n| < 2^31).
+  constexpr double kRoundMagic = 6755399441055744.0;
+  constexpr double kLog2e = 1.4426950408889634074;
+  // ln 2 split hi/lo so r = x - n*ln2 is computed to ~2^-100 (Cody-Waite).
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+
+  x = x < -708.0 ? -708.0 : x;
+  x = x > 708.0 ? 708.0 : x;
+
+  const double t = x * kLog2e + kRoundMagic;
+  uint64_t tb;
+  std::memcpy(&tb, &t, sizeof(tb));
+  const auto n = static_cast<int64_t>(static_cast<int32_t>(tb));  // round(x*log2e)
+  const double nd = t - kRoundMagic;
+  const double r = (x - nd * kLn2Hi) - nd * kLn2Lo;  // r in [-ln2/2, ln2/2]
+
+  // exp(r) by degree-12 Taylor (Horner): remainder < r^13/13! ~ 2e-16.
+  double p = 2.08767569878680989792e-09;  // 1/12!
+  p = p * r + 2.50521083854417187751e-08;  // 1/11!
+  p = p * r + 2.75573192239858906526e-07;  // 1/10!
+  p = p * r + 2.75573192239858925110e-06;  // 1/9!
+  p = p * r + 2.48015873015873015873e-05;  // 1/8!
+  p = p * r + 1.98412698412698412526e-04;  // 1/7!
+  p = p * r + 1.38888888888888894069e-03;  // 1/6!
+  p = p * r + 8.33333333333333321769e-03;  // 1/5!
+  p = p * r + 4.16666666666666666435e-02;  // 1/4!
+  p = p * r + 1.66666666666666666667e-01;  // 1/3!
+  p = p * r + 5.00000000000000000000e-01;  // 1/2!
+  p = p * r + 1.0;
+  p = p * r + 1.0;
+
+  // 2^n straight into the exponent field (n in [-1022, 1023] after the
+  // clamp, so the biased exponent never leaves (0, 2047)).
+  const uint64_t eb = static_cast<uint64_t>(n + 1023) << 52;
+  double two_n;
+  std::memcpy(&two_n, &eb, sizeof(two_n));
+  return p * two_n;
+}
+
+namespace fast_exp_internal {
+
+inline void BatchPortable(double* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] = FastExp(x[i]);
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+// Same straight-line body compiled for AVX2+FMA: the auto-vectorizer
+// turns it into 4-wide fused multiply-adds. FMA contracts the Horner
+// steps, so this path's last-ulp rounding differs from the portable one —
+// both stay within the ~1e-13 contract, and which path runs is fixed per
+// process (CPUID), never per thread.
+__attribute__((target("avx2,fma"))) inline void BatchAvx2(double* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] = FastExp(x[i]);
+}
+
+inline bool CpuHasAvx2Fma() {
+  static const bool has =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return has;
+}
+#endif
+
+}  // namespace fast_exp_internal
+
+/// In-place exp over a contiguous batch. Dispatches once per process to
+/// an AVX2+FMA compilation of the same loop when the CPU has it (the
+/// varint codec's dispatch idiom), else the portable scalar body.
+inline void FastExpBatch(double* x, size_t n) {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (fast_exp_internal::CpuHasAvx2Fma()) {
+    fast_exp_internal::BatchAvx2(x, n);
+    return;
+  }
+#endif
+  fast_exp_internal::BatchPortable(x, n);
+}
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_MLN_FAST_EXP_H_

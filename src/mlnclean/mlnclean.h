@@ -72,6 +72,23 @@
 // docs/serving.md, the robustness contract (error taxonomy, retries,
 // quarantine, failpoints) in docs/robustness.md.
 //
+// No hand-written rules? Mine them. DiscoverRules proposes approximate
+// FDs and constant CFDs straight from the dirty table (TANE-style
+// lattice over the dictionary-encoded columns), measures similarity
+// thresholds as matching dependencies, trial-warms the candidates
+// through a compiled model, and keeps the rules whose γ groups
+// concentrate learned weight — survivors come back as a ready-to-compile
+// RuleSet whose canonical DSL round-trips through ParseRules:
+//
+//   DiscoveryResult mined = *DiscoverRules(dirty);
+//   CleanModel model = *CleaningEngine().Compile(dirty.schema(), mined.rules);
+//   for (const MinedRuleInfo& r : mined.mined)   // measures per candidate
+//     std::printf("%s sup=%.2f conf=%.2f mln=%.2f\n", r.text.c_str(),
+//                 r.support, r.confidence, r.mln_score);
+//
+// Knobs, the algorithm, and threshold guidance live in DiscoveryOptions
+// and docs/discovery.md; `mlnclean_model discover` is the CLI face.
+//
 // The MlnCleanPipeline facade deprecated in the engine release has been
 // removed; CleaningEngine::Clean is the one-shot equivalent.
 // Implementation utilities (executors, thread pool, timers, string/random
@@ -104,6 +121,7 @@
 #include "datagen/workload.h"
 #include "dataset/dataset.h"
 #include "dataset/schema.h"
+#include "discovery/discovery.h"
 #include "distributed/distributed_pipeline.h"
 #include "distributed/partitioner.h"
 #include "errorgen/injector.h"

@@ -1,0 +1,104 @@
+#include "discovery/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace mlnclean {
+namespace {
+
+std::vector<uint32_t> GroupVec(const StrippedPartition& p, size_t g) {
+  return std::vector<uint32_t>(p.group_rows(g), p.group_rows(g) + p.group_size(g));
+}
+
+TEST(PartitionTest, FromColumnStripsSingletons) {
+  // ids:            0  1  2  1  3  1  2
+  const std::vector<ValueId> col = {0, 1, 2, 1, 3, 1, 2};
+  StrippedPartition p = StrippedPartition::FromColumn(col, 4);
+  ASSERT_EQ(p.num_groups(), 2u);  // ids 0 and 3 are singletons
+  EXPECT_EQ(p.covered(), 5u);
+  EXPECT_EQ(GroupVec(p, 0), (std::vector<uint32_t>{1, 3, 5}));  // id 1
+  EXPECT_EQ(GroupVec(p, 1), (std::vector<uint32_t>{2, 6}));     // id 2
+}
+
+TEST(PartitionTest, RefineSplitsGroupsAndStripsSubSingletons) {
+  const std::vector<ValueId> a = {1, 1, 1, 1, 2, 2};
+  const std::vector<ValueId> b = {0, 1, 0, 2, 3, 3};
+  StrippedPartition pa = StrippedPartition::FromColumn(a, 3);
+  StrippedPartition pab = pa.Refine(b, 4);
+  // Group of a=1 splits to {0,2} (b=0) plus singletons 1 and 3; group of
+  // a=2 stays whole.
+  ASSERT_EQ(pab.num_groups(), 2u);
+  EXPECT_EQ(pab.covered(), 4u);
+  EXPECT_EQ(GroupVec(pab, 0), (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(GroupVec(pab, 1), (std::vector<uint32_t>{4, 5}));
+}
+
+TEST(PartitionTest, RefineMatchesDirectTwoColumnGrouping) {
+  // Property: refining π(A) with B equals grouping by the (A, B) pair
+  // directly — compare covered counts and group multisets on random data.
+  Rng rng(11);
+  for (int round = 0; round < 20; ++round) {
+    const size_t n = 40 + rng.NextIndex(80);
+    const size_t da = 2 + rng.NextIndex(6);
+    const size_t db = 2 + rng.NextIndex(6);
+    std::vector<ValueId> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<ValueId>(rng.NextIndex(da));
+      b[i] = static_cast<ValueId>(rng.NextIndex(db));
+    }
+    StrippedPartition refined = StrippedPartition::FromColumn(a, da).Refine(b, db);
+
+    // Direct grouping by pair id.
+    std::vector<ValueId> pair(n);
+    for (size_t i = 0; i < n; ++i) pair[i] = static_cast<ValueId>(a[i] * db + b[i]);
+    StrippedPartition direct = StrippedPartition::FromColumn(pair, da * db);
+
+    ASSERT_EQ(refined.covered(), direct.covered());
+    ASSERT_EQ(refined.num_groups(), direct.num_groups());
+    // Same groups up to order: match each refined group by its first row
+    // (rows within groups are ascending in both constructions).
+    std::vector<std::vector<uint32_t>> got, want;
+    for (size_t g = 0; g < refined.num_groups(); ++g) got.push_back(GroupVec(refined, g));
+    for (size_t g = 0; g < direct.num_groups(); ++g) want.push_back(GroupVec(direct, g));
+    auto by_first = [](const std::vector<uint32_t>& x, const std::vector<uint32_t>& y) {
+      return x[0] < y[0];
+    };
+    std::sort(got.begin(), got.end(), by_first);
+    std::sort(want.begin(), want.end(), by_first);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(PartitionTest, EvaluateFdCountsMajorityAgreement) {
+  const std::vector<ValueId> lhs = {1, 1, 1, 2, 2, 0};
+  const std::vector<ValueId> rhs = {4, 4, 5, 6, 6, 7};
+  StrippedPartition p = StrippedPartition::FromColumn(lhs, 3);
+  FdEval eval = EvaluateFd(p, rhs, 8);
+  // Group lhs=1: majority rhs 4 (2 of 3); group lhs=2: rhs 6 (2 of 2);
+  // lhs=0 is a singleton and dropped.
+  EXPECT_EQ(eval.agree, 4u);
+  ASSERT_EQ(eval.majority_id.size(), 2u);
+  EXPECT_EQ(eval.majority_id[0], 4u);
+  EXPECT_EQ(eval.majority_count[0], 2u);
+  EXPECT_EQ(eval.majority_id[1], 6u);
+  EXPECT_EQ(eval.majority_count[1], 2u);
+}
+
+TEST(PartitionTest, EvaluateFdTieBreaksDeterministically) {
+  const std::vector<ValueId> lhs = {1, 1, 1, 1};
+  const std::vector<ValueId> rhs = {9, 3, 3, 9};
+  StrippedPartition p = StrippedPartition::FromColumn(lhs, 2);
+  FdEval eval = EvaluateFd(p, rhs, 10);
+  ASSERT_EQ(eval.majority_id.size(), 1u);
+  // 2-2 tie: the id that reaches the majority count first in row order
+  // wins (id 3 hits count 2 at row 2; id 9 only at row 3).
+  EXPECT_EQ(eval.majority_id[0], 3u);
+  EXPECT_EQ(eval.majority_count[0], 2u);
+}
+
+}  // namespace
+}  // namespace mlnclean

@@ -67,6 +67,12 @@ struct Args {
   bool reuse = false;    // serve: reuse_model_weights
   bool retry = false;    // serve: SubmitWithRetry through a CleanServer
   std::string failpoint;  // arm this failpoint (Once) before the command
+  // discover knobs; defaults mirror DiscoveryOptions.
+  size_t threads = 1;
+  size_t max_lhs = DiscoveryOptions().max_lhs;
+  double min_support = DiscoveryOptions().min_support;
+  double min_confidence = DiscoveryOptions().min_confidence;
+  bool eval = false;  // discover: clean with mined vs hand-written rules
 };
 
 // Strict numeric flag parsing: the whole token must be a non-negative
@@ -112,6 +118,9 @@ int Usage() {
                "  mlnclean_model serve (--model FILE | --compile [--warm])\n"
                "                       --out FILE [--reuse] [--batches K]\n"
                "                       [--jobs N] [--retry] [workload flags]\n"
+               "  mlnclean_model discover --out FILE [--threads N] [--eval]\n"
+               "                       [--max-lhs K] [--min-support R]\n"
+               "                       [--min-confidence R] [workload flags]\n"
                "workload flags: --hospitals N --measures N --error-rate R --seed S\n"
                "                --agp-threshold T | --data CSV --rules FILE\n"
                "fault injection (fault builds only): --failpoint SITE arms SITE\n"
@@ -133,6 +142,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->reuse = true;
     } else if (flag == "--retry") {
       args->retry = true;
+    } else if (flag == "--eval") {
+      args->eval = true;
     } else if (flag == "--failpoint") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -155,7 +166,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->rules_path = v;
     } else if (flag == "--hospitals" || flag == "--measures" || flag == "--batches" ||
                flag == "--jobs" || flag == "--agp-threshold" || flag == "--seed" ||
-               flag == "--error-rate") {
+               flag == "--error-rate" || flag == "--threads" || flag == "--max-lhs" ||
+               flag == "--min-support" || flag == "--min-confidence") {
       const char* v = next();
       if (v == nullptr) return false;
       bool parsed = true;
@@ -169,6 +181,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
       if (flag == "--seed") parsed = ParseU64Flag(v, &args->seed);
       if (flag == "--error-rate") parsed = ParseRateFlag(v, &args->error_rate);
+      if (flag == "--threads") parsed = ParseSizeFlag(v, &args->threads);
+      if (flag == "--max-lhs") parsed = ParseSizeFlag(v, &args->max_lhs);
+      if (flag == "--min-support") parsed = ParseRateFlag(v, &args->min_support);
+      if (flag == "--min-confidence") parsed = ParseRateFlag(v, &args->min_confidence);
       if (!parsed) {
         std::fprintf(stderr, "bad value for %s: %s\n", flag.c_str(), v);
         return false;
@@ -203,6 +219,18 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::fprintf(stderr,
                  "--warm/--agp-threshold only apply to --compile or save; a "
                  "loaded snapshot's own options are authoritative\n");
+    return false;
+  }
+  if (args->command == "discover" && !args->rules_path.empty()) {
+    // Hand-written rules would be silently unused (discovery mines its
+    // own); the one place they matter, --eval, regenerates them.
+    std::fprintf(stderr, "discover mines its own rules; drop --rules\n");
+    return false;
+  }
+  if (args->command == "discover" && args->eval && !args->data_path.empty()) {
+    // --eval scores repairs against ground truth, which only the
+    // generated workload has.
+    std::fprintf(stderr, "--eval needs the generated workload, not --data\n");
     return false;
   }
   return true;
@@ -423,6 +451,130 @@ int RunServe(const Args& args) {
   return 0;
 }
 
+/// Writes the mined-rule transcript: candidate measures, matching
+/// dependencies, and the kept rules as parseable canonical DSL. Fully
+/// deterministic — fixed-precision measures, no timings, and no thread
+/// count — so `cmp` between a --threads 1 and a --threads N run is the
+/// parallel-discovery gate CI checks.
+void WriteDiscoveryTranscript(const Schema& schema, const DiscoveryResult& result,
+                              std::ostream& out) {
+  char buf[96];
+  size_t kept = 0;
+  for (const MinedRuleInfo& r : result.mined) kept += r.kept ? 1 : 0;
+  out << "== discover candidates=" << result.mined.size() << " kept=" << kept
+      << " mds=" << result.mds.size() << " sample=" << result.sample_rows << "\n";
+  out << "-- candidates\n";
+  for (const MinedRuleInfo& r : result.mined) {
+    std::snprintf(buf, sizeof(buf), " sup=%.4f conf=%.4f mln=%.4f", r.support,
+                  r.confidence, r.mln_score);
+    out << (r.kept ? "keep " : "drop ") << r.text << buf << "\n";
+  }
+  out << "-- matching dependencies\n";
+  for (const MatchingDependency& md : result.mds) {
+    std::snprintf(buf, sizeof(buf), " pairs=%zu match=%zu conf=%.4f",
+                  md.similar_pairs, md.matching_pairs, md.confidence);
+    out << md.ToString(schema) << buf << "\n";
+  }
+  // A `tail` past this marker is a rules file ParseRules accepts verbatim.
+  out << "-- rules\n";
+  for (const Constraint& rule : result.rules.rules()) {
+    out << rule.CanonicalText(schema) << "\n";
+  }
+}
+
+int RunDiscover(const Args& args) {
+  if (args.out_path.empty()) return Usage();
+
+  // Build the dirty table, keeping ground truth and the hand-written
+  // rules around when --eval will score repairs against them.
+  struct DiscoverInput {
+    Dataset dirty;
+    RuleSet hand_rules;        // empty for --data
+    GroundTruth truth{Dataset(Schema()), {}};  // empty for --data
+  };
+  auto input = [&]() -> Result<DiscoverInput> {
+    if (!args.data_path.empty()) {
+      MLN_ASSIGN_OR_RETURN(Dataset data, Dataset::FromCsvFile(args.data_path));
+      return DiscoverInput{std::move(data), RuleSet(Schema())};
+    }
+    HospitalConfig config;
+    config.num_hospitals = args.hospitals;
+    config.num_measures = args.measures;
+    MLN_ASSIGN_OR_RETURN(Workload wl, MakeHospitalWorkload(config));
+    ErrorSpec spec;
+    spec.error_rate = args.error_rate;
+    spec.seed = args.seed;
+    MLN_ASSIGN_OR_RETURN(DirtyDataset dd, InjectErrors(wl.clean, wl.rules, spec));
+    return DiscoverInput{std::move(dd.dirty), std::move(wl.rules),
+                         std::move(dd.truth)};
+  }();
+  if (!input.ok()) {
+    std::fprintf(stderr, "workload: %s\n", input.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& dirty = input->dirty;
+
+  DiscoveryOptions options;
+  options.num_threads = args.threads;
+  options.max_lhs = args.max_lhs;
+  options.min_support = args.min_support;
+  options.min_confidence = args.min_confidence;
+  auto mined = DiscoverRules(dirty, options);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "discover: %s\n", mined.status().ToString().c_str());
+    return 1;
+  }
+
+  std::ofstream out(args.out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", args.out_path.c_str());
+    return 1;
+  }
+  WriteDiscoveryTranscript(dirty.schema(), *mined, out);
+
+  double hand_f1 = 0.0;
+  double mined_f1 = 0.0;
+  if (args.eval) {
+    // The acceptance demo: clean the dirty table with the mined rules
+    // alone and compare against the hand-written baseline. The cleaning
+    // runs use a fixed sequential configuration, so the transcript stays
+    // independent of --threads.
+    CleaningOptions copts;
+    copts.agp_threshold = args.agp_threshold;
+    CleaningEngine engine(copts);
+    auto hand = engine.Clean(dirty, input->hand_rules);
+    auto ours = engine.Clean(dirty, mined->rules);
+    if (!hand.ok() || !ours.ok()) {
+      const Status& bad = !hand.ok() ? hand.status() : ours.status();
+      std::fprintf(stderr, "eval: %s\n", bad.ToString().c_str());
+      return 1;
+    }
+    hand_f1 = EvaluateRepair(dirty, hand->cleaned, input->truth).F1();
+    mined_f1 = EvaluateRepair(dirty, ours->cleaned, input->truth).F1();
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "-- eval hand_f1=%.4f mined_f1=%.4f\n",
+                  hand_f1, mined_f1);
+    out << buf;
+  }
+
+  out.close();
+  if (out.fail()) {
+    std::fprintf(stderr, "discover: write to %s failed\n", args.out_path.c_str());
+    return 1;
+  }
+  std::printf("discovered %zu rules (%zu candidates, %zu MDs) -> %s\n",
+              mined->rules.size(), mined->mined.size(), mined->mds.size(),
+              args.out_path.c_str());
+  if (args.eval && mined_f1 < 0.9 * hand_f1) {
+    // The CI demo gate: mined rules must clean within 10% of the
+    // hand-written baseline.
+    std::fprintf(stderr, "eval: mined F1 %.4f below 90%% of hand-written %.4f\n",
+                 mined_f1, hand_f1);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -443,5 +595,6 @@ int main(int argc, char** argv) {
   if (args.command == "save") return RunSave(args);
   if (args.command == "inspect") return RunInspect(args);
   if (args.command == "serve") return RunServe(args);
+  if (args.command == "discover") return RunDiscover(args);
   return Usage();
 }
