@@ -168,6 +168,26 @@ void BM_IndexBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexBuild);
 
+// Row-incremental append (the index half of CleanSession::AppendRows): a
+// base index over all-but-50 rows, copied — the session copies base to
+// owned on every Resume, so the copy is part of the honest per-batch cost
+// — then extended with the last 50 rows. Compare against BM_IndexBuild,
+// the cold re-index a non-incremental session pays per batch; the delta
+// is the streaming win docs/perf.md records.
+void BM_IncrementalAppend(benchmark::State& state) {
+  const DirtyDataset& dd = SharedDirty();
+  const Workload& wl = SharedHai();
+  const size_t base_rows = dd.dirty.num_rows() - 50;
+  Dataset prefix = dd.dirty.Slice(0, base_rows);
+  MlnIndex base = *MlnIndex::Build(prefix, wl.rules);
+  for (auto _ : state) {
+    MlnIndex index = base;
+    benchmark::DoNotOptimize(index.AppendRows(dd.dirty, wl.rules, base_rows));
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_IncrementalAppend);
+
 void BM_WeightLearning(benchmark::State& state) {
   const DirtyDataset& dd = SharedDirty();
   const Workload& wl = SharedHai();

@@ -141,6 +141,49 @@ CleanSession CleanModel::ResumeSession(const Dataset& dirty, const MlnIndex* ind
   return session;
 }
 
+CleanSession CleanModel::NewIncrementalSession(SessionOptions opts) const {
+  auto accumulated = std::make_unique<Dataset>(state_->rules.schema());
+  CleanSession session(state_, accumulated.get(), std::move(opts));
+  session.accumulated_ = std::move(accumulated);
+  session.incremental_ = true;
+  // An empty base index: one empty block per rule, so the first append
+  // has blocks to merge into. Cannot fail — Compile already proved every
+  // rule index-hostable, and there are no rows to ground.
+  Result<MlnIndex> base = MlnIndex::Build(*session.accumulated_, state_->rules);
+  if (base.ok()) {
+    session.base_index_ = std::move(base).ValueUnsafe();
+  } else if (session.terminal_.ok()) {
+    session.terminal_ = base.status();
+  }
+  return session;
+}
+
+CleanSession CleanModel::ResumeIncrementalSession(Dataset accumulated,
+                                                  MlnIndex base,
+                                                  SessionOptions opts) const {
+  auto owned = std::make_unique<Dataset>(std::move(accumulated));
+  CleanSession session(state_, owned.get(), std::move(opts));
+  session.accumulated_ = std::move(owned);
+  session.incremental_ = true;
+  // The loaded index must actually describe the rebuilt accumulation —
+  // wrong dataset, wrong order, or a foreign index all fail here, before
+  // any stage could act on inconsistent state.
+  if (session.terminal_.ok()) {
+    Status valid = base.Validate(*session.accumulated_, state_->rules);
+    if (!valid.ok()) {
+      session.terminal_ = Status::Invalid(
+          "ResumeIncrementalSession: index does not match the accumulated "
+          "dataset: " + valid.message());
+      return session;
+    }
+  }
+  session.base_index_ = std::move(base);
+  // The base already covers every accumulated row; the next index stage
+  // appends nothing and just re-copies the base into the working index.
+  session.grounded_rows_ = session.accumulated_->num_rows();
+  return session;
+}
+
 Result<CleanResult> CleanModel::Clean(const Dataset& dirty, SessionOptions opts) const {
   CleanSession session = NewSession(dirty, std::move(opts));
   MLN_RETURN_NOT_OK(session.Resume());
@@ -255,6 +298,19 @@ Status CleanSession::RunStage(Stage stage, const ExecContext& ctx) {
   CleaningReport* report = opts_.collect_report ? &report_ : nullptr;
   switch (stage) {
     case Stage::kIndex: {
+      if (incremental_) {
+        // Ground only the rows appended since the last run into the live
+        // base index, then work on a copy — AGP/RSC merge and collapse
+        // groups destructively, and the base must survive for the next
+        // append. The copy is what makes incremental == cold: the base
+        // equals a cold Build over the accumulation (MlnIndex::AppendRows
+        // contract), and every later stage starts from it.
+        MLN_RETURN_NOT_OK(
+            base_index_.AppendRows(*dirty_, model_->rules, grounded_rows_, ctx));
+        grounded_rows_ = dirty_->num_rows();
+        owned_index_ = base_index_;
+        return Status::OK();
+      }
       MLN_ASSIGN_OR_RETURN(owned_index_,
                            MlnIndex::Build(*dirty_, model_->rules, ctx));
       return Status::OK();
@@ -396,6 +452,34 @@ Status CleanSession::RunUntil(Stage last) {
 }
 
 Status CleanSession::Resume() { return RunUntil(Stage::kDedup); }
+
+Status CleanSession::AppendRows(const Dataset& batch) {
+  if (!terminal_.ok()) return terminal_;
+  if (!incremental_) {
+    return Status::Invalid(
+        "AppendRows requires an incremental session "
+        "(CleanModel::NewIncrementalSession)");
+  }
+  if (!(batch.schema() == model_->rules.schema())) {
+    // Reject the batch without poisoning the stream: the accumulation is
+    // untouched, the caller can fix the batch and append again.
+    return Status::Invalid("batch schema does not match the compiled model");
+  }
+  accumulated_->Reserve(accumulated_->num_rows() + batch.num_rows());
+  const auto batch_rows = static_cast<TupleId>(batch.num_rows());
+  for (TupleId tid = 0; tid < batch_rows; ++tid) {
+    MLN_RETURN_NOT_OK(accumulated_->Append(batch.row(tid)));
+  }
+  // Rewind to the index stage: the next run recleans the accumulation
+  // from a fresh working copy. Only the appended rows get ground (the
+  // base index survives); everything downstream is recomputed, so the
+  // previous run's outputs are dropped here rather than served stale.
+  next_ = static_cast<int>(Stage::kIndex);
+  report_ = CleaningReport();
+  cleaned_ = Dataset();
+  deduped_ = Dataset();
+  return Status::OK();
+}
 
 Result<CleanResult> CleanSession::TakeResult() {
   if (!terminal_.ok()) return terminal_;

@@ -123,6 +123,17 @@ struct SessionOptions {
   /// pairs) is not materialized — only stage timings are kept. Serving
   /// paths that never read the trace skip its allocation cost.
   bool collect_report = true;
+  /// CleanServer routing flag: Submit appends this batch to the server's
+  /// single live incremental session (created on first use) instead of
+  /// opening a cold session, and the ticket resolves to the *accumulated*
+  /// cleaned output over every batch appended so far. Incremental
+  /// submissions are processed strictly in submission order, one at a
+  /// time. The live session adopts the session-level flags (weight reuse/
+  /// contribution, report collection) of the first incremental
+  /// submission; per-job progress/cancel/deadline are not supported in
+  /// this mode (a cancel would poison the shared stream) and are ignored.
+  /// Direct engine users call CleanModel::NewIncrementalSession instead.
+  bool incremental = false;
 };
 
 class CleanSession;
@@ -148,6 +159,25 @@ class CleanModel {
   CleanSession ResumeSession(const Dataset& dirty, const MlnIndex* index,
                              CleaningReport report, SessionOptions opts = {}) const;
 
+  /// Opens an empty row-incremental session: feed it micro-batches with
+  /// CleanSession::AppendRows, then Resume() to clean everything
+  /// accumulated so far. The session owns the accumulated dataset and
+  /// maintains the stage-I MlnIndex across appends (only new rows are
+  /// re-ground), so each Resume is bit-identical to — but much cheaper
+  /// than — a cold session over the concatenation of every batch appended
+  /// so far (docs/streaming.md).
+  CleanSession NewIncrementalSession(SessionOptions opts = {}) const;
+
+  /// Reopens an incremental session from a serialized base index (loaded
+  /// via CleaningEngine::LoadWithIndex): `accumulated` must be the rows
+  /// the index was built over, appended in the original order (so the
+  /// dictionaries reproduce the ids the index carries) — validated with
+  /// MlnIndex::Validate before anything runs; a mismatch makes the
+  /// session terminally Invalid. The cross-process continuation of a
+  /// long-running stream.
+  CleanSession ResumeIncrementalSession(Dataset accumulated, MlnIndex base,
+                                        SessionOptions opts = {}) const;
+
   /// One-shot convenience: NewSession + Resume + TakeResult.
   Result<CleanResult> Clean(const Dataset& dirty, SessionOptions opts = {}) const;
 
@@ -167,12 +197,25 @@ class CleanModel {
   /// and version policy: cleaning/model_io.h and docs/snapshot_format.md.
   Status Save(std::ostream& out) const;
 
+  /// Save plus a serialized stage-I index: writes a v5 snapshot whose
+  /// index section carries `index` (a pre-AGP index over `indexed_rows`
+  /// rows — an incremental session's base_index()), so another process
+  /// can LoadWithIndex + ResumeIncrementalSession and keep appending
+  /// without re-grounding history. Plain CleaningEngine::Load reads the
+  /// same snapshot and simply drops the index.
+  Status Save(std::ostream& out, const MlnIndex& index, size_t indexed_rows) const;
+
   /// Crash-safe Save: encodes the snapshot, writes it to a temp file next
   /// to `path`, fsyncs, then atomically renames over `path` (and fsyncs
   /// the parent directory). A crash or failure at any point leaves either
   /// the old file intact or the new one complete — never a torn snapshot
   /// at `path`; the temp file is unlinked on every failure path.
   Status SaveToFile(const std::string& path) const;
+
+  /// Crash-safe SaveToFile carrying a stage-I index (see the Save
+  /// overload above).
+  Status SaveToFile(const std::string& path, const MlnIndex& index,
+                    size_t indexed_rows) const;
 
   /// Model-level Eq. 6 weight adjustment across concurrent sessions (the
   /// distributed driver's global merge): every γ learned in several
@@ -187,8 +230,10 @@ class CleanModel {
   friend class CleanSession;
   struct State;
   explicit CleanModel(std::shared_ptr<State> state) : state_(std::move(state)) {}
-  /// Serializes the snapshot to its wire bytes (model_io.cc).
-  Result<std::string> EncodeSnapshotBytes() const;
+  /// Serializes the snapshot to its wire bytes (model_io.cc); `index` may
+  /// be null (empty index section).
+  Result<std::string> EncodeSnapshotBytes(const MlnIndex* index,
+                                          size_t indexed_rows) const;
   std::shared_ptr<State> state_;
 };
 
@@ -213,6 +258,31 @@ class CleanSession {
 
   /// Runs the remaining stages to completion: RunUntil(Stage::kDedup).
   Status Resume();
+
+  /// Incremental sessions only: appends `batch`'s rows to the session's
+  /// accumulated dataset and rewinds the stage cursor to Stage::kIndex,
+  /// so the next Run*/Resume recleans the whole accumulation — but the
+  /// index stage only grounds the rows appended since the last run
+  /// (MlnIndex::AppendRows), which is where the incremental saving lives.
+  /// The batch must match the model's schema; a mismatched batch is
+  /// rejected without poisoning the session. Invalid on non-incremental
+  /// sessions; the terminal Status on a dead one.
+  Status AppendRows(const Dataset& batch);
+
+  /// True for sessions opened with NewIncrementalSession /
+  /// ResumeIncrementalSession.
+  bool incremental() const { return incremental_; }
+
+  /// Incremental sessions: the rows accumulated across every AppendRows.
+  /// (Non-incremental sessions: the borrowed dirty batch.)
+  const Dataset& data() const { return *dirty_; }
+
+  /// Incremental sessions, after the index stage has run: the maintained
+  /// pre-AGP base index over the accumulated rows — what
+  /// CleanModel::Save(out, base_index(), data().num_rows()) snapshots for
+  /// a cross-process ResumeIncrementalSession. (The stage-II index()
+  /// accessor returns the per-run working copy AGP/RSC mutate instead.)
+  const MlnIndex& base_index() const { return base_index_; }
 
   /// The first stage a Run* call would execute next.
   Stage next_stage() const { return static_cast<Stage>(next_); }
@@ -263,6 +333,14 @@ class CleanSession {
   const Dataset* dirty_;
   SessionOptions opts_;
   DistanceFn dist_;
+  // Incremental sessions own their accumulated rows (dirty_ points here;
+  // behind unique_ptr so the defaulted moves keep dirty_ valid) and keep
+  // the pre-AGP base index alive across appends; grounded_rows_ counts
+  // the rows base_index_ already covers.
+  std::unique_ptr<Dataset> accumulated_;
+  MlnIndex base_index_;
+  size_t grounded_rows_ = 0;
+  bool incremental_ = false;
   MlnIndex owned_index_;
   const MlnIndex* borrowed_index_ = nullptr;  // ResumeSession only
   CleaningReport report_;
@@ -271,6 +349,18 @@ class CleanSession {
   std::unique_ptr<StageProgressRelay> relay_;  // set iff opts_.progress
   int next_ = 0;
   Status terminal_;  // sticky failure/cancellation; OK while runnable
+};
+
+/// A snapshot decoded together with its optional index section (v5):
+/// what CleaningEngine::LoadWithIndex returns.
+struct LoadedSnapshot {
+  CleanModel model;
+  /// The serialized pre-AGP base index, when the snapshot carries one.
+  std::optional<MlnIndex> index;
+  /// Rows of the accumulated dataset the saved index covers (0 without an
+  /// index) — ResumeIncrementalSession's caller rebuilds that dataset and
+  /// can sanity-check the row count before handing it over.
+  size_t indexed_rows = 0;
 };
 
 /// Compiles rule sets into reusable CleanModels. Construction only stores
@@ -310,6 +400,15 @@ class CleaningEngine {
 
   /// Load from a file path (the counterpart of CleanModel::SaveToFile).
   Result<CleanModel> LoadFromFile(const std::string& path) const;
+
+  /// Like Load, but also decodes the snapshot's index section when one is
+  /// present — the cross-process continuation path: LoadWithIndex, rebuild
+  /// the accumulated dataset, then CleanModel::ResumeIncrementalSession.
+  /// Snapshots without a saved index load fine (`index` is empty).
+  Result<LoadedSnapshot> LoadWithIndex(std::istream& in) const;
+
+  /// LoadWithIndex from a file path.
+  Result<LoadedSnapshot> LoadWithIndexFromFile(const std::string& path) const;
 
  private:
   CleaningOptions defaults_;

@@ -23,6 +23,7 @@
 #include "cleaning/model_state.h"
 #include "common/failpoint.h"
 #include "common/varint.h"
+#include "index/mln_index.h"
 #include "rules/rule_parser.h"
 
 namespace mlnclean {
@@ -58,8 +59,9 @@ enum SectionTag : uint32_t {
   kRulesTag = 2,
   kOptionsTag = 3,
   kWeightsTag = 4,
+  kIndexTag = 5,
 };
-constexpr uint32_t kNumSections = 4;
+constexpr uint32_t kNumSections = 5;
 
 // ------------------------------------------------------------------ encode
 
@@ -206,7 +208,7 @@ class Decoder {
   size_t limit_ = 0;
 };
 
-// Everything a v1 snapshot holds, decoded but not yet compiled.
+// Everything a snapshot holds, decoded but not yet compiled.
 struct DecodedSnapshot {
   uint32_t version = 0;
   std::vector<std::string> attr_names;
@@ -217,6 +219,9 @@ struct DecodedSnapshot {
   std::vector<ValueDict> dicts;  // weight-store interners, ids preserved
   uint64_t weight_batches = 0;   // decay clock of the store
   std::vector<GlobalWeightTable::EntryView> entries;
+  bool has_index = false;        // v5 index section present flag
+  uint64_t indexed_rows = 0;     // rows the saved index covers
+  std::vector<Block> index_blocks;
 };
 
 void EncodeOptions(const CleaningOptions& o, Encoder* e) {
@@ -396,6 +401,124 @@ Status DecodeWeightsSection(Decoder* d, DecodedSnapshot* snap) {
   return Status::OK();
 }
 
+// v5 index section: a serialized pre-AGP MlnIndex. Everything is written
+// in index order (blocks, groups, γs, tuple lists), so encoding the same
+// index twice yields identical bytes. Group keys are reconstructed from
+// each group's first γ — the pre-AGP invariant the encoder enforces.
+Status EncodeIndexSection(const MlnIndex* index, size_t indexed_rows,
+                          Encoder* e) {
+  if (index == nullptr) {
+    e->U8(0);
+    return Status::OK();
+  }
+  e->U8(1);
+  e->U64(indexed_rows);
+  e->U32(static_cast<uint32_t>(index->num_blocks()));
+  std::vector<uint32_t> tids;
+  std::vector<uint8_t> packed;
+  for (const Block& block : index->blocks()) {
+    e->U64(block.rule_index);
+    e->U64(block.groups.size());
+    for (const Group& group : block.groups) {
+      if (group.pieces.empty() || group.key != group.pieces.front().reason) {
+        return Status::Invalid(
+            "cannot serialize index: a group's key does not match its first "
+            "γ — only pre-AGP (base) indexes are snapshot-able");
+      }
+      e->U64(group.pieces.size());
+      for (const Piece& piece : group.pieces) {
+        if (!piece.has_ids()) {
+          return Status::Invalid(
+              "cannot serialize index: a γ lacks its dictionary-id mirror");
+        }
+        e->U32(static_cast<uint32_t>(piece.reason.size()));
+        for (const Value& v : piece.reason) e->Str(v);
+        e->U32(static_cast<uint32_t>(piece.result.size()));
+        for (const Value& v : piece.result) e->Str(v);
+        for (ValueId id : piece.reason_ids) e->U32(id);
+        for (ValueId id : piece.result_ids) e->U32(id);
+        e->F64(piece.weight);
+        e->U64(piece.tuples.size());
+        tids.assign(piece.tuples.begin(), piece.tuples.end());
+        packed.resize(GroupVarintMaxSize(tids.size()));
+        const size_t written =
+            GroupVarintEncodeDelta(tids.data(), tids.size(), packed.data());
+        e->Blob(packed.data(), written);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeIndexSection(Decoder* d, DecodedSnapshot* snap) {
+  MLN_ASSIGN_OR_RETURN(uint8_t present, d->U8("index present flag"));
+  if (present > 1) {
+    return d->Fail("index present flag is " + std::to_string(present));
+  }
+  snap->has_index = present != 0;
+  if (!snap->has_index) return Status::OK();
+  MLN_ASSIGN_OR_RETURN(snap->indexed_rows, d->U64("indexed row count"));
+  MLN_ASSIGN_OR_RETURN(uint32_t num_blocks, d->U32("index block count"));
+  snap->index_blocks.reserve(num_blocks);
+  for (uint32_t bi = 0; bi < num_blocks; ++bi) {
+    Block block;
+    MLN_ASSIGN_OR_RETURN(uint64_t rule_index, d->U64("block rule index"));
+    block.rule_index = static_cast<size_t>(rule_index);
+    MLN_ASSIGN_OR_RETURN(uint64_t num_groups, d->U64("block group count"));
+    for (uint64_t gi = 0; gi < num_groups; ++gi) {
+      Group group;
+      MLN_ASSIGN_OR_RETURN(uint64_t num_pieces, d->U64("group γ count"));
+      if (num_pieces == 0) {
+        return d->Fail("index group with zero γs");
+      }
+      for (uint64_t pi = 0; pi < num_pieces; ++pi) {
+        Piece piece;
+        MLN_ASSIGN_OR_RETURN(uint32_t n_reason, d->U32("γ reason arity"));
+        for (uint32_t p = 0; p < n_reason; ++p) {
+          MLN_ASSIGN_OR_RETURN(std::string v, d->Str("γ reason value"));
+          piece.reason.push_back(std::move(v));
+        }
+        MLN_ASSIGN_OR_RETURN(uint32_t n_result, d->U32("γ result arity"));
+        for (uint32_t p = 0; p < n_result; ++p) {
+          MLN_ASSIGN_OR_RETURN(std::string v, d->Str("γ result value"));
+          piece.result.push_back(std::move(v));
+        }
+        piece.reason_ids.resize(n_reason);
+        for (uint32_t p = 0; p < n_reason; ++p) {
+          MLN_ASSIGN_OR_RETURN(piece.reason_ids[p], d->U32("γ reason id"));
+        }
+        piece.result_ids.resize(n_result);
+        for (uint32_t p = 0; p < n_result; ++p) {
+          MLN_ASSIGN_OR_RETURN(piece.result_ids[p], d->U32("γ result id"));
+        }
+        MLN_ASSIGN_OR_RETURN(piece.weight, d->F64("γ weight"));
+        MLN_ASSIGN_OR_RETURN(uint64_t num_tuples, d->U64("γ tuple count"));
+        MLN_ASSIGN_OR_RETURN(auto blob, d->Blob("γ tuple ids"));
+        // Plausibility before allocation: four values cost at least one
+        // control byte, so a forged count cannot force a huge vector.
+        if (num_tuples > 0 && blob.second < (num_tuples + 3) / 4) {
+          return d->Fail("γ tuple blob of " + std::to_string(blob.second) +
+                         " bytes cannot hold " + std::to_string(num_tuples) +
+                         " ids");
+        }
+        std::vector<uint32_t> tids(static_cast<size_t>(num_tuples));
+        size_t consumed = 0;
+        if (!GroupVarintDecodeDelta(blob.first, blob.second, tids.size(),
+                                    tids.data(), &consumed) ||
+            consumed != blob.second) {
+          return d->Fail("γ tuple varint block is malformed");
+        }
+        piece.tuples.assign(tids.begin(), tids.end());
+        group.pieces.push_back(std::move(piece));
+      }
+      group.key = group.pieces.front().reason;
+      block.groups.push_back(std::move(group));
+    }
+    snap->index_blocks.push_back(std::move(block));
+  }
+  return Status::OK();
+}
+
 /// Buffers the stream and decodes the whole snapshot structure. Semantic
 /// validation (schema build, rule parse, option consistency, id bounds)
 /// happens in the callers, which have the context to do it.
@@ -421,7 +544,7 @@ Result<DecodedSnapshot> DecodeSnapshotBytes(std::string data) {
     return d.Fail("expected " + std::to_string(kNumSections) + " sections, got " +
                   std::to_string(num_sections));
   }
-  for (uint32_t expected_tag = kSchemaTag; expected_tag <= kWeightsTag;
+  for (uint32_t expected_tag = kSchemaTag; expected_tag <= kIndexTag;
        ++expected_tag) {
     MLN_ASSIGN_OR_RETURN(uint32_t tag, d.U32("section tag"));
     if (tag != expected_tag) {
@@ -458,6 +581,9 @@ Result<DecodedSnapshot> DecodeSnapshotBytes(std::string data) {
       case kWeightsTag:
         MLN_RETURN_NOT_OK(DecodeWeightsSection(&d, &snap));
         break;
+      case kIndexTag:
+        MLN_RETURN_NOT_OK(DecodeIndexSection(&d, &snap));
+        break;
     }
     MLN_RETURN_NOT_OK(d.ExitSection(tag));
   }
@@ -486,7 +612,8 @@ Result<DecodedSnapshot> DecodeSnapshot(std::istream& in) {
 
 // ---------------------------------------------------------------- Save
 
-Result<std::string> CleanModel::EncodeSnapshotBytes() const {
+Result<std::string> CleanModel::EncodeSnapshotBytes(const MlnIndex* index,
+                                                    size_t indexed_rows) const {
  try {
   MLN_FAILPOINT("snapshot/encode");
   const Schema& schema = state_->rules.schema();
@@ -570,12 +697,16 @@ Result<std::string> CleanModel::EncodeSnapshotBytes() const {
     for (uint64_t v : last_batches) weights_section.U64(v);
   }
 
+  Encoder index_section;
+  MLN_RETURN_NOT_OK(EncodeIndexSection(index, indexed_rows, &index_section));
+
   // Assemble: magic, version, section count, checksummed framed sections.
   Encoder sections;
   sections.Section(kSchemaTag, schema_section);
   sections.Section(kRulesTag, rules_section);
   sections.Section(kOptionsTag, options_section);
   sections.Section(kWeightsTag, weights_section);
+  sections.Section(kIndexTag, index_section);
   std::string bytes;
   bytes.append(kModelSnapshotMagic, 4);
   Encoder header;
@@ -589,8 +720,9 @@ Result<std::string> CleanModel::EncodeSnapshotBytes() const {
  }
 }
 
-Status CleanModel::Save(std::ostream& out) const {
-  MLN_ASSIGN_OR_RETURN(std::string bytes, EncodeSnapshotBytes());
+namespace {
+
+Status WriteSnapshotStream(const std::string& bytes, std::ostream& out) {
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   if (!out.good()) {
     return Status::IOError("failed to write model snapshot stream");
@@ -598,8 +730,40 @@ Status CleanModel::Save(std::ostream& out) const {
   return Status::OK();
 }
 
+Status WriteSnapshotBytesToFile(const std::string& bytes,
+                                const std::string& path);
+
+}  // namespace
+
+Status CleanModel::Save(std::ostream& out) const {
+  MLN_ASSIGN_OR_RETURN(std::string bytes, EncodeSnapshotBytes(nullptr, 0));
+  return WriteSnapshotStream(bytes, out);
+}
+
+Status CleanModel::Save(std::ostream& out, const MlnIndex& index,
+                        size_t indexed_rows) const {
+  MLN_ASSIGN_OR_RETURN(std::string bytes,
+                       EncodeSnapshotBytes(&index, indexed_rows));
+  return WriteSnapshotStream(bytes, out);
+}
+
+Status CleanModel::SaveToFile(const std::string& path, const MlnIndex& index,
+                              size_t indexed_rows) const {
+  MLN_ASSIGN_OR_RETURN(std::string bytes,
+                       EncodeSnapshotBytes(&index, indexed_rows));
+  return WriteSnapshotBytesToFile(bytes, path);
+}
+
 Status CleanModel::SaveToFile(const std::string& path) const {
-  MLN_ASSIGN_OR_RETURN(std::string bytes, EncodeSnapshotBytes());
+  MLN_ASSIGN_OR_RETURN(std::string bytes, EncodeSnapshotBytes(nullptr, 0));
+  return WriteSnapshotBytesToFile(bytes, path);
+}
+
+namespace {
+
+// Crash-safe temp + fsync + atomic-rename write of an encoded snapshot.
+Status WriteSnapshotBytesToFile(const std::string& bytes,
+                                const std::string& path) {
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
 
   int fd = -1;
@@ -677,9 +841,18 @@ Status CleanModel::SaveToFile(const std::string& path) const {
   return Status::OK();
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------- Load
 
 Result<CleanModel> CleaningEngine::Load(std::istream& in) const {
+  // The index section, if any, is decoded and dropped: Load's contract is
+  // the model alone.
+  MLN_ASSIGN_OR_RETURN(LoadedSnapshot loaded, LoadWithIndex(in));
+  return std::move(loaded.model);
+}
+
+Result<LoadedSnapshot> CleaningEngine::LoadWithIndex(std::istream& in) const {
   MLN_ASSIGN_OR_RETURN(DecodedSnapshot snap, DecodeSnapshot(in));
 
   MLN_ASSIGN_OR_RETURN(Schema schema, Schema::Make(snap.attr_names));
@@ -721,13 +894,43 @@ Result<CleanModel> CleaningEngine::Load(std::istream& in) const {
       return Status::Invalid("invalid model snapshot: " + st.message());
     }
   }
-  return model;
+
+  LoadedSnapshot loaded{std::move(model), std::nullopt, 0};
+  if (snap.has_index) {
+    // Block/rule alignment is the only semantic check possible without
+    // the accumulated dataset; ResumeIncrementalSession runs the full
+    // MlnIndex::Validate once the caller rebuilds it.
+    if (snap.index_blocks.size() != rules.size()) {
+      return Status::Invalid("invalid model snapshot: index has " +
+                             std::to_string(snap.index_blocks.size()) +
+                             " blocks for a " + std::to_string(rules.size()) +
+                             "-rule model");
+    }
+    for (size_t bi = 0; bi < snap.index_blocks.size(); ++bi) {
+      if (snap.index_blocks[bi].rule_index != bi) {
+        return Status::Invalid(
+            "invalid model snapshot: index block " + std::to_string(bi) +
+            " claims rule index " +
+            std::to_string(snap.index_blocks[bi].rule_index));
+      }
+    }
+    loaded.index = MlnIndex::FromBlocks(std::move(snap.index_blocks));
+    loaded.indexed_rows = static_cast<size_t>(snap.indexed_rows);
+  }
+  return loaded;
 }
 
 Result<CleanModel> CleaningEngine::LoadFromFile(const std::string& path) const {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open model snapshot: " + path);
   return Load(in);
+}
+
+Result<LoadedSnapshot> CleaningEngine::LoadWithIndexFromFile(
+    const std::string& path) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open model snapshot: " + path);
+  return LoadWithIndex(in);
 }
 
 // ---------------------------------------------------------------- Inspect
@@ -744,6 +947,11 @@ Result<ModelSnapshotInfo> InspectModelSnapshot(std::istream& in) {
   info.num_stored_weights = snap.entries.size();
   for (const ValueDict& dict : snap.dicts) {
     info.weight_dict_sizes.push_back(dict.size());
+  }
+  info.has_index = snap.has_index;
+  info.indexed_rows = static_cast<size_t>(snap.indexed_rows);
+  for (const Block& block : snap.index_blocks) {
+    info.index_pieces += block.PieceCount();
   }
   return info;
 }

@@ -9,8 +9,8 @@
 //
 //   magic   "MLNM" (4 bytes)
 //   u32     format version (kModelSnapshotVersion)
-//   u32     section count (4)
-//   4 x section, each: u32 tag, u64 payload length,
+//   u32     section count (5)
+//   5 x section, each: u32 tag, u64 payload length,
 //           u32 CRC-32C (Castagnoli, reflected) of the payload, payload
 //
 //   tag 1 schema:   u32 #attrs, then each name as str (u32 len + bytes)
@@ -34,6 +34,21 @@
 //                   the decay state weight_half_life_batches ages entries
 //                   by. Entries are written in sorted key order: saving
 //                   the same model twice produces identical bytes.
+//   tag 5 index:    (v5) an optional serialized pre-AGP MlnIndex — the
+//                   base index of a row-incremental session, so another
+//                   process can ResumeIncrementalSession without
+//                   re-grounding history. u8 present flag; when present:
+//                   u64 indexed row count, u32 #blocks, per block u64
+//                   rule index + u64 #groups, per group u64 #γs, per γ
+//                   the reason then result values (u32 count + strs
+//                   each), their raw u32 value ids, the f64 weight, and
+//                   the supporting tuple ids (u64 count + a group-varint
+//                   delta blob — the lists are sorted, so most ids cost
+//                   one byte). Group keys are not stored: pre-AGP they
+//                   equal the first γ's reason values, and the encoder
+//                   refuses indexes where they do not. Blocks, groups,
+//                   γs, and tuples are written in index order, so saving
+//                   the same index twice produces identical bytes.
 //
 // Sections appear exactly once, in tag order. Decoding is strict and
 // bounds-checked: truncated input, bad magic, an unsupported version, an
@@ -72,9 +87,11 @@ inline constexpr char kModelSnapshotMagic[4] = {'M', 'L', 'N', 'M'};
 /// per-section CRC-32C verified before the payload is parsed (checksum
 /// mismatch = kCorruption with the section named); v4 made the weight
 /// entries columnar with the rule indexes, arities, and γ value ids
-/// group-varint compressed (docs/snapshot_format.md). Per the version
-/// policy, older snapshots are rejected — regenerate from the builder.
-inline constexpr uint32_t kModelSnapshotVersion = 4;
+/// group-varint compressed; v5 added the optional index section (tag 5)
+/// carrying an incremental session's pre-AGP base index
+/// (docs/snapshot_format.md). Per the version policy, older snapshots
+/// are rejected — regenerate from the builder.
+inline constexpr uint32_t kModelSnapshotVersion = 5;
 
 /// Summary of a snapshot, decoded without compiling a model — what
 /// `mlnclean_model inspect` prints.
@@ -87,6 +104,9 @@ struct ModelSnapshotInfo {
   CleaningOptions options;
   size_t num_stored_weights = 0;         // γ entries in the weight store
   std::vector<size_t> weight_dict_sizes; // per-attribute interner sizes
+  bool has_index = false;                // v5: snapshot carries a base index
+  size_t indexed_rows = 0;               // rows the saved index covers
+  size_t index_pieces = 0;               // γs across the saved index
 };
 
 /// Fully decodes and validates a snapshot's framing without constructing a

@@ -42,6 +42,17 @@ struct ServerState {
   size_t workers = 0;  // worker loops scheduled or running
   size_t running = 0;  // jobs currently executing
   ServerStats totals;  // queued/running are derived on snapshot
+
+  // Incremental serving lane: submissions flagged SessionOptions::
+  // incremental feed one live row-incremental session through their own
+  // FIFO, drained by a single task (never two), so batches append in
+  // strict submission order — the ordering the concatenation-bit-identity
+  // contract is defined over. The session itself is only ever touched by
+  // the lone drainer; the mutex covers just the queue and the
+  // draining flag.
+  std::deque<std::shared_ptr<ServerJob>> inc_queue;
+  bool inc_draining = false;
+  std::unique_ptr<CleanSession> inc_session;  // drainer-only access
 };
 
 namespace {
@@ -103,6 +114,87 @@ void RunJob(const std::shared_ptr<ServerState>& state,
     job->done = true;
   }
   job->cv.notify_all();
+}
+
+// Appends one incremental submission to the live session and resolves its
+// ticket with the accumulated output. Runs only on the single drainer
+// task, so the session needs no lock of its own.
+void RunIncrementalJob(const std::shared_ptr<ServerState>& state,
+                       const std::shared_ptr<ServerJob>& job) {
+  Status status;
+  std::optional<CleanResult> result;
+  StageTimings timings;
+  try {
+    if (state->inc_session == nullptr) {
+      // The live session adopts the first submission's session-level
+      // flags (documented in SessionOptions::incremental); per-job
+      // progress/cancel/deadline stay off — they would act on the shared
+      // stream, not one job.
+      SessionOptions sopts;
+      sopts.reuse_model_weights = job->opts.reuse_model_weights;
+      sopts.contribute_weights = job->opts.contribute_weights;
+      sopts.collect_report = job->opts.collect_report;
+      state->inc_session = std::make_unique<CleanSession>(
+          state->model.NewIncrementalSession(std::move(sopts)));
+    }
+    CleanSession& session = *state->inc_session;
+    status = session.AppendRows(*job->dirty);
+    if (status.ok()) status = session.Resume();
+    timings = session.report().timings;
+    if (status.ok()) {
+      // The accumulated outputs stay on the session for the next append;
+      // the ticket gets copies.
+      CleanResult out;
+      out.cleaned = session.cleaned().Clone();
+      out.deduped = session.deduped().Clone();
+      out.report = session.report();
+      result = std::move(out);
+    }
+  } catch (...) {
+    status = StatusFromCurrentException("incremental serving job failed");
+    result.reset();
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    AddTimings(&state->totals.stage_seconds, timings);
+    if (status.ok()) {
+      ++state->totals.completed;
+    } else {
+      ++state->totals.failed;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->status = std::move(status);
+    job->result = std::move(result);
+    job->done = true;
+  }
+  job->cv.notify_all();
+}
+
+// The incremental lane's single drainer: runs submissions in FIFO order
+// until the lane is empty, then retires (Submit spawns a new drainer when
+// the next incremental batch arrives). At most one drainer exists at any
+// time; successive drainers hand the session off through the state lock.
+void RunIncrementalDrainer(const std::shared_ptr<ServerState>& state) {
+  for (;;) {
+    std::shared_ptr<ServerJob> job;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->inc_queue.empty()) {
+        state->inc_draining = false;
+        return;
+      }
+      job = std::move(state->inc_queue.front());
+      state->inc_queue.pop_front();
+      ++state->running;
+    }
+    RunIncrementalJob(state, job);
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      --state->running;
+    }
+  }
 }
 
 // One worker task: runs queued jobs until the queue is empty, then
@@ -221,10 +313,12 @@ Result<CleanTicket> CleanServer::SubmitWithRetry(const Dataset& dirty,
 
 Result<CleanTicket> CleanServer::Enqueue(std::shared_ptr<ServerJob> job) {
   bool spawn = false;
+  const bool incremental = job->opts.incremental;
   try {
     MLN_FAILPOINT("server/admission");
     std::lock_guard<std::mutex> lock(state_->mu);
-    const size_t depth = state_->queue.size();
+    auto& queue = incremental ? state_->inc_queue : state_->queue;
+    const size_t depth = queue.size();
     if (depth >= state_->options.queue_capacity) {
       ++state_->totals.rejected;
       return Status::Unavailable(
@@ -232,9 +326,15 @@ Result<CleanTicket> CleanServer::Enqueue(std::shared_ptr<ServerJob> job) {
           std::to_string(state_->options.queue_capacity) +
           " pending submissions); retry later");
     }
-    state_->queue.push_back(job);
+    queue.push_back(job);
     ++state_->totals.submitted;
-    if (state_->workers < state_->options.max_concurrent_sessions) {
+    if (incremental) {
+      // One drainer, ever: submission order is append order.
+      if (!state_->inc_draining) {
+        state_->inc_draining = true;
+        spawn = true;
+      }
+    } else if (state_->workers < state_->options.max_concurrent_sessions) {
       ++state_->workers;
       spawn = true;
     }
@@ -249,7 +349,11 @@ Result<CleanTicket> CleanServer::Enqueue(std::shared_ptr<ServerJob> job) {
   // whole worker loop right here, and it must be free to take that lock.
   if (spawn) {
     std::shared_ptr<ServerState> state = state_;
-    state_->options.executor->Submit([state] { RunWorker(state); });
+    if (incremental) {
+      state_->options.executor->Submit([state] { RunIncrementalDrainer(state); });
+    } else {
+      state_->options.executor->Submit([state] { RunWorker(state); });
+    }
   }
   return CleanTicket(std::move(job));
 }
@@ -257,7 +361,7 @@ Result<CleanTicket> CleanServer::Enqueue(std::shared_ptr<ServerJob> job) {
 ServerStats CleanServer::Stats() const {
   std::lock_guard<std::mutex> lock(state_->mu);
   ServerStats stats = state_->totals;
-  stats.queued = state_->queue.size();
+  stats.queued = state_->queue.size() + state_->inc_queue.size();
   stats.running = state_->running;
   return stats;
 }

@@ -24,6 +24,15 @@
 // mutable but the lock-protected weight store, and every stage driver is
 // executor-agnostic by construction. tests/cleaning/server_test.cc pins
 // this under ThreadSanitizer in CI.
+//
+// Incremental lane: submissions with SessionOptions::incremental set feed
+// one live row-incremental session (CleanModel::NewIncrementalSession)
+// through a dedicated FIFO drained by a single task, so batches append in
+// strict submission order and each ticket resolves to the *accumulated*
+// cleaned output over every batch appended so far — bit-identical to a
+// cold session over the concatenation (docs/streaming.md). The lane adds
+// at most one concurrently executing session on top of
+// max_concurrent_sessions and shares queue_capacity.
 
 #ifndef MLNCLEAN_CLEANING_SERVER_H_
 #define MLNCLEAN_CLEANING_SERVER_H_

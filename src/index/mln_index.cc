@@ -98,6 +98,154 @@ Result<MlnIndex> MlnIndex::Build(const Dataset& data, const RuleSet& rules,
   return index;
 }
 
+Status MlnIndex::AppendRows(const Dataset& data, const RuleSet& rules,
+                            size_t first_row, const ExecContext& ctx) {
+  if (blocks_.size() != rules.size()) {
+    return Status::Invalid("index has " + std::to_string(blocks_.size()) +
+                           " blocks for a " + std::to_string(rules.size()) +
+                           "-rule set");
+  }
+  if (first_row > data.num_rows()) {
+    return Status::Invalid("append start " + std::to_string(first_row) +
+                           " is past the dataset's " +
+                           std::to_string(data.num_rows()) + " rows");
+  }
+  // Rules merge independently into their own blocks, like Build; only the
+  // new rows are ground.
+  std::vector<Status> statuses(rules.size());
+  ParallelFor(rules.size(), ctx, [&](size_t ri) {
+    if (ctx.Stopped()) return;
+    const Constraint& rule = rules.rule(ri);
+    Result<std::vector<GroundRule>> grounds = GroundConstraintRange(
+        data, rule, static_cast<TupleId>(first_row),
+        static_cast<TupleId>(data.num_rows()));
+    if (!grounds.ok()) {
+      statuses[ri] = grounds.status();
+      return;
+    }
+    Block& block = blocks_[ri];
+    auto& group_map = group_maps_[ri];
+    for (auto& g : grounds.ValueUnsafe()) {
+      // Touch rule: locate the γ's group by reason key; a miss is a
+      // brand-new reason binding, appended where a cold build would have
+      // first seen it (the end of the block).
+      size_t group_idx = 0;
+      auto it = group_map.find(KeyOf(g.reason));
+      if (it != group_map.end()) {
+        group_idx = it->second;
+      } else {
+        group_idx = block.groups.size();
+        group_map.emplace(KeyOf(g.reason), group_idx);
+        Group group;
+        group.key = g.reason;
+        block.groups.push_back(std::move(group));
+      }
+      Group& group = block.groups[group_idx];
+      Piece* match = nullptr;
+      for (Piece& piece : group.pieces) {
+        if (piece.reason_ids == g.reason_ids &&
+            piece.result_ids == g.result_ids) {
+          match = &piece;
+          break;
+        }
+      }
+      if (match != nullptr) {
+        // Existing γ gained members: the new tids all exceed the old ones,
+        // so appending keeps the ascending order a cold build produces.
+        match->tuples.insert(match->tuples.end(), g.tuples.begin(),
+                             g.tuples.end());
+      } else {
+        Piece piece;
+        piece.reason = std::move(g.reason);
+        piece.result = std::move(g.result);
+        piece.tuples = std::move(g.tuples);
+        piece.reason_ids = std::move(g.reason_ids);
+        piece.result_ids = std::move(g.result_ids);
+        group.pieces.push_back(std::move(piece));
+      }
+    }
+    ctx.Tick(1);
+  });
+  if (ctx.Stopped()) return ctx.StopStatus("index append");
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+Status MlnIndex::Validate(const Dataset& data, const RuleSet& rules) const {
+  if (blocks_.size() != rules.size()) {
+    return Status::Invalid("index has " + std::to_string(blocks_.size()) +
+                           " blocks for a " + std::to_string(rules.size()) +
+                           "-rule set");
+  }
+  const auto num_rows = static_cast<TupleId>(data.num_rows());
+  for (size_t ri = 0; ri < blocks_.size(); ++ri) {
+    const Block& block = blocks_[ri];
+    const std::string where = "block " + std::to_string(ri);
+    if (block.rule_index != ri) {
+      return Status::Invalid(where + " claims rule index " +
+                             std::to_string(block.rule_index));
+    }
+    const Constraint& rule = rules.rule(ri);
+    const auto& reason_attrs = rule.reason_attrs();
+    const auto& result_attrs = rule.result_attrs();
+    for (const Group& group : block.groups) {
+      if (group.pieces.empty()) {
+        return Status::Invalid(where + " has an empty group");
+      }
+      if (group.key != group.pieces.front().reason) {
+        return Status::Invalid(where +
+                               " group key does not match its first γ "
+                               "(not a pre-AGP index)");
+      }
+      for (const Piece& piece : group.pieces) {
+        if (piece.reason.size() != reason_attrs.size() ||
+            piece.result.size() != result_attrs.size() || !piece.has_ids()) {
+          return Status::Invalid(where + " has a γ whose arity or id mirror "
+                                         "does not match its rule");
+        }
+        auto check_values = [&](const std::vector<AttrId>& attrs,
+                                const std::vector<Value>& values,
+                                const std::vector<ValueId>& ids) -> Status {
+          for (size_t p = 0; p < attrs.size(); ++p) {
+            const ValueDict& dict = data.dict(attrs[p]);
+            if (ids[p] >= dict.size() || dict.value(ids[p]) != values[p]) {
+              return Status::Invalid(
+                  where + " has a γ whose ids disagree with the dataset's "
+                          "dictionaries (wrong dataset for this index?)");
+            }
+          }
+          return Status::OK();
+        };
+        MLN_RETURN_NOT_OK(check_values(reason_attrs, piece.reason, piece.reason_ids));
+        MLN_RETURN_NOT_OK(check_values(result_attrs, piece.result, piece.result_ids));
+        if (piece.tuples.empty()) {
+          return Status::Invalid(where + " has a γ with no supporting tuples");
+        }
+        TupleId prev = -1;
+        for (TupleId tid : piece.tuples) {
+          if (tid <= prev || tid >= num_rows) {
+            return Status::Invalid(
+                where + " has a γ with out-of-bounds or unsorted tuple ids "
+                        "(index covers more rows than the dataset?)");
+          }
+          prev = tid;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+MlnIndex MlnIndex::FromBlocks(std::vector<Block> blocks) {
+  MlnIndex index;
+  index.blocks_ = std::move(blocks);
+  index.group_maps_.resize(index.blocks_.size());
+  for (size_t bi = 0; bi < index.blocks_.size(); ++bi) index.ReindexBlock(bi);
+  return index;
+}
+
 Result<size_t> MlnIndex::FindGroup(size_t block_index,
                                    const std::vector<Value>& key) const {
   const auto& map = group_maps_[block_index];

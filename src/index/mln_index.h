@@ -59,6 +59,34 @@ class MlnIndex {
   static Result<MlnIndex> Build(const Dataset& data, const RuleSet& rules,
                                 const ExecContext& ctx = {});
 
+  /// Extends a freshly built (pre-AGP) index in place with the grounding
+  /// of rows [first_row, data.num_rows()) — the incremental-append path.
+  /// Only the new rows are re-ground, and only groups whose reason
+  /// bindings gained members are touched: an existing γ gains tuple ids,
+  /// a new (reason, result) binding becomes a new γ at the end of its
+  /// group, and a new reason key becomes a new group at the end of the
+  /// block — exactly the first-appearance positions a cold Build over the
+  /// whole dataset would produce, so the appended index is bit-identical
+  /// to that cold build. `data` must be the same dataset the index was
+  /// built over plus the appended rows (same dictionaries; Append only
+  /// grows them, so existing ids are stable). Weights of touched γs are
+  /// stale after an append; callers re-run the learn stage downstream.
+  /// When `ctx` is stopped mid-append the index is left partially
+  /// appended — callers must treat it as unusable (sessions go terminal).
+  Status AppendRows(const Dataset& data, const RuleSet& rules,
+                    size_t first_row, const ExecContext& ctx = {});
+
+  /// Checks that this index is a plausible pre-AGP index over `data` and
+  /// `rules`: block/rule alignment, per-γ value arity, id/value agreement
+  /// with the dataset's dictionaries, and in-bounds strictly increasing
+  /// tuple lists. The cross-process resume path runs this on a
+  /// snapshot-loaded index before serving from it.
+  Status Validate(const Dataset& data, const RuleSet& rules) const;
+
+  /// Reassembles an index from externally decoded blocks (the snapshot
+  /// loader) and rebuilds the per-block group maps.
+  static MlnIndex FromBlocks(std::vector<Block> blocks);
+
   size_t num_blocks() const { return blocks_.size(); }
   const Block& block(size_t i) const { return blocks_[i]; }
   Block& block(size_t i) { return blocks_[i]; }

@@ -16,11 +16,24 @@ size_t NextPowerOfTwo(size_t n) {
 
 Result<std::vector<GroundRule>> GroundConstraint(const Dataset& data,
                                                  const Constraint& rule) {
+  return GroundConstraintRange(data, rule, 0,
+                               static_cast<TupleId>(data.num_rows()));
+}
+
+Result<std::vector<GroundRule>> GroundConstraintRange(const Dataset& data,
+                                                      const Constraint& rule,
+                                                      TupleId first,
+                                                      TupleId end) {
   if (!rule.IndexCompatible()) {
     return Status::Invalid(
         "rule '" + rule.name() +
         "' is not index-compatible: DC reason predicates must be same-attribute "
         "equalities and the result predicate a same-attribute disequality");
+  }
+  if (first < 0 || end < first || static_cast<size_t>(end) > data.num_rows()) {
+    return Status::Invalid("grounding range [" + std::to_string(first) + ", " +
+                           std::to_string(end) + ") is out of bounds for " +
+                           std::to_string(data.num_rows()) + " rows");
   }
   const auto& reason_attrs = rule.reason_attrs();
   const auto& result_attrs = rule.result_attrs();
@@ -33,19 +46,19 @@ Result<std::vector<GroundRule>> GroundConstraint(const Dataset& data,
   for (AttrId a : result_attrs) cols.push_back(data.column(a).data());
 
   const ScopeFilter scope = rule.MakeScopeFilter(data);
-  const auto num_rows = static_cast<TupleId>(data.num_rows());
 
   std::vector<GroundRule> out;
   // Flat open-addressing binding table: slots hold (hash, γ index + 1);
   // matches are confirmed against the stored γ's id vectors. Sized for the
   // worst case (every tuple a distinct binding) so it never rehashes.
-  const size_t cap = NextPowerOfTwo(static_cast<size_t>(num_rows) * 2 + 1);
+  const size_t cap =
+      NextPowerOfTwo(static_cast<size_t>(end - first) * 2 + 1);
   const size_t mask = cap - 1;
   std::vector<uint64_t> slot_hash(cap);
   std::vector<uint32_t> slot_idx(cap, 0);
 
   std::vector<ValueId> ids(arity);
-  for (TupleId tid = 0; tid < num_rows; ++tid) {
+  for (TupleId tid = first; tid < end; ++tid) {
     if (!scope.InScope(tid)) continue;
     for (size_t p = 0; p < arity; ++p) ids[p] = cols[p][tid];
     const uint64_t h = HashValueIds(ids);

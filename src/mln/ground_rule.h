@@ -43,6 +43,15 @@ struct GroundRule {
 Result<std::vector<GroundRule>> GroundConstraint(const Dataset& data,
                                                  const Constraint& rule);
 
+/// Grounds `rule` over the tuple range [first, end) only — the
+/// incremental-append primitive. Bindings and tuples come out in the same
+/// first-appearance order a full grounding would visit them in, so merging
+/// a range grounding into an index built over [0, first) reproduces the
+/// full build exactly (MlnIndex::AppendRows relies on this).
+Result<std::vector<GroundRule>> GroundConstraintRange(const Dataset& data,
+                                                      const Constraint& rule,
+                                                      TupleId first, TupleId end);
+
 /// Renders a ground rule in the clausal form of Table 3, e.g.
 /// `!CT("DOTHAN") | ST("AL")`.
 std::string GroundRuleToString(const Schema& schema, const Constraint& rule,

@@ -49,6 +49,22 @@
 //   session.RunUntil(Stage::kLearn);   // inspect, then
 //   session.Resume();                  // finish; or cancel via CancelToken
 //
+// One growing table instead of independent batches? An incremental
+// session owns the accumulation and re-grounds only appended rows; each
+// Resume is bit-identical to a cold run over everything so far:
+//
+//   CleanSession stream = model.NewIncrementalSession(options);
+//   for (const Dataset& batch : ticks) {
+//     MLN_RETURN_NOT_OK(stream.AppendRows(batch)); // suffix-only re-ground
+//     MLN_RETURN_NOT_OK(stream.Resume());          // clean the accumulation
+//   }                                  // stream.cleaned() covers all rows
+//
+// model.Save(out, stream.base_index(), stream.data().num_rows()) writes
+// the resume point into the snapshot (v5), and LoadWithIndex +
+// ResumeIncrementalSession continue the stream in another process; a
+// CleanServer routes stream submissions through a strict-FIFO lane via
+// SessionOptions::incremental. Contract and trade-offs: docs/streaming.md.
+//
 // Models outlive their process: Save writes a versioned binary snapshot
 // (schema, rules, options, and the warmed weight store with stable γ ids)
 // and Load rebuilds a model that serves bit-identically — compile and

@@ -367,7 +367,7 @@ TEST(ModelIoTest, CorruptionNamesTheSectionAndByteRange) {
   ASSERT_FALSE(result.ok());
   ASSERT_TRUE(result.status().IsCorruption()) << result.status().ToString();
   const std::string& msg = result.status().message();
-  EXPECT_NE(msg.find("section 4"), std::string::npos) << msg;  // weights
+  EXPECT_NE(msg.find("section 5"), std::string::npos) << msg;  // index
   EXPECT_NE(msg.find("bytes ["), std::string::npos) << msg;
 }
 
@@ -402,13 +402,13 @@ TEST(ModelIoTest, EverySingleByteFlipIsRejected) {
   }
 }
 
-// Walks the v3 frames of a valid snapshot and returns each section's
+// Walks the section frames of a valid snapshot and returns each section's
 // [begin, end) byte range (frame included), so the fuzzer can target its
 // mutations per section.
 std::vector<std::pair<size_t, size_t>> SectionRanges(const std::string& bytes) {
   std::vector<std::pair<size_t, size_t>> ranges;
   size_t pos = 12;  // magic + version + section count
-  for (int s = 0; s < 4; ++s) {
+  for (int s = 0; s < 5; ++s) {
     const size_t begin = pos;
     uint64_t length = 0;
     for (int i = 7; i >= 0; --i) {

@@ -21,6 +21,16 @@
 //   # --warm iff the snapshot was saved with --warm)
 //   mlnclean_model serve --compile --warm --batches 8 --reuse --out serve.txt
 //
+//   # stream the batches through ONE row-incremental session (each entry
+//   # covers the accumulated rows), snapshotting the base index mid-stream
+//   mlnclean_model serve --compile --incremental --batches 6 --limit 3 \
+//                        --save-index idx.bin --out first.txt
+//
+//   # ... then resume cross-process from the snapshot and append the rest;
+//   # cat first.txt rest.txt equals the cold --cumulative reference
+//   mlnclean_model serve --resume-index idx.bin --skip 3 --batches 6 --out rest.txt
+//   mlnclean_model serve --compile --cumulative --batches 6 --out cold.txt
+//
 // The serve output file is fully deterministic (cleaned + deduped CSV and
 // the decision-trace counts per batch; no timings), so `cmp` between the
 // --model and --compile arms is the round-trip gate: a loaded model must
@@ -66,6 +76,12 @@ struct Args {
   bool compile = false;  // serve: in-process reference arm
   bool reuse = false;    // serve: reuse_model_weights
   bool retry = false;    // serve: SubmitWithRetry through a CleanServer
+  bool incremental = false;  // serve: one row-incremental session
+  bool cumulative = false;   // serve: cold prefix runs (the reference arm)
+  size_t limit = 0;          // serve: stop after batch `limit` (0 = all)
+  size_t skip = 0;           // serve: first batch to emit (resume/cumulative)
+  std::string save_index_path;    // serve --incremental: snapshot with index
+  std::string resume_index_path;  // serve: resume from a saved index
   std::string failpoint;  // arm this failpoint (Once) before the command
   // discover knobs; defaults mirror DiscoveryOptions.
   size_t threads = 1;
@@ -118,6 +134,10 @@ int Usage() {
                "  mlnclean_model serve (--model FILE | --compile [--warm])\n"
                "                       --out FILE [--reuse] [--batches K]\n"
                "                       [--jobs N] [--retry] [workload flags]\n"
+               "                       [--incremental [--save-index FILE]]\n"
+               "                       [--cumulative] [--limit K] [--skip K]\n"
+               "  mlnclean_model serve --resume-index FILE --skip K --out FILE\n"
+               "                       [--batches K] [--limit K] [workload flags]\n"
                "  mlnclean_model discover --out FILE [--threads N] [--eval]\n"
                "                       [--max-lhs K] [--min-support R]\n"
                "                       [--min-confidence R] [workload flags]\n"
@@ -142,6 +162,18 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->reuse = true;
     } else if (flag == "--retry") {
       args->retry = true;
+    } else if (flag == "--incremental") {
+      args->incremental = true;
+    } else if (flag == "--cumulative") {
+      args->cumulative = true;
+    } else if (flag == "--save-index") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->save_index_path = v;
+    } else if (flag == "--resume-index") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->resume_index_path = v;
     } else if (flag == "--eval") {
       args->eval = true;
     } else if (flag == "--failpoint") {
@@ -167,7 +199,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--hospitals" || flag == "--measures" || flag == "--batches" ||
                flag == "--jobs" || flag == "--agp-threshold" || flag == "--seed" ||
                flag == "--error-rate" || flag == "--threads" || flag == "--max-lhs" ||
-               flag == "--min-support" || flag == "--min-confidence") {
+               flag == "--min-support" || flag == "--min-confidence" ||
+               flag == "--limit" || flag == "--skip") {
       const char* v = next();
       if (v == nullptr) return false;
       bool parsed = true;
@@ -185,6 +218,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (flag == "--max-lhs") parsed = ParseSizeFlag(v, &args->max_lhs);
       if (flag == "--min-support") parsed = ParseRateFlag(v, &args->min_support);
       if (flag == "--min-confidence") parsed = ParseRateFlag(v, &args->min_confidence);
+      if (flag == "--limit") parsed = ParseSizeFlag(v, &args->limit);
+      if (flag == "--skip") parsed = ParseSizeFlag(v, &args->skip);
       if (!parsed) {
         std::fprintf(stderr, "bad value for %s: %s\n", flag.c_str(), v);
         return false;
@@ -203,6 +238,37 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   if (args->jobs == 0) {
     std::fprintf(stderr, "--jobs must be at least 1\n");
+    return false;
+  }
+  if (!args->resume_index_path.empty()) {
+    // A resume snapshot carries its own model (and options); a second
+    // model source would make it ambiguous which one serves.
+    if (args->compile || !args->model_path.empty()) {
+      std::fprintf(stderr,
+                   "--resume-index carries its own model; drop --model/--compile\n");
+      return false;
+    }
+    args->incremental = true;  // resuming only makes sense incrementally
+  }
+  if (args->incremental && args->cumulative) {
+    std::fprintf(stderr, "--incremental and --cumulative are mutually exclusive\n");
+    return false;
+  }
+  if (!args->save_index_path.empty() && !args->incremental) {
+    std::fprintf(stderr, "--save-index requires --incremental\n");
+    return false;
+  }
+  if (args->skip > 0 && args->resume_index_path.empty() && !args->cumulative) {
+    // A fresh incremental session that skipped batches would clean a
+    // different stream than the one the transcript claims.
+    std::fprintf(stderr, "--skip requires --resume-index or --cumulative\n");
+    return false;
+  }
+  if ((!args->save_index_path.empty() || !args->resume_index_path.empty()) &&
+      args->jobs > 1) {
+    // The server lane owns its session internally; its base index is not
+    // reachable for snapshotting.
+    std::fprintf(stderr, "--save-index/--resume-index need --jobs 1\n");
     return false;
   }
   if (args->compile && !args->model_path.empty()) {
@@ -282,10 +348,10 @@ Result<CleanModel> CompileAndWarm(const Args& args, const ServingWorkload& wl,
   return model;
 }
 
-void WriteBatchTranscript(size_t index, const Dataset& batch,
-                          const CleanResult& result, std::ostream& out) {
+void WriteBatchTranscript(size_t index, size_t rows, const CleanResult& result,
+                          std::ostream& out) {
   const CleaningReport& report = result.report;
-  out << "== batch " << index << " rows=" << batch.num_rows()
+  out << "== batch " << index << " rows=" << rows
       << " agp=" << report.agp.size() << " rsc=" << report.rsc.size()
       << " fscr=" << report.fscr.size() << " dups=" << report.duplicates.size()
       << "\n";
@@ -314,7 +380,7 @@ Status ServeBatches(const CleanModel& model, const std::vector<Dataset>& batches
       CleanSession session = model.NewSession(batches[i], opts);
       MLN_RETURN_NOT_OK(session.Resume());
       MLN_ASSIGN_OR_RETURN(CleanResult result, session.TakeResult());
-      WriteBatchTranscript(i, batches[i], result, out);
+      WriteBatchTranscript(i, batches[i].num_rows(), result, out);
     }
     return Status::OK();
   }
@@ -342,7 +408,147 @@ Status ServeBatches(const CleanModel& model, const std::vector<Dataset>& batches
   }
   for (size_t i = 0; i < tickets.size(); ++i) {
     MLN_ASSIGN_OR_RETURN(CleanResult result, tickets[i].Take());
-    WriteBatchTranscript(i, batches[i], result, out);
+    WriteBatchTranscript(i, batches[i].num_rows(), result, out);
+  }
+  return Status::OK();
+}
+
+/// The window of batch indices `serve` emits: [--skip, --limit) clamped to
+/// the batch count (limit 0 = all).
+std::pair<size_t, size_t> BatchWindow(const Args& args, size_t num_batches) {
+  const size_t stop =
+      args.limit == 0 ? num_batches : std::min(args.limit, num_batches);
+  return {std::min(args.skip, stop), stop};
+}
+
+/// The incremental arm: one live row-incremental session, each emitted
+/// batch's transcript covering the *accumulated* rows so far. A cmp
+/// against the --cumulative reference arm is the streaming bit-identity
+/// gate: the incremental entry for batch k must equal a cold run over
+/// concat(batch 0..k). With --resume-index the session continues from a
+/// saved snapshot (model + base index), rebuilding the already-served rows
+/// from the regenerated workload; with --save-index the final base index
+/// is snapshotted for a later process to resume from. With --jobs > 1 the
+/// batches flow through a CleanServer's incremental lane instead — same
+/// transcript bytes, exercising SessionOptions::incremental end to end.
+Status ServeIncrementalBatches(const Args& args, const ServingWorkload& wl,
+                               const std::vector<Dataset>& batches,
+                               std::ostream& out) {
+  SessionOptions opts;
+  opts.reuse_model_weights = args.reuse;
+  const auto [first, stop] = BatchWindow(args, batches.size());
+
+  std::optional<CleanModel> model;
+  std::optional<CleanSession> session;
+  if (!args.resume_index_path.empty()) {
+    MLN_ASSIGN_OR_RETURN(
+        LoadedSnapshot snap,
+        CleaningEngine().LoadWithIndexFromFile(args.resume_index_path));
+    if (!snap.index.has_value()) {
+      return Status::Invalid("--resume-index: " + args.resume_index_path +
+                             " carries no saved index (save it with "
+                             "serve --incremental --save-index)");
+    }
+    // Rebuild the accumulated rows the saved index covers: the first
+    // --skip batches of the regenerated workload, re-appended in order so
+    // the dictionaries reproduce the ids the index carries.
+    size_t skip_rows = 0;
+    for (size_t i = 0; i < args.skip && i < batches.size(); ++i) {
+      skip_rows += batches[i].num_rows();
+    }
+    if (args.skip > batches.size() || skip_rows != snap.indexed_rows) {
+      return Status::Invalid(
+          "--skip " + std::to_string(args.skip) + " covers " +
+          std::to_string(skip_rows) + " rows but the saved index covers " +
+          std::to_string(snap.indexed_rows) +
+          "; pass the --skip/--batches/workload flags of the saving run");
+    }
+    Dataset accumulated(snap.model.schema());
+    accumulated.Reserve(skip_rows);
+    for (size_t i = 0; i < args.skip; ++i) {
+      for (size_t t = 0; t < batches[i].num_rows(); ++t) {
+        MLN_RETURN_NOT_OK(accumulated.Append(batches[i].row(static_cast<TupleId>(t))));
+      }
+    }
+    model.emplace(std::move(snap.model));
+    session.emplace(model->ResumeIncrementalSession(std::move(accumulated),
+                                                    std::move(*snap.index), opts));
+  } else {
+    Result<CleanModel> loaded = [&]() -> Result<CleanModel> {
+      if (args.compile) return CompileAndWarm(args, wl, batches);
+      std::ifstream in(args.model_path, std::ios::binary);
+      if (!in) return Status::IOError("cannot open " + args.model_path);
+      return CleaningEngine().Load(in);
+    }();
+    MLN_RETURN_NOT_OK(loaded.status());
+    model.emplace(std::move(*loaded));
+    session.emplace(model->NewIncrementalSession(opts));
+  }
+
+  if (args.jobs > 1) {
+    // The server lane: batches submitted with SessionOptions::incremental
+    // append to the server's own live session in submission order, and
+    // each ticket resolves to the accumulated output — byte-identical to
+    // the direct loop below (the session built above goes unused).
+    PoolExecutor pool(args.jobs);
+    ServerOptions sopts;
+    sopts.executor = &pool;
+    sopts.max_concurrent_sessions = args.jobs;
+    sopts.queue_capacity = batches.size();
+    MLN_ASSIGN_OR_RETURN(CleanServer server, CleanServer::Create(*model, sopts));
+    std::vector<CleanTicket> tickets;
+    for (size_t i = first; i < stop; ++i) {
+      SessionOptions job_opts;
+      job_opts.reuse_model_weights = args.reuse;
+      job_opts.incremental = true;
+      MLN_ASSIGN_OR_RETURN(CleanTicket ticket, server.Submit(batches[i], job_opts));
+      tickets.push_back(std::move(ticket));
+    }
+    for (size_t i = first; i < stop; ++i) {
+      MLN_ASSIGN_OR_RETURN(CleanResult result, tickets[i - first].Take());
+      WriteBatchTranscript(i, result.cleaned.num_rows(), result, out);
+    }
+    return Status::OK();
+  }
+
+  for (size_t i = first; i < stop; ++i) {
+    MLN_RETURN_NOT_OK(session->AppendRows(batches[i]));
+    MLN_RETURN_NOT_OK(session->Resume());
+    CleanResult result;
+    result.cleaned = session->cleaned().Clone();
+    result.deduped = session->deduped().Clone();
+    result.report = session->report();
+    WriteBatchTranscript(i, session->data().num_rows(), result, out);
+  }
+  if (!args.save_index_path.empty()) {
+    MLN_RETURN_NOT_OK(model->SaveToFile(args.save_index_path, session->base_index(),
+                                        session->data().num_rows()));
+  }
+  return Status::OK();
+}
+
+/// The cold reference arm for the streaming gate: for every emitted batch
+/// k, a fresh cold session over the concatenated prefix (batches 0..k).
+/// O(K * rows) work where the incremental arm pays O(rows) — the point of
+/// the comparison — but bit-identical transcripts.
+Status ServeCumulativeBatches(const CleanModel& model, const Args& args,
+                              const ServingWorkload& wl,
+                              const std::vector<Dataset>& batches,
+                              std::ostream& out) {
+  SessionOptions opts;
+  opts.reuse_model_weights = args.reuse;
+  const auto [first, stop] = BatchWindow(args, batches.size());
+  size_t end_row = 0;
+  for (size_t i = 0; i < first && i < batches.size(); ++i) {
+    end_row += batches[i].num_rows();
+  }
+  for (size_t i = first; i < stop; ++i) {
+    end_row += batches[i].num_rows();
+    Dataset prefix = wl.dirty.Slice(0, end_row);
+    CleanSession session = model.NewSession(prefix, opts);
+    MLN_RETURN_NOT_OK(session.Resume());
+    MLN_ASSIGN_OR_RETURN(CleanResult result, session.TakeResult());
+    WriteBatchTranscript(i, prefix.num_rows(), result, out);
   }
   return Status::OK();
 }
@@ -400,11 +606,18 @@ int RunInspect(const Args& args) {
   for (size_t n : info->weight_dict_sizes) dict_values += n;
   std::printf("weight store: %zu γ entries, %zu dicts (%zu interned values)\n",
               info->num_stored_weights, info->weight_dict_sizes.size(), dict_values);
+  if (info->has_index) {
+    std::printf("index: %zu rows, %zu γ pieces (incremental resume point)\n",
+                info->indexed_rows, info->index_pieces);
+  } else {
+    std::printf("index: none\n");
+  }
   return 0;
 }
 
 int RunServe(const Args& args) {
-  if (args.out_path.empty() || (args.model_path.empty() && !args.compile)) {
+  if (args.out_path.empty() ||
+      (args.model_path.empty() && !args.compile && args.resume_index_path.empty())) {
     return Usage();
   }
   auto wl = MakeWorkload(args);
@@ -413,6 +626,27 @@ int RunServe(const Args& args) {
     return 1;
   }
   std::vector<Dataset> batches = SplitIntoBatches(wl->dirty, args.batches);
+  if (args.incremental) {
+    std::ofstream out(args.out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", args.out_path.c_str());
+      return 1;
+    }
+    Status served = ServeIncrementalBatches(args, *wl, batches, out);
+    if (!served.ok()) {
+      std::fprintf(stderr, "serve: %s\n", served.ToString().c_str());
+      return 1;
+    }
+    out.close();
+    if (out.fail()) {
+      std::fprintf(stderr, "serve: write to %s failed\n", args.out_path.c_str());
+      return 1;
+    }
+    const auto [first, stop] = BatchWindow(args, batches.size());
+    std::printf("served batches %zu..%zu incrementally (jobs=%zu) -> %s\n", first,
+                stop, args.jobs, args.out_path.c_str());
+    return 0;
+  }
   Result<CleanModel> model = [&]() -> Result<CleanModel> {
     if (args.compile) {
       // The reference arm warms only when asked: pass --warm iff the
@@ -435,7 +669,9 @@ int RunServe(const Args& args) {
     return 1;
   }
   Status served =
-      ServeBatches(*model, batches, args.reuse, args.jobs, args.retry, out);
+      args.cumulative
+          ? ServeCumulativeBatches(*model, args, *wl, batches, out)
+          : ServeBatches(*model, batches, args.reuse, args.jobs, args.retry, out);
   if (!served.ok()) {
     std::fprintf(stderr, "serve: %s\n", served.ToString().c_str());
     return 1;
