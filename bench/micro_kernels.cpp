@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -330,6 +331,51 @@ void BM_ServerThroughput(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServerThroughput);
+
+// Fleet saturation: N client threads each firing the 8 micro-batches at a
+// CleanFleet of M shards and harvesting their own tickets, on one shared
+// pool. Args are {clients, shards}. Beyond wall time, the run reports the
+// fleet's submit-to-harvest latency percentiles (p50_ms / p99_ms counters
+// from FleetStats) — the tail the EDF/coalescing queue work targets.
+void BM_FleetSaturation(benchmark::State& state) {
+  const size_t clients = static_cast<size_t>(state.range(0));
+  const size_t shards = static_cast<size_t>(state.range(1));
+  const Workload& wl = SharedHai();
+  const DirtyDataset& dd = SharedDirty();
+  const std::vector<Dataset>& batches = ServeBatches();
+  CleaningOptions options = Options(wl);
+  CleanModel model = *CleaningEngine(options).Compile(wl.clean.schema(), wl.rules);
+  ShardRouterOptions ropts;
+  ropts.num_shards = shards;
+  ShardRouter router = *ShardRouter::Build(dd.dirty, ropts);
+  FleetOptions fopts;
+  fopts.executor = ProcessExecutor();
+  fopts.max_concurrent_sessions = 4;
+  fopts.queue_capacity = 2 * clients * batches.size();
+  CleanFleet fleet = *CleanFleet::Create(model, std::move(router), fopts);
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&fleet, &batches] {
+        std::vector<FleetTicket> tickets;
+        tickets.reserve(batches.size());
+        for (const Dataset& batch : batches) {
+          tickets.push_back(*fleet.Submit(batch));
+        }
+        for (FleetTicket& ticket : tickets) {
+          benchmark::DoNotOptimize(ticket.Take());
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  const FleetStats stats = fleet.Stats();
+  state.counters["p50_ms"] = stats.latency.p50 * 1e3;
+  state.counters["p99_ms"] = stats.latency.p99 * 1e3;
+}
+BENCHMARK(BM_FleetSaturation)->Args({4, 2})->Args({8, 3})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_Partition(benchmark::State& state) {
   const DirtyDataset& dd = SharedDirty();

@@ -75,17 +75,17 @@ struct CleaningOptions {
   /// Memoize pairwise value distances during AGP's abnormal-vs-normal γ*
   /// scan and RSC's per-group loops (one PieceDistanceMemo per block task,
   /// keyed on dictionary id pairs). Purely an evaluation cache: results
-  /// are identical with it on or off. Re-measured after the columnar
-  /// refactor interned all values at load time (which deleted the old
-  /// DistanceCache's interner half and its per-scan interning cost): the
-  /// memo no longer hurts AGP (~equal to off, occasionally ahead, vs ~30%
-  /// overhead pre-refactor) but still loses ~20% on RSC for hospital/car
-  /// style short values — within a group most positions share one id
-  /// (free id-equality fast path either way) and the distinct pairs
-  /// rarely repeat, so the memo pays insert traffic for no reuse. Off by
-  /// default; enable it for workloads with long values or heavy
-  /// cross-group value-pair reuse, where one kernel call per distinct
-  /// pair per block wins.
+  /// are identical with it on or off. Re-measured against the bit-parallel
+  /// edit-distance kernels (Myers over 64-column words, scratch-reusing):
+  /// on 40- and 120-hospital at 5-10% error rate the memo now *loses*
+  /// ~25-35% of AGP stage time and is a wash on RSC — a short-value
+  /// kernel call is down to roughly the cost of the memo's hash probe, so
+  /// the insert traffic for rarely-repeating distinct pairs is pure
+  /// overhead (within a group most positions share one dictionary id,
+  /// which short-circuits before either path). Off by default, and the
+  /// bar for enabling it has risen with the kernels: it only pays for
+  /// workloads with long values (where O(n*m/64) per call still dwarfs a
+  /// probe) and heavy cross-block value-pair reuse.
   bool cache_distances = false;
 
   /// Minimality bias of FSCR: each attribute a candidate fusion changes

@@ -1,26 +1,49 @@
 #include "cleaning/server.h"
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/failpoint.h"
 
 namespace mlnclean {
 
 /// One submission. The ticket and the worker share it; its own mutex
-/// covers only the terminal hand-off (status/result/done), so a ticket
-/// waiting on one job never contends with the server's admission lock.
+/// covers only the pause/terminal hand-off (paused/status/result/done),
+/// so a ticket waiting on one job never contends with the server's
+/// admission lock.
 struct ServerJob {
   const Dataset* dirty = nullptr;
   /// Set by the owning Submit overloads; `dirty` then points here.
   std::optional<Dataset> owned;
   SessionOptions opts;
 
+  // Scheduling keys, assigned once under the server lock at admission.
+  // The queue pops by (opts.priority desc, opts.deadline asc, seq asc);
+  // a resumed staged job keeps its original seq, so it re-queues at its
+  // original rank within its class.
+  uint64_t seq = 0;
+  std::chrono::steady_clock::time_point submitted_at;
+
+  // Staged submissions (SubmitStaged): leg 1 runs to `pause_after` and
+  // parks, leg 2 (after ResumeJob) runs to `final_stage`. The live
+  // session survives the park; `server` is what ResumeJob re-enqueues
+  // into (set only for staged jobs — a plain job never needs the server
+  // back).
+  std::optional<Stage> pause_after;
+  Stage final_stage = Stage::kDedup;
+  std::unique_ptr<CleanSession> session;
+  std::shared_ptr<ServerState> server;
+
   mutable std::mutex mu;
   mutable std::condition_variable cv;
+  bool paused = false;   // staged: parked at pause_after, session readable
+  bool resumed = false;  // staged: ResumeJob already re-enqueued it
   bool done = false;
   bool taken = false;
   Status status;
@@ -38,10 +61,18 @@ struct ServerState {
   const ServerOptions options;
 
   std::mutex mu;  // guards everything below
+  /// The pending cold-lane queue, kept as a binary heap under JobAfter
+  /// (std::push_heap/pop_heap): top = highest priority, then earliest
+  /// deadline, then lowest admission seq — plain FIFO when nobody sets
+  /// priorities or deadlines.
   std::deque<std::shared_ptr<ServerJob>> queue;
+  uint64_t next_seq = 0;  // admission order stamp
   size_t workers = 0;  // worker loops scheduled or running
   size_t running = 0;  // jobs currently executing
-  ServerStats totals;  // queued/running are derived on snapshot
+  ServerStats totals;  // queued/running/latency are derived on snapshot
+  /// Submit-to-terminal latencies, recorded under `mu` at job completion;
+  /// Stats() copies the window out and sorts outside the lock.
+  LatencyReservoir latencies;
 
   // Incremental serving lane: submissions flagged SessionOptions::
   // incremental feed one live row-incremental session through their own
@@ -67,11 +98,27 @@ void AddTimings(StageTimings* into, const StageTimings& t) {
   into->total += t.total;
 }
 
+// Heap comparator: true when `a` should pop *after* `b`. Higher priority
+// first; within a priority the earliest deadline (EDF — no deadline sorts
+// after every deadline), then admission order.
+bool JobAfter(const std::shared_ptr<ServerJob>& a,
+              const std::shared_ptr<ServerJob>& b) {
+  if (a->opts.priority != b->opts.priority) {
+    return a->opts.priority < b->opts.priority;
+  }
+  constexpr auto kNever = std::chrono::steady_clock::time_point::max();
+  const auto da = a->opts.deadline.value_or(kNever);
+  const auto db = b->opts.deadline.value_or(kNever);
+  if (da != db) return da > db;
+  return a->seq > b->seq;
+}
+
 void RunJob(const std::shared_ptr<ServerState>& state,
             const std::shared_ptr<ServerJob>& job) {
   Status status;
   std::optional<CleanResult> result;
   StageTimings timings;
+  bool pause = false;  // this leg ends parked at pause_after, not terminal
   // Backstop exception boundary: the session already converts stage and
   // progress-callback exceptions to Status, but anything that still
   // escapes (session construction, result hand-off, injected faults)
@@ -79,24 +126,81 @@ void RunJob(const std::shared_ptr<ServerState>& state,
   // take down the executor thread and strand every waiter.
   try {
     MLN_FAILPOINT("server/worker-loop");
-    CleanSession session = state->model.NewSession(*job->dirty, job->opts);
-    status = session.Resume();
-    timings = session.report().timings;
-    if (status.ok()) {
-      Result<CleanResult> taken = session.TakeResult();
-      if (taken.ok()) {
-        result = std::move(taken).ValueUnsafe();
+    bool resumed_leg = false;
+    if (job->pause_after.has_value()) {
+      std::lock_guard<std::mutex> lock(job->mu);
+      resumed_leg = job->resumed;
+    }
+    if (job->pause_after.has_value() && !resumed_leg) {
+      // Staged leg 1: open the live session, run to the pause stage. The
+      // session outlives this leg on the job; the coordinating caller
+      // owns it between WaitPaused and ResumeJob.
+      job->session = std::make_unique<CleanSession>(
+          state->model.NewSession(*job->dirty, job->opts));
+      status = job->session->RunUntil(*job->pause_after);
+      if (status.ok()) {
+        pause = true;
       } else {
-        status = taken.status();
+        timings = job->session->report().timings;
+      }
+    } else if (job->session != nullptr) {
+      // Staged leg 2: finish the parked session. With a final stage short
+      // of kDedup the outputs deliberately stay on the session — the
+      // fleet's merge reads session()->cleaned(), there is no CleanResult
+      // to move.
+      status = job->session->RunUntil(job->final_stage);
+      timings = job->session->report().timings;
+      if (status.ok() && job->final_stage == Stage::kDedup) {
+        Result<CleanResult> taken = job->session->TakeResult();
+        if (taken.ok()) {
+          result = std::move(taken).ValueUnsafe();
+        } else {
+          status = taken.status();
+        }
+      }
+    } else {
+      CleanSession session = state->model.NewSession(*job->dirty, job->opts);
+      status = session.Resume();
+      timings = session.report().timings;
+      if (status.ok()) {
+        Result<CleanResult> taken = session.TakeResult();
+        if (taken.ok()) {
+          result = std::move(taken).ValueUnsafe();
+        } else {
+          status = taken.status();
+        }
       }
     }
   } catch (...) {
     status = StatusFromCurrentException("serving job failed");
     result.reset();
   }
+  if (pause) {
+    // Parked OK at the pause stage: wake WaitPaused() callers and leave
+    // the job non-terminal. Timings, terminal counters, and the latency
+    // sample are all recorded once, when the resumed leg finishes.
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      --state->running;
+    }
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->paused = true;
+    }
+    job->cv.notify_all();
+    return;
+  }
+  // `running` drops in the same critical section as the terminal
+  // counters, *before* the done flag wakes Wait()ers — a caller
+  // snapshotting Stats() right after Wait() must never see this job
+  // still counted as running.
   {
     std::lock_guard<std::mutex> lock(state->mu);
+    --state->running;
     AddTimings(&state->totals.stage_seconds, timings);
+    state->latencies.Add(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - job->submitted_at)
+                             .count());
     if (status.ok()) {
       ++state->totals.completed;
     } else if (status.IsCancelled()) {
@@ -156,7 +260,11 @@ void RunIncrementalJob(const std::shared_ptr<ServerState>& state,
   }
   {
     std::lock_guard<std::mutex> lock(state->mu);
+    --state->running;  // before the done flag wakes Wait()ers (see RunJob)
     AddTimings(&state->totals.stage_seconds, timings);
+    state->latencies.Add(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - job->submitted_at)
+                             .count());
     if (status.ok()) {
       ++state->totals.completed;
     } else {
@@ -189,37 +297,81 @@ void RunIncrementalDrainer(const std::shared_ptr<ServerState>& state) {
       state->inc_queue.pop_front();
       ++state->running;
     }
-    RunIncrementalJob(state, job);
-    {
-      std::lock_guard<std::mutex> lock(state->mu);
-      --state->running;
-    }
+    RunIncrementalJob(state, job);  // decrements `running` at its terminal
   }
 }
 
 // One worker task: runs queued jobs until the queue is empty, then
 // retires. Submit schedules a new worker whenever fewer than
 // max_concurrent_sessions are alive, so the worker count breathes with
-// the load instead of parking executor threads on an idle server.
+// the load instead of parking executor threads on an idle server. Jobs
+// pop in heap order (priority, EDF, admission order — see JobAfter); with
+// a coalescing budget the worker drains a run of small jobs in one pop.
 void RunWorker(const std::shared_ptr<ServerState>& state) {
   for (;;) {
-    std::shared_ptr<ServerJob> job;
+    std::vector<std::shared_ptr<ServerJob>> group;
     {
       std::lock_guard<std::mutex> lock(state->mu);
       if (state->queue.empty()) {
         --state->workers;
         return;
       }
-      job = std::move(state->queue.front());
-      state->queue.pop_front();
-      ++state->running;
+      std::pop_heap(state->queue.begin(), state->queue.end(), JobAfter);
+      group.push_back(std::move(state->queue.back()));
+      state->queue.pop_back();
+      // Micro-batch coalescing: keep popping while the next job in queue
+      // order fits the row budget — the group then runs back-to-back on
+      // this worker as one dispatch. Each job still runs its own session
+      // (results are bit-identical to individual execution; coalescing
+      // batches the scheduling, not the evidence). Staged jobs coordinate
+      // externally and never join or start a group.
+      const size_t budget = state->options.coalesce_max_rows;
+      if (budget > 0 && !group.front()->pause_after.has_value()) {
+        size_t rows = group.front()->dirty->num_rows();
+        while (!state->queue.empty()) {
+          const std::shared_ptr<ServerJob>& next = state->queue.front();
+          if (next->pause_after.has_value()) break;
+          const size_t next_rows = next->dirty->num_rows();
+          if (rows + next_rows > budget) break;
+          std::pop_heap(state->queue.begin(), state->queue.end(), JobAfter);
+          group.push_back(std::move(state->queue.back()));
+          state->queue.pop_back();
+          rows += next_rows;
+        }
+        if (group.size() > 1) {
+          ++state->totals.coalesced_groups;
+          state->totals.coalesced_jobs += group.size();
+        }
+      }
+      state->running += group.size();
     }
-    RunJob(state, job);
-    {
-      std::lock_guard<std::mutex> lock(state->mu);
-      --state->running;
+    for (const std::shared_ptr<ServerJob>& job : group) {
+      RunJob(state, job);  // decrements `running` when it parks or finishes
     }
   }
+}
+
+// Re-admission for a resumed staged job: no capacity check (the job was
+// admitted once and merely parked), original scheduling keys. Shared by
+// CleanTicket::ResumeJob, which has a job handle but no server handle.
+Status EnqueueResumed(const std::shared_ptr<ServerState>& state,
+                      std::shared_ptr<ServerJob> job) {
+  bool spawn = false;
+  try {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->queue.push_back(std::move(job));
+    std::push_heap(state->queue.begin(), state->queue.end(), JobAfter);
+    if (state->workers < state->options.max_concurrent_sessions) {
+      ++state->workers;
+      spawn = true;
+    }
+  } catch (...) {
+    return StatusFromCurrentException("resume failed");
+  }
+  if (spawn) {
+    state->options.executor->Submit([state] { RunWorker(state); });
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -258,6 +410,35 @@ Result<CleanResult> CleanTicket::Take() {
 
 void CleanTicket::Cancel() { job_->opts.cancel.RequestCancel(); }
 
+Status CleanTicket::WaitPaused() const {
+  std::unique_lock<std::mutex> lock(job_->mu);
+  job_->cv.wait(lock, [this] { return job_->paused || job_->done; });
+  return job_->done ? job_->status : Status::OK();
+}
+
+CleanSession* CleanTicket::session() const {
+  std::lock_guard<std::mutex> lock(job_->mu);
+  return job_->session.get();
+}
+
+Status CleanTicket::ResumeJob() {
+  std::shared_ptr<ServerState> server;
+  {
+    std::lock_guard<std::mutex> lock(job_->mu);
+    if (!job_->pause_after.has_value()) {
+      return Status::Invalid("ResumeJob on a ticket that was not staged");
+    }
+    if (job_->done) return job_->status;  // the first leg already failed
+    if (!job_->paused) {
+      return Status::Invalid("job has not reached its pause stage yet");
+    }
+    if (job_->resumed) return Status::Invalid("job already resumed");
+    job_->resumed = true;
+    server = job_->server;
+  }
+  return EnqueueResumed(server, job_);
+}
+
 // ------------------------------------------------------------- CleanServer
 
 Result<CleanServer> CleanServer::Create(CleanModel model, ServerOptions options) {
@@ -293,6 +474,44 @@ Result<CleanTicket> CleanServer::SubmitCsv(std::string_view csv_text,
   return Submit(std::move(batch), std::move(opts));
 }
 
+Result<CleanTicket> CleanServer::SubmitStaged(const Dataset& dirty,
+                                              Stage pause_after,
+                                              Stage final_stage,
+                                              SessionOptions opts) {
+  if (opts.incremental) {
+    return Status::Invalid("staged submissions cannot use the incremental lane");
+  }
+  if (static_cast<int>(pause_after) >= static_cast<int>(final_stage)) {
+    return Status::Invalid("pause_after must precede final_stage");
+  }
+  auto job = std::make_shared<ServerJob>();
+  job->dirty = &dirty;
+  job->opts = std::move(opts);
+  job->pause_after = pause_after;
+  job->final_stage = final_stage;
+  job->server = state_;
+  return Enqueue(std::move(job));
+}
+
+Result<CleanTicket> CleanServer::SubmitStaged(Dataset&& dirty, Stage pause_after,
+                                              Stage final_stage,
+                                              SessionOptions opts) {
+  if (opts.incremental) {
+    return Status::Invalid("staged submissions cannot use the incremental lane");
+  }
+  if (static_cast<int>(pause_after) >= static_cast<int>(final_stage)) {
+    return Status::Invalid("pause_after must precede final_stage");
+  }
+  auto job = std::make_shared<ServerJob>();
+  job->owned.emplace(std::move(dirty));
+  job->dirty = &*job->owned;
+  job->opts = std::move(opts);
+  job->pause_after = pause_after;
+  job->final_stage = final_stage;
+  job->server = state_;
+  return Enqueue(std::move(job));
+}
+
 Result<CleanTicket> CleanServer::SubmitWithRetry(const Dataset& dirty,
                                                  SessionOptions opts,
                                                  const RetryPolicy& policy,
@@ -326,7 +545,16 @@ Result<CleanTicket> CleanServer::Enqueue(std::shared_ptr<ServerJob> job) {
           std::to_string(state_->options.queue_capacity) +
           " pending submissions); retry later");
     }
+    job->seq = state_->next_seq++;
+    job->submitted_at = std::chrono::steady_clock::now();
     queue.push_back(job);
+    // The cold lane is a heap (priority/EDF/seq); push_heap only swaps
+    // shared_ptrs under a non-throwing comparator, so push_back stays the
+    // only throwing statement past the capacity check. The incremental
+    // lane remains strict FIFO — its ordering IS its contract.
+    if (!incremental) {
+      std::push_heap(state_->queue.begin(), state_->queue.end(), JobAfter);
+    }
     ++state_->totals.submitted;
     if (incremental) {
       // One drainer, ever: submission order is append order.
@@ -359,10 +587,20 @@ Result<CleanTicket> CleanServer::Enqueue(std::shared_ptr<ServerJob> job) {
 }
 
 ServerStats CleanServer::Stats() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
-  ServerStats stats = state_->totals;
-  stats.queued = state_->queue.size() + state_->inc_queue.size();
-  stats.running = state_->running;
+  ServerStats stats;
+  std::vector<double> window;
+  size_t samples = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    stats = state_->totals;
+    stats.queued = state_->queue.size() + state_->inc_queue.size();
+    stats.running = state_->running;
+    window = state_->latencies.Window();
+    samples = state_->latencies.samples();
+  }
+  // Percentile sort outside the lock: Stats() holds `mu` only for the
+  // counter copy and the bounded window memcpy.
+  stats.latency = SummarizeLatencies(std::move(window), samples);
   return stats;
 }
 

@@ -9,14 +9,30 @@
 //   CleanTicket t2 = *server.Submit(batch2, opts); // runs concurrently
 //   CleanResult r1 = *t1.Take();                   // future-style harvest
 //
-// Submission is asynchronous with fair FIFO admission: jobs run in submit
-// order, at most `max_concurrent_sessions` at a time, each as one task on
-// the shared executor. When the pending queue is full, Submit returns
+// Submission is asynchronous; at most `max_concurrent_sessions` jobs run
+// at a time, each as one task on the shared executor. The pending queue
+// pops by (priority desc, deadline asc, admission order): submissions of
+// one priority class with the same deadline state run in submit order
+// (plain FIFO when nobody sets either knob), a higher
+// SessionOptions::priority always goes first, and within a class the
+// earliest deadline wins (EDF; deadline-less jobs sort last). Optionally
+// the popping worker coalesces runs of small queued jobs into one
+// dispatch (ServerOptions::coalesce_max_rows) — each job still runs its
+// own session, so results are bit-identical to individual execution.
+// When the pending queue is full, Submit returns
 // StatusCode::kUnavailable immediately (backpressure — the caller sheds
 // or retries; nothing blocks). Every ticket carries its session's
 // CancelToken and optional deadline, both enforced cooperatively at
 // block/shard boundaries, and `Stats()` reports queue depth, terminal
-// counts, and cumulative per-stage seconds.
+// counts, cumulative per-stage seconds, and ticket-latency percentiles
+// from a fixed-size reservoir.
+//
+// Staged submissions (`SubmitStaged`) are the fleet's coordination
+// primitive (src/fleet/): the job runs to a pause stage, parks with its
+// live session exposed through the ticket (`WaitPaused` + `session()`),
+// and re-enters the queue on `ResumeJob()` to run to its final stage —
+// which is exactly the RunUntil(kLearn) / AdjustWeightsAcross / resume
+// cut the Eq. 6 cross-shard weight merge needs.
 //
 // Determinism: with weight reuse off (or a warmed, no-longer-written
 // store), K sessions served concurrently produce results bit-identical to
@@ -42,6 +58,7 @@
 
 #include "cleaning/engine.h"
 #include "common/executor.h"
+#include "common/latency_reservoir.h"
 #include "common/result.h"
 #include "common/retry.h"
 
@@ -67,6 +84,16 @@ struct ServerOptions {
   /// Submissions allowed to wait for a session slot. A Submit that would
   /// push the pending queue past this returns kUnavailable.
   size_t queue_capacity = 64;
+  /// Micro-batch coalescing budget, in rows. 0 = off. When a worker pops
+  /// a job, it keeps popping while the next queued job (in queue order)
+  /// would keep the group's total row count within this budget, then runs
+  /// the whole group back-to-back as one dispatch — one lock
+  /// acquisition and one worker wake-up for a flurry of small
+  /// submissions instead of one each. Every job still runs as its own
+  /// session, so each ticket's result is bit-identical to individual
+  /// execution; coalescing batches the scheduling, not the evidence
+  /// (grounding never mixes batches). Staged submissions never coalesce.
+  size_t coalesce_max_rows = 0;
 };
 
 /// A snapshot of server counters (all since Create).
@@ -79,9 +106,16 @@ struct ServerStats {
   size_t cancelled = 0;  // finished kCancelled
   size_t deadline_expired = 0;  // finished kDeadlineExceeded
   size_t rejected = 0;   // Submits refused with kUnavailable (queue full)
+  size_t coalesced_groups = 0;  // dispatch groups of >= 2 coalesced jobs
+  size_t coalesced_jobs = 0;    // jobs that ran inside such a group
   /// Cumulative wall seconds spent per stage across every finished
   /// session (partial stages of cancelled/expired sessions included).
   StageTimings stage_seconds;
+  /// Submit-to-terminal ticket latency percentiles over a sliding window
+  /// of the last 1024 finished jobs (common/latency_reservoir.h; the
+  /// percentile sort runs on the Stats() caller, outside the server
+  /// lock). `latency.samples` counts all-time finished jobs.
+  LatencySnapshot latency;
 };
 
 /// Future-style handle to one submitted cleaning job. Cheap to copy (a
@@ -109,6 +143,27 @@ class CleanTicket {
   /// the session CancelToken: the run stops at the next block/shard
   /// boundary; a still-queued job cancels when it reaches a worker).
   void Cancel();
+
+  // ---- staged tickets (SubmitStaged) -------------------------------------
+
+  /// Blocks until a staged job parks at its pause stage (returns OK) or
+  /// reaches a terminal state first (returns that status — the pause
+  /// point was never reached). On a plain ticket this is Wait().
+  Status WaitPaused() const;
+
+  /// The parked live session of a staged job — valid between a WaitPaused
+  /// that returned OK and the matching ResumeJob(), exclusively for the
+  /// coordinating caller (inspect weights, AdjustWeightsAcross). Null for
+  /// plain tickets. The session lives until the last ticket handle drops,
+  /// but must not be touched while the server is running it.
+  CleanSession* session() const;
+
+  /// Re-enqueues a parked staged job to run to its final stage. Bypasses
+  /// the admission capacity check (the job was admitted once); scheduling
+  /// keys (priority, deadline, admission order) are unchanged. Invalid on
+  /// plain tickets, before the pause point, or twice; returns the
+  /// terminal status if the first leg already failed.
+  Status ResumeJob();
 
  private:
   friend class CleanServer;
@@ -158,6 +213,23 @@ class CleanServer {
   Result<CleanTicket> SubmitWithRetry(const Dataset& dirty, SessionOptions opts = {},
                                       const RetryPolicy& policy = {},
                                       size_t* retries_out = nullptr);
+
+  /// Staged submission: the job runs RunUntil(pause_after), parks with
+  /// its live session reachable via CleanTicket::session() (after
+  /// WaitPaused()), and on CleanTicket::ResumeJob() re-enters the queue
+  /// to run RunUntil(final_stage). `pause_after` must precede
+  /// `final_stage`; the incremental lane does not support staging. With
+  /// final_stage == Stage::kDedup the ticket resolves to a CleanResult
+  /// like a plain submission; with an earlier final stage the outputs
+  /// stay on the session (Take() has nothing to move) — the fleet's
+  /// merge reads session()->cleaned() directly.
+  Result<CleanTicket> SubmitStaged(const Dataset& dirty, Stage pause_after,
+                                   Stage final_stage, SessionOptions opts = {});
+
+  /// Owning SubmitStaged: the batch moves into the job (the fleet ships
+  /// routed shards this way, so a fleet ticket never borrows).
+  Result<CleanTicket> SubmitStaged(Dataset&& dirty, Stage pause_after,
+                                   Stage final_stage, SessionOptions opts = {});
 
   /// Counter snapshot (queue depth, terminal counts, stage seconds).
   ServerStats Stats() const;

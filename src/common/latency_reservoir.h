@@ -1,0 +1,90 @@
+// Fixed-size latency reservoir for serving observability: O(1) recording
+// on the hot path (a ring overwrite, no allocation past construction), a
+// cheap Window() copy under the caller's lock, and percentile math pushed
+// entirely outside it — which is what keeps CleanServer::Stats() and
+// CleanFleet::Stats() lock-cheap regardless of how many tickets were
+// served.
+//
+// The reservoir is deliberately a sliding window, not an all-time
+// histogram: once `capacity` samples have been recorded, each new sample
+// overwrites the oldest, so percentiles track *recent* behaviour — the
+// number an operator watching a saturating fleet actually wants.
+//
+// Not internally synchronized: Add() and Window() must run under the same
+// external lock (the server/fleet state mutex). SummarizeLatencies does
+// the sorting and runs lock-free on the snapshotting caller's thread.
+
+#ifndef MLNCLEAN_COMMON_LATENCY_RESERVOIR_H_
+#define MLNCLEAN_COMMON_LATENCY_RESERVOIR_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace mlnclean {
+
+/// Percentile snapshot over a reservoir window, in seconds. `samples` is
+/// the all-time recorded count (it keeps growing after the window wraps);
+/// percentiles are 0 while no sample has been recorded.
+struct LatencySnapshot {
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  size_t samples = 0;
+};
+
+/// The bounded sample store. External synchronization required (see file
+/// comment).
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(size_t capacity = 1024)
+      : window_(capacity > 0 ? capacity : 1) {}
+
+  /// Records one latency, overwriting the oldest sample once full.
+  void Add(double seconds) {
+    window_[next_] = seconds;
+    next_ = (next_ + 1) % window_.size();
+    ++total_;
+  }
+
+  /// All-time recorded count.
+  size_t samples() const { return total_; }
+
+  /// Copy of the retained window (unsorted, at most `capacity` values).
+  std::vector<double> Window() const {
+    const size_t held = std::min(total_, window_.size());
+    return std::vector<double>(window_.begin(),
+                               window_.begin() + static_cast<ptrdiff_t>(held));
+  }
+
+ private:
+  std::vector<double> window_;
+  size_t next_ = 0;
+  size_t total_ = 0;
+};
+
+/// Nearest-rank percentiles over a window copied out of a reservoir.
+/// Sorts `window` in place; call outside any lock.
+inline LatencySnapshot SummarizeLatencies(std::vector<double> window,
+                                          size_t total_samples) {
+  LatencySnapshot snap;
+  snap.samples = total_samples;
+  if (window.empty()) return snap;
+  std::sort(window.begin(), window.end());
+  const auto rank = [&](double q) {
+    // Nearest-rank: the smallest value with at least q of the mass at or
+    // below it. ceil(q * n) is in [1, n] for q in (0, 1].
+    size_t r = static_cast<size_t>(std::ceil(q * static_cast<double>(window.size())));
+    if (r == 0) r = 1;
+    return window[std::min(r, window.size()) - 1];
+  };
+  snap.p50 = rank(0.50);
+  snap.p99 = rank(0.99);
+  snap.p999 = rank(0.999);
+  return snap;
+}
+
+}  // namespace mlnclean
+
+#endif  // MLNCLEAN_COMMON_LATENCY_RESERVOIR_H_

@@ -7,6 +7,7 @@
 #include "cleaning/dedup.h"
 #include "common/executor.h"
 #include "common/timer.h"
+#include "distributed/shard_merge.h"
 
 namespace mlnclean {
 
@@ -59,37 +60,17 @@ Result<DistributedResult> DistributedMlnClean::Clean(const Dataset& dirty,
   MLN_ASSIGN_OR_RETURN(Partition partition, PartitionDataset(dirty, popts));
   const size_t k = partition.parts.size();
 
-  // Materialize the per-part sub-datasets (local tid -> global tid). Each
-  // shard ships with a copy of the global dictionaries, so its rows copy
-  // over by id and every shard's ids stay aligned with the global table
-  // (the merge below remaps whatever a shard interned on top).
-  std::vector<Dataset> part_data;
-  part_data.reserve(k);
-  for (size_t p = 0; p < k; ++p) {
-    part_data.push_back(Dataset::EmptyLike(dirty));
-    part_data[p].Reserve(partition.parts[p].size());
-    for (TupleId gtid : partition.parts[p]) {
-      part_data[p].AppendRowFrom(dirty, gtid);
-    }
-  }
-
-  // Optionally ship each shard over the packed wire format, as a remote
-  // worker would receive it. Decoded shards are value- and id-identical
-  // to the source (dictionaries re-interned in id order), so the
-  // shipped-size remap in the merge below is unaffected and the whole
-  // run stays bit-identical to in-process shipping.
+  // Materialize the per-part sub-datasets (local tid -> global tid) over
+  // the shared shipping protocol (shard_merge.h): each shard carries a
+  // copy of the global dictionaries, so its rows copy over by id and
+  // every shard's ids stay aligned with the global table (the merge
+  // below remaps whatever a shard interned on top). Optionally round-trip
+  // each shard through the packed wire format, as a remote worker would
+  // receive it — id-identical by the codec contract, so the whole run
+  // stays bit-identical to in-process shipping.
+  std::vector<Dataset> part_data = MaterializeShards(dirty, partition.parts);
   if (options_.ship_packed) {
-    std::vector<Status> shipped(k);
-    ParallelFor(k, workers, [&](size_t p) {
-      const std::vector<uint8_t> wire = part_data[p].EncodePacked();
-      auto decoded = Dataset::DecodePacked(wire);
-      if (!decoded.ok()) {
-        shipped[p] = decoded.status();
-        return;
-      }
-      part_data[p] = std::move(*decoded);
-    });
-    for (size_t p = 0; p < k; ++p) MLN_RETURN_NOT_OK(shipped[p]);
+    MLN_RETURN_NOT_OK(ShipShardsPacked(&part_data, workers));
   }
 
   // One staged engine session per part; parts run concurrently on the
@@ -143,30 +124,14 @@ Result<DistributedResult> DistributedMlnClean::Clean(const Dataset& dirty,
   for (size_t p = 0; p < k; ++p) MLN_RETURN_NOT_OK(statuses[p]);
 
   // ---- Merge: copy each shard's cleaned rows back into the global rows
-  // it owns, remapping dictionary ids. Every shard's dictionaries extend
-  // the ones it shipped with, so ids below the shipped size are identical
-  // across shards and the global table and pass through untouched;
-  // anything a shard interned on top is re-interned globally by value
-  // (shipped-size ids, not current global size — the global dictionaries
-  // grow during this loop).
-  const auto num_attrs = static_cast<AttrId>(dirty.num_attrs());
-  std::vector<size_t> shipped_size(static_cast<size_t>(num_attrs));
-  for (AttrId a = 0; a < num_attrs; ++a) {
-    shipped_size[static_cast<size_t>(a)] = dirty.dict(a).size();
-  }
+  // it owns with the shared id-remap merge (shard_merge.h), sequentially
+  // in part order — merging interns shard-local repairs into the global
+  // dictionaries, so the shipped-size watermark is captured once up
+  // front.
+  const std::vector<size_t> shipped_size = ShippedDictSizes(dirty);
   for (size_t p = 0; p < k; ++p) {
-    const Dataset& local_clean = sessions[p].cleaned();
-    const auto& mapping = partition.parts[p];
-    for (size_t local = 0; local < mapping.size(); ++local) {
-      for (AttrId a = 0; a < num_attrs; ++a) {
-        const ValueId id = local_clean.id_at(static_cast<TupleId>(local), a);
-        if (id < shipped_size[static_cast<size_t>(a)]) {
-          result.cleaned.set_id(mapping[local], a, id);
-        } else {
-          result.cleaned.set(mapping[local], a, local_clean.dict(a).value(id));
-        }
-      }
-    }
+    MergeShardRows(sessions[p].cleaned(), partition.parts[p], shipped_size,
+                   &result.cleaned);
   }
 
   // ---- Gather: global duplicate elimination, as in the stand-alone flow.

@@ -77,9 +77,22 @@
 //   MLN_ASSIGN_OR_RETURN(CleanModel served, CleaningEngine().Load(in));
 //   CleanServer server = *CleanServer::Create(served, {&my_executor});
 //
+// Out of room on one server? A CleanFleet serves the same logical table
+// from N shards: a deterministic ShardRouter (centroids fixed at build,
+// persisted via Encode/Decode) splits each batch, every shard runs on its
+// own CleanServer to Stage::kLearn, the Eq. 6 cross-shard weight merge
+// runs at the barrier, and the ticket reassembles the shards in order —
+// a 1-shard fleet is bit-identical to a plain server (docs/fleet.md):
+//
+//   ShardRouter router = *ShardRouter::Build(reference, {.num_shards = 3});
+//   CleanFleet fleet = *CleanFleet::Create(model, router, {&my_executor});
+//   FleetTicket ticket = *fleet.Submit(batch);
+//   CleanResult result = *ticket.Take();
+//
 // The same flow is scriptable via the tools/mlnclean_model CLI
 // (save / inspect / serve, with `serve --jobs N` driving batches through
-// a CleanServer); format and version policy live in cleaning/model_io.h
+// a CleanServer and `serve --shards N` through a CleanFleet); format and
+// version policy live in cleaning/model_io.h
 // and docs/snapshot_format.md. Malformed snapshots are rejected with
 // Status kInvalid, torn/bit-rotted ones with kCorruption (per-section
 // checksums) — never undefined behaviour; CleanModel::SaveToFile writes
@@ -141,6 +154,8 @@
 #include "distributed/distributed_pipeline.h"
 #include "distributed/partitioner.h"
 #include "errorgen/injector.h"
+#include "fleet/fleet.h"
+#include "fleet/shard_router.h"
 #include "eval/component_metrics.h"
 #include "eval/metrics.h"
 #include "index/mln_index.h"

@@ -567,5 +567,265 @@ TEST(CleanServerTest, IntraStageProgressIsMonotoneAndTotals) {
   }
 }
 
+// The queue discipline, observed end to end: while the one worker is
+// parked, four jobs of mixed priority/deadline queue up; they must run
+// in (priority desc, deadline asc, admission order) — in particular the
+// late-submitted high-priority job overtakes everything (the priority
+// inversion this heap exists to prevent), and among equal priorities the
+// earliest deadline wins with deadline-less jobs last.
+TEST(CleanServerTest, QueuePopsByPriorityThenDeadlineThenAdmission) {
+  Dataset dirty = *SampleHospitalDirty();
+  CleaningOptions options;
+  options.agp_threshold = 1;
+  CleanModel model = *CleaningEngine(options).Compile(dirty.schema(),
+                                                      *SampleHospitalRules());
+  PoolExecutor pool(1);
+  ServerOptions sopts;
+  sopts.executor = &pool;
+  sopts.max_concurrent_sessions = 1;
+  sopts.queue_capacity = 8;
+  CleanServer server = *CleanServer::Create(model, sopts);
+
+  Gate gate;
+  SessionOptions blocking;
+  blocking.progress = [&gate](const StageProgress& p) {
+    if (p.stage == Stage::kIndex && p.units_done == 0) gate.Enter();
+  };
+  auto parked = server.Submit(dirty, blocking);
+  ASSERT_TRUE(parked.ok());
+  gate.AwaitEntered();  // the worker is pinned; everything below queues
+
+  std::mutex order_mu;
+  std::vector<char> order;  // first progress event per job, in run order
+  auto tracked = [&](char label) {
+    SessionOptions opts;
+    opts.progress = [&, label, seen = std::make_shared<bool>(false)](
+                        const StageProgress&) {
+      if (*seen) return;
+      *seen = true;
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(label);
+    };
+    return opts;
+  };
+  const auto far = std::chrono::steady_clock::now() + std::chrono::hours(1);
+
+  SessionOptions a = tracked('A');  // pri 0, no deadline -> last
+  SessionOptions b = tracked('B');  // pri 0, later deadline
+  SessionOptions d = tracked('D');  // pri 0, earliest deadline
+  b.deadline = far + std::chrono::minutes(30);
+  d.deadline = far;
+  SessionOptions c = tracked('C');  // pri 1, submitted LAST, runs first
+  c.priority = 1;
+
+  std::vector<CleanTicket> tickets;
+  tickets.push_back(*server.Submit(dirty, a));
+  tickets.push_back(*server.Submit(dirty, b));
+  tickets.push_back(*server.Submit(dirty, d));
+  tickets.push_back(*server.Submit(dirty, c));
+
+  gate.Release();
+  ASSERT_TRUE(parked->Wait().ok());
+  for (CleanTicket& t : tickets) ASSERT_TRUE(t.Wait().ok());
+  EXPECT_EQ(order, (std::vector<char>{'C', 'D', 'B', 'A'}));
+}
+
+// Without priorities or deadlines the heap degrades to plain FIFO:
+// admission order is the only key, so existing serving behaviour (and
+// every recorded transcript) is unchanged.
+TEST(CleanServerTest, QueueStaysFifoWhenNobodySetsSchedulingKnobs) {
+  Dataset dirty = *SampleHospitalDirty();
+  CleaningOptions options;
+  options.agp_threshold = 1;
+  CleanModel model = *CleaningEngine(options).Compile(dirty.schema(),
+                                                      *SampleHospitalRules());
+  PoolExecutor pool(1);
+  ServerOptions sopts;
+  sopts.executor = &pool;
+  sopts.max_concurrent_sessions = 1;
+  sopts.queue_capacity = 8;
+  CleanServer server = *CleanServer::Create(model, sopts);
+
+  Gate gate;
+  SessionOptions blocking;
+  blocking.progress = [&gate](const StageProgress& p) {
+    if (p.stage == Stage::kIndex && p.units_done == 0) gate.Enter();
+  };
+  auto parked = server.Submit(dirty, blocking);
+  ASSERT_TRUE(parked.ok());
+  gate.AwaitEntered();
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  std::vector<CleanTicket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    SessionOptions opts;
+    opts.progress = [&, i, seen = std::make_shared<bool>(false)](
+                        const StageProgress&) {
+      if (*seen) return;
+      *seen = true;
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(i);
+    };
+    tickets.push_back(*server.Submit(dirty, opts));
+  }
+  gate.Release();
+  for (CleanTicket& t : tickets) ASSERT_TRUE(t.Wait().ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// Coalescing batches the scheduling, not the evidence: a flurry of small
+// jobs drained as one dispatch group produces results bit-identical to a
+// server that coalesces nothing, and the group counters record the
+// grouping.
+TEST(CleanServerTest, CoalescedMicroBatchesMatchIndividualExecution) {
+  ServingCase c = MakeServingCase(45, 4);
+  CleaningOptions options = ServingOptions();
+  CleanModel model =
+      *CleaningEngine(options).Compile(c.dd.dirty.schema(), c.wl.rules);
+
+  // Reference: a plain non-coalescing server.
+  PoolExecutor ref_pool(1);
+  ServerOptions ref_opts;
+  ref_opts.executor = &ref_pool;
+  ref_opts.queue_capacity = c.batches.size();
+  CleanServer reference = *CleanServer::Create(model, ref_opts);
+  std::vector<CleanResult> expected;
+  for (const Dataset& batch : c.batches) {
+    auto ticket = reference.Submit(batch);
+    ASSERT_TRUE(ticket.ok());
+    expected.push_back(*ticket->Take());
+  }
+  EXPECT_EQ(reference.Stats().coalesced_groups, 0u);
+
+  // Coalescing server: park the worker, queue all four small batches,
+  // release — the worker drains them as one group.
+  PoolExecutor pool(1);
+  ServerOptions sopts;
+  sopts.executor = &pool;
+  sopts.max_concurrent_sessions = 1;
+  sopts.queue_capacity = c.batches.size() + 1;
+  sopts.coalesce_max_rows = c.dd.dirty.num_rows() + 1;  // fits every batch
+  CleanServer server = *CleanServer::Create(model, sopts);
+
+  Gate gate;
+  SessionOptions blocking;
+  blocking.progress = [&gate](const StageProgress& p) {
+    if (p.stage == Stage::kIndex && p.units_done == 0) gate.Enter();
+  };
+  auto parked = server.Submit(c.batches[0], blocking);
+  ASSERT_TRUE(parked.ok());
+  gate.AwaitEntered();
+
+  std::vector<CleanTicket> tickets;
+  for (const Dataset& batch : c.batches) {
+    tickets.push_back(*server.Submit(batch));
+  }
+  gate.Release();
+  ASSERT_TRUE(parked->Wait().ok());
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    auto served = tickets[i].Take();
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_EQ(served->cleaned, expected[i].cleaned) << "batch " << i;
+    EXPECT_EQ(served->deduped, expected[i].deduped) << "batch " << i;
+    ExpectSameReport(served->report, expected[i].report);
+  }
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.coalesced_groups, 1u);
+  EXPECT_EQ(stats.coalesced_jobs, c.batches.size());
+  EXPECT_EQ(stats.completed, c.batches.size() + 1);
+}
+
+// The fleet's coordination primitive on its own: a staged submission
+// parks at the pause stage with its live session exposed, resumes on
+// demand, and ends bit-identical to a plain submission of the same batch.
+TEST(CleanServerTest, StagedSubmissionParksResumesAndMatchesPlainSubmit) {
+  ServingCase c = MakeServingCase(46, 1);
+  CleaningOptions options = ServingOptions();
+  CleanModel model =
+      *CleaningEngine(options).Compile(c.dd.dirty.schema(), c.wl.rules);
+  PoolExecutor pool(2);
+  ServerOptions sopts;
+  sopts.executor = &pool;
+  CleanServer server = *CleanServer::Create(model, sopts);
+
+  auto staged = server.SubmitStaged(c.dd.dirty, Stage::kLearn, Stage::kDedup);
+  ASSERT_TRUE(staged.ok()) << staged.status().ToString();
+  ASSERT_TRUE(staged->WaitPaused().ok());
+  ASSERT_NE(staged->session(), nullptr);
+  EXPECT_EQ(staged->session()->next_stage(), Stage::kRsc);
+  EXPECT_NE(staged->session()->mutable_index(), nullptr);
+  EXPECT_FALSE(staged->done());  // parked, not terminal
+
+  ASSERT_TRUE(staged->ResumeJob().ok());
+  EXPECT_TRUE(staged->ResumeJob().IsInvalid());  // resume is one-shot
+  auto served = staged->Take();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  auto plain = server.Submit(c.dd.dirty);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->session(), nullptr);  // staged-only accessor
+  EXPECT_TRUE(plain->ResumeJob().IsInvalid());
+  auto expected = plain->Take();
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(served->cleaned, expected->cleaned);
+  EXPECT_EQ(served->deduped, expected->deduped);
+  ExpectSameReport(served->report, expected->report);
+
+  // A final stage short of kDedup leaves the outputs on the session (the
+  // fleet's merge reads them there); there is no CleanResult to take.
+  auto partial = server.SubmitStaged(c.dd.dirty, Stage::kLearn, Stage::kFscr);
+  ASSERT_TRUE(partial.ok());
+  ASSERT_TRUE(partial->WaitPaused().ok());
+  ASSERT_TRUE(partial->ResumeJob().ok());
+  ASSERT_TRUE(partial->Wait().ok());
+  EXPECT_EQ(partial->session()->cleaned(), expected->cleaned);
+  EXPECT_FALSE(partial->Take().ok());
+
+  // Staging is validated up front: the pause must precede the final
+  // stage, and the incremental lane cannot stage.
+  EXPECT_TRUE(server.SubmitStaged(c.dd.dirty, Stage::kFscr, Stage::kLearn)
+                  .status()
+                  .IsInvalid());
+  EXPECT_TRUE(server.SubmitStaged(c.dd.dirty, Stage::kLearn, Stage::kLearn)
+                  .status()
+                  .IsInvalid());
+  SessionOptions incremental;
+  incremental.incremental = true;
+  EXPECT_TRUE(server
+                  .SubmitStaged(c.dd.dirty, Stage::kLearn, Stage::kDedup,
+                                incremental)
+                  .status()
+                  .IsInvalid());
+}
+
+// Ticket latency percentiles: every finished job lands one sample in the
+// reservoir, and the summary is ordered (p50 <= p99 <= p999).
+TEST(CleanServerTest, StatsReportTicketLatencyPercentiles) {
+  ServingCase c = MakeServingCase(48, 6);
+  CleaningOptions options = ServingOptions();
+  CleanModel model =
+      *CleaningEngine(options).Compile(c.dd.dirty.schema(), c.wl.rules);
+  PoolExecutor pool(2);
+  ServerOptions sopts;
+  sopts.executor = &pool;
+  sopts.max_concurrent_sessions = 2;
+  sopts.queue_capacity = c.batches.size();
+  CleanServer server = *CleanServer::Create(model, sopts);
+
+  EXPECT_EQ(server.Stats().latency.samples, 0u);
+  std::vector<CleanTicket> tickets;
+  for (const Dataset& batch : c.batches) {
+    tickets.push_back(*server.Submit(batch));
+  }
+  for (CleanTicket& t : tickets) ASSERT_TRUE(t.Wait().ok());
+
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.latency.samples, c.batches.size());
+  EXPECT_GT(stats.latency.p50, 0.0);
+  EXPECT_GE(stats.latency.p99, stats.latency.p50);
+  EXPECT_GE(stats.latency.p999, stats.latency.p99);
+}
+
 }  // namespace
 }  // namespace mlnclean

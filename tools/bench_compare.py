@@ -95,6 +95,20 @@ def main():
     removed = sorted(base.keys() - fresh.keys())
     common = sorted(base.keys() & fresh.keys())
 
+    if not common:
+        # An empty intersection means the gate would vacuously pass (or the
+        # loop below would print nothing useful) — every regression would
+        # slip through as "ADDED". Fail up front with the counts so a
+        # renamed/retargeted suite is diagnosed as such.
+        print(f"bench_compare: no benchmark names in common — baseline "
+              f"{args.baseline} has {len(base)}, fresh run {args.fresh} has "
+              f"{len(fresh)}, intersection is empty.", file=sys.stderr)
+        print("Either the wrong files were compared or the suite was "
+              "renamed wholesale; re-record the baseline from a Release "
+              "build (see BENCH_micro.json at the repo root) and commit it "
+              "in the same PR.", file=sys.stderr)
+        return 1
+
     failures = []
     for name in added:
         new_time, unit = fresh[name]
@@ -123,10 +137,6 @@ def main():
         print(f"{status}{name}: {old_time:.0f} -> {new_time:.0f} {unit} "
               f"({(ratio - 1.0) * 100:+.1f}%)")
 
-    if not common:
-        print("bench_compare: no benchmarks in common between baseline and "
-              "fresh run", file=sys.stderr)
-        return 1
     if failures:
         print("\nPerf gate failed:", file=sys.stderr)
         for f in failures:

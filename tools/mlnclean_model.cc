@@ -17,6 +17,12 @@
 //   # sequential run (the concurrent-serving CI gate)
 //   mlnclean_model serve --model model.bin --batches 8 --jobs 4 --reuse --out serve.txt
 //
+//   # ... or sharded through a CleanFleet (router built from the seeded
+//   # workload and round-tripped through its wire image before serving);
+//   # --shards 1 is byte-identical to the plain serve transcript, and
+//   # --stats appends a latency/counter footer (never used by cmp gates)
+//   mlnclean_model serve --model model.bin --batches 8 --shards 3 --jobs 4 --out serve.txt
+//
 //   # ... or through an in-process compile (the reference arm; pass
 //   # --warm iff the snapshot was saved with --warm)
 //   mlnclean_model serve --compile --warm --batches 8 --reuse --out serve.txt
@@ -70,6 +76,8 @@ struct Args {
   uint64_t seed = 21;
   size_t batches = 8;
   size_t jobs = 1;  // serve: concurrent sessions via CleanServer when > 1
+  size_t shards = 0;  // serve: fan batches across a CleanFleet when > 0
+  bool stats = false;  // serve: append the stats footer to the transcript
   size_t agp_threshold = 3;
   bool agp_threshold_set = false;
   bool warm = false;     // save: warm the store on batch 0 before saving
@@ -133,7 +141,8 @@ int Usage() {
                "  mlnclean_model inspect FILE\n"
                "  mlnclean_model serve (--model FILE | --compile [--warm])\n"
                "                       --out FILE [--reuse] [--batches K]\n"
-               "                       [--jobs N] [--retry] [workload flags]\n"
+               "                       [--jobs N] [--shards N] [--retry]\n"
+               "                       [--stats] [workload flags]\n"
                "                       [--incremental [--save-index FILE]]\n"
                "                       [--cumulative] [--limit K] [--skip K]\n"
                "  mlnclean_model serve --resume-index FILE --skip K --out FILE\n"
@@ -174,6 +183,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->resume_index_path = v;
+    } else if (flag == "--stats") {
+      args->stats = true;
     } else if (flag == "--eval") {
       args->eval = true;
     } else if (flag == "--failpoint") {
@@ -197,7 +208,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (v == nullptr) return false;
       args->rules_path = v;
     } else if (flag == "--hospitals" || flag == "--measures" || flag == "--batches" ||
-               flag == "--jobs" || flag == "--agp-threshold" || flag == "--seed" ||
+               flag == "--jobs" || flag == "--shards" ||
+               flag == "--agp-threshold" || flag == "--seed" ||
                flag == "--error-rate" || flag == "--threads" || flag == "--max-lhs" ||
                flag == "--min-support" || flag == "--min-confidence" ||
                flag == "--limit" || flag == "--skip") {
@@ -208,6 +220,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (flag == "--measures") parsed = ParseSizeFlag(v, &args->measures);
       if (flag == "--batches") parsed = ParseSizeFlag(v, &args->batches);
       if (flag == "--jobs") parsed = ParseSizeFlag(v, &args->jobs);
+      if (flag == "--shards") parsed = ParseSizeFlag(v, &args->shards);
       if (flag == "--agp-threshold") {
         parsed = ParseSizeFlag(v, &args->agp_threshold);
         args->agp_threshold_set = true;
@@ -249,6 +262,23 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
     args->incremental = true;  // resuming only makes sense incrementally
+  }
+  if (args->shards > 0 &&
+      (args->incremental || args->cumulative || args->retry ||
+       !args->resume_index_path.empty())) {
+    // The fleet serves plain batch submissions only: the incremental lane
+    // is single-stream by contract, --cumulative is its cold reference,
+    // and SubmitWithRetry is a per-server API.
+    std::fprintf(stderr,
+                 "--shards serves plain batches through a CleanFleet; drop "
+                 "--incremental/--cumulative/--retry/--resume-index\n");
+    return false;
+  }
+  if (args->stats && (args->incremental || args->cumulative)) {
+    // The incremental/cumulative arms bypass the server, so there are no
+    // queue/latency counters to print.
+    std::fprintf(stderr, "--stats needs the server or fleet serve path\n");
+    return false;
   }
   if (args->incremental && args->cumulative) {
     std::fprintf(stderr, "--incremental and --cumulative are mutually exclusive\n");
@@ -359,6 +389,52 @@ void WriteBatchTranscript(size_t index, size_t rows, const CleanResult& result,
   out << "-- deduped\n" << WriteCsv(result.deduped.ToCsv());
 }
 
+/// The --stats footer: terminal counters and ticket-latency percentiles.
+/// Deliberately NOT part of the deterministic transcript (latencies are
+/// wall-clock), which is why it only appears behind the flag — the CI cmp
+/// legs never pass --stats.
+void WriteServerStatsFooter(const ServerStats& stats, std::ostream& out) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "== stats queued=%zu running=%zu submitted=%zu completed=%zu "
+                "failed=%zu cancelled=%zu deadline_expired=%zu rejected=%zu "
+                "coalesced_groups=%zu coalesced_jobs=%zu\n",
+                stats.queued, stats.running, stats.submitted, stats.completed,
+                stats.failed, stats.cancelled, stats.deadline_expired,
+                stats.rejected, stats.coalesced_groups, stats.coalesced_jobs);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "-- latency samples=%zu p50_ms=%.3f p99_ms=%.3f p999_ms=%.3f\n",
+                stats.latency.samples, stats.latency.p50 * 1e3,
+                stats.latency.p99 * 1e3, stats.latency.p999 * 1e3);
+  out << buf;
+}
+
+void WriteFleetStatsFooter(const FleetStats& stats, std::ostream& out) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "== fleet stats submitted=%zu completed=%zu failed=%zu "
+                "cancelled=%zu deadline_expired=%zu\n",
+                stats.submitted, stats.completed, stats.failed, stats.cancelled,
+                stats.deadline_expired);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "-- latency samples=%zu p50_ms=%.3f p99_ms=%.3f p999_ms=%.3f\n",
+                stats.latency.samples, stats.latency.p50 * 1e3,
+                stats.latency.p99 * 1e3, stats.latency.p999 * 1e3);
+  out << buf;
+  for (size_t s = 0; s < stats.shards.size(); ++s) {
+    const ServerStats& shard = stats.shards[s];
+    std::snprintf(buf, sizeof(buf),
+                  "-- shard %zu queued=%zu running=%zu submitted=%zu "
+                  "completed=%zu failed=%zu p50_ms=%.3f p99_ms=%.3f\n",
+                  s, shard.queued, shard.running, shard.submitted,
+                  shard.completed, shard.failed, shard.latency.p50 * 1e3,
+                  shard.latency.p99 * 1e3);
+    out << buf;
+  }
+}
+
 /// Serves every batch and writes the deterministic transcript: cleaned and
 /// deduped CSV plus decision-trace counts per batch, ordered by batch
 /// index. No wall-clock times — two runs of the same model over the same
@@ -368,14 +444,16 @@ void WriteBatchTranscript(size_t index, size_t rows, const CleanResult& result,
 /// the bytes match the sequential run exactly — that equality IS the
 /// concurrent-serving gate CI's --jobs leg checks.
 Status ServeBatches(const CleanModel& model, const std::vector<Dataset>& batches,
-                    bool reuse, size_t jobs, bool retry, std::ostream& out) {
+                    bool reuse, size_t jobs, bool retry, bool stats,
+                    std::ostream& out) {
   SessionOptions opts;
   opts.reuse_model_weights = reuse;
   // --retry forces the server path even at --jobs 1: SubmitWithRetry is a
   // server API, and the queue is sized for every batch, so the server is
   // uncontended, no retry ever fires, and the transcript is byte-identical
-  // to the non-retry run — the determinism gate CI checks.
-  if (jobs <= 1 && !retry) {
+  // to the non-retry run — the determinism gate CI checks. --stats forces
+  // it too: the footer's counters live on the server.
+  if (jobs <= 1 && !retry && !stats) {
     for (size_t i = 0; i < batches.size(); ++i) {
       CleanSession session = model.NewSession(batches[i], opts);
       MLN_RETURN_NOT_OK(session.Resume());
@@ -410,6 +488,46 @@ Status ServeBatches(const CleanModel& model, const std::vector<Dataset>& batches
     MLN_ASSIGN_OR_RETURN(CleanResult result, tickets[i].Take());
     WriteBatchTranscript(i, batches[i].num_rows(), result, out);
   }
+  if (stats) WriteServerStatsFooter(server.Stats(), out);
+  return Status::OK();
+}
+
+/// The fleet arm (`--shards N`): batches fan out across a CleanFleet on a
+/// jobs-wide pool. The shard router is built from the workload's dirty
+/// table (the seeded draw, so every process builds the same centroids)
+/// and then round-tripped through its wire image before serving — the
+/// transcript therefore also certifies that a router restored from a
+/// snapshot routes exactly like the one that was built. Harvest order is
+/// submit order, so the bytes stay deterministic; at --shards 1 they are
+/// byte-identical to the plain serve path (the fleet bit-identity
+/// contract, which CI cmp-checks cross-process).
+Status ServeFleetBatches(const CleanModel& model, const ServingWorkload& wl,
+                         const std::vector<Dataset>& batches, const Args& args,
+                         std::ostream& out) {
+  ShardRouterOptions ropts;
+  ropts.num_shards = args.shards;
+  MLN_ASSIGN_OR_RETURN(ShardRouter built, ShardRouter::Build(wl.dirty, ropts));
+  MLN_ASSIGN_OR_RETURN(ShardRouter router, ShardRouter::Decode(built.Encode()));
+  PoolExecutor pool(args.jobs);
+  FleetOptions fopts;
+  fopts.executor = &pool;
+  fopts.max_concurrent_sessions = args.jobs;
+  fopts.queue_capacity = batches.size();
+  MLN_ASSIGN_OR_RETURN(CleanFleet fleet,
+                       CleanFleet::Create(model, std::move(router), fopts));
+  std::vector<FleetTicket> tickets;
+  tickets.reserve(batches.size());
+  for (const Dataset& batch : batches) {
+    SessionOptions job_opts;
+    job_opts.reuse_model_weights = args.reuse;
+    MLN_ASSIGN_OR_RETURN(FleetTicket ticket, fleet.Submit(batch, job_opts));
+    tickets.push_back(std::move(ticket));
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    MLN_ASSIGN_OR_RETURN(CleanResult result, tickets[i].Take());
+    WriteBatchTranscript(i, batches[i].num_rows(), result, out);
+  }
+  if (args.stats) WriteFleetStatsFooter(fleet.Stats(), out);
   return Status::OK();
 }
 
@@ -671,7 +789,10 @@ int RunServe(const Args& args) {
   Status served =
       args.cumulative
           ? ServeCumulativeBatches(*model, args, *wl, batches, out)
-          : ServeBatches(*model, batches, args.reuse, args.jobs, args.retry, out);
+          : (args.shards > 0
+                 ? ServeFleetBatches(*model, *wl, batches, args, out)
+                 : ServeBatches(*model, batches, args.reuse, args.jobs,
+                                args.retry, args.stats, out));
   if (!served.ok()) {
     std::fprintf(stderr, "serve: %s\n", served.ToString().c_str());
     return 1;
@@ -681,9 +802,9 @@ int RunServe(const Args& args) {
     std::fprintf(stderr, "serve: write to %s failed\n", args.out_path.c_str());
     return 1;
   }
-  std::printf("served %zu batches (%s, reuse=%d, jobs=%zu) -> %s\n",
+  std::printf("served %zu batches (%s, reuse=%d, jobs=%zu, shards=%zu) -> %s\n",
               batches.size(), args.compile ? "in-process model" : "loaded snapshot",
-              args.reuse ? 1 : 0, args.jobs, args.out_path.c_str());
+              args.reuse ? 1 : 0, args.jobs, args.shards, args.out_path.c_str());
   return 0;
 }
 
